@@ -1,0 +1,111 @@
+// E8: execution-time measurements (paper SSVII: "execution times ...
+// are negligible; most examples take less than 1 s"). Times the full
+// synthesis pipeline per benchmark design, plus a random-graph scaling
+// sweep of the core analyses (the algorithms are polynomial:
+// O((|Eb|+1) * |A| * |E|) for scheduling).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "anchors/anchor_analysis.hpp"
+#include "designs/designs.hpp"
+#include "driver/synthesis.hpp"
+#include "sched/scheduler.hpp"
+#include "wellposed/wellposed.hpp"
+
+using namespace relsched;
+
+namespace {
+
+void BM_SynthesizeDesign(benchmark::State& state, const char* name) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    seq::Design design = designs::build(name);
+    state.ResumeTiming();
+    auto result = driver::synthesize(design);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError("synthesis failed");
+  }
+}
+
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, traffic, "traffic");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, length, "length");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, gcd, "gcd");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, frisc, "frisc");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, daio_phase, "daio_phase");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, daio_rx, "daio_rx");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, dct_a, "dct_a");
+BENCHMARK_CAPTURE(BM_SynthesizeDesign, dct_b, "dct_b");
+
+/// Layered random constraint graph: `n` vertices, ~20% unbounded,
+/// a handful of slack max constraints.
+cg::ConstraintGraph scaling_graph(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  cg::ConstraintGraph g("scaling");
+  std::uniform_int_distribution<int> delay(0, 4);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<VertexId> vs;
+  vs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cg::Delay d = cg::Delay::bounded(delay(rng));
+    if (i > 0 && i + 1 < n && unit(rng) < 0.2) d = cg::Delay::unbounded();
+    vs.push_back(g.add_vertex("v" + std::to_string(i), d));
+  }
+  for (int i = 1; i < n; ++i) {
+    std::uniform_int_distribution<int> pred(std::max(0, i - 8), i - 1);
+    g.add_sequencing_edge(vs[static_cast<std::size_t>(pred(rng))],
+                          vs[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    bool has_out = false;
+    for (EdgeId e : g.out_edges(vs[static_cast<std::size_t>(i)])) {
+      if (cg::is_forward(g.edge(e).kind)) has_out = true;
+    }
+    if (!has_out) {
+      g.add_sequencing_edge(vs[static_cast<std::size_t>(i)],
+                            vs[static_cast<std::size_t>(n - 1)]);
+    }
+  }
+  return g;
+}
+
+void BM_AnchorAnalysisScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = scaling_graph(n, 42);
+  for (auto _ : state) {
+    auto analysis = anchors::AnchorAnalysis::compute(g);
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AnchorAnalysisScaling)->Range(64, 4096)->Complexity();
+
+void BM_ScheduleScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto g = scaling_graph(n, 42);
+  const auto analysis = anchors::AnchorAnalysis::compute(g);
+  sched::ScheduleOptions opts;
+  opts.prechecks = false;  // isolate the scheduling loop itself
+  for (auto _ : state) {
+    auto result = sched::schedule(g, analysis, opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ScheduleScaling)->Range(64, 4096)->Complexity();
+
+void BM_MakeWellposed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto g = scaling_graph(n, 7);
+    state.ResumeTiming();
+    auto result = wellposed::make_wellposed(g);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MakeWellposed)->Range(64, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Design-space exploration over the full benchmark suite: synthesize
+// every design, compare full vs irredundant anchor sets (Table III) and
+// counter vs shift-register control implementations (paper §VI).
+//
+//   ./build/examples/design_explorer
+#include <iostream>
+
+#include "base/table.hpp"
+#include "ctrl/control.hpp"
+#include "designs/designs.hpp"
+#include "driver/stats.hpp"
+#include "driver/synthesis.hpp"
+
+using namespace relsched;
+
+namespace {
+
+ctrl::ControlCost total_control_cost(const driver::SynthesisResult& result,
+                                     ctrl::ControlStyle style,
+                                     anchors::AnchorMode mode) {
+  ctrl::ControlCost total;
+  for (const auto& gs : result.graphs) {
+    ctrl::ControlOptions opts;
+    opts.style = style;
+    opts.mode = mode;
+    const auto unit = ctrl::generate_control(gs.constraint_graph, gs.analysis,
+                                             gs.schedule.schedule, opts);
+    total = total + unit.cost;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  TextTable table;
+  table.set_header({"design", "|A|/|V|", "sum|A(v)|", "sum|IR(v)|",
+                    "ctr FF/gates", "SR FF/gates", "SR+IR FF/gates"});
+  for (const auto& d : designs::benchmark_suite()) {
+    seq::Design design = designs::build(d.name);
+    const auto result = driver::synthesize(design);
+    if (!result.ok()) {
+      std::cerr << d.name << ": " << result.message << "\n";
+      return 1;
+    }
+    const auto stats = driver::compute_stats(result);
+    const auto counter = total_control_cost(result, ctrl::ControlStyle::kCounter,
+                                            anchors::AnchorMode::kFull);
+    const auto sr = total_control_cost(
+        result, ctrl::ControlStyle::kShiftRegister, anchors::AnchorMode::kFull);
+    const auto sr_ir =
+        total_control_cost(result, ctrl::ControlStyle::kShiftRegister,
+                           anchors::AnchorMode::kIrredundant);
+    table.add_row({d.name,
+                   std::to_string(stats.total_anchors) + "/" +
+                       std::to_string(stats.total_vertices),
+                   std::to_string(stats.sum_full),
+                   std::to_string(stats.sum_irredundant),
+                   std::to_string(counter.flipflops) + "/" +
+                       std::to_string(counter.gates),
+                   std::to_string(sr.flipflops) + "/" + std::to_string(sr.gates),
+                   std::to_string(sr_ir.flipflops) + "/" +
+                       std::to_string(sr_ir.gates)});
+  }
+  std::cout << "Benchmark suite: anchor statistics and control cost\n";
+  table.print(std::cout);
+  std::cout << "\nIrredundant anchor sets shrink both synchronization terms\n"
+               "and shift-register lengths (paper SSVI): compare the last two\n"
+               "columns.\n";
+  return 0;
+}

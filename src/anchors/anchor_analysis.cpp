@@ -1,0 +1,243 @@
+#include "anchors/anchor_analysis.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace relsched::anchors {
+
+std::vector<AnchorSet> find_anchor_sets(const cg::ConstraintGraph& g) {
+  const graph::Digraph forward = g.project_forward();
+  const auto topo = graph::topological_order(forward);
+  RELSCHED_CHECK(topo.has_value(), "find_anchor_sets requires an acyclic Gf");
+
+  std::vector<AnchorSet> sets(static_cast<std::size_t>(g.vertex_count()));
+  // Dataflow in topological order: A(v) is the union over forward
+  // in-edges (u, v) of A(u), plus {u} when the edge carries the
+  // unbounded weight delta(u). Equivalent to the paper's counter-based
+  // findAnchorSet traversal.
+  for (int node : *topo) {
+    const VertexId v(node);
+    for (EdgeId eid : g.in_edges(v)) {
+      const cg::Edge& e = g.edge(eid);
+      if (!cg::is_forward(e.kind)) continue;
+      sets[v.index()].merge(sets[e.from.index()]);
+      if (g.weight(eid).unbounded) sets[v.index()].insert(e.from);
+    }
+  }
+  return sets;
+}
+
+bool AnchorAnalysis::is_anchor(VertexId v) const {
+  return anchor_index_[v.index()] >= 0;
+}
+
+const AnchorSet& AnchorAnalysis::set(VertexId v, AnchorMode mode) const {
+  switch (mode) {
+    case AnchorMode::kFull:
+      return anchor_set(v);
+    case AnchorMode::kRelevant:
+      return relevant_set(v);
+    case AnchorMode::kIrredundant:
+      return irredundant_set(v);
+  }
+  RELSCHED_CHECK(false, "unknown anchor mode");
+  return anchor_sets_.front();  // unreachable
+}
+
+graph::Weight AnchorAnalysis::length(VertexId anchor, VertexId v) const {
+  const int pos = anchor_index_[anchor.index()];
+  RELSCHED_CHECK(pos >= 0, "length() queried for a non-anchor");
+  if (length_from_.empty()) return graph::kNegInf;
+  return length_from_[static_cast<std::size_t>(pos)][v.index()];
+}
+
+std::size_t AnchorAnalysis::total_anchor_set_size(AnchorMode mode) const {
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < anchor_sets_.size(); ++v) {
+    total += set(VertexId(static_cast<int>(v)), mode).size();
+  }
+  return total;
+}
+
+namespace {
+
+/// relevantAnchor (paper §IV-D): from `anchor`, follow its unbounded
+/// out-edges once, then propagate along bounded-weight edges of the full
+/// graph, adding `anchor` to R(v) of every vertex visited.
+void propagate_relevant(const cg::ConstraintGraph& g, VertexId anchor,
+                        std::vector<AnchorSet>& relevant) {
+  std::vector<bool> traversed(static_cast<std::size_t>(g.vertex_count()), false);
+  std::vector<VertexId> stack;
+
+  // Start: outgoing edges of the anchor carrying weight delta(anchor).
+  for (EdgeId eid : g.out_edges(anchor)) {
+    if (g.weight(eid).unbounded) stack.push_back(g.edge(eid).to);
+  }
+  traversed[anchor.index()] = true;
+
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (traversed[v.index()]) continue;
+    traversed[v.index()] = true;
+    relevant[v.index()].insert(anchor);
+    // Propagate only across bounded-weight edges: a defining path has
+    // exactly one unbounded edge (the first).
+    for (EdgeId eid : g.out_edges(v)) {
+      if (g.weight(eid).unbounded) continue;
+      stack.push_back(g.edge(eid).to);
+    }
+  }
+}
+
+}  // namespace
+
+AnchorAnalysis AnchorAnalysis::compute_anchor_sets_only(
+    const cg::ConstraintGraph& g) {
+  AnchorAnalysis a;
+  a.anchors_ = g.anchors();
+  a.anchor_index_.assign(static_cast<std::size_t>(g.vertex_count()), -1);
+  for (std::size_t i = 0; i < a.anchors_.size(); ++i) {
+    a.anchor_index_[a.anchors_[i].index()] = static_cast<int>(i);
+  }
+  a.anchor_sets_ = find_anchor_sets(g);
+  a.relevant_.assign(static_cast<std::size_t>(g.vertex_count()), AnchorSet{});
+  a.irredundant_.assign(static_cast<std::size_t>(g.vertex_count()), AnchorSet{});
+  return a;
+}
+
+graph::Weight AnchorAnalysis::maximal_defining_path_length(VertexId anchor,
+                                                           VertexId v) const {
+  const int pos = anchor_index_[anchor.index()];
+  RELSCHED_CHECK(pos >= 0, "defining path queried for a non-anchor");
+  if (defining_from_.empty()) return graph::kNegInf;
+  return defining_from_[static_cast<std::size_t>(pos)][v.index()];
+}
+
+namespace {
+
+/// Longest paths from `anchor` over paths whose only unbounded edge is
+/// the first: Bellman-Ford on the bounded-edge subgraph, seeded at the
+/// heads of the anchor's unbounded out-edges with distance 0 (delta(a)
+/// is excluded from defining-path lengths by Definition 8).
+std::vector<graph::Weight> defining_path_lengths(const cg::ConstraintGraph& g,
+                                                 VertexId anchor) {
+  const int n = g.vertex_count();
+  std::vector<graph::Weight> dist(static_cast<std::size_t>(n),
+                                  graph::kNegInf);
+  for (EdgeId eid : g.out_edges(anchor)) {
+    if (g.weight(eid).unbounded) {
+      dist[g.edge(eid).to.index()] =
+          std::max<graph::Weight>(dist[g.edge(eid).to.index()], 0);
+    }
+  }
+  // Relax bounded edges only. Edges *out of the anchor itself* are
+  // excluded: a defining path starts with one of the anchor's unbounded
+  // edges and cannot revisit the anchor, so its bounded out-edges (min
+  // constraints) can never continue a defining path. Feasible graphs
+  // have no positive cycles, so n passes suffice.
+  for (int pass = 0; pass < n; ++pass) {
+    bool changed = false;
+    for (const cg::Edge& e : g.edges()) {
+      if (e.from == anchor) continue;
+      const cg::EdgeWeight w = g.weight(e.id);
+      if (w.unbounded) continue;
+      const graph::Weight from = dist[e.from.index()];
+      if (from == graph::kNegInf) continue;
+      if (from + w.value > dist[e.to.index()]) {
+        dist[e.to.index()] = from + w.value;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // A vertex is its own anchor-set member never; the self entry only
+  // reflects bounded cycles back into the anchor. Clear it.
+  dist[anchor.index()] = graph::kNegInf;
+  return dist;
+}
+
+}  // namespace
+
+AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
+  AnchorAnalysis a = compute_anchor_sets_only(g);
+
+  // R(v): relevant anchors over the full graph.
+  for (VertexId anchor : a.anchors_) {
+    propagate_relevant(g, anchor, a.relevant_);
+  }
+
+  // Maximal defining path lengths (Definition 10).
+  a.defining_from_.reserve(a.anchors_.size());
+  for (VertexId anchor : a.anchors_) {
+    a.defining_from_.push_back(defining_path_lengths(g, anchor));
+  }
+
+  // Cone-restricted longest paths: for each anchor a, longest paths from
+  // a within the subgraph induced by {a} union {v : a in A(v)}, with
+  // unbounded weights 0. This equals the minimum offset sigma_a^min(v)
+  // (Theorem 3). Restricting to the cone matters: a backward edge leaving
+  // the cone (whose tail's anchor set does not carry `a`) would otherwise
+  // inflate length(a, v) beyond the offset the schedule actually realizes,
+  // corrupting the redundancy test below.
+  const int n = g.vertex_count();
+  a.length_from_.reserve(a.anchors_.size());
+  for (VertexId anchor : a.anchors_) {
+    std::vector<int> cone_index(static_cast<std::size_t>(n), -1);
+    std::vector<VertexId> cone_vertices;
+    for (int vi = 0; vi < n; ++vi) {
+      const VertexId v(vi);
+      if (v == anchor || a.anchor_sets_[v.index()].contains(anchor)) {
+        cone_index[v.index()] = static_cast<int>(cone_vertices.size());
+        cone_vertices.push_back(v);
+      }
+    }
+    graph::Digraph cone(static_cast<int>(cone_vertices.size()));
+    for (const cg::Edge& e : g.edges()) {
+      const int from = cone_index[e.from.index()];
+      const int to = cone_index[e.to.index()];
+      if (from < 0 || to < 0) continue;
+      cone.add_arc(from, to, g.weight(e.id).value);
+    }
+    auto lp = graph::longest_paths_from(cone, cone_index[anchor.index()]);
+    RELSCHED_CHECK(!lp.positive_cycle,
+                   "AnchorAnalysis::compute requires a feasible graph");
+    std::vector<graph::Weight> dist(static_cast<std::size_t>(n),
+                                    graph::kNegInf);
+    for (std::size_t i = 0; i < cone_vertices.size(); ++i) {
+      dist[cone_vertices[i].index()] = lp.dist[i];
+    }
+    a.length_from_.push_back(std::move(dist));
+  }
+
+  // minimumAnchor (paper §IV-D): x in R(v) is redundant if some relevant
+  // anchor r in R(v) with x in A(r) satisfies
+  //   length(x, v) <= length(x, r) + length(r, v).
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    const VertexId v(vi);
+    const AnchorSet& rel = a.relevant_[v.index()];
+    AnchorSet& irr = a.irredundant_[v.index()];
+    for (VertexId x : rel) {
+      bool redundant = false;
+      for (VertexId r : rel) {
+        if (r == x) continue;
+        if (!a.anchor_sets_[r.index()].contains(x)) continue;
+        const graph::Weight via =
+            a.length(x, r) + a.length(r, v);
+        if (a.length(x, r) == graph::kNegInf ||
+            a.length(r, v) == graph::kNegInf) {
+          continue;
+        }
+        if (a.length(x, v) <= via) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) irr.insert(x);
+    }
+  }
+  return a;
+}
+
+}  // namespace relsched::anchors

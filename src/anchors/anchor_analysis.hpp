@@ -1,0 +1,93 @@
+// Anchor analysis (paper §III-A, §III-D, §IV-A, §IV-D).
+//
+// Anchors (Definition 2) are the source vertex plus every unbounded-delay
+// vertex. For each vertex v we compute:
+//
+//   A(v)  - the anchor set (Definition 4): anchors a with a path in Gf
+//           from a to v containing an unbounded-weight edge delta(a).
+//   R(v)  - the relevant anchor set (Definitions 8-9): anchors with a
+//           *defining path* to v (a path in the full graph G whose only
+//           unbounded edge is the first, weight delta(a)).
+//   IR(v) - the irredundant anchor set (Definition 11): relevant anchors
+//           not dominated through another anchor by longest-path lengths.
+//
+// Theorem 6: IR(v) is the minimum set of anchors needed to compute the
+// start time T(v) under well-posed constraints and minimum offsets.
+#pragma once
+
+#include <vector>
+
+#include "base/ids.hpp"
+#include "base/small_set.hpp"
+#include "cg/constraint_graph.hpp"
+#include "graph/algorithms.hpp"
+
+namespace relsched::anchors {
+
+using AnchorSet = SmallSet<VertexId>;
+
+/// Which anchor sets to use when computing offsets / start times.
+enum class AnchorMode { kFull, kRelevant, kIrredundant };
+
+/// findAnchorSet (paper §IV-A): anchor sets A(v) over the forward
+/// constraint graph. Worst case O(|Ef| * |A|).
+/// Precondition: Gf acyclic.
+std::vector<AnchorSet> find_anchor_sets(const cg::ConstraintGraph& g);
+
+class AnchorAnalysis {
+ public:
+  /// Runs the full pipeline: A(v), R(v), IR(v) and anchor-to-vertex
+  /// longest paths (unbounded weights 0). Preconditions: Gf acyclic and
+  /// the graph feasible (no positive cycles) -- callers check first.
+  static AnchorAnalysis compute(const cg::ConstraintGraph& g);
+
+  /// Anchor sets A(v) only (cheaper; enough for well-posedness checks).
+  static AnchorAnalysis compute_anchor_sets_only(const cg::ConstraintGraph& g);
+
+  [[nodiscard]] const std::vector<VertexId>& anchors() const { return anchors_; }
+  [[nodiscard]] bool is_anchor(VertexId v) const;
+
+  [[nodiscard]] const AnchorSet& anchor_set(VertexId v) const {
+    return anchor_sets_[v.index()];
+  }
+  [[nodiscard]] const AnchorSet& relevant_set(VertexId v) const {
+    return relevant_[v.index()];
+  }
+  [[nodiscard]] const AnchorSet& irredundant_set(VertexId v) const {
+    return irredundant_[v.index()];
+  }
+  [[nodiscard]] const AnchorSet& set(VertexId v, AnchorMode mode) const;
+
+  /// length(a, v): longest weighted path from anchor `a` to `v` within
+  /// the anchor's cone -- the subgraph induced by {a} union
+  /// {w : a in A(w)} -- with unbounded weights 0; graph::kNegInf when v
+  /// is outside the cone. By Theorem 3 this equals the minimum offset
+  /// sigma_a^min(v). (The cone restriction is deliberate: a backward
+  /// edge escaping the cone can make the raw full-graph longest path
+  /// exceed the realizable offset.)
+  [[nodiscard]] graph::Weight length(VertexId anchor, VertexId v) const;
+
+  /// Sum / average helpers used by the Table III harness.
+  [[nodiscard]] std::size_t total_anchor_set_size(AnchorMode mode) const;
+
+  /// |rho*(a, v)|: the length of the *maximal defining path* from
+  /// anchor `a` to `v` (Definitions 8 and 10) -- the longest path whose
+  /// only unbounded edge is the first (weight delta(a), excluded from
+  /// the length). Returns graph::kNegInf when no defining path exists;
+  /// by Definition 9, a is relevant for v iff this is finite.
+  [[nodiscard]] graph::Weight maximal_defining_path_length(VertexId anchor,
+                                                           VertexId v) const;
+
+ private:
+  std::vector<VertexId> anchors_;
+  std::vector<int> anchor_index_;  // vertex -> position in anchors_, or -1
+  std::vector<AnchorSet> anchor_sets_;
+  std::vector<AnchorSet> relevant_;
+  std::vector<AnchorSet> irredundant_;
+  /// length_from_[i][v] = longest path from anchors_[i] to vertex v.
+  std::vector<std::vector<graph::Weight>> length_from_;
+  /// defining_from_[i][v] = |rho*(anchors_[i], v)|.
+  std::vector<std::vector<graph::Weight>> defining_from_;
+};
+
+}  // namespace relsched::anchors

@@ -1,0 +1,36 @@
+// Error reporting conventions.
+//
+// Expected analysis outcomes (infeasible constraints, ill-posed graphs,
+// no schedule) are modeled as status values in each library's result
+// types, never as exceptions. Exceptions are reserved for API misuse
+// (precondition violations) and are raised through RELSCHED_CHECK.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace relsched {
+
+/// Thrown on violated preconditions / API misuse.
+class ApiError : public std::logic_error {
+ public:
+  explicit ApiError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw ApiError(std::string("check failed: ") + expr + " at " + file + ":" +
+                 std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace relsched
+
+/// Precondition check that survives release builds; throws ApiError.
+#define RELSCHED_CHECK(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::relsched::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

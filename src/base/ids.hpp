@@ -1,0 +1,85 @@
+// Strong integer identifiers used across the relsched libraries.
+//
+// Each entity class (vertex, edge, operation, graph, ...) gets its own
+// id type so that, e.g., a VertexId cannot be passed where an OpId is
+// expected. Ids are small value types: a 32-bit index plus an "invalid"
+// sentinel. They index into dense vectors owned by their container.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace relsched {
+
+/// CRTP-free tagged id. `Tag` is an empty struct that only
+/// differentiates instantiations.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  /// Sentinel for "no id".
+  static constexpr Id invalid() { return Id(); }
+
+  [[nodiscard]] constexpr bool is_valid() const { return value_ >= 0; }
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  /// Convenience for indexing dense vectors.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(Id a, Id b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(Id a, Id b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(Id a, Id b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.is_valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = -1;
+};
+
+struct VertexTag {};
+struct EdgeTag {};
+struct OpTag {};
+struct SeqGraphTag {};
+struct ModuleTag {};
+struct InstanceTag {};
+struct NetTag {};
+struct CellTag {};
+struct PortTag {};
+struct VarTag {};
+struct TagTag {};  // HDL statement tags ("tag a, b;")
+
+using VertexId = Id<VertexTag>;
+using EdgeId = Id<EdgeTag>;
+using OpId = Id<OpTag>;
+using SeqGraphId = Id<SeqGraphTag>;
+using ModuleId = Id<ModuleTag>;
+using InstanceId = Id<InstanceTag>;
+using NetId = Id<NetTag>;
+using CellId = Id<CellTag>;
+using PortId = Id<PortTag>;
+using VarId = Id<VarTag>;
+using TagId = Id<TagTag>;
+
+}  // namespace relsched
+
+namespace std {
+template <typename Tag>
+struct hash<relsched::Id<Tag>> {
+  size_t operator()(relsched::Id<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+}  // namespace std

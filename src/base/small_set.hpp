@@ -1,0 +1,97 @@
+// SmallSet: an ordered set stored as a sorted vector.
+//
+// Anchor sets in relative scheduling are tiny (the paper's designs average
+// about one anchor per vertex), so a sorted vector beats node-based sets in
+// both memory and speed, and gives O(n) subset/union/intersection via
+// merge walks.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+namespace relsched {
+
+template <typename T>
+class SmallSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  SmallSet() = default;
+  SmallSet(std::initializer_list<T> init) : items_(init) {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+  [[nodiscard]] const std::vector<T>& items() const { return items_; }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    return std::binary_search(items_.begin(), items_.end(), value);
+  }
+
+  /// Inserts `value`; returns true if it was not already present.
+  bool insert(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it != items_.end() && *it == value) return false;
+    items_.insert(it, value);
+    return true;
+  }
+
+  bool erase(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it == items_.end() || *it != value) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  void clear() { items_.clear(); }
+
+  /// Set-union with `other`; returns true if this set grew.
+  bool merge(const SmallSet& other) {
+    if (other.items_.empty()) return false;
+    std::vector<T> merged;
+    merged.reserve(items_.size() + other.items_.size());
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(merged));
+    const bool grew = merged.size() != items_.size();
+    items_ = std::move(merged);
+    return grew;
+  }
+
+  /// True if every element of this set is contained in `other`.
+  [[nodiscard]] bool is_subset_of(const SmallSet& other) const {
+    return std::includes(other.items_.begin(), other.items_.end(),
+                         items_.begin(), items_.end());
+  }
+
+  [[nodiscard]] SmallSet intersect(const SmallSet& other) const {
+    SmallSet out;
+    std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                          other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  /// Elements of this set not present in `other`.
+  [[nodiscard]] SmallSet difference(const SmallSet& other) const {
+    SmallSet out;
+    std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  friend bool operator==(const SmallSet& a, const SmallSet& b) {
+    return a.items_ == b.items_;
+  }
+  friend bool operator!=(const SmallSet& a, const SmallSet& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace relsched

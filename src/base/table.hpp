@@ -1,0 +1,73 @@
+// TextTable: minimal aligned ASCII table writer used by report code,
+// benchmark harnesses, and examples to print paper-style tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/strings.hpp"
+
+namespace relsched {
+
+class TextTable {
+ public:
+  /// `align_left[i]` selects left alignment for column i (default: left
+  /// for the first column, right for the rest once rows are added).
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule() { rules_.push_back(rows_.size()); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& row) {
+      if (widths.size() < row.size()) widths.resize(row.size(), 0);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    if (!header_.empty()) grow(header_);
+    for (const auto& row : rows_) grow(row);
+
+    auto print_rule = [&os, &widths]() {
+      os << '+';
+      for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto print_row = [&os, &widths, this](const std::vector<std::string>& row) {
+      os << '|';
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        std::string cell = i < row.size() ? row[i] : std::string();
+        // First column left-aligned (names); the rest right-aligned.
+        cell = i == 0 ? pad_right(cell, widths[i]) : pad_left(cell, widths[i]);
+        os << ' ' << cell << " |";
+      }
+      os << '\n';
+    };
+
+    print_rule();
+    if (!header_.empty()) {
+      print_row(header_);
+      print_rule();
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      for (std::size_t r : rules_) {
+        if (r == i) print_rule();
+      }
+      print_row(rows_[i]);
+    }
+    print_rule();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> rules_;
+};
+
+}  // namespace relsched

@@ -1,0 +1,199 @@
+#include "bind/binder.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+
+#include "base/error.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+
+namespace relsched::bind {
+
+namespace {
+
+void assign_delays(seq::SeqGraph& graph, const ResourceLibrary& library) {
+  using seq::OpKind;
+  for (seq::SeqOp& op : graph.ops()) {
+    switch (op.kind) {
+      case OpKind::kSource:
+      case OpKind::kSink:
+      case OpKind::kNop:
+      case OpKind::kConst:
+      case OpKind::kAssign:
+        op.delay = cg::Delay::bounded(0);
+        break;
+      case OpKind::kAlu: {
+        const ModuleId m = library.module_for(op.alu);
+        RELSCHED_CHECK(m.is_valid(), "no module implements ALU operation");
+        op.delay = cg::Delay::bounded(library.type(m).delay_cycles);
+        break;
+      }
+      case OpKind::kRead:
+      case OpKind::kWrite:
+        op.delay = cg::Delay::bounded(1);
+        break;
+      case OpKind::kWait:
+      case OpKind::kLoop:
+        op.delay = cg::Delay::unbounded();
+        break;
+      case OpKind::kCond:
+      case OpKind::kCall:
+        // Resolved bottom-up by the synthesis driver from child latency.
+        break;
+    }
+  }
+}
+
+/// Kahn topological order with perturbation-controlled tiebreaks among
+/// ready nodes. perturbation == 0 degenerates to plain FIFO order; other
+/// values explore different (equally valid) serialization orders for
+/// constrained conflict resolution.
+std::vector<int> perturbed_topo_order(const graph::Digraph& deps,
+                                      unsigned perturbation) {
+  const int n = deps.node_count();
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const graph::Arc& arc : deps.arcs()) {
+    ++indegree[static_cast<std::size_t>(arc.to)];
+  }
+  const auto key = [perturbation](int v) {
+    unsigned h = static_cast<unsigned>(v) * 0x9E3779B9u ^
+                 (perturbation * 0x85EBCA6Bu);
+    h ^= h >> 16;
+    h *= 0x45D9F3Bu;
+    h ^= h >> 16;
+    return h;
+  };
+  // Min-heap over (key, node).
+  std::priority_queue<std::pair<unsigned, int>,
+                      std::vector<std::pair<unsigned, int>>, std::greater<>>
+      ready;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) {
+      ready.push({perturbation == 0 ? static_cast<unsigned>(v) : key(v), v});
+    }
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int v = ready.top().second;
+    ready.pop();
+    order.push_back(v);
+    for (int arc_idx : deps.out_arcs(v)) {
+      const int to = deps.arc(arc_idx).to;
+      if (--indegree[static_cast<std::size_t>(to)] == 0) {
+        ready.push({perturbation == 0 ? static_cast<unsigned>(to) : key(to), to});
+      }
+    }
+  }
+  RELSCHED_CHECK(static_cast<int>(order.size()) == n,
+                 "sequencing graph has a dependency cycle");
+  return order;
+}
+
+}  // namespace
+
+BindingResult bind_graph(seq::SeqGraph& graph, const ResourceLibrary& library,
+                         const BindingOptions& options) {
+  BindingResult result;
+  assign_delays(graph, library);
+
+  const int n = graph.op_count();
+  graph::Digraph deps(n);
+  std::set<std::pair<int, int>> existing;
+  for (const auto& [from, to] : graph.dependencies()) {
+    deps.add_arc(from.value(), to.value(), 0);
+    existing.emplace(from.value(), to.value());
+  }
+  const auto topo = perturbed_topo_order(deps, options.perturbation);
+  std::vector<int> position(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) position[static_cast<std::size_t>(topo[i])] = i;
+
+  // Unconstrained ASAP levels (unbounded delays 0) guide instance
+  // assignment: operations likely to execute concurrently spread across
+  // instances.
+  graph::Digraph weighted(n);
+  for (const auto& [from, to] : graph.dependencies()) {
+    weighted.add_arc(from.value(), to.value(),
+                     graph.op(from).delay.cycles_or_zero());
+  }
+  auto asap = graph::dag_longest_paths_from(weighted, graph.source().value(),
+                                            topo);
+  for (auto& a : asap) {
+    if (a == graph::kNegInf) a = 0;  // op not yet tied to the source
+  }
+
+  const auto serialize_chain = [&](const std::vector<OpId>& chain) {
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const OpId from = chain[i - 1];
+      const OpId to = chain[i];
+      if (existing.count({from.value(), to.value()}) != 0) continue;
+      graph.add_dependency(from, to);
+      existing.emplace(from.value(), to.value());
+      result.serializations.emplace_back(from, to);
+    }
+  };
+
+  // --- ALU binding --------------------------------------------------------
+  std::map<int, std::vector<OpId>> by_module;  // module id -> ops
+  for (const seq::SeqOp& op : graph.ops()) {
+    if (op.kind == seq::OpKind::kAlu) {
+      by_module[library.module_for(op.alu).value()].push_back(op.id);
+    }
+  }
+  for (auto& [module_value, ops] : by_module) {
+    const ModuleId module(module_value);
+    int limit = options.default_instance_limit;
+    if (auto it = options.instance_limits.find(library.type(module).name);
+        it != options.instance_limits.end()) {
+      limit = it->second;
+    }
+    if (limit <= 0 || limit > static_cast<int>(ops.size())) {
+      limit = static_cast<int>(ops.size());
+    }
+    // Spread by ASAP level (ties broken by topological position).
+    std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+      if (asap[a.index()] != asap[b.index()]) {
+        return asap[a.index()] < asap[b.index()];
+      }
+      return position[a.index()] < position[b.index()];
+    });
+    std::vector<std::vector<OpId>> chains(static_cast<std::size_t>(limit));
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const int instance = static_cast<int>(i) % limit;
+      chains[static_cast<std::size_t>(instance)].push_back(ops[i]);
+      result.bindings.push_back(OpBinding{ops[i], module, instance});
+    }
+    result.total_area += limit * library.type(module).area;
+    for (auto& chain : chains) {
+      // Serialize in topological order: adding edges consistent with an
+      // existing topological order can never create a cycle.
+      std::sort(chain.begin(), chain.end(), [&](OpId a, OpId b) {
+        return position[a.index()] < position[b.index()];
+      });
+      serialize_chain(chain);
+    }
+  }
+
+  // --- Port conflict resolution -------------------------------------------
+  if (options.serialize_port_accesses) {
+    std::map<int, std::vector<OpId>> by_port;
+    for (const seq::SeqOp& op : graph.ops()) {
+      if (op.kind == seq::OpKind::kRead || op.kind == seq::OpKind::kWrite) {
+        by_port[op.port.value()].push_back(op.id);
+      }
+    }
+    for (auto& [port, ops] : by_port) {
+      std::sort(ops.begin(), ops.end(), [&](OpId a, OpId b) {
+        return position[a.index()] < position[b.index()];
+      });
+      serialize_chain(ops);
+    }
+  }
+  return result;
+}
+
+}  // namespace relsched::bind

@@ -1,0 +1,61 @@
+// Module binding and constrained conflict resolution (paper §II, §VII).
+//
+// Relative scheduling assumes binding happens *before* scheduling and
+// that resource conflicts have already been resolved by serializing the
+// conflicting operations (added sequencing dependencies). bind_graph:
+//
+//   1. assigns execution delays to every non-hierarchical operation
+//      (ALU ops from the resource library; reads/writes take 1 cycle;
+//      assigns/constants/nops are 0-cycle; waits and loops unbounded);
+//   2. binds ALU operations onto module instances, respecting per-type
+//      instance limits;
+//   3. serializes operations bound to the same instance (and accesses
+//      to the same port) by adding dependencies, in an order consistent
+//      with an existing topological order so no cycles can form.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "bind/resource_library.hpp"
+#include "seq/seq_graph.hpp"
+
+namespace relsched::bind {
+
+struct BindingOptions {
+  /// Instances allowed per resource type name; types not listed use
+  /// default_instance_limit. 0 or negative means unlimited.
+  std::unordered_map<std::string, int> instance_limits;
+  int default_instance_limit = 2;
+  /// Serialize all accesses to the same port (a port is a single shared
+  /// resource). Accesses keep their program order.
+  bool serialize_port_accesses = true;
+  /// Perturbation seed for constrained conflict resolution (paper
+  /// SSVII): 0 keeps the canonical ASAP order; other values rotate
+  /// instance assignment so the synthesis driver can search for a
+  /// serialization that satisfies the timing constraints.
+  unsigned perturbation = 0;
+};
+
+struct OpBinding {
+  OpId op;
+  ModuleId module;
+  int instance = 0;  // instance index within the module type
+};
+
+struct BindingResult {
+  std::vector<OpBinding> bindings;
+  /// Sequencing dependencies added for conflict resolution.
+  std::vector<std::pair<OpId, OpId>> serializations;
+  /// Total area of allocated module instances.
+  int total_area = 0;
+};
+
+/// Binds and annotates `graph` in place (delays + serializing deps).
+/// Hierarchical op delays (loop/cond/call) are *not* assigned here;
+/// the synthesis driver resolves them bottom-up.
+BindingResult bind_graph(seq::SeqGraph& graph, const ResourceLibrary& library,
+                         const BindingOptions& options = {});
+
+}  // namespace relsched::bind

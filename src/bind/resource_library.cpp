@@ -1,0 +1,39 @@
+#include "bind/resource_library.hpp"
+
+#include <algorithm>
+
+namespace relsched::bind {
+
+ResourceLibrary ResourceLibrary::standard() {
+  using seq::AluOp;
+  ResourceLibrary lib;
+  lib.add_type({ModuleId(), "adder", 1, 120,
+                {AluOp::kAdd, AluOp::kSub, AluOp::kNeg}});
+  lib.add_type({ModuleId(), "multiplier", 2, 520, {AluOp::kMul}});
+  lib.add_type({ModuleId(), "divider", 4, 780, {AluOp::kDiv, AluOp::kMod}});
+  lib.add_type({ModuleId(), "logic", 1, 40,
+                {AluOp::kAnd, AluOp::kOr, AluOp::kXor, AluOp::kNot}});
+  lib.add_type({ModuleId(), "comparator", 1, 64,
+                {AluOp::kEq, AluOp::kNe, AluOp::kLt, AluOp::kLe, AluOp::kGt,
+                 AluOp::kGe}});
+  lib.add_type({ModuleId(), "shifter", 1, 56, {AluOp::kShl, AluOp::kShr}});
+  return lib;
+}
+
+ModuleId ResourceLibrary::add_type(ResourceType type) {
+  type.id = ModuleId(static_cast<int>(types_.size()));
+  types_.push_back(std::move(type));
+  return types_.back().id;
+}
+
+ModuleId ResourceLibrary::module_for(seq::AluOp op) const {
+  for (const ResourceType& t : types_) {
+    if (std::find(t.supported.begin(), t.supported.end(), op) !=
+        t.supported.end()) {
+      return t.id;
+    }
+  }
+  return ModuleId::invalid();
+}
+
+}  // namespace relsched::bind

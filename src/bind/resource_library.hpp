@@ -1,0 +1,46 @@
+// Resource library: module types characterized a priori in terms of
+// area and execution delay (paper §I: "most of these approaches assume
+// that each module is characterized a priori in terms of area and
+// execution time"). Module binding (before scheduling, as in
+// Caddy/DSL and BUD) maps ALU operations onto instances of these types.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "seq/seq_graph.hpp"
+
+namespace relsched::bind {
+
+struct ResourceType {
+  ModuleId id;
+  std::string name;
+  int delay_cycles = 1;
+  int area = 0;
+  /// ALU operations this module implements.
+  std::vector<seq::AluOp> supported;
+};
+
+class ResourceLibrary {
+ public:
+  /// Default technology: adder (add/sub/neg, 1 cycle), multiplier
+  /// (2 cycles), divider (4 cycles), logic unit (1 cycle), comparator
+  /// (1 cycle), shifter (1 cycle).
+  static ResourceLibrary standard();
+
+  ModuleId add_type(ResourceType type);
+
+  [[nodiscard]] const std::vector<ResourceType>& types() const { return types_; }
+  [[nodiscard]] const ResourceType& type(ModuleId id) const {
+    return types_[id.index()];
+  }
+
+  /// Module type implementing `op`; invalid id if none.
+  [[nodiscard]] ModuleId module_for(seq::AluOp op) const;
+
+ private:
+  std::vector<ResourceType> types_;
+};
+
+}  // namespace relsched::bind

@@ -1,0 +1,176 @@
+#include "cg/constraint_graph.hpp"
+
+#include <sstream>
+
+#include "base/strings.hpp"
+
+namespace relsched::cg {
+
+VertexId ConstraintGraph::add_vertex(std::string name, Delay delay) {
+  const VertexId id(static_cast<int>(vertices_.size()));
+  vertices_.push_back(Vertex{id, std::move(name), delay});
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId ConstraintGraph::add_edge(VertexId from, VertexId to, EdgeKind kind,
+                                 int fixed_weight) {
+  RELSCHED_CHECK(from.is_valid() && from.value() < vertex_count(),
+                 "edge tail out of range");
+  RELSCHED_CHECK(to.is_valid() && to.value() < vertex_count(),
+                 "edge head out of range");
+  RELSCHED_CHECK(from != to, "self loops are not allowed");
+  const EdgeId id(static_cast<int>(edges_.size()));
+  edges_.push_back(Edge{id, from, to, kind, fixed_weight});
+  out_[from.index()].push_back(id);
+  in_[to.index()].push_back(id);
+  return id;
+}
+
+EdgeId ConstraintGraph::add_sequencing_edge(VertexId from, VertexId to) {
+  return add_edge(from, to, EdgeKind::kSequencing, 0);
+}
+
+EdgeId ConstraintGraph::add_min_constraint(VertexId from, VertexId to,
+                                           int min_cycles) {
+  RELSCHED_CHECK(min_cycles >= 0, "minimum timing constraint must be >= 0");
+  return add_edge(from, to, EdgeKind::kMinConstraint, min_cycles);
+}
+
+EdgeId ConstraintGraph::add_max_constraint(VertexId from, VertexId to,
+                                           int max_cycles) {
+  RELSCHED_CHECK(max_cycles >= 0, "maximum timing constraint must be >= 0");
+  // sigma(to) <= sigma(from) + u  <=>  sigma(from) >= sigma(to) - u:
+  // backward edge (to, from) with weight -u (Table I).
+  return add_edge(to, from, EdgeKind::kMaxConstraint, -max_cycles);
+}
+
+void ConstraintGraph::set_delay(VertexId v, Delay delay) {
+  vertices_[v.index()].delay = delay;
+}
+
+VertexId ConstraintGraph::sink() const {
+  VertexId found = VertexId::invalid();
+  for (const Vertex& v : vertices_) {
+    bool has_forward_out = false;
+    for (EdgeId e : out_edges(v.id)) {
+      if (is_forward(edge(e).kind)) {
+        has_forward_out = true;
+        break;
+      }
+    }
+    if (!has_forward_out) {
+      if (found.is_valid()) return VertexId::invalid();  // not polar
+      found = v.id;
+    }
+  }
+  return found;
+}
+
+bool ConstraintGraph::is_anchor(VertexId v) const {
+  return v == source() || vertex(v).delay.is_unbounded();
+}
+
+std::vector<VertexId> ConstraintGraph::anchors() const {
+  std::vector<VertexId> result;
+  for (const Vertex& v : vertices_) {
+    if (is_anchor(v.id)) result.push_back(v.id);
+  }
+  return result;
+}
+
+EdgeWeight ConstraintGraph::weight(EdgeId e) const {
+  const Edge& ed = edge(e);
+  if (ed.kind == EdgeKind::kSequencing) {
+    if (is_anchor(ed.from)) return EdgeWeight{0, /*unbounded=*/true};
+    return EdgeWeight{vertex(ed.from).delay.cycles(), /*unbounded=*/false};
+  }
+  return EdgeWeight{ed.fixed_weight, /*unbounded=*/false};
+}
+
+int ConstraintGraph::backward_edge_count() const {
+  int count = 0;
+  for (const Edge& e : edges_) {
+    if (!is_forward(e.kind)) ++count;
+  }
+  return count;
+}
+
+graph::Digraph ConstraintGraph::project_full() const {
+  graph::Digraph g(vertex_count());
+  for (const Edge& e : edges_) {
+    g.add_arc(e.from.value(), e.to.value(), weight(e.id).value);
+  }
+  return g;
+}
+
+graph::Digraph ConstraintGraph::project_forward() const {
+  graph::Digraph g(vertex_count());
+  for (const Edge& e : edges_) {
+    if (!is_forward(e.kind)) continue;
+    g.add_arc(e.from.value(), e.to.value(), weight(e.id).value);
+  }
+  return g;
+}
+
+std::vector<ValidationIssue> ConstraintGraph::validate() const {
+  std::vector<ValidationIssue> issues;
+  if (vertices_.empty()) {
+    issues.push_back({ValidationIssue::Kind::kNoVertices, VertexId::invalid(),
+                      "graph has no vertices"});
+    return issues;
+  }
+  const graph::Digraph forward = project_forward();
+  if (!graph::is_acyclic(forward)) {
+    issues.push_back({ValidationIssue::Kind::kForwardCycle, VertexId::invalid(),
+                      "forward constraint graph Gf has a cycle"});
+    return issues;  // polarity checks are meaningless on a cyclic Gf
+  }
+  const VertexId snk = sink();
+  if (!snk.is_valid()) {
+    issues.push_back({ValidationIssue::Kind::kMultipleSinks, VertexId::invalid(),
+                      "graph is not polar: multiple sinks"});
+    return issues;
+  }
+  const auto from_source = graph::reachable_from(forward, source().value());
+  const auto to_sink = graph::reaching(forward, snk.value());
+  for (const Vertex& v : vertices_) {
+    if (!from_source[v.id.index()]) {
+      issues.push_back({ValidationIssue::Kind::kNotReachableFromSource, v.id,
+                        cat("vertex '", v.name, "' unreachable from source")});
+    }
+    if (!to_sink[v.id.index()]) {
+      issues.push_back({ValidationIssue::Kind::kDoesNotReachSink, v.id,
+                        cat("vertex '", v.name, "' does not reach the sink")});
+    }
+  }
+  return issues;
+}
+
+std::string ConstraintGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph \"" << name_ << "\" {\n  rankdir=TB;\n";
+  for (const Vertex& v : vertices_) {
+    os << "  v" << v.id << " [label=\"" << v.name << "\\n" << v.delay << "\"";
+    if (is_anchor(v.id)) os << ", peripheries=2";
+    os << "];\n";
+  }
+  for (const Edge& e : edges_) {
+    const EdgeWeight w = weight(e.id);
+    os << "  v" << e.from << " -> v" << e.to << " [label=\"";
+    if (w.unbounded) {
+      os << "d(" << vertex(e.from).name << ")";
+    } else {
+      os << w.value;
+    }
+    os << "\"";
+    if (!is_forward(e.kind)) os << ", style=dashed";
+    if (e.kind == EdgeKind::kMinConstraint) os << ", color=blue";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace relsched::cg

@@ -1,0 +1,174 @@
+// ConstraintGraph: the paper's polar weighted directed constraint graph
+// G(V, E) (§III, Table I).
+//
+// Vertices are operations carrying an execution delay; edges are:
+//   - Sequencing edges (v_i, v_j): forward, weight delta(v_i). When v_i is
+//     an anchor the weight is the *unbounded* symbol delta(v_i), which all
+//     path computations treat as 0.
+//   - Minimum timing constraints l_ij >= 0: forward edge (v_i, v_j) with
+//     fixed weight l_ij.
+//   - Maximum timing constraints u_ij >= 0 (sigma(v_j) <= sigma(v_i)+u_ij):
+//     backward edge (v_j, v_i) with fixed weight -u_ij.
+//
+// Every edge (t -> h, w) uniformly encodes sigma(h) >= sigma(t) + w.
+//
+// Convention: the first vertex added is the source v0. The source is
+// always an anchor (its activation time is not known statically), so its
+// outgoing sequencing edges carry unbounded weight delta(v0) regardless of
+// the delay it was declared with.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/ids.hpp"
+#include "cg/delay.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+
+namespace relsched::cg {
+
+enum class EdgeKind {
+  kSequencing,     // forward; weight delta(tail)
+  kMinConstraint,  // forward; fixed weight l >= 0
+  kMaxConstraint,  // backward; fixed weight -u <= 0
+};
+
+[[nodiscard]] constexpr bool is_forward(EdgeKind kind) {
+  return kind != EdgeKind::kMaxConstraint;
+}
+
+struct Vertex {
+  VertexId id;
+  std::string name;
+  Delay delay;
+};
+
+struct Edge {
+  EdgeId id;
+  VertexId from;
+  VertexId to;
+  EdgeKind kind = EdgeKind::kSequencing;
+  /// Fixed weight for constraint edges; ignored for sequencing edges
+  /// (their weight is the tail's execution delay, queried dynamically so
+  /// that set_delay() cannot leave stale weights behind).
+  int fixed_weight = 0;
+};
+
+/// A resolved edge weight: the numeric value used in path computations
+/// (unbounded weights contribute 0) plus the unboundedness flag.
+struct EdgeWeight {
+  graph::Weight value = 0;
+  bool unbounded = false;
+};
+
+/// Outcome of structural validation.
+struct ValidationIssue {
+  enum class Kind {
+    kForwardCycle,        // Gf = (V, Ef) must be acyclic (paper assumption)
+    kNotReachableFromSource,
+    kDoesNotReachSink,
+    kMultipleSinks,
+    kNoVertices,
+  };
+  Kind kind;
+  VertexId vertex;  // offending vertex where applicable
+  std::string message;
+};
+
+class ConstraintGraph {
+ public:
+  explicit ConstraintGraph(std::string name = "g") : name_(std::move(name)) {}
+
+  // ---- Construction -----------------------------------------------------
+
+  /// Adds an operation vertex. The first vertex added is the source v0.
+  VertexId add_vertex(std::string name, Delay delay);
+
+  /// Sequencing dependency from `from` to `to`; weight is delta(from).
+  EdgeId add_sequencing_edge(VertexId from, VertexId to);
+
+  /// Minimum timing constraint l_ij >= 0 between start times of `from`
+  /// and `to`: sigma(to) >= sigma(from) + min_cycles.
+  EdgeId add_min_constraint(VertexId from, VertexId to, int min_cycles);
+
+  /// Maximum timing constraint u_ij >= 0: sigma(to) <= sigma(from) +
+  /// max_cycles. Adds the backward edge (to, from) with weight -u.
+  EdgeId add_max_constraint(VertexId from, VertexId to, int max_cycles);
+
+  /// Replaces the execution delay of `v` (used by hierarchical
+  /// scheduling when a child graph's latency becomes known).
+  void set_delay(VertexId v, Delay delay);
+
+  // ---- Accessors ----------------------------------------------------------
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int vertex_count() const {
+    return static_cast<int>(vertices_.size());
+  }
+  [[nodiscard]] int edge_count() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] const Vertex& vertex(VertexId v) const {
+    return vertices_[v.index()];
+  }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e.index()]; }
+  [[nodiscard]] const std::vector<Vertex>& vertices() const { return vertices_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  [[nodiscard]] std::span<const EdgeId> out_edges(VertexId v) const {
+    return out_[v.index()];
+  }
+  [[nodiscard]] std::span<const EdgeId> in_edges(VertexId v) const {
+    return in_[v.index()];
+  }
+
+  /// The source vertex v0 (first vertex added).
+  [[nodiscard]] VertexId source() const { return VertexId(0); }
+
+  /// The sink vertex: the unique vertex with no outgoing forward edges.
+  /// Returns invalid() when the graph is not polar (validate() reports why).
+  [[nodiscard]] VertexId sink() const;
+
+  // ---- Semantic queries ---------------------------------------------------
+
+  /// Anchors (Definition 2): the source plus all unbounded-delay vertices.
+  [[nodiscard]] bool is_anchor(VertexId v) const;
+  [[nodiscard]] std::vector<VertexId> anchors() const;
+
+  /// Resolved weight of an edge. Sequencing edges out of anchors are
+  /// unbounded (value 0); all other weights are fixed.
+  [[nodiscard]] EdgeWeight weight(EdgeId e) const;
+
+  /// Number of backward (max-constraint) edges |Eb|.
+  [[nodiscard]] int backward_edge_count() const;
+
+  // ---- Projections ---------------------------------------------------------
+
+  /// Full graph with unbounded weights set to 0 (the paper's G0).
+  [[nodiscard]] graph::Digraph project_full() const;
+
+  /// Forward constraint graph Gf = (V, Ef), unbounded weights 0.
+  [[nodiscard]] graph::Digraph project_forward() const;
+
+  // ---- Validation / export --------------------------------------------------
+
+  /// Checks the paper's structural assumptions: Gf acyclic and the graph
+  /// polar (single source/sink, all vertices on a source-to-sink path in
+  /// Gf). Empty result means valid.
+  [[nodiscard]] std::vector<ValidationIssue> validate() const;
+
+  /// Graphviz dot rendering (forward edges solid, backward dashed,
+  /// anchors double-circled like the paper's figures).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  EdgeId add_edge(VertexId from, VertexId to, EdgeKind kind, int fixed_weight);
+
+  std::string name_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace relsched::cg

@@ -1,0 +1,53 @@
+// Execution delays (paper §II).
+//
+// Every operation is synchronous and takes an integral number of cycles.
+// Delays of external synchronizations and data-dependent iterations are
+// not known at compile time: they are *unbounded* and may take any value
+// in [0, inf). Delay is a small sum type over those two cases.
+#pragma once
+
+#include <ostream>
+
+#include "base/error.hpp"
+
+namespace relsched::cg {
+
+class Delay {
+ public:
+  /// A fixed delay of `cycles` >= 0.
+  static Delay bounded(int cycles) {
+    RELSCHED_CHECK(cycles >= 0, "execution delay must be >= 0");
+    Delay d;
+    d.cycles_ = cycles;
+    return d;
+  }
+
+  /// A delay unknown at compile time (any value in [0, inf)).
+  static Delay unbounded() { return Delay{}; }
+
+  [[nodiscard]] bool is_unbounded() const { return cycles_ < 0; }
+  [[nodiscard]] bool is_bounded() const { return cycles_ >= 0; }
+
+  /// Fixed number of cycles; precondition: is_bounded().
+  [[nodiscard]] int cycles() const {
+    RELSCHED_CHECK(is_bounded(), "cycles() on unbounded delay");
+    return cycles_;
+  }
+
+  /// The paper's convention for path computations: unbounded delays
+  /// assume their minimum value of 0.
+  [[nodiscard]] int cycles_or_zero() const { return cycles_ < 0 ? 0 : cycles_; }
+
+  friend bool operator==(Delay a, Delay b) { return a.cycles_ == b.cycles_; }
+  friend bool operator!=(Delay a, Delay b) { return !(a == b); }
+
+  friend std::ostream& operator<<(std::ostream& os, Delay d) {
+    if (d.is_unbounded()) return os << "unbounded";
+    return os << d.cycles_;
+  }
+
+ private:
+  int cycles_ = -1;  // negative encodes "unbounded"
+};
+
+}  // namespace relsched::cg

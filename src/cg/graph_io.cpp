@@ -1,0 +1,118 @@
+#include "cg/graph_io.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "base/strings.hpp"
+
+namespace relsched::cg {
+
+std::string to_text(const ConstraintGraph& g) {
+  std::ostringstream os;
+  os << "graph " << g.name() << "\n";
+  for (const Vertex& v : g.vertices()) {
+    os << "vertex " << v.name << " ";
+    if (v.delay.is_unbounded()) {
+      os << "unbounded";
+    } else {
+      os << v.delay.cycles();
+    }
+    os << "\n";
+  }
+  for (const Edge& e : g.edges()) {
+    switch (e.kind) {
+      case EdgeKind::kSequencing:
+        os << "seq " << g.vertex(e.from).name << " " << g.vertex(e.to).name
+           << "\n";
+        break;
+      case EdgeKind::kMinConstraint:
+        os << "min " << g.vertex(e.from).name << " " << g.vertex(e.to).name
+           << " " << e.fixed_weight << "\n";
+        break;
+      case EdgeKind::kMaxConstraint:
+        // Stored backward (to, from, -u); emit in user orientation.
+        os << "max " << g.vertex(e.to).name << " " << g.vertex(e.from).name
+           << " " << -e.fixed_weight << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+ParseResult from_text(std::string_view text) {
+  ParseResult result;
+  std::optional<ConstraintGraph> graph;
+  std::map<std::string, VertexId, std::less<>> names;
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  const auto fail = [&](const std::string& message) {
+    result.graph.reset();
+    result.error = cat("line ", line_no, ": ", message);
+    return result;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+
+    if (keyword == "graph") {
+      std::string name;
+      if (!(ls >> name)) return fail("expected graph name");
+      if (graph.has_value()) return fail("duplicate 'graph' line");
+      graph.emplace(name);
+      continue;
+    }
+    if (!graph.has_value()) return fail("missing 'graph' header");
+
+    if (keyword == "vertex") {
+      std::string name, delay;
+      if (!(ls >> name >> delay)) return fail("expected: vertex <name> <delay>");
+      if (names.count(name) != 0) return fail(cat("duplicate vertex '", name, "'"));
+      Delay d = Delay::unbounded();
+      if (delay != "unbounded") {
+        try {
+          const int cycles = std::stoi(delay);
+          if (cycles < 0) return fail("delay must be >= 0");
+          d = Delay::bounded(cycles);
+        } catch (const std::exception&) {
+          return fail(cat("bad delay '", delay, "'"));
+        }
+      }
+      names[name] = graph->add_vertex(name, d);
+      continue;
+    }
+
+    std::string from, to;
+    if (!(ls >> from >> to)) return fail("expected two vertex names");
+    const auto fi = names.find(from);
+    const auto ti = names.find(to);
+    if (fi == names.end()) return fail(cat("unknown vertex '", from, "'"));
+    if (ti == names.end()) return fail(cat("unknown vertex '", to, "'"));
+
+    if (keyword == "seq") {
+      graph->add_sequencing_edge(fi->second, ti->second);
+    } else if (keyword == "min" || keyword == "max") {
+      int cycles = 0;
+      if (!(ls >> cycles)) return fail("expected a cycle count");
+      if (cycles < 0) return fail("constraint must be >= 0");
+      if (keyword == "min") {
+        graph->add_min_constraint(fi->second, ti->second, cycles);
+      } else {
+        graph->add_max_constraint(fi->second, ti->second, cycles);
+      }
+    } else {
+      return fail(cat("unknown keyword '", keyword, "'"));
+    }
+  }
+  if (!graph.has_value()) return fail("empty input");
+  result.graph = std::move(graph);
+  return result;
+}
+
+}  // namespace relsched::cg

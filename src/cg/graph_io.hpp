@@ -1,0 +1,38 @@
+// Plain-text serialization of constraint graphs, so graphs can be
+// stored in files, diffed, and fed to the CLI without going through the
+// HDL frontend.
+//
+// Format (one item per line, '#' comments):
+//
+//   graph <name>
+//   vertex <name> <cycles | unbounded>
+//   seq <from> <to>            # sequencing dependency
+//   min <from> <to> <cycles>   # minimum timing constraint
+//   max <from> <to> <cycles>   # maximum timing constraint
+//
+// Vertices are referenced by name and must be declared before use; the
+// first declared vertex is the source.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cg/constraint_graph.hpp"
+
+namespace relsched::cg {
+
+/// Renders `g` in the text format above.
+std::string to_text(const ConstraintGraph& g);
+
+struct ParseResult {
+  std::optional<ConstraintGraph> graph;
+  std::string error;  // empty on success
+
+  [[nodiscard]] bool ok() const { return graph.has_value(); }
+};
+
+/// Parses the text format; on error, `error` names the offending line.
+ParseResult from_text(std::string_view text);
+
+}  // namespace relsched::cg

@@ -1,0 +1,237 @@
+#include "ctrl/control.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+
+namespace relsched::ctrl {
+
+const char* to_string(ControlStyle style) {
+  return style == ControlStyle::kCounter ? "counter" : "shift-register";
+}
+
+namespace {
+
+int bit_width(graph::Weight value) {
+  int bits = 1;
+  while ((graph::Weight{1} << bits) <= value) ++bits;
+  return bits;
+}
+
+std::string sanitize(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "v");
+  return out;
+}
+
+}  // namespace
+
+ControlUnit generate_control(const cg::ConstraintGraph& g,
+                             const anchors::AnchorAnalysis& analysis,
+                             const sched::RelativeSchedule& schedule,
+                             const ControlOptions& options) {
+  ControlUnit unit;
+  unit.style = options.style;
+
+  // Collect the per-anchor maximum offset over the vertices that
+  // reference it under the chosen anchor mode.
+  std::unordered_map<VertexId, graph::Weight> max_offset;
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    const VertexId v(vi);
+    if (v == g.source()) continue;
+    OpEnable enable;
+    enable.vertex = v;
+    for (VertexId a : analysis.set(v, options.mode)) {
+      const auto sigma = schedule.offset(v, a);
+      RELSCHED_CHECK(sigma.has_value(),
+                     "schedule does not track a required anchor");
+      enable.terms.push_back(EnableTerm{a, *sigma});
+      auto [it, inserted] = max_offset.try_emplace(a, *sigma);
+      if (!inserted) it->second = std::max(it->second, *sigma);
+    }
+    enable.and_gates =
+        enable.terms.size() > 1 ? static_cast<int>(enable.terms.size()) - 1 : 0;
+    unit.enables.push_back(std::move(enable));
+  }
+
+  for (VertexId a : analysis.anchors()) {
+    auto it = max_offset.find(a);
+    if (it == max_offset.end()) continue;  // anchor never referenced
+    AnchorSync sync;
+    sync.anchor = a;
+    sync.max_offset = it->second;
+    if (sync.max_offset > 0) {
+      if (options.style == ControlStyle::kCounter) {
+        const int width = bit_width(sync.max_offset);
+        sync.flipflops = width;
+        sync.logic_gates = 3 * width;  // increment + saturate/hold mux
+      } else {
+        sync.flipflops = static_cast<int>(sync.max_offset);  // stages 1..max
+        sync.logic_gates = 0;                                // taps are wires
+      }
+    }
+    unit.syncs.push_back(sync);
+  }
+
+  // Comparator costs (counter style): ~2 gates per counter bit compared,
+  // except offset-0 terms which reduce to the done wire itself.
+  std::unordered_map<VertexId, int> counter_width;
+  for (const AnchorSync& sync : unit.syncs) {
+    counter_width[sync.anchor] =
+        sync.max_offset > 0 ? bit_width(sync.max_offset) : 0;
+  }
+  for (OpEnable& enable : unit.enables) {
+    if (unit.style == ControlStyle::kCounter) {
+      for (const EnableTerm& term : enable.terms) {
+        if (term.offset > 0) {
+          enable.comparator_gates += 2 * counter_width[term.anchor];
+        }
+      }
+    }
+    unit.cost.gates += enable.and_gates + enable.comparator_gates;
+  }
+  for (const AnchorSync& sync : unit.syncs) {
+    unit.cost.flipflops += sync.flipflops;
+    unit.cost.gates += sync.logic_gates;
+  }
+  return unit;
+}
+
+std::vector<graph::Weight> simulate_control(
+    const ControlUnit& unit, const cg::ConstraintGraph& g,
+    const std::vector<graph::Weight>& done_cycle, graph::Weight horizon) {
+  RELSCHED_CHECK(static_cast<int>(done_cycle.size()) == g.vertex_count(),
+                 "done_cycle must have one entry per vertex (-1 for none)");
+
+  // State per sync: counter value, or shift-register bits [1..len].
+  std::unordered_map<VertexId, graph::Weight> counters;
+  std::unordered_map<VertexId, std::vector<bool>> shift_bits;
+  for (const AnchorSync& sync : unit.syncs) {
+    counters[sync.anchor] = 0;
+    shift_bits[sync.anchor] =
+        std::vector<bool>(static_cast<std::size_t>(sync.max_offset), false);
+  }
+
+  const auto done_level = [&](VertexId a, graph::Weight cycle) {
+    const graph::Weight dc = done_cycle[a.index()];
+    return dc >= 0 && cycle >= dc;
+  };
+
+  std::vector<graph::Weight> first_enable(
+      static_cast<std::size_t>(g.vertex_count()), -1);
+  first_enable[g.source().index()] = 0;
+
+  for (graph::Weight cycle = 0; cycle <= horizon; ++cycle) {
+    // Combinational phase: evaluate enables from current state.
+    for (const OpEnable& enable : unit.enables) {
+      if (first_enable[enable.vertex.index()] >= 0) continue;
+      bool all = !enable.terms.empty();
+      for (const EnableTerm& term : enable.terms) {
+        bool satisfied;
+        if (term.offset == 0) {
+          satisfied = done_level(term.anchor, cycle);
+        } else if (unit.style == ControlStyle::kCounter) {
+          satisfied = done_level(term.anchor, cycle) &&
+                      counters[term.anchor] >= term.offset;
+        } else {
+          satisfied = shift_bits[term.anchor][static_cast<std::size_t>(
+              term.offset - 1)];
+        }
+        if (!satisfied) {
+          all = false;
+          break;
+        }
+      }
+      if (all) first_enable[enable.vertex.index()] = cycle;
+    }
+    // Clock edge: advance counters / shift registers.
+    for (const AnchorSync& sync : unit.syncs) {
+      const bool done = done_level(sync.anchor, cycle);
+      if (unit.style == ControlStyle::kCounter) {
+        if (done && counters[sync.anchor] < sync.max_offset) {
+          ++counters[sync.anchor];
+        }
+      } else {
+        auto& bits = shift_bits[sync.anchor];
+        for (std::size_t i = bits.size(); i > 1; --i) bits[i - 1] = bits[i - 2];
+        if (!bits.empty()) bits[0] = done;
+      }
+    }
+  }
+  return first_enable;
+}
+
+std::string ControlUnit::to_verilog(const cg::ConstraintGraph& g,
+                                    const std::string& module_name) const {
+  std::ostringstream os;
+  os << "// Generated by relsched control synthesis (" << ::relsched::ctrl::to_string(style)
+     << " style)\n";
+  os << "module " << sanitize(module_name) << " (\n  input wire clk,\n"
+     << "  input wire rst";
+  for (const AnchorSync& sync : syncs) {
+    os << ",\n  input wire done_" << sanitize(g.vertex(sync.anchor).name);
+  }
+  for (const OpEnable& enable : enables) {
+    os << ",\n  output wire en_" << sanitize(g.vertex(enable.vertex).name);
+  }
+  os << "\n);\n\n";
+
+  for (const AnchorSync& sync : syncs) {
+    const std::string a = sanitize(g.vertex(sync.anchor).name);
+    if (sync.max_offset == 0) continue;
+    if (style == ControlStyle::kCounter) {
+      const int width = bit_width(sync.max_offset);
+      os << "  reg [" << width - 1 << ":0] cnt_" << a << ";\n"
+         << "  always @(posedge clk) begin\n"
+         << "    if (rst) cnt_" << a << " <= 0;\n"
+         << "    else if (done_" << a << " && cnt_" << a
+         << " != " << sync.max_offset << ") cnt_" << a << " <= cnt_" << a
+         << " + 1;\n  end\n\n";
+    } else {
+      os << "  reg [" << sync.max_offset << ":1] sr_" << a << ";\n"
+         << "  always @(posedge clk) begin\n"
+         << "    if (rst) sr_" << a << " <= 0;\n";
+      if (sync.max_offset == 1) {
+        os << "    else sr_" << a << " <= done_" << a << ";\n";
+      } else {
+        os << "    else sr_" << a << " <= {sr_" << a << "["
+           << sync.max_offset - 1 << ":1], done_" << a << "};\n";
+      }
+      os << "  end\n\n";
+    }
+  }
+
+  for (const OpEnable& enable : enables) {
+    os << "  assign en_" << sanitize(g.vertex(enable.vertex).name) << " = ";
+    if (enable.terms.empty()) {
+      os << "1'b1";
+    } else {
+      std::vector<std::string> terms;
+      for (const EnableTerm& term : enable.terms) {
+        const std::string a = sanitize(g.vertex(term.anchor).name);
+        if (term.offset == 0) {
+          terms.push_back(cat("done_", a));
+        } else if (style == ControlStyle::kCounter) {
+          terms.push_back(
+              cat("(done_", a, " && cnt_", a, " >= ", term.offset, ")"));
+        } else {
+          terms.push_back(cat("sr_", a, "[", term.offset, "]"));
+        }
+      }
+      os << join(terms, " & ");
+    }
+    os << ";\n";
+  }
+  os << "\nendmodule\n";
+  return os.str();
+}
+
+}  // namespace relsched::ctrl

@@ -1,0 +1,93 @@
+// Control generation from a relative schedule (paper §VI, Fig 12).
+//
+// The completion of an anchor a is signaled by done_a; each operation v
+// needs an enable signal asserted exactly sigma_a(v) cycles after every
+// done_a for a in its anchor set:
+//
+//   counter style:        enable_v = AND_a (Counter_a >= sigma_a(v))
+//   shift-register style: enable_v = AND_a SR_a[sigma_a(v)]
+//
+// Counters trade comparator logic for fewer flip-flops; shift registers
+// eliminate the comparators at the cost of sigma_a^max flip-flops per
+// anchor. Using irredundant anchor sets shrinks both the number of
+// synchronizations and sigma_a^max (paper §VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anchors/anchor_analysis.hpp"
+#include "cg/constraint_graph.hpp"
+#include "sched/relative_schedule.hpp"
+
+namespace relsched::ctrl {
+
+enum class ControlStyle { kCounter, kShiftRegister };
+
+[[nodiscard]] const char* to_string(ControlStyle style);
+
+struct ControlOptions {
+  ControlStyle style = ControlStyle::kShiftRegister;
+  /// Which anchor sets drive synchronization. kIrredundant is the
+  /// paper's recommendation; Theorem 6 guarantees identical behaviour.
+  anchors::AnchorMode mode = anchors::AnchorMode::kIrredundant;
+};
+
+/// Synchronization hardware dedicated to one anchor.
+struct AnchorSync {
+  VertexId anchor;
+  graph::Weight max_offset = 0;  // sigma_a^max over referencing vertices
+  int flipflops = 0;             // counter width or shift-register length
+  int logic_gates = 0;           // increment/hold logic (counter only)
+};
+
+/// One conjunct of an operation's enable expression.
+struct EnableTerm {
+  VertexId anchor;
+  graph::Weight offset = 0;
+};
+
+struct OpEnable {
+  VertexId vertex;
+  std::vector<EnableTerm> terms;
+  int and_gates = 0;         // conjunction tree
+  int comparator_gates = 0;  // counter style only
+};
+
+struct ControlCost {
+  int flipflops = 0;
+  int gates = 0;
+
+  friend ControlCost operator+(ControlCost a, ControlCost b) {
+    return ControlCost{a.flipflops + b.flipflops, a.gates + b.gates};
+  }
+};
+
+class ControlUnit {
+ public:
+  ControlStyle style = ControlStyle::kShiftRegister;
+  std::vector<AnchorSync> syncs;    // one per anchor that is referenced
+  std::vector<OpEnable> enables;    // one per non-source vertex
+  ControlCost cost;
+
+  /// Structural Verilog rendering of the control network.
+  [[nodiscard]] std::string to_verilog(const cg::ConstraintGraph& g,
+                                       const std::string& module_name) const;
+};
+
+/// Builds the control network for a scheduled constraint graph.
+ControlUnit generate_control(const cg::ConstraintGraph& g,
+                             const anchors::AnchorAnalysis& analysis,
+                             const sched::RelativeSchedule& schedule,
+                             const ControlOptions& options = {});
+
+/// Cycle-accurate structural simulation of the control network: given
+/// the cycle at which each anchor's done signal rises (and stays high),
+/// returns for every vertex the first cycle its enable asserts, or -1 if
+/// it never asserts within `horizon` cycles. Used to verify that the
+/// generated hardware realizes exactly the schedule's start times.
+std::vector<graph::Weight> simulate_control(
+    const ControlUnit& unit, const cg::ConstraintGraph& g,
+    const std::vector<graph::Weight>& done_cycle, graph::Weight horizon);
+
+}  // namespace relsched::ctrl

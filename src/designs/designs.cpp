@@ -1,0 +1,463 @@
+#include "designs/designs.hpp"
+
+#include "base/error.hpp"
+#include "hdl/lower.hpp"
+
+namespace relsched::designs {
+
+namespace {
+
+// ---- HDL sources -----------------------------------------------------------
+
+// Traffic-light controller: purely reactive, two external waits.
+constexpr std::string_view kTraffic = R"hdl(
+// Traffic light controller: highway stays green until cars wait on the
+// farm road; a timer bounds each phase.
+process traffic (cars, timeout, hl, fl) {
+  in port cars, timeout;
+  out port hl[2], fl[2];
+
+  write hl = 0;      // highway green, farm red
+  wait (cars);       // a car arrives on the farm road
+  write hl = 2;      // highway red
+  write fl = 0;      // farm green
+  wait (timeout);    // phase timer expires
+  write fl = 2;      // farm red again
+}
+)hdl";
+
+// Pulse-length detector: waits for a pulse, measures its width with a
+// data-dependent loop, reports the length.
+constexpr std::string_view kLength = R"hdl(
+process length (pulse, len) {
+  in port pulse;
+  out port len[8];
+  boolean count[8];
+
+  count = 0;
+  wait (pulse);            // rising edge of the pulse
+  while (pulse) {          // data-dependent: width unknown at compile time
+    count = count + 1;
+  }
+  write len = count;
+}
+)hdl";
+
+// Greatest common divisor, transcribed from the paper's Fig 13. The
+// min+max timing-constraint pair forces x to be sampled *exactly* one
+// cycle after y.
+constexpr std::string_view kGcd = R"hdl(
+process gcd (xin, yin, restart, result) {
+  in port xin[8], yin[8], restart;
+  out port result[8];
+  boolean x[8], y[8];
+  tag a, b;
+
+  /* wait for restart to go low */
+  while (restart)
+    ;
+
+  /* sample inputs */
+  {
+    constraint mintime from a to b = 1 cycles;
+    constraint maxtime from a to b = 1 cycles;
+    a: y = read(yin);
+    b: x = read(xin);
+  }
+
+  /* Euclid's algorithm */
+  if ((x != 0) & (y != 0)) {
+    repeat {
+      while (x >= y) {
+        x = x - y;
+      }
+      /* swap values */
+      < y = x; x = y; >
+    } until (y == 0);
+  }
+
+  /* write result to output */
+  write result = x;
+}
+)hdl";
+
+// Simple accumulator microprocessor with a memory handshake
+// (addr/rd/wr/ready) and a 16-way opcode decode.
+constexpr std::string_view kFrisc = R"hdl(
+process frisc (ibus, ready, irq, obus, addr, rd, wr) {
+  in port ibus[16], ready, irq;
+  out port obus[16], addr[16], rd, wr;
+  boolean pc[16], acc[16], ir[16], opcode[4], operand[12];
+  boolean flagz[1], running[1], tmp[16], mdr[16];
+
+  /* memory handshake procedures shared by fetch, load, store, out */
+  proc mem_read {
+    write rd = 1;
+    wait (ready);
+    mdr = read(ibus);
+    write rd = 0;
+    wait (!ready);
+  }
+  proc mem_write {
+    write wr = 1;
+    wait (ready);
+    write wr = 0;
+    wait (!ready);
+  }
+
+  pc = 0;
+  acc = 0;
+  running = 1;
+  while (running) {
+    /* fetch */
+    write addr = pc;
+    call mem_read;
+    ir = mdr;
+    pc = pc + 1;
+    opcode = ir >> 12;
+    operand = ir & 4095;
+    /* decode and execute */
+    if (opcode == 0) {          /* LDI: load immediate */
+      acc = operand;
+    } else { if (opcode == 1) { /* LD: load from memory */
+      write addr = operand;
+      call mem_read;
+      acc = mdr;
+    } else { if (opcode == 2) { /* ST: store to memory */
+      write addr = operand;
+      write obus = acc;
+      call mem_write;
+    } else { if (opcode == 3) {
+      acc = acc + operand;
+    } else { if (opcode == 4) {
+      acc = acc - operand;
+    } else { if (opcode == 5) {
+      acc = acc & operand;
+    } else { if (opcode == 6) {
+      acc = acc | operand;
+    } else { if (opcode == 7) {
+      acc = acc ^ operand;
+    } else { if (opcode == 8) {
+      acc = acc << 1;
+    } else { if (opcode == 9) {
+      acc = acc >> 1;
+    } else { if (opcode == 10) { /* JMP */
+      pc = operand;
+    } else { if (opcode == 11) { /* JZ */
+      if (flagz) {
+        pc = operand;
+      }
+    } else { if (opcode == 12) { /* MUL (two-cycle multiplier) */
+      tmp = acc * operand;
+      acc = tmp;
+    } else { if (opcode == 13) { /* DIV, guarded */
+      if (operand != 0) {
+        acc = acc / operand;
+      }
+    } else { if (opcode == 14) { /* OUT with handshake */
+      write obus = acc;
+      call mem_write;
+    } else {                     /* HALT */
+      running = 0;
+    } } } } } } } } } } } } } } }
+    flagz = acc == 0;
+  }
+}
+)hdl";
+
+// DAIO phase decoder: measures the spacing between transitions of the
+// biphase-coded input and classifies each interval into a bit.
+constexpr std::string_view kDaioPhase = R"hdl(
+process daio_phase (din, run, bit_out, bit_valid, sync_err) {
+  in port din, run;
+  out port bit_out, bit_valid, sync_err;
+  boolean width[8], last[1], cur[1];
+
+  last = 0;
+  while (run) {
+    width = 0;
+    cur = din;
+    while (cur == last) {      /* count cycles until a transition */
+      width = width + 1;
+      cur = din;
+    }
+    last = cur;
+    if (width > 6) {
+      write sync_err = 1;      /* lost lock: interval too long */
+    } else {
+      if (width > 3) {
+        write bit_out = 0;     /* long interval: biphase zero */
+        write bit_valid = 1;
+      } else {
+        write bit_out = 1;     /* short interval: biphase one */
+        write bit_valid = 1;
+      }
+    }
+    write bit_valid = 0;
+  }
+}
+)hdl";
+
+// DAIO receiver: locks onto the preamble, assembles two 16-bit
+// subframes (channels A and B) from the decoded bit stream, checks
+// parity and accumulates channel status. The min/max pair keeps the
+// frame-sync pulse exactly two cycles wide.
+constexpr std::string_view kDaioReceiver = R"hdl(
+process daio_rx (bit_in, bit_valid, preamble, run,
+                 sample_a, sample_b, status_out, parity_err, frame_sync) {
+  in port bit_in, bit_valid, preamble, run;
+  out port sample_a[16], sample_b[16], status_out[8], parity_err, frame_sync;
+  boolean shift[16], count[8], par[1], b[1];
+  boolean chan[1], status[8], status_bits[8], errors[8];
+  tag s, e;
+
+  errors = 0;
+  while (run) {
+    /* wait for the block preamble, then the first cell boundary */
+    wait (preamble);
+    wait (!preamble);
+    status = 0;
+    status_bits = 0;
+    chan = 0;
+    repeat {
+      count = 0;
+      shift = 0;
+      par = 0;
+      while (count < 16) {
+        wait (bit_valid);
+        b = bit_in;
+        shift = (shift << 1) | b;
+        par = par ^ b;
+        count = count + 1;
+        wait (!bit_valid);
+      }
+      /* the 17th cell carries one channel-status bit */
+      wait (bit_valid);
+      b = bit_in;
+      status = (status << 1) | b;
+      status_bits = status_bits + 1;
+      wait (!bit_valid);
+      if (par == 0) {
+        if (chan == 0) {
+          write sample_a = shift;
+        } else {
+          write sample_b = shift;
+        }
+        {
+          constraint mintime from s to e = 2 cycles;
+          constraint maxtime from s to e = 2 cycles;
+          s: write frame_sync = 1;
+          e: write frame_sync = 0;
+        }
+      } else {
+        errors = errors + 1;
+        write parity_err = 1;
+        write parity_err = 0;
+      }
+      chan = chan ^ 1;
+    } until (status_bits >= 8);
+    write status_out = status;
+  }
+}
+)hdl";
+
+// DCT phase A (row pass): per row, an even/odd butterfly pre-pass over
+// the 8 streamed samples followed by two 4-tap multiply-accumulate
+// sweeps with a pseudo coefficient walk and a ready/valid output
+// handshake.
+constexpr std::string_view kDctA = R"hdl(
+process dct_a (xin, xvalid, yready, run, yout, yvalid, row_done) {
+  in port xin[8], xvalid, yready, run;
+  out port yout[16], yvalid, row_done;
+  boolean i[4], k[4], acc[16], sample[8], prev[8], coef[8];
+  boolean even_sum[16], odd_sum[16];
+
+  while (run) {
+    i = 0;
+    while (i < 8) {            /* one row of coefficients */
+      acc = 0;
+      even_sum = 0;
+      odd_sum = 0;
+      prev = 0;
+      k = 0;
+      coef = 12;
+      while (k < 8) {          /* MAC over the 8 samples */
+        wait (xvalid);
+        sample = read(xin);
+        if ((k & 1) == 0) {
+          even_sum = even_sum + (sample + prev) * coef;
+        } else {
+          odd_sum = odd_sum + (sample - prev) * coef;
+        }
+        acc = acc + sample * coef;
+        coef = (coef * 3 + 1) & 255;
+        prev = sample;
+        k = k + 1;
+        wait (!xvalid);
+      }
+      if ((i & 1) == 0) {
+        acc = acc + (even_sum >> 2);
+      } else {
+        acc = acc + (odd_sum >> 2);
+      }
+      wait (yready);           /* downstream handshake */
+      write yout = acc;
+      write yvalid = 1;
+      write yvalid = 0;
+      i = i + 1;
+    }
+    write row_done = 1;
+    write row_done = 0;
+  }
+}
+)hdl";
+
+// DCT phase B (column pass): like phase A plus rounding, saturation,
+// zigzag-order bookkeeping, an output handshake and a
+// timing-constrained valid pulse.
+constexpr std::string_view kDctB = R"hdl(
+process dct_b (cin, cvalid, dready, run, dout, dvalid, ovfl, col_done) {
+  in port cin[16], cvalid, dready, run;
+  out port dout[16], dvalid, ovfl, col_done;
+  boolean i[4], k[4], acc[16], c[16], coef[8], sat[1];
+  boolean round_bit[1], zigzag[6], nonzero[8];
+  tag p, q;
+
+  while (run) {
+    i = 0;
+    zigzag = 0;
+    nonzero = 0;
+    while (i < 8) {
+      acc = 0;
+      k = 0;
+      coef = 7;
+      sat = 0;
+      while (k < 8) {
+        wait (cvalid);
+        c = read(cin);
+        acc = acc + c * coef;
+        coef = (coef * 5 + 3) & 255;
+        k = k + 1;
+        wait (!cvalid);
+      }
+      /* round to 14 bits, then saturate / dead-zone */
+      round_bit = (acc >> 1) & 1;
+      acc = (acc >> 2) + round_bit;
+      if (acc > 8191) {
+        acc = 8191;
+        sat = 1;
+      } else {
+        if (acc < 16) {
+          acc = 0;
+        } else {
+          nonzero = nonzero + 1;
+        }
+      }
+      if (sat) {
+        write ovfl = 1;
+        write ovfl = 0;
+      }
+      /* zigzag position of this coefficient in the output stream */
+      zigzag = (zigzag + i + 1) & 63;
+      wait (dready);
+      {
+        constraint mintime from p to q = 1 cycles;
+        constraint maxtime from p to q = 2 cycles;
+        p: write dout = acc;
+        q: write dvalid = 1;
+      }
+      write dvalid = 0;
+      i = i + 1;
+    }
+    if (nonzero == 0) {
+      write dout = 0;          /* all-zero column marker */
+      write dvalid = 1;
+      write dvalid = 0;
+    }
+    write col_done = 1;
+    write col_done = 0;
+  }
+}
+)hdl";
+
+}  // namespace
+
+const std::vector<BenchmarkDesign>& benchmark_suite() {
+  static const auto* suite = new std::vector<BenchmarkDesign>{
+      {"traffic", "traffic light controller", std::string(kTraffic)},
+      {"length", "pulse length detector", std::string(kLength)},
+      {"gcd", "greatest common divisor (paper Fig 13)", std::string(kGcd)},
+      {"frisc", "simple microprocessor", std::string(kFrisc)},
+      {"daio_phase", "DAIO phase decoder", std::string(kDaioPhase)},
+      {"daio_rx", "DAIO receiver", std::string(kDaioReceiver)},
+      {"dct_a", "bidimensional DCT, phase A", std::string(kDctA)},
+      {"dct_b", "bidimensional DCT, phase B", std::string(kDctB)},
+  };
+  return *suite;
+}
+
+std::string_view source(std::string_view name) {
+  for (const BenchmarkDesign& d : benchmark_suite()) {
+    if (d.name == name) return d.hdl;
+  }
+  RELSCHED_CHECK(false, "unknown benchmark design");
+  return {};
+}
+
+seq::Design build(std::string_view name) {
+  return hdl::compile_single(source(name));
+}
+
+cg::ConstraintGraph fig2_graph() {
+  cg::ConstraintGraph g("fig2");
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::unbounded());
+  const VertexId v1 = g.add_vertex("v1", cg::Delay::bounded(2));
+  const VertexId v2 = g.add_vertex("v2", cg::Delay::bounded(1));
+  const VertexId v3 = g.add_vertex("v3", cg::Delay::bounded(5));
+  const VertexId v4 = g.add_vertex("v4", cg::Delay::bounded(1));
+  g.add_sequencing_edge(v0, a);
+  g.add_sequencing_edge(v0, v1);
+  g.add_sequencing_edge(a, v3);
+  g.add_sequencing_edge(v1, v2);
+  g.add_sequencing_edge(v2, v3);
+  g.add_sequencing_edge(v3, v4);
+  g.add_min_constraint(v0, v3, 3);
+  g.add_max_constraint(v1, v2, 2);
+  return g;
+}
+
+cg::ConstraintGraph fig10_graph() {
+  cg::ConstraintGraph g("fig10");
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::unbounded());
+  const VertexId v1 = g.add_vertex("v1", cg::Delay::bounded(1));
+  const VertexId v2 = g.add_vertex("v2", cg::Delay::bounded(3));
+  const VertexId v3 = g.add_vertex("v3", cg::Delay::bounded(1));
+  const VertexId v4 = g.add_vertex("v4", cg::Delay::bounded(1));
+  const VertexId v5 = g.add_vertex("v5", cg::Delay::bounded(1));
+  const VertexId v6 = g.add_vertex("v6", cg::Delay::bounded(4));
+  const VertexId v7 = g.add_vertex("v7", cg::Delay::bounded(0));
+
+  g.add_sequencing_edge(v0, a);
+  g.add_min_constraint(v0, a, 1);
+  g.add_sequencing_edge(a, v1);
+  g.add_sequencing_edge(v1, v2);
+  g.add_min_constraint(v1, v3, 4);
+  g.add_min_constraint(v1, v4, 2);
+  g.add_min_constraint(v0, v4, 4);
+  g.add_sequencing_edge(v0, v6);
+  g.add_min_constraint(v0, v6, 8);
+  g.add_sequencing_edge(v4, v5);
+  g.add_sequencing_edge(v2, v7);
+  g.add_sequencing_edge(v3, v7);
+  g.add_sequencing_edge(v5, v7);
+  g.add_sequencing_edge(v6, v7);
+  // Maximum timing constraints (the dashed backward arcs of Fig 10).
+  g.add_max_constraint(v2, v3, 1);  // backward edge v3 -> v2, weight -1
+  g.add_max_constraint(a, v6, 6);   // backward edge v6 -> a, weight -6
+  g.add_max_constraint(v5, v6, 2);  // backward edge v6 -> v5, weight -2
+  return g;
+}
+
+}  // namespace relsched::designs

@@ -1,0 +1,215 @@
+// relsched_cli: command-line front door to the synthesis pipeline.
+//
+//   relsched_cli [options] <design.hwc | graph.cg>
+//     --report     per-graph synthesis summary (default)
+//     --schedule   anchor sets + minimum offsets per graph (Table II style)
+//     --stats      Table III / Table IV statistics
+//     --verilog    emit control logic (shift-register style) per graph
+//     --dot        emit the constraint graph of each graph in Graphviz dot
+//     --counter    use counter-based control for --verilog
+//     --graph      treat the input as a constraint-graph text file
+//                  (see cg/graph_io.hpp) instead of HardwareC
+//     --rtl        emit the full structural result: hierarchical
+//                  control plus datapath Verilog
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cg/graph_io.hpp"
+#include "ctrl/control.hpp"
+#include "ctrl/design_control.hpp"
+#include "driver/report.hpp"
+#include "driver/stats.hpp"
+#include "driver/synthesis.hpp"
+#include "hdl/lower.hpp"
+#include "rtl/datapath.hpp"
+#include "sched/scheduler.hpp"
+#include "wellposed/wellposed.hpp"
+
+using namespace relsched;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: relsched_cli [--report] [--schedule] [--stats] "
+               "[--verilog] [--dot] [--counter] [--graph] "
+               "<design.hwc | graph.cg>\n";
+  return 2;
+}
+
+}  // namespace
+
+namespace {
+
+/// --graph mode: schedule one raw constraint graph and print results.
+int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
+                   bool dot, bool counter) {
+  auto parsed = cg::from_text(text);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    return 1;
+  }
+  cg::ConstraintGraph& g = *parsed.graph;
+  if (const auto issues = g.validate(); !issues.empty()) {
+    std::cerr << "invalid graph: " << issues.front().message << "\n";
+    return 1;
+  }
+  const auto fix = wellposed::make_wellposed(g);
+  if (fix.status != wellposed::Status::kWellPosed) {
+    std::cerr << "cannot schedule: " << wellposed::to_string(fix.status)
+              << " (" << fix.message << ")\n";
+    return 1;
+  }
+  for (const auto& [from, to] : fix.added_edges) {
+    std::cout << "serialized: " << g.vertex(from).name << " -> "
+              << g.vertex(to).name << "\n";
+  }
+  const auto analysis = anchors::AnchorAnalysis::compute(g);
+  const auto result = sched::schedule(g, analysis);
+  if (!result.ok()) {
+    std::cerr << "no schedule: " << result.message << "\n";
+    return 1;
+  }
+  std::cout << "scheduled in " << result.iterations << " iteration(s)\n";
+  if (schedule_table || (!verilog && !dot)) {
+    driver::print_schedule_table(std::cout, g, analysis, result.schedule);
+  }
+  if (verilog) {
+    ctrl::ControlOptions opts;
+    opts.style = counter ? ctrl::ControlStyle::kCounter
+                         : ctrl::ControlStyle::kShiftRegister;
+    const auto unit =
+        ctrl::generate_control(g, analysis, result.schedule, opts);
+    std::cout << unit.to_verilog(g, g.name() + "_ctrl") << "\n";
+  }
+  if (dot) std::cout << g.to_dot() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool report = false, schedule = false, stats = false, verilog = false,
+       dot = false, counter = false, graph_mode = false, rtl = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      report = true;
+    } else if (arg == "--schedule") {
+      schedule = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--verilog") {
+      verilog = true;
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--counter") {
+      counter = true;
+    } else if (arg == "--graph") {
+      graph_mode = true;
+    } else if (arg == "--rtl") {
+      rtl = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage();
+  if (!report && !schedule && !stats && !verilog && !dot && !rtl) {
+    report = true;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  if (graph_mode || path.size() > 3 && path.substr(path.size() - 3) == ".cg") {
+    return run_graph_mode(buffer.str(), schedule, verilog, dot, counter);
+  }
+
+  auto compiled = hdl::compile(buffer.str());
+  if (!compiled.ok()) {
+    std::cerr << path << ":\n" << compiled.diagnostics.to_string();
+    return 1;
+  }
+  for (const auto& diag : compiled.diagnostics.diagnostics()) {
+    std::cerr << path << ":" << diag.loc << ": warning: " << diag.message
+              << "\n";
+  }
+
+  for (seq::Design& design : compiled.designs) {
+    const auto result = driver::synthesize(design);
+    if (!result.ok()) {
+      std::cerr << "process '" << design.name()
+                << "': " << driver::to_string(result.status) << ": "
+                << result.message << "\n";
+      return 1;
+    }
+    if (report) {
+      driver::print_design_report(std::cout, design, result);
+      std::cout << "\n";
+    }
+    if (schedule) {
+      for (const auto& gs : result.graphs) {
+        std::cout << "graph '" << design.graph(gs.graph_id).name() << "':\n";
+        driver::print_schedule_table(std::cout, gs.constraint_graph,
+                                     gs.analysis, gs.schedule.schedule);
+        std::cout << "\n";
+      }
+    }
+    if (stats) {
+      const auto s = driver::compute_stats(result);
+      std::cout << "|A|/|V| = " << s.total_anchors << "/" << s.total_vertices
+                << "\nsum |A(v)| = " << s.sum_full
+                << " (avg " << s.avg_full() << ")"
+                << "\nsum |IR(v)| = " << s.sum_irredundant << " (avg "
+                << s.avg_irredundant() << ")"
+                << "\nmax offset full/min = " << s.max_offset_full << "/"
+                << s.max_offset_min
+                << "\nsum of max offsets full/min = " << s.sum_max_offset_full
+                << "/" << s.sum_max_offset_min << "\n\n";
+    }
+    if (verilog) {
+      for (const auto& gs : result.graphs) {
+        ctrl::ControlOptions opts;
+        opts.style = counter ? ctrl::ControlStyle::kCounter
+                             : ctrl::ControlStyle::kShiftRegister;
+        const auto unit = ctrl::generate_control(
+            gs.constraint_graph, gs.analysis, gs.schedule.schedule, opts);
+        std::cout << unit.to_verilog(
+                         gs.constraint_graph,
+                         design.name() + "_" +
+                             design.graph(gs.graph_id).name() + "_ctrl")
+                  << "\n";
+      }
+    }
+    if (dot) {
+      for (const auto& gs : result.graphs) {
+        std::cout << gs.constraint_graph.to_dot() << "\n";
+      }
+    }
+    if (rtl) {
+      ctrl::ControlOptions copts;
+      copts.style = counter ? ctrl::ControlStyle::kCounter
+                            : ctrl::ControlStyle::kShiftRegister;
+      const auto control =
+          ctrl::generate_design_control(design, result, copts);
+      std::cout << control.to_verilog(design, result, design.name()) << "\n";
+      const auto dp =
+          rtl::generate_datapath(design, result, design.name() + "_dp");
+      std::cout << dp.verilog << "\n// datapath stats: " << dp.stats.registers
+                << " register bits, " << dp.stats.functional_units
+                << " functional units, " << dp.stats.mux_inputs
+                << " mux inputs\n";
+    }
+  }
+  return 0;
+}

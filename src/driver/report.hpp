@@ -1,0 +1,30 @@
+// Human-readable synthesis reports: per-graph schedules (Table II
+// style), anchor-set summaries, and the iterative-scheduling trace
+// table of the paper's Fig 10.
+#pragma once
+
+#include <ostream>
+
+#include "driver/synthesis.hpp"
+#include "sched/scheduler.hpp"
+#include "seq/design.hpp"
+
+namespace relsched::driver {
+
+/// Prints anchor sets and minimum offsets of one scheduled graph
+/// (the paper's Table II layout).
+void print_schedule_table(std::ostream& os, const cg::ConstraintGraph& g,
+                          const anchors::AnchorAnalysis& analysis,
+                          const sched::RelativeSchedule& schedule);
+
+/// Prints the per-iteration offset trace (the paper's Fig 10 table):
+/// one column pair (compute / readjust) per iteration.
+void print_iteration_trace(std::ostream& os, const cg::ConstraintGraph& g,
+                           const sched::ScheduleResult& result);
+
+/// Prints a whole-design summary: one row per graph with vertex/anchor
+/// counts, latency, and schedule status.
+void print_design_report(std::ostream& os, const seq::Design& design,
+                         const SynthesisResult& result);
+
+}  // namespace relsched::driver

@@ -1,0 +1,44 @@
+#include "driver/stats.hpp"
+
+#include <algorithm>
+
+namespace relsched::driver {
+
+AnchorStats compute_stats(const SynthesisResult& result) {
+  RELSCHED_CHECK(result.ok(), "compute_stats requires a successful synthesis");
+  AnchorStats stats;
+  for (const GraphSynthesis& gs : result.graphs) {
+    const cg::ConstraintGraph& g = gs.constraint_graph;
+    const anchors::AnchorAnalysis& an = gs.analysis;
+    stats.total_vertices += g.vertex_count();
+    stats.total_anchors += static_cast<int>(an.anchors().size());
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      const VertexId v(vi);
+      stats.sum_full += an.anchor_set(v).size();
+      stats.sum_relevant += an.relevant_set(v).size();
+      stats.sum_irredundant += an.irredundant_set(v).size();
+    }
+    // sigma_a^max from minimum offsets (Theorem 3: length(a, v)), under
+    // full and irredundant anchor sets.
+    for (VertexId a : an.anchors()) {
+      graph::Weight max_full = 0;
+      graph::Weight max_min = 0;
+      for (int vi = 0; vi < g.vertex_count(); ++vi) {
+        const VertexId v(vi);
+        if (an.anchor_set(v).contains(a)) {
+          max_full = std::max(max_full, an.length(a, v));
+        }
+        if (an.irredundant_set(v).contains(a)) {
+          max_min = std::max(max_min, an.length(a, v));
+        }
+      }
+      stats.max_offset_full = std::max(stats.max_offset_full, max_full);
+      stats.sum_max_offset_full += max_full;
+      stats.max_offset_min = std::max(stats.max_offset_min, max_min);
+      stats.sum_max_offset_min += max_min;
+    }
+  }
+  return stats;
+}
+
+}  // namespace relsched::driver

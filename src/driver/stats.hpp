@@ -1,0 +1,43 @@
+// Aggregate statistics over a synthesized design, matching the paper's
+// evaluation (Tables III and IV). Counts span the whole sequencing-graph
+// hierarchy: every graph's source vertex is an anchor and every vertex
+// counts toward |V|, exactly as the paper counts its designs.
+#pragma once
+
+#include "anchors/anchor_analysis.hpp"
+#include "driver/synthesis.hpp"
+
+namespace relsched::driver {
+
+struct AnchorStats {
+  int total_vertices = 0;  // |V| over the hierarchy
+  int total_anchors = 0;   // |A| over the hierarchy
+
+  // Table III: total/average anchor-set sizes over all vertices.
+  std::size_t sum_full = 0;         // sum of |A(v)|
+  std::size_t sum_relevant = 0;     // sum of |R(v)|
+  std::size_t sum_irredundant = 0;  // sum of |IR(v)|
+
+  // Table IV: per-anchor maximum offsets sigma_a^max, aggregated.
+  graph::Weight max_offset_full = 0;      // max over anchors, full sets
+  graph::Weight sum_max_offset_full = 0;  // sum over anchors, full sets
+  graph::Weight max_offset_min = 0;       // max over anchors, IR sets
+  graph::Weight sum_max_offset_min = 0;   // sum over anchors, IR sets
+
+  [[nodiscard]] double avg_full() const {
+    return total_vertices == 0
+               ? 0.0
+               : static_cast<double>(sum_full) / total_vertices;
+  }
+  [[nodiscard]] double avg_irredundant() const {
+    return total_vertices == 0
+               ? 0.0
+               : static_cast<double>(sum_irredundant) / total_vertices;
+  }
+};
+
+/// Computes the Table III / Table IV statistics for a synthesized
+/// design. Precondition: result.ok().
+AnchorStats compute_stats(const SynthesisResult& result);
+
+}  // namespace relsched::driver

@@ -1,0 +1,82 @@
+// End-to-end structural synthesis pipeline (paper §VII, Hebe):
+//
+//   sequencing graphs  ->  module binding + conflict resolution
+//                      ->  constraint graph
+//                      ->  (optional) makeWellposed serialization
+//                      ->  anchor analysis (A / R / IR)
+//                      ->  iterative incremental relative scheduling
+//                      ->  per-graph latency fed bottom-up into parents
+//
+// Scheduling is hierarchical and bottom-up: loop bodies, conditional
+// branches, and callees are scheduled first; a child with no internal
+// anchors contributes a bounded latency to its parent operation,
+// otherwise the parent operation becomes unbounded (an anchor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anchors/anchor_analysis.hpp"
+#include "bind/binder.hpp"
+#include "cg/constraint_graph.hpp"
+#include "sched/scheduler.hpp"
+#include "seq/design.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::driver {
+
+struct SynthesisOptions {
+  bind::BindingOptions binding;
+  bind::ResourceLibrary library = bind::ResourceLibrary::standard();
+  /// Attempt minimal serialization when a graph is ill-posed.
+  bool apply_make_wellposed = true;
+  /// Anchor sets tracked while scheduling.
+  anchors::AnchorMode schedule_mode = anchors::AnchorMode::kFull;
+  /// Constrained conflict resolution (paper SSVII): when a graph's
+  /// binding serialization makes its timing constraints unschedulable,
+  /// retry with up to this many perturbed serialization orders before
+  /// giving up.
+  int conflict_resolution_retries = 4;
+};
+
+enum class SynthesisStatus {
+  kOk,
+  kIllPosed,      // some graph could not be made well-posed
+  kInfeasible,    // positive cycle in some graph
+  kInconsistent,  // scheduler found no schedule in some graph
+  kInvalid,       // structural problem in some graph
+};
+
+[[nodiscard]] const char* to_string(SynthesisStatus status);
+
+/// Synthesis products for one graph of the hierarchy.
+struct GraphSynthesis {
+  SeqGraphId graph_id;
+  cg::ConstraintGraph constraint_graph{"unset"};
+  anchors::AnchorAnalysis analysis;
+  sched::ScheduleResult schedule;
+  bind::BindingResult binding;
+  wellposed::MakeWellposedResult wellposed_fix;
+  /// Latency of one activation: bounded iff the graph has no internal
+  /// anchors (then it equals sigma_v0(sink)).
+  cg::Delay latency = cg::Delay::unbounded();
+};
+
+struct SynthesisResult {
+  SynthesisStatus status = SynthesisStatus::kInvalid;
+  std::string message;
+  /// Per-graph products in bottom-up (post-) order.
+  std::vector<GraphSynthesis> graphs;
+  /// graph id -> index into `graphs` (-1 if absent).
+  std::vector<int> graph_index;
+
+  [[nodiscard]] bool ok() const { return status == SynthesisStatus::kOk; }
+  [[nodiscard]] const GraphSynthesis& for_graph(SeqGraphId id) const;
+};
+
+/// Runs the full pipeline. Mutates `design` (delay annotations plus
+/// serializing dependencies from binding).
+SynthesisResult synthesize(seq::Design& design,
+                           const SynthesisOptions& options = {});
+
+}  // namespace relsched::driver

@@ -1,0 +1,78 @@
+// Digraph: a dense, index-based directed multigraph with integer arc
+// weights. This is the low-level substrate the constraint-graph layer
+// projects onto before running path algorithms.
+//
+// Nodes are 0..node_count()-1; arcs are identified by their index in
+// arcs(). Adjacency is stored as per-node arc-index lists.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace relsched::graph {
+
+/// Arc weights use 64-bit ints: longest-path sums over thousands of
+/// vertices with large constraint bounds must not overflow.
+using Weight = std::int64_t;
+
+struct Arc {
+  int from = -1;
+  int to = -1;
+  Weight weight = 0;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(int node_count) { resize(node_count); }
+
+  void resize(int node_count) {
+    RELSCHED_CHECK(node_count >= static_cast<int>(out_.size()),
+                   "cannot shrink a Digraph");
+    out_.resize(static_cast<std::size_t>(node_count));
+    in_.resize(static_cast<std::size_t>(node_count));
+  }
+
+  int add_node() {
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<int>(out_.size()) - 1;
+  }
+
+  /// Returns the new arc's index.
+  int add_arc(int from, int to, Weight weight) {
+    RELSCHED_CHECK(from >= 0 && from < node_count(), "arc tail out of range");
+    RELSCHED_CHECK(to >= 0 && to < node_count(), "arc head out of range");
+    const int idx = static_cast<int>(arcs_.size());
+    arcs_.push_back(Arc{from, to, weight});
+    out_[static_cast<std::size_t>(from)].push_back(idx);
+    in_[static_cast<std::size_t>(to)].push_back(idx);
+    return idx;
+  }
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(out_.size()); }
+  [[nodiscard]] int arc_count() const { return static_cast<int>(arcs_.size()); }
+  [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
+  [[nodiscard]] const Arc& arc(int idx) const {
+    return arcs_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Arc indices leaving `node`.
+  [[nodiscard]] std::span<const int> out_arcs(int node) const {
+    return out_[static_cast<std::size_t>(node)];
+  }
+  /// Arc indices entering `node`.
+  [[nodiscard]] std::span<const int> in_arcs(int node) const {
+    return in_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+}  // namespace relsched::graph

@@ -1,0 +1,120 @@
+// Abstract syntax tree of the HardwareC subset.
+//
+// The grammar covers everything the paper's examples use (Fig 13):
+// processes with in/out ports, bit-vector variables, statement tags,
+// min/max timing constraints between tags, assignments, write, while,
+// repeat-until, if/else, blocks, data-parallel blocks < ... >, wait,
+// and full integer expressions with read(port) sampling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdl/diagnostics.hpp"
+
+namespace relsched::hdl {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class UnaryOp { kLogicalNot, kBitNot, kNegate };
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor,
+  kLogicalAnd, kLogicalOr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kShl, kShr,
+};
+
+struct Expr {
+  enum class Kind { kNumber, kIdent, kUnary, kBinary, kRead };
+  Kind kind = Kind::kNumber;
+  SourceLoc loc;
+
+  std::int64_t number = 0;  // kNumber
+  std::string name;         // kIdent: variable or port; kRead: port
+  UnaryOp unary_op = UnaryOp::kLogicalNot;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr lhs;  // kUnary operand / kBinary left
+  ExprPtr rhs;  // kBinary right
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kAssign,       // target = expr ;
+    kWrite,        // write target = expr ;
+    kWhile,        // while (expr) body[0]
+    kRepeatUntil,  // repeat { body } until (expr) ;
+    kIf,           // if (expr) then_stmt [else else_stmt]
+    kBlock,        // { body... }
+    kParallel,     // < body... >
+    kWait,         // wait (expr) ;   (expr: port or !port)
+    kCall,         // call name ;
+    kEmpty,        // ;
+    kConstraint,   // constraint mintime|maxtime from a to b = n cycles ;
+  };
+  Kind kind = Kind::kEmpty;
+  SourceLoc loc;
+  std::string tag;  // optional statement label
+
+  std::string target;  // kAssign variable / kWrite port
+  ExprPtr expr;        // rhs / condition / wait expression
+  std::vector<StmtPtr> body;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;
+
+  // kConstraint fields.
+  bool constraint_is_min = true;
+  std::string from_tag;
+  std::string to_tag;
+  int cycles = 0;
+};
+
+struct PortDecl {
+  SourceLoc loc;
+  std::string name;
+  int width = 1;
+  bool is_input = true;
+};
+
+struct VarDecl {
+  SourceLoc loc;
+  std::string name;
+  int width = 1;
+};
+
+struct TagDecl {
+  SourceLoc loc;
+  std::string name;
+};
+
+/// A parameterless procedure: a named statement block lowered into its
+/// own sequencing graph, shared by every call site (which is what makes
+/// procedures a resource-sharing construct).
+struct ProcDecl {
+  SourceLoc loc;
+  std::string name;
+  std::vector<StmtPtr> body;
+};
+
+struct ProcessDecl {
+  SourceLoc loc;
+  std::string name;
+  std::vector<std::string> params;  // header parameter order (informational)
+  std::vector<PortDecl> ports;
+  std::vector<VarDecl> vars;
+  std::vector<TagDecl> tags;
+  std::vector<ProcDecl> procs;
+  std::vector<StmtPtr> body;
+};
+
+struct Program {
+  std::vector<ProcessDecl> processes;
+};
+
+}  // namespace relsched::hdl

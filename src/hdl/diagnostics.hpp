@@ -1,0 +1,62 @@
+// Source locations and diagnostics for the HardwareC-subset frontend.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace relsched::hdl {
+
+struct SourceLoc {
+  int line = 0;    // 1-based
+  int column = 0;  // 1-based
+
+  friend std::ostream& operator<<(std::ostream& os, SourceLoc loc) {
+    return os << loc.line << ":" << loc.column;
+  }
+};
+
+enum class Severity { kError, kWarning };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+class DiagnosticSink {
+ public:
+  void error(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::kError, loc, std::move(message)});
+  }
+  void warning(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::kWarning, loc, std::move(message)});
+  }
+
+  [[nodiscard]] bool has_errors() const {
+    for (const Diagnostic& d : diags_) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// All diagnostics rendered one per line ("line:col: error: msg").
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    for (const Diagnostic& d : diags_) {
+      out += std::to_string(d.loc.line) + ":" + std::to_string(d.loc.column) +
+             ": " +
+             (d.severity == Severity::kError ? "error: " : "warning: ") +
+             d.message + "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace relsched::hdl

@@ -1,0 +1,329 @@
+#include "hdl/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace relsched::hdl {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kProcess: return "'process'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kOut: return "'out'";
+    case TokenKind::kPort: return "'port'";
+    case TokenKind::kBoolean: return "'boolean'";
+    case TokenKind::kTag: return "'tag'";
+    case TokenKind::kConstraint: return "'constraint'";
+    case TokenKind::kMintime: return "'mintime'";
+    case TokenKind::kMaxtime: return "'maxtime'";
+    case TokenKind::kFrom: return "'from'";
+    case TokenKind::kTo: return "'to'";
+    case TokenKind::kCycles: return "'cycles'";
+    case TokenKind::kWhile: return "'while'";
+    case TokenKind::kRepeat: return "'repeat'";
+    case TokenKind::kUntil: return "'until'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kRead: return "'read'";
+    case TokenKind::kWrite: return "'write'";
+    case TokenKind::kWait: return "'wait'";
+    case TokenKind::kProc: return "'proc'";
+    case TokenKind::kCall: return "'call'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const auto* map = new std::unordered_map<std::string_view, TokenKind>{
+      {"process", TokenKind::kProcess},
+      {"in", TokenKind::kIn},
+      {"out", TokenKind::kOut},
+      {"port", TokenKind::kPort},
+      {"boolean", TokenKind::kBoolean},
+      {"tag", TokenKind::kTag},
+      {"constraint", TokenKind::kConstraint},
+      {"mintime", TokenKind::kMintime},
+      {"maxtime", TokenKind::kMaxtime},
+      {"from", TokenKind::kFrom},
+      {"to", TokenKind::kTo},
+      {"cycles", TokenKind::kCycles},
+      {"while", TokenKind::kWhile},
+      {"repeat", TokenKind::kRepeat},
+      {"until", TokenKind::kUntil},
+      {"if", TokenKind::kIf},
+      {"else", TokenKind::kElse},
+      {"read", TokenKind::kRead},
+      {"write", TokenKind::kWrite},
+      {"wait", TokenKind::kWait},
+      {"proc", TokenKind::kProc},
+      {"call", TokenKind::kCall},
+  };
+  return *map;
+}
+
+class Cursor {
+ public:
+  Cursor(std::string_view source, DiagnosticSink& sink)
+      : source_(source), sink_(sink) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc loc() const { return SourceLoc{line_, column_}; }
+  DiagnosticSink& sink() { return sink_; }
+
+ private:
+  std::string_view source_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+void skip_trivia(Cursor& cur) {
+  for (;;) {
+    while (!cur.at_end() && std::isspace(static_cast<unsigned char>(cur.peek()))) {
+      cur.advance();
+    }
+    if (cur.peek() == '/' && cur.peek(1) == '/') {
+      while (!cur.at_end() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (cur.peek() == '/' && cur.peek(1) == '*') {
+      const SourceLoc start = cur.loc();
+      cur.advance();
+      cur.advance();
+      bool closed = false;
+      while (!cur.at_end()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.advance();
+          cur.advance();
+          closed = true;
+          break;
+        }
+        cur.advance();
+      }
+      if (!closed) cur.sink().error(start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token lex_number(Cursor& cur) {
+  Token tok;
+  tok.kind = TokenKind::kNumber;
+  tok.loc = cur.loc();
+  std::int64_t value = 0;
+  int base = 10;
+  if (cur.peek() == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+    base = 16;
+    cur.advance();
+    cur.advance();
+  } else if (cur.peek() == '0' && (cur.peek(1) == 'b' || cur.peek(1) == 'B')) {
+    base = 2;
+    cur.advance();
+    cur.advance();
+  }
+  bool any = false;
+  for (;;) {
+    const char c = cur.peek();
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (base == 16 && c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      break;
+    }
+    if (digit >= base) {
+      cur.sink().error(cur.loc(), "digit out of range for numeric base");
+      break;
+    }
+    value = value * base + digit;
+    any = true;
+    cur.advance();
+  }
+  if (!any) cur.sink().error(tok.loc, "malformed numeric literal");
+  tok.number = value;
+  return tok;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink) {
+  Cursor cur(source, sink);
+  std::vector<Token> tokens;
+
+  const auto push = [&tokens](TokenKind kind, SourceLoc loc) {
+    Token tok;
+    tok.kind = kind;
+    tok.loc = loc;
+    tokens.push_back(std::move(tok));
+  };
+
+  for (;;) {
+    skip_trivia(cur);
+    if (cur.at_end()) break;
+    const SourceLoc loc = cur.loc();
+    const char c = cur.peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_') {
+        word.push_back(cur.advance());
+      }
+      const auto it = keywords().find(word);
+      Token tok;
+      tok.loc = loc;
+      if (it != keywords().end()) {
+        tok.kind = it->second;
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = std::move(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token tok = lex_number(cur);
+      tok.loc = loc;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    cur.advance();
+    const char n = cur.peek();
+    switch (c) {
+      case '(': push(TokenKind::kLParen, loc); break;
+      case ')': push(TokenKind::kRParen, loc); break;
+      case '{': push(TokenKind::kLBrace, loc); break;
+      case '}': push(TokenKind::kRBrace, loc); break;
+      case '[': push(TokenKind::kLBracket, loc); break;
+      case ']': push(TokenKind::kRBracket, loc); break;
+      case ';': push(TokenKind::kSemi, loc); break;
+      case ',': push(TokenKind::kComma, loc); break;
+      case ':': push(TokenKind::kColon, loc); break;
+      case '+': push(TokenKind::kPlus, loc); break;
+      case '-': push(TokenKind::kMinus, loc); break;
+      case '*': push(TokenKind::kStar, loc); break;
+      case '/': push(TokenKind::kSlash, loc); break;
+      case '%': push(TokenKind::kPercent, loc); break;
+      case '^': push(TokenKind::kCaret, loc); break;
+      case '~': push(TokenKind::kTilde, loc); break;
+      case '=':
+        if (n == '=') {
+          cur.advance();
+          push(TokenKind::kEqEq, loc);
+        } else {
+          push(TokenKind::kAssign, loc);
+        }
+        break;
+      case '!':
+        if (n == '=') {
+          cur.advance();
+          push(TokenKind::kNe, loc);
+        } else {
+          push(TokenKind::kBang, loc);
+        }
+        break;
+      case '<':
+        if (n == '=') {
+          cur.advance();
+          push(TokenKind::kLe, loc);
+        } else if (n == '<') {
+          cur.advance();
+          push(TokenKind::kShl, loc);
+        } else {
+          push(TokenKind::kLt, loc);
+        }
+        break;
+      case '>':
+        if (n == '=') {
+          cur.advance();
+          push(TokenKind::kGe, loc);
+        } else if (n == '>') {
+          cur.advance();
+          push(TokenKind::kShr, loc);
+        } else {
+          push(TokenKind::kGt, loc);
+        }
+        break;
+      case '&':
+        if (n == '&') {
+          cur.advance();
+          push(TokenKind::kAmpAmp, loc);
+        } else {
+          push(TokenKind::kAmp, loc);
+        }
+        break;
+      case '|':
+        if (n == '|') {
+          cur.advance();
+          push(TokenKind::kPipePipe, loc);
+        } else {
+          push(TokenKind::kPipe, loc);
+        }
+        break;
+      default:
+        sink.error(loc, std::string("unexpected character '") + c + "'");
+        break;
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.loc = cur.loc();
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace relsched::hdl

@@ -1,0 +1,17 @@
+// Lexer for the HardwareC subset. Supports //- and /* */-style comments,
+// decimal / 0x / 0b literals, and the operator set of the grammar.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "hdl/diagnostics.hpp"
+#include "hdl/token.hpp"
+
+namespace relsched::hdl {
+
+/// Tokenizes `source`. Lexical errors are reported to `sink`; the
+/// returned stream always ends with a kEof token.
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace relsched::hdl

@@ -1,0 +1,731 @@
+#include "hdl/lower.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+#include "hdl/parser.hpp"
+
+namespace relsched::hdl {
+
+namespace {
+
+using seq::AluOp;
+using seq::Operand;
+using seq::OpKind;
+using seq::SeqOp;
+
+/// Def-use bookkeeping while lowering one graph.
+struct DepState {
+  std::map<VarId, OpId> last_writer;
+  std::map<VarId, std::vector<OpId>> readers;  // since last write
+  std::map<PortId, OpId> port_last;
+  /// Synchronization barriers (wait and data-dependent-loop ops): every
+  /// operation created later is sequenced behind them -- external
+  /// synchronization orders *all* later statements, not just dataflow
+  /// consumers.
+  std::vector<OpId> barriers;
+  /// Port writes since the last barrier. A wait (or loop) fences them:
+  /// the external condition it synchronizes on may be a device's
+  /// *response* to those writes, so they must complete first.
+  std::vector<OpId> port_effects;
+};
+
+/// Variable/port usage of a graph including its descendants; applied to
+/// the hierarchical op that owns the subtree.
+struct Usage {
+  std::set<VarId> vars_read;
+  std::set<VarId> vars_written;
+  std::set<PortId> ports;
+
+  void merge(const Usage& other) {
+    vars_read.insert(other.vars_read.begin(), other.vars_read.end());
+    vars_written.insert(other.vars_written.begin(), other.vars_written.end());
+    ports.insert(other.ports.begin(), other.ports.end());
+  }
+};
+
+class Lowerer {
+ public:
+  Lowerer(const ProcessDecl& process, DiagnosticSink& sink)
+      : process_(process), sink_(sink), design_(process.name) {}
+
+  std::optional<seq::Design> run() {
+    for (const PortDecl& p : process_.ports) {
+      if (design_.find_port(p.name) || design_.find_var(p.name)) {
+        sink_.error(p.loc, cat("duplicate declaration of '", p.name, "'"));
+        continue;
+      }
+      design_.add_port(p.name, p.width,
+                       p.is_input ? seq::PortDirection::kIn
+                                  : seq::PortDirection::kOut);
+    }
+    for (const VarDecl& v : process_.vars) {
+      if (design_.find_port(v.name) || design_.find_var(v.name)) {
+        sink_.error(v.loc, cat("duplicate declaration of '", v.name, "'"));
+        continue;
+      }
+      design_.add_var(v.name, v.width);
+    }
+    for (const TagDecl& t : process_.tags) {
+      if (!declared_tags_.insert(t.name).second) {
+        sink_.error(t.loc, cat("duplicate tag '", t.name, "'"));
+      }
+    }
+
+    const SeqGraphId root = design_.add_graph("root");
+    design_.set_root(root);
+    usage_.resize(16);
+    DepState state;
+    lower_stmts(root, process_.body, state);
+    resolve_constraints();
+    if (sink_.has_errors()) return std::nullopt;
+    return std::move(design_);
+  }
+
+ private:
+  // ---- Helpers --------------------------------------------------------------
+
+  seq::SeqGraph& graph(SeqGraphId id) { return design_.graph(id); }
+
+  Usage& usage(SeqGraphId id) {
+    if (usage_.size() <= id.index()) usage_.resize(id.index() + 1);
+    return usage_[id.index()];
+  }
+
+  SeqGraphId new_graph(const std::string& name) {
+    const SeqGraphId id = design_.add_graph(name);
+    usage(id);  // ensure slot
+    return id;
+  }
+
+  /// Sequences a newly created op behind any active wait barriers.
+  /// Must be called for every op created while lowering statements.
+  void apply_barriers(SeqGraphId gid, const DepState& state, OpId op) {
+    for (OpId barrier : state.barriers) {
+      if (barrier != op) graph(gid).add_dependency(barrier, op);
+    }
+  }
+
+  /// Adds RAW / chaining dependencies for one value input of `op`.
+  void consume(SeqGraphId gid, DepState& state, OpId op, const Operand& in) {
+    switch (in.kind) {
+      case Operand::Kind::kVar: {
+        if (auto it = state.last_writer.find(in.var);
+            it != state.last_writer.end()) {
+          graph(gid).add_dependency(it->second, op);
+        }
+        state.readers[in.var].push_back(op);
+        usage(gid).vars_read.insert(in.var);
+        break;
+      }
+      case Operand::Kind::kOpResult:
+        graph(gid).add_dependency(in.op, op);
+        break;
+      case Operand::Kind::kPort:
+        chain_port(gid, state, op, in.port);
+        break;
+      case Operand::Kind::kConst:
+      case Operand::Kind::kNone:
+        break;
+    }
+  }
+
+  /// WAW + WAR dependencies for an op writing `var`.
+  void write_var(SeqGraphId gid, DepState& state, OpId op, VarId var) {
+    if (auto it = state.last_writer.find(var); it != state.last_writer.end()) {
+      if (it->second != op) graph(gid).add_dependency(it->second, op);
+    }
+    if (auto it = state.readers.find(var); it != state.readers.end()) {
+      for (OpId reader : it->second) {
+        if (reader != op) graph(gid).add_dependency(reader, op);
+      }
+      it->second.clear();
+    }
+    state.last_writer[var] = op;
+    usage(gid).vars_written.insert(var);
+  }
+
+  /// Program-order chaining of same-port accesses.
+  void chain_port(SeqGraphId gid, DepState& state, OpId op, PortId port) {
+    if (auto it = state.port_last.find(port); it != state.port_last.end()) {
+      if (it->second != op) graph(gid).add_dependency(it->second, op);
+    }
+    state.port_last[port] = op;
+    usage(gid).ports.insert(port);
+  }
+
+  // ---- Expression lowering ----------------------------------------------------
+
+  Operand lower_read(SeqGraphId gid, DepState& state, SourceLoc loc,
+                     const std::string& port_name) {
+    const auto port = design_.find_port(port_name);
+    if (!port) {
+      sink_.error(loc, cat("'", port_name, "' is not a port"));
+      return Operand::of_const(0);
+    }
+    if (design_.port(*port).direction != seq::PortDirection::kIn) {
+      sink_.error(loc, cat("cannot read output port '", port_name, "'"));
+      return Operand::of_const(0);
+    }
+    SeqOp op;
+    op.kind = OpKind::kRead;
+    op.name = cat("read_", port_name, "_", graph(gid).op_count());
+    op.port = *port;
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+    chain_port(gid, state, id, *port);
+    return Operand::of_op(id);
+  }
+
+  Operand lower_expr(SeqGraphId gid, DepState& state, const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber:
+        return Operand::of_const(expr.number);
+      case Expr::Kind::kIdent: {
+        if (const auto var = design_.find_var(expr.name)) {
+          const VarId resolved = substituted(*var);
+          usage(gid).vars_read.insert(resolved);
+          return Operand::of_var(resolved);
+        }
+        if (design_.find_port(expr.name)) {
+          // A port mentioned in an expression is sampled: synthesize a
+          // read operation (external signals are not wires here).
+          return lower_read(gid, state, expr.loc, expr.name);
+        }
+        sink_.error(expr.loc, cat("unknown identifier '", expr.name, "'"));
+        return Operand::of_const(0);
+      }
+      case Expr::Kind::kRead:
+        return lower_read(gid, state, expr.loc, expr.name);
+      case Expr::Kind::kUnary: {
+        const Operand in = lower_expr(gid, state, *expr.lhs);
+        SeqOp op;
+        op.kind = OpKind::kAlu;
+        switch (expr.unary_op) {
+          case UnaryOp::kLogicalNot:
+            // !x lowered as (x == 0), which also boolean-izes.
+            op.alu = AluOp::kEq;
+            op.inputs = {in, Operand::of_const(0)};
+            break;
+          case UnaryOp::kBitNot:
+            op.alu = AluOp::kNot;
+            op.inputs = {in};
+            break;
+          case UnaryOp::kNegate:
+            op.alu = AluOp::kNeg;
+            op.inputs = {in};
+            break;
+        }
+        op.name = cat("u", to_string(op.alu), "_", graph(gid).op_count());
+        const OpId id = graph(gid).add_op(std::move(op));
+        apply_barriers(gid, state, id);
+    apply_barriers(gid, state, id);
+        for (const Operand& i : graph(gid).op(id).inputs) {
+          consume(gid, state, id, i);
+        }
+        return Operand::of_op(id);
+      }
+      case Expr::Kind::kBinary: {
+        const Operand lhs = lower_expr(gid, state, *expr.lhs);
+        const Operand rhs = lower_expr(gid, state, *expr.rhs);
+        SeqOp op;
+        op.kind = OpKind::kAlu;
+        switch (expr.binary_op) {
+          case BinaryOp::kAdd: op.alu = AluOp::kAdd; break;
+          case BinaryOp::kSub: op.alu = AluOp::kSub; break;
+          case BinaryOp::kMul: op.alu = AluOp::kMul; break;
+          case BinaryOp::kDiv: op.alu = AluOp::kDiv; break;
+          case BinaryOp::kMod: op.alu = AluOp::kMod; break;
+          case BinaryOp::kAnd:
+          case BinaryOp::kLogicalAnd: op.alu = AluOp::kAnd; break;
+          case BinaryOp::kOr:
+          case BinaryOp::kLogicalOr: op.alu = AluOp::kOr; break;
+          case BinaryOp::kXor: op.alu = AluOp::kXor; break;
+          case BinaryOp::kEq: op.alu = AluOp::kEq; break;
+          case BinaryOp::kNe: op.alu = AluOp::kNe; break;
+          case BinaryOp::kLt: op.alu = AluOp::kLt; break;
+          case BinaryOp::kLe: op.alu = AluOp::kLe; break;
+          case BinaryOp::kGt: op.alu = AluOp::kGt; break;
+          case BinaryOp::kGe: op.alu = AluOp::kGe; break;
+          case BinaryOp::kShl: op.alu = AluOp::kShl; break;
+          case BinaryOp::kShr: op.alu = AluOp::kShr; break;
+        }
+        op.inputs = {lhs, rhs};
+        op.name = cat("op", graph(gid).op_count(), "_", to_string(op.alu));
+        const OpId id = graph(gid).add_op(std::move(op));
+        apply_barriers(gid, state, id);
+    apply_barriers(gid, state, id);
+        consume(gid, state, id, lhs);
+        consume(gid, state, id, rhs);
+        return Operand::of_op(id);
+      }
+    }
+    return Operand::of_const(0);
+  }
+
+  // ---- Statement lowering --------------------------------------------------------
+
+  void lower_stmts(SeqGraphId gid, const std::vector<StmtPtr>& stmts,
+                   DepState& state) {
+    for (const StmtPtr& stmt : stmts) lower_stmt(gid, *stmt, state);
+  }
+
+  void lower_stmt(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    const int first_new_op = graph(gid).op_count();
+    lower_stmt_body(gid, stmt, state);
+    if (!stmt.tag.empty()) {
+      if (declared_tags_.find(stmt.tag) == declared_tags_.end()) {
+        sink_.warning(stmt.loc, cat("tag '", stmt.tag, "' was not declared"));
+      }
+      if (graph(gid).op_count() == first_new_op) {
+        sink_.error(stmt.loc,
+                    cat("tag '", stmt.tag, "' labels a statement that "
+                        "produces no operation"));
+        return;
+      }
+      if (tag_bindings_.count(stmt.tag) != 0) {
+        sink_.error(stmt.loc, cat("tag '", stmt.tag, "' bound twice"));
+        return;
+      }
+      tag_bindings_[stmt.tag] = {gid, OpId(first_new_op)};
+    }
+  }
+
+  void lower_stmt_body(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kEmpty:
+        return;
+      case Stmt::Kind::kBlock:
+        lower_stmts(gid, stmt.body, state);
+        return;
+      case Stmt::Kind::kAssign:
+        lower_assign(gid, stmt, state);
+        return;
+      case Stmt::Kind::kWrite:
+        lower_write(gid, stmt, state);
+        return;
+      case Stmt::Kind::kWait:
+        lower_wait(gid, stmt, state);
+        return;
+      case Stmt::Kind::kWhile:
+      case Stmt::Kind::kRepeatUntil:
+        lower_loop(gid, stmt, state);
+        return;
+      case Stmt::Kind::kIf:
+        lower_if(gid, stmt, state);
+        return;
+      case Stmt::Kind::kParallel:
+        lower_parallel(gid, stmt, state);
+        return;
+      case Stmt::Kind::kCall:
+        lower_call(gid, stmt, state);
+        return;
+      case Stmt::Kind::kConstraint:
+        pending_constraints_.push_back({gid, &stmt});
+        return;
+    }
+  }
+
+  void lower_call(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    const ProcDecl* proc = nullptr;
+    for (const ProcDecl& p : process_.procs) {
+      if (p.name == stmt.target) proc = &p;
+    }
+    if (proc == nullptr) {
+      sink_.error(stmt.loc, cat("unknown procedure '", stmt.target, "'"));
+      return;
+    }
+    // Lower the procedure body once; every call site shares the graph
+    // (a procedure is a resource: one implementation, many activations).
+    auto it = proc_graphs_.find(stmt.target);
+    if (it == proc_graphs_.end()) {
+      if (procs_in_progress_.count(stmt.target) != 0) {
+        sink_.error(stmt.loc,
+                    cat("recursive call of procedure '", stmt.target,
+                        "' (sequencing graphs are acyclic)"));
+        return;
+      }
+      procs_in_progress_.insert(stmt.target);
+      const SeqGraphId body = new_graph(cat("proc_", stmt.target));
+      DepState body_state;
+      lower_stmts(body, proc->body, body_state);
+      procs_in_progress_.erase(stmt.target);
+      it = proc_graphs_.emplace(stmt.target, body).first;
+    }
+    SeqOp op;
+    op.kind = OpKind::kCall;
+    op.name = cat("call_", stmt.target, "_", graph(gid).op_count());
+    op.body = it->second;
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+    // Calls are I/O-opaque: if the callee touches any port, fence the
+    // caller's earlier port writes (the callee may synchronize on the
+    // environment's response to them, e.g. a memory-access procedure
+    // waiting on ready after the caller drove the address).
+    if (!usage(it->second).ports.empty()) {
+      for (OpId effect : state.port_effects) {
+        if (effect != id) graph(gid).add_dependency(effect, id);
+      }
+      state.port_effects.clear();
+      state.port_effects.push_back(id);
+    }
+    apply_usage(gid, state, id, usage(it->second));
+  }
+
+  void lower_assign(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    const auto var = design_.find_var(stmt.target);
+    if (!var) {
+      if (design_.find_port(stmt.target)) {
+        sink_.error(stmt.loc, cat("cannot assign to port '", stmt.target,
+                                  "'; use 'write'"));
+      } else {
+        sink_.error(stmt.loc, cat("unknown variable '", stmt.target, "'"));
+      }
+      return;
+    }
+    const Operand value = lower_expr(gid, state, *stmt.expr);
+    SeqOp op;
+    op.kind = OpKind::kAssign;
+    op.name = cat(stmt.target, "=", graph(gid).op_count());
+    op.target = *var;
+    op.inputs = {value};
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+    consume(gid, state, id, value);
+    write_var(gid, state, id, *var);
+  }
+
+  void lower_write(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    const auto port = design_.find_port(stmt.target);
+    if (!port || design_.port(*port).direction != seq::PortDirection::kOut) {
+      sink_.error(stmt.loc,
+                  cat("'", stmt.target, "' is not an output port"));
+      return;
+    }
+    const Operand value = lower_expr(gid, state, *stmt.expr);
+    SeqOp op;
+    op.kind = OpKind::kWrite;
+    op.name = cat("write_", stmt.target, "_", graph(gid).op_count());
+    op.port = *port;
+    op.inputs = {value};
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+    consume(gid, state, id, value);
+    chain_port(gid, state, id, *port);
+    state.port_effects.push_back(id);
+  }
+
+  void lower_wait(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    // wait(p) waits for p high; wait(!p) for p low.
+    const Expr* expr = stmt.expr.get();
+    bool for_high = true;
+    if (expr->kind == Expr::Kind::kUnary &&
+        expr->unary_op == UnaryOp::kLogicalNot) {
+      for_high = false;
+      expr = expr->lhs.get();
+    }
+    if (expr->kind != Expr::Kind::kIdent || !design_.find_port(expr->name)) {
+      sink_.error(stmt.loc, "wait() expects a port or a negated port");
+      return;
+    }
+    const PortId port = *design_.find_port(expr->name);
+    if (design_.port(port).direction != seq::PortDirection::kIn) {
+      sink_.error(stmt.loc, cat("cannot wait on output port '", expr->name, "'"));
+      return;
+    }
+    SeqOp op;
+    op.kind = OpKind::kWait;
+    op.name = cat("wait_", expr->name, for_high ? "_hi" : "_lo");
+    op.inputs = {Operand::of_port(port)};
+    op.wait_for_high = for_high;
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+    chain_port(gid, state, id, port);
+    // Fence: the awaited signal may be the environment's response to
+    // earlier writes, so they must complete before the wait samples.
+    for (OpId effect : state.port_effects) {
+      if (effect != id) graph(gid).add_dependency(effect, id);
+    }
+    state.port_effects.clear();
+    // The wait becomes the active barrier: every later statement is
+    // sequenced behind the external event.
+    state.barriers = {id};
+  }
+
+  void lower_loop(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    const bool pre_test = stmt.kind == Stmt::Kind::kWhile;
+    const int n = loop_counter_++;
+
+    const SeqGraphId cond_id = new_graph(cat("loop", n, "_cond"));
+    DepState cond_state;
+    const Operand condition = lower_expr(cond_id, cond_state, *stmt.expr);
+
+    const SeqGraphId body_id = new_graph(cat("loop", n, "_body"));
+    design_.graph(body_id).set_loop_test(pre_test ? seq::LoopTest::kPreTest
+                                                  : seq::LoopTest::kPostTest);
+    DepState body_state;
+    lower_stmts(body_id, stmt.body, body_state);
+
+    SeqOp op;
+    op.kind = OpKind::kLoop;
+    op.name = cat(pre_test ? "while" : "repeat", n);
+    op.body = body_id;
+    op.cond_body = cond_id;
+    op.condition = condition;
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+
+    Usage combined = usage(cond_id);
+    combined.merge(usage(body_id));
+    apply_usage(gid, state, id, combined);
+    // A data-dependent loop is a synchronization point like a wait:
+    // later statements execute after it (the paper's gcd samples its
+    // inputs only once the restart polling loop has exited), and it
+    // fences earlier port writes whose external response it may poll.
+    for (OpId effect : state.port_effects) {
+      if (effect != id) graph(gid).add_dependency(effect, id);
+    }
+    state.port_effects.clear();
+    state.barriers = {id};
+    state.port_effects.push_back(id);  // the loop may write ports itself
+  }
+
+  void lower_if(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    const Operand condition = lower_expr(gid, state, *stmt.expr);
+    const int n = if_counter_++;
+
+    const SeqGraphId then_id = new_graph(cat("if", n, "_then"));
+    DepState then_state;
+    lower_stmt(then_id, *stmt.then_stmt, then_state);
+
+    SeqGraphId else_id = SeqGraphId::invalid();
+    Usage combined = usage(then_id);
+    if (stmt.else_stmt) {
+      else_id = new_graph(cat("if", n, "_else"));
+      DepState else_state;
+      lower_stmt(else_id, *stmt.else_stmt, else_state);
+      combined.merge(usage(else_id));
+    }
+
+    SeqOp op;
+    op.kind = OpKind::kCond;
+    op.name = cat("if", n);
+    op.body = then_id;
+    op.else_body = else_id;
+    op.condition = condition;
+    op.inputs = {condition};
+    const OpId id = graph(gid).add_op(std::move(op));
+    apply_barriers(gid, state, id);
+    consume(gid, state, id, condition);
+    apply_usage(gid, state, id, combined);
+  }
+
+  /// Syntactic variable usage of a statement subtree (for parallel-
+  /// block renaming). Port names and unknowns are ignored.
+  void collect_usage(const Stmt& stmt, std::set<VarId>& reads,
+                     std::set<VarId>& writes) {
+    const std::function<void(const Expr&)> walk_expr = [&](const Expr& e) {
+      switch (e.kind) {
+        case Expr::Kind::kIdent:
+          if (const auto var = design_.find_var(e.name)) reads.insert(*var);
+          break;
+        case Expr::Kind::kUnary:
+          walk_expr(*e.lhs);
+          break;
+        case Expr::Kind::kBinary:
+          walk_expr(*e.lhs);
+          walk_expr(*e.rhs);
+          break;
+        case Expr::Kind::kNumber:
+        case Expr::Kind::kRead:
+          break;
+      }
+    };
+    if (stmt.expr) walk_expr(*stmt.expr);
+    if (stmt.kind == Stmt::Kind::kAssign) {
+      if (const auto var = design_.find_var(stmt.target)) writes.insert(*var);
+    }
+    for (const StmtPtr& child : stmt.body) collect_usage(*child, reads, writes);
+    if (stmt.then_stmt) collect_usage(*stmt.then_stmt, reads, writes);
+    if (stmt.else_stmt) collect_usage(*stmt.else_stmt, reads, writes);
+  }
+
+  void lower_parallel(SeqGraphId gid, const Stmt& stmt, DepState& state) {
+    // Register semantics: every member's reads observe pre-block values.
+    // Variables both read and written inside the block are *renamed*:
+    // a temp copy is taken at block entry and member reads are
+    // redirected to it, so writes can land at any cycle without being
+    // observed by sibling members (and without WAR edge cycles on the
+    // canonical swap).
+    std::set<VarId> reads, writes;
+    for (const StmtPtr& member : stmt.body) {
+      collect_usage(*member, reads, writes);
+    }
+    std::map<VarId, VarId> substitution;
+    for (VarId var : writes) {
+      if (reads.count(var) == 0) continue;
+      const VarId temp = design_.add_var(
+          cat("__par", parallel_counter_, "_", design_.var(var).name),
+          design_.var(var).width);
+      SeqOp copy;
+      copy.kind = OpKind::kAssign;
+      copy.name = cat(design_.var(temp).name, "=");
+      copy.target = temp;
+      copy.inputs = {Operand::of_var(var)};
+      const OpId id = graph(gid).add_op(std::move(copy));
+      apply_barriers(gid, state, id);
+      consume(gid, state, id, Operand::of_var(var));
+      write_var(gid, state, id, temp);
+      substitution[var] = temp;
+    }
+    ++parallel_counter_;
+    read_substitutions_.push_back(std::move(substitution));
+
+    const DepState snapshot = state;  // after the temp copies
+    std::map<VarId, OpId> merged_writers;
+    std::map<VarId, std::vector<OpId>> merged_readers;
+    std::map<PortId, OpId> running_ports = state.port_last;
+    std::set<OpId> merged_barriers;
+
+    for (const StmtPtr& member : stmt.body) {
+      DepState branch = snapshot;
+      branch.port_last = running_ports;  // ports stay chained across members
+      lower_stmt(gid, *member, branch);
+      running_ports = branch.port_last;
+      merged_barriers.insert(branch.barriers.begin(), branch.barriers.end());
+
+      for (const auto& [var, writer] : branch.last_writer) {
+        const auto prev = snapshot.last_writer.find(var);
+        if (prev != snapshot.last_writer.end() && prev->second == writer) {
+          continue;  // unchanged
+        }
+        if (merged_writers.count(var) != 0) {
+          sink_.error(member->loc,
+                      cat("variable '", design_.var(var).name,
+                          "' written by two members of a parallel block"));
+          continue;
+        }
+        merged_writers[var] = writer;
+      }
+      for (const auto& [var, branch_reads] : branch.readers) {
+        const auto prev = snapshot.readers.find(var);
+        const std::size_t prefix =
+            prev == snapshot.readers.end() ? 0 : prev->second.size();
+        if (branch_reads.size() > prefix) {
+          auto& into = merged_readers[var];
+          into.insert(into.end(),
+                      branch_reads.begin() + static_cast<std::ptrdiff_t>(prefix),
+                      branch_reads.end());
+        }
+      }
+    }
+    read_substitutions_.pop_back();
+
+    state.port_last = std::move(running_ports);
+    state.barriers.assign(merged_barriers.begin(), merged_barriers.end());
+    for (auto& [var, new_reads] : merged_readers) {
+      auto& into = state.readers[var];
+      into.insert(into.end(), new_reads.begin(), new_reads.end());
+    }
+    for (const auto& [var, writer] : merged_writers) {
+      state.last_writer[var] = writer;
+      // Members read renamed temps, so the writer has no same-block
+      // observers; future statements see it as the last definition.
+      state.readers[var].clear();
+    }
+  }
+
+  /// Applies a subtree's usage summary to its hierarchical op.
+  void apply_usage(SeqGraphId gid, DepState& state, OpId op,
+                   const Usage& child_usage) {
+    for (VarId var : child_usage.vars_read) {
+      if (auto it = state.last_writer.find(var);
+          it != state.last_writer.end()) {
+        graph(gid).add_dependency(it->second, op);
+      }
+      state.readers[var].push_back(op);
+    }
+    for (VarId var : child_usage.vars_written) {
+      write_var(gid, state, op, var);
+    }
+    for (PortId port : child_usage.ports) {
+      chain_port(gid, state, op, port);
+    }
+    usage(gid).merge(child_usage);
+  }
+
+  // ---- Constraints ---------------------------------------------------------------
+
+  void resolve_constraints() {
+    for (const auto& [gid, stmt] : pending_constraints_) {
+      const auto from = tag_bindings_.find(stmt->from_tag);
+      const auto to = tag_bindings_.find(stmt->to_tag);
+      if (from == tag_bindings_.end() || to == tag_bindings_.end()) {
+        sink_.error(stmt->loc, "constraint references an unbound tag");
+        continue;
+      }
+      if (from->second.first != gid || to->second.first != gid) {
+        sink_.error(stmt->loc,
+                    "constraint tags must label statements of the same "
+                    "graph as the constraint");
+        continue;
+      }
+      graph(gid).add_constraint(seq::TimingConstraint{
+          from->second.second, to->second.second, stmt->cycles,
+          stmt->constraint_is_min});
+    }
+  }
+
+  /// Active parallel-block read renamings, innermost last.
+  [[nodiscard]] VarId substituted(VarId var) const {
+    for (auto it = read_substitutions_.rbegin();
+         it != read_substitutions_.rend(); ++it) {
+      if (const auto found = it->find(var); found != it->end()) {
+        return found->second;
+      }
+    }
+    return var;
+  }
+
+  const ProcessDecl& process_;
+  DiagnosticSink& sink_;
+  seq::Design design_;
+  std::vector<Usage> usage_;
+  std::set<std::string> declared_tags_;
+  std::map<std::string, std::pair<SeqGraphId, OpId>> tag_bindings_;
+  std::vector<std::pair<SeqGraphId, const Stmt*>> pending_constraints_;
+  std::vector<std::map<VarId, VarId>> read_substitutions_;
+  std::map<std::string, SeqGraphId> proc_graphs_;
+  std::set<std::string> procs_in_progress_;
+  int loop_counter_ = 0;
+  int if_counter_ = 0;
+  int parallel_counter_ = 0;
+};
+
+}  // namespace
+
+CompileResult compile(std::string_view source) {
+  CompileResult result;
+  auto program = parse(source, result.diagnostics);
+  if (!program) return result;
+  for (const ProcessDecl& process : program->processes) {
+    Lowerer lowerer(process, result.diagnostics);
+    auto design = lowerer.run();
+    if (design) result.designs.push_back(std::move(*design));
+  }
+  if (result.diagnostics.has_errors()) result.designs.clear();
+  return result;
+}
+
+seq::Design compile_single(std::string_view source) {
+  CompileResult result = compile(source);
+  RELSCHED_CHECK(result.ok() && result.designs.size() == 1,
+                 "compile_single: " + result.diagnostics.to_string());
+  return std::move(result.designs.front());
+}
+
+}  // namespace relsched::hdl

@@ -1,0 +1,50 @@
+// Lowering HardwareC ASTs into hierarchical sequencing graphs.
+//
+// Each process becomes a seq::Design whose root graph is the process
+// body. Control constructs become hierarchy:
+//   while (c) S     -> kLoop op, cond graph evaluating c, body graph S
+//   repeat S until  -> kLoop op (post-test)
+//   if (c) A else B -> kCond op with two child graphs (c evaluated inline)
+//
+// Dependencies come from def-use analysis:
+//   RAW  last writer of a variable -> each reader
+//   WAW  previous writer -> next writer
+//   WAR  readers since the last write -> next writer
+//   port accesses to the same port are chained in program order
+// Data-parallel blocks < ... > lower each member against the same
+// incoming definition state, so members read pre-block values; writing
+// the same variable in two members is a compile error.
+//
+// Hierarchical ops inherit the variable/port usage of their subtree, so
+// a loop that reads x depends on the last writer of x in the parent.
+//
+// Statement tags bind to the first operation a statement creates;
+// constraints between tags must reference statements of the same graph.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "hdl/ast.hpp"
+#include "hdl/diagnostics.hpp"
+#include "seq/design.hpp"
+
+namespace relsched::hdl {
+
+struct CompileResult {
+  std::vector<seq::Design> designs;  // one per process
+  DiagnosticSink diagnostics;
+  [[nodiscard]] bool ok() const { return !diagnostics.has_errors(); }
+};
+
+/// Parses and lowers `source`. On error, `designs` is empty and
+/// `diagnostics` explains why.
+CompileResult compile(std::string_view source);
+
+/// Convenience: compile a source expected to contain exactly one
+/// process; throws ApiError on compile errors (for tests and built-in
+/// designs whose sources are known-good).
+seq::Design compile_single(std::string_view source);
+
+}  // namespace relsched::hdl

@@ -1,0 +1,498 @@
+#include "hdl/parser.hpp"
+
+#include "base/strings.hpp"
+#include "hdl/lexer.hpp"
+
+namespace relsched::hdl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
+
+  std::optional<Program> parse_program() {
+    Program program;
+    while (!at(TokenKind::kEof)) {
+      auto process = parse_process();
+      if (!process.has_value()) return std::nullopt;
+      program.processes.push_back(std::move(*process));
+    }
+    if (program.processes.empty()) {
+      sink_.error(peek().loc, "expected at least one process");
+      return std::nullopt;
+    }
+    return program;
+  }
+
+ private:
+  // ---- Token plumbing ----------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokenKind kind) {
+    if (accept(kind)) return true;
+    sink_.error(peek().loc, cat("expected ", to_string(kind), ", found ",
+                                to_string(peek().kind)));
+    failed_ = true;
+    return false;
+  }
+
+  std::optional<std::string> expect_ident() {
+    if (!at(TokenKind::kIdent)) {
+      sink_.error(peek().loc,
+                  cat("expected identifier, found ", to_string(peek().kind)));
+      failed_ = true;
+      return std::nullopt;
+    }
+    return advance().text;
+  }
+
+  // ---- Declarations --------------------------------------------------------
+
+  std::optional<ProcessDecl> parse_process() {
+    ProcessDecl process;
+    process.loc = peek().loc;
+    if (!expect(TokenKind::kProcess)) return std::nullopt;
+    auto name = expect_ident();
+    if (!name) return std::nullopt;
+    process.name = std::move(*name);
+    if (!expect(TokenKind::kLParen)) return std::nullopt;
+    if (!at(TokenKind::kRParen)) {
+      do {
+        auto param = expect_ident();
+        if (!param) return std::nullopt;
+        process.params.push_back(std::move(*param));
+      } while (accept(TokenKind::kComma));
+    }
+    if (!expect(TokenKind::kRParen)) return std::nullopt;
+    if (!expect(TokenKind::kLBrace)) return std::nullopt;
+
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+      if (at(TokenKind::kIn) || at(TokenKind::kOut)) {
+        if (!parse_port_decl(process)) return std::nullopt;
+      } else if (at(TokenKind::kBoolean)) {
+        if (!parse_var_decl(process)) return std::nullopt;
+      } else if (at(TokenKind::kTag)) {
+        if (!parse_tag_decl(process)) return std::nullopt;
+      } else if (at(TokenKind::kProc)) {
+        if (!parse_proc_decl(process)) return std::nullopt;
+      } else {
+        auto stmt = parse_stmt();
+        if (!stmt) return std::nullopt;
+        process.body.push_back(std::move(*stmt));
+      }
+    }
+    if (!expect(TokenKind::kRBrace)) return std::nullopt;
+    return process;
+  }
+
+  bool parse_port_decl(ProcessDecl& process) {
+    const bool is_input = at(TokenKind::kIn);
+    advance();  // in/out
+    if (!expect(TokenKind::kPort)) return false;
+    do {
+      PortDecl port;
+      port.loc = peek().loc;
+      port.is_input = is_input;
+      auto name = expect_ident();
+      if (!name) return false;
+      port.name = std::move(*name);
+      if (accept(TokenKind::kLBracket)) {
+        if (!at(TokenKind::kNumber)) {
+          sink_.error(peek().loc, "expected bit width");
+          return false;
+        }
+        port.width = static_cast<int>(advance().number);
+        if (!expect(TokenKind::kRBracket)) return false;
+      }
+      process.ports.push_back(std::move(port));
+    } while (accept(TokenKind::kComma));
+    return expect(TokenKind::kSemi);
+  }
+
+  bool parse_var_decl(ProcessDecl& process) {
+    advance();  // boolean
+    do {
+      VarDecl var;
+      var.loc = peek().loc;
+      auto name = expect_ident();
+      if (!name) return false;
+      var.name = std::move(*name);
+      if (accept(TokenKind::kLBracket)) {
+        if (!at(TokenKind::kNumber)) {
+          sink_.error(peek().loc, "expected bit width");
+          return false;
+        }
+        var.width = static_cast<int>(advance().number);
+        if (!expect(TokenKind::kRBracket)) return false;
+      }
+      process.vars.push_back(std::move(var));
+    } while (accept(TokenKind::kComma));
+    return expect(TokenKind::kSemi);
+  }
+
+  bool parse_proc_decl(ProcessDecl& process) {
+    advance();  // proc
+    ProcDecl proc;
+    proc.loc = peek().loc;
+    auto name = expect_ident();
+    if (!name) return false;
+    proc.name = std::move(*name);
+    if (!expect(TokenKind::kLBrace)) return false;
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+      auto stmt = parse_stmt();
+      if (!stmt) return false;
+      proc.body.push_back(std::move(*stmt));
+    }
+    if (!expect(TokenKind::kRBrace)) return false;
+    process.procs.push_back(std::move(proc));
+    return true;
+  }
+
+  bool parse_tag_decl(ProcessDecl& process) {
+    advance();  // tag
+    do {
+      TagDecl tag;
+      tag.loc = peek().loc;
+      auto name = expect_ident();
+      if (!name) return false;
+      tag.name = std::move(*name);
+      process.tags.push_back(std::move(tag));
+    } while (accept(TokenKind::kComma));
+    return expect(TokenKind::kSemi);
+  }
+
+  // ---- Statements -----------------------------------------------------------
+
+  std::optional<StmtPtr> parse_stmt() {
+    // Optional tag label: ident ':' (but not inside expressions).
+    std::string tag;
+    if (at(TokenKind::kIdent) && peek(1).kind == TokenKind::kColon) {
+      tag = advance().text;
+      advance();  // ':'
+    }
+    auto stmt = parse_base_stmt();
+    if (!stmt) return std::nullopt;
+    (*stmt)->tag = std::move(tag);
+    return stmt;
+  }
+
+  std::optional<StmtPtr> parse_base_stmt() {
+    const SourceLoc loc = peek().loc;
+    auto make = [&loc](Stmt::Kind kind) {
+      auto s = std::make_unique<Stmt>();
+      s->kind = kind;
+      s->loc = loc;
+      return s;
+    };
+
+    switch (peek().kind) {
+      case TokenKind::kSemi: {
+        advance();
+        return make(Stmt::Kind::kEmpty);
+      }
+      case TokenKind::kLBrace: {
+        advance();
+        auto block = make(Stmt::Kind::kBlock);
+        while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+          auto inner = parse_stmt();
+          if (!inner) return std::nullopt;
+          block->body.push_back(std::move(*inner));
+        }
+        if (!expect(TokenKind::kRBrace)) return std::nullopt;
+        return block;
+      }
+      case TokenKind::kLt: {
+        advance();
+        auto par = make(Stmt::Kind::kParallel);
+        while (!at(TokenKind::kGt) && !at(TokenKind::kEof)) {
+          auto inner = parse_stmt();
+          if (!inner) return std::nullopt;
+          par->body.push_back(std::move(*inner));
+        }
+        if (!expect(TokenKind::kGt)) return std::nullopt;
+        return par;
+      }
+      case TokenKind::kWhile: {
+        advance();
+        auto loop = make(Stmt::Kind::kWhile);
+        if (!expect(TokenKind::kLParen)) return std::nullopt;
+        loop->expr = parse_expr();
+        if (!loop->expr) return std::nullopt;
+        if (!expect(TokenKind::kRParen)) return std::nullopt;
+        auto body = parse_stmt();
+        if (!body) return std::nullopt;
+        loop->body.push_back(std::move(*body));
+        return loop;
+      }
+      case TokenKind::kRepeat: {
+        advance();
+        auto loop = make(Stmt::Kind::kRepeatUntil);
+        auto body = parse_stmt();
+        if (!body) return std::nullopt;
+        loop->body.push_back(std::move(*body));
+        if (!expect(TokenKind::kUntil)) return std::nullopt;
+        if (!expect(TokenKind::kLParen)) return std::nullopt;
+        loop->expr = parse_expr();
+        if (!loop->expr) return std::nullopt;
+        if (!expect(TokenKind::kRParen)) return std::nullopt;
+        expect(TokenKind::kSemi);
+        return loop;
+      }
+      case TokenKind::kIf: {
+        advance();
+        auto branch = make(Stmt::Kind::kIf);
+        if (!expect(TokenKind::kLParen)) return std::nullopt;
+        branch->expr = parse_expr();
+        if (!branch->expr) return std::nullopt;
+        if (!expect(TokenKind::kRParen)) return std::nullopt;
+        auto then_stmt = parse_stmt();
+        if (!then_stmt) return std::nullopt;
+        branch->then_stmt = std::move(*then_stmt);
+        if (accept(TokenKind::kElse)) {
+          auto else_stmt = parse_stmt();
+          if (!else_stmt) return std::nullopt;
+          branch->else_stmt = std::move(*else_stmt);
+        }
+        return branch;
+      }
+      case TokenKind::kCall: {
+        advance();
+        auto call = make(Stmt::Kind::kCall);
+        auto name = expect_ident();
+        if (!name) return std::nullopt;
+        call->target = std::move(*name);
+        expect(TokenKind::kSemi);
+        return call;
+      }
+      case TokenKind::kWait: {
+        advance();
+        auto wait = make(Stmt::Kind::kWait);
+        if (!expect(TokenKind::kLParen)) return std::nullopt;
+        wait->expr = parse_expr();
+        if (!wait->expr) return std::nullopt;
+        if (!expect(TokenKind::kRParen)) return std::nullopt;
+        expect(TokenKind::kSemi);
+        return wait;
+      }
+      case TokenKind::kWrite: {
+        advance();
+        auto write = make(Stmt::Kind::kWrite);
+        auto target = expect_ident();
+        if (!target) return std::nullopt;
+        write->target = std::move(*target);
+        if (!expect(TokenKind::kAssign)) return std::nullopt;
+        write->expr = parse_expr();
+        if (!write->expr) return std::nullopt;
+        expect(TokenKind::kSemi);
+        return write;
+      }
+      case TokenKind::kConstraint: {
+        advance();
+        auto c = make(Stmt::Kind::kConstraint);
+        if (at(TokenKind::kMintime)) {
+          c->constraint_is_min = true;
+        } else if (at(TokenKind::kMaxtime)) {
+          c->constraint_is_min = false;
+        } else {
+          sink_.error(peek().loc, "expected 'mintime' or 'maxtime'");
+          return std::nullopt;
+        }
+        advance();
+        if (!expect(TokenKind::kFrom)) return std::nullopt;
+        auto from = expect_ident();
+        if (!from) return std::nullopt;
+        c->from_tag = std::move(*from);
+        if (!expect(TokenKind::kTo)) return std::nullopt;
+        auto to = expect_ident();
+        if (!to) return std::nullopt;
+        c->to_tag = std::move(*to);
+        if (!expect(TokenKind::kAssign)) return std::nullopt;
+        if (!at(TokenKind::kNumber)) {
+          sink_.error(peek().loc, "expected cycle count");
+          return std::nullopt;
+        }
+        c->cycles = static_cast<int>(advance().number);
+        if (!expect(TokenKind::kCycles)) return std::nullopt;
+        expect(TokenKind::kSemi);
+        return c;
+      }
+      case TokenKind::kIdent: {
+        auto assign = make(Stmt::Kind::kAssign);
+        assign->target = advance().text;
+        if (!expect(TokenKind::kAssign)) return std::nullopt;
+        assign->expr = parse_expr();
+        if (!assign->expr) return std::nullopt;
+        expect(TokenKind::kSemi);
+        return assign;
+      }
+      default:
+        sink_.error(peek().loc,
+                    cat("expected statement, found ", to_string(peek().kind)));
+        return std::nullopt;
+    }
+  }
+
+  // ---- Expressions -----------------------------------------------------------
+
+  static int precedence(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kPipePipe: return 1;
+      case TokenKind::kAmpAmp: return 2;
+      case TokenKind::kPipe: return 3;
+      case TokenKind::kCaret: return 4;
+      case TokenKind::kAmp: return 5;
+      case TokenKind::kEqEq:
+      case TokenKind::kNe: return 6;
+      case TokenKind::kLt:
+      case TokenKind::kLe:
+      case TokenKind::kGt:
+      case TokenKind::kGe: return 7;
+      case TokenKind::kShl:
+      case TokenKind::kShr: return 8;
+      case TokenKind::kPlus:
+      case TokenKind::kMinus: return 9;
+      case TokenKind::kStar:
+      case TokenKind::kSlash:
+      case TokenKind::kPercent: return 10;
+      default: return -1;
+    }
+  }
+
+  static BinaryOp binary_op(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kPipePipe: return BinaryOp::kLogicalOr;
+      case TokenKind::kAmpAmp: return BinaryOp::kLogicalAnd;
+      case TokenKind::kPipe: return BinaryOp::kOr;
+      case TokenKind::kCaret: return BinaryOp::kXor;
+      case TokenKind::kAmp: return BinaryOp::kAnd;
+      case TokenKind::kEqEq: return BinaryOp::kEq;
+      case TokenKind::kNe: return BinaryOp::kNe;
+      case TokenKind::kLt: return BinaryOp::kLt;
+      case TokenKind::kLe: return BinaryOp::kLe;
+      case TokenKind::kGt: return BinaryOp::kGt;
+      case TokenKind::kGe: return BinaryOp::kGe;
+      case TokenKind::kShl: return BinaryOp::kShl;
+      case TokenKind::kShr: return BinaryOp::kShr;
+      case TokenKind::kPlus: return BinaryOp::kAdd;
+      case TokenKind::kMinus: return BinaryOp::kSub;
+      case TokenKind::kStar: return BinaryOp::kMul;
+      case TokenKind::kSlash: return BinaryOp::kDiv;
+      case TokenKind::kPercent: return BinaryOp::kMod;
+      default: return BinaryOp::kAdd;
+    }
+  }
+
+  ExprPtr parse_expr() { return parse_binary(1); }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    if (!lhs) return nullptr;
+    for (;;) {
+      const int prec = precedence(peek().kind);
+      if (prec < min_prec) return lhs;
+      const TokenKind op = advance().kind;
+      ExprPtr rhs = parse_binary(prec + 1);  // left associative
+      if (!rhs) return nullptr;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->loc = lhs->loc;
+      node->binary_op = binary_op(op);
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const SourceLoc loc = peek().loc;
+    UnaryOp op;
+    if (accept(TokenKind::kBang)) {
+      op = UnaryOp::kLogicalNot;
+    } else if (accept(TokenKind::kTilde)) {
+      op = UnaryOp::kBitNot;
+    } else if (accept(TokenKind::kMinus)) {
+      op = UnaryOp::kNegate;
+    } else {
+      return parse_primary();
+    }
+    ExprPtr operand = parse_unary();
+    if (!operand) return nullptr;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kUnary;
+    node->loc = loc;
+    node->unary_op = op;
+    node->lhs = std::move(operand);
+    return node;
+  }
+
+  ExprPtr parse_primary() {
+    const SourceLoc loc = peek().loc;
+    if (at(TokenKind::kNumber)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNumber;
+      node->loc = loc;
+      node->number = advance().number;
+      return node;
+    }
+    if (at(TokenKind::kRead)) {
+      advance();
+      if (!expect(TokenKind::kLParen)) return nullptr;
+      auto name = expect_ident();
+      if (!name) return nullptr;
+      if (!expect(TokenKind::kRParen)) return nullptr;
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kRead;
+      node->loc = loc;
+      node->name = std::move(*name);
+      return node;
+    }
+    if (at(TokenKind::kIdent)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kIdent;
+      node->loc = loc;
+      node->name = advance().text;
+      return node;
+    }
+    if (accept(TokenKind::kLParen)) {
+      ExprPtr inner = parse_expr();
+      if (!inner) return nullptr;
+      if (!expect(TokenKind::kRParen)) return nullptr;
+      return inner;
+    }
+    sink_.error(loc, cat("expected expression, found ", to_string(peek().kind)));
+    failed_ = true;
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::optional<Program> parse(std::string_view source, DiagnosticSink& sink) {
+  std::vector<Token> tokens = lex(source, sink);
+  if (sink.has_errors()) return std::nullopt;
+  Parser parser(std::move(tokens), sink);
+  auto program = parser.parse_program();
+  if (sink.has_errors()) return std::nullopt;
+  return program;
+}
+
+}  // namespace relsched::hdl

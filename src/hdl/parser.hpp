@@ -1,0 +1,16 @@
+// Recursive-descent parser for the HardwareC subset.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "hdl/ast.hpp"
+#include "hdl/diagnostics.hpp"
+
+namespace relsched::hdl {
+
+/// Parses a full program. Returns std::nullopt when errors were
+/// reported to `sink`.
+std::optional<Program> parse(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace relsched::hdl

@@ -1,0 +1,40 @@
+// Tokens of the HardwareC subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hdl/diagnostics.hpp"
+
+namespace relsched::hdl {
+
+enum class TokenKind {
+  kEof,
+  kIdent,
+  kNumber,
+
+  // Keywords.
+  kProcess, kIn, kOut, kPort, kBoolean, kTag, kConstraint, kMintime,
+  kMaxtime, kFrom, kTo, kCycles, kWhile, kRepeat, kUntil, kIf, kElse,
+  kRead, kWrite, kWait, kProc, kCall,
+
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kColon,
+  kAssign,                       // =
+  kLt, kGt, kLe, kGe, kEqEq, kNe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kAmpAmp, kPipePipe, kShl, kShr,
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceLoc loc;
+  std::string text;           // identifier spelling
+  std::int64_t number = 0;    // kNumber value
+};
+
+}  // namespace relsched::hdl

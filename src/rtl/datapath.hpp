@@ -1,0 +1,49 @@
+// Datapath RTL generation: the structural counterpart of the control
+// unit. Together with ctrl::DesignControl this completes the
+// Hercules/Hebe-style synthesis result: an interconnection of
+// registers, shared functional units, and steering logic driven by the
+// schedule's enable signals.
+//
+// Per sequencing graph:
+//   - every variable becomes a register, loaded when an assign
+//     operation targeting it fires (enable from the control unit);
+//   - ALU operations bound to the same module instance share one
+//     functional unit with input multiplexers steered by the ops'
+//     enables; results land in per-op result registers;
+//   - read operations sample input ports into result registers; write
+//     operations drive output-port registers;
+//   - hierarchical ops (loops/conds/calls) delegate to child datapaths
+//     (shared variable registers live at the top level).
+//
+// The emission is deliberately plain synchronous Verilog: one clock,
+// synchronous enables, no inferred latches.
+#pragma once
+
+#include <string>
+
+#include "bind/binder.hpp"
+#include "ctrl/design_control.hpp"
+#include "driver/synthesis.hpp"
+#include "seq/design.hpp"
+
+namespace relsched::rtl {
+
+struct DatapathStats {
+  int registers = 0;        // variable + result + output registers (bits)
+  int functional_units = 0; // shared FU instances
+  int mux_inputs = 0;       // total steering mux fan-in
+};
+
+struct Datapath {
+  std::string verilog;
+  DatapathStats stats;
+};
+
+/// Emits the datapath module for a synthesized design. Enables are
+/// module inputs (wired to the control unit's outputs by a system-level
+/// integrator or testbench).
+Datapath generate_datapath(const seq::Design& design,
+                           const driver::SynthesisResult& synthesis,
+                           const std::string& module_name);
+
+}  // namespace relsched::rtl

@@ -1,0 +1,52 @@
+#include "sched/mobility.hpp"
+
+#include "base/error.hpp"
+
+namespace relsched::sched {
+
+MobilityAnalysis compute_mobility(const cg::ConstraintGraph& g) {
+  const graph::Digraph forward = g.project_forward();
+  const auto topo = graph::topological_order(forward);
+  RELSCHED_CHECK(topo.has_value(), "mobility requires an acyclic Gf");
+  const VertexId sink = g.sink();
+  RELSCHED_CHECK(sink.is_valid(), "mobility requires a polar graph");
+
+  MobilityAnalysis result;
+  result.asap =
+      graph::dag_longest_paths_from(forward, g.source().value(), *topo);
+  result.schedule_length = result.asap[sink.index()];
+
+  // ALAP by longest path *to* the sink, swept in reverse topological
+  // order: alap(v) = L - max over out-edges (v -> w) of (w(v,w) +
+  // (L - alap(w))).
+  const int n = g.vertex_count();
+  std::vector<graph::Weight> to_sink(static_cast<std::size_t>(n),
+                                     graph::kNegInf);
+  to_sink[sink.index()] = 0;
+  for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+    const int v = *it;
+    for (int arc_idx : forward.out_arcs(v)) {
+      const graph::Arc& arc = forward.arc(arc_idx);
+      if (to_sink[static_cast<std::size_t>(arc.to)] == graph::kNegInf) {
+        continue;
+      }
+      to_sink[static_cast<std::size_t>(v)] =
+          std::max(to_sink[static_cast<std::size_t>(v)],
+                   arc.weight + to_sink[static_cast<std::size_t>(arc.to)]);
+    }
+  }
+
+  result.alap.assign(static_cast<std::size_t>(n), 0);
+  result.mobility.assign(static_cast<std::size_t>(n), 0);
+  for (int vi = 0; vi < n; ++vi) {
+    const std::size_t i = static_cast<std::size_t>(vi);
+    RELSCHED_CHECK(result.asap[i] != graph::kNegInf &&
+                       to_sink[i] != graph::kNegInf,
+                   "mobility requires every vertex on a source-sink path");
+    result.alap[i] = result.schedule_length - to_sink[i];
+    result.mobility[i] = result.alap[i] - result.asap[i];
+  }
+  return result;
+}
+
+}  // namespace relsched::sched

@@ -1,0 +1,34 @@
+// ASAP / ALAP / mobility analysis over the forward constraint graph
+// (classical high-level-synthesis slack, adapted to the unbounded-delay
+// model by taking unbounded weights at their minimum of 0).
+//
+// ASAP(v) is the earliest start (longest path from the source); ALAP(v)
+// the latest start that keeps the overall schedule length; mobility the
+// difference. Zero-mobility vertices form the critical path(s).
+// Maximum timing constraints are not part of this analysis (they bound
+// *relative* separations, not the schedule length); use the relative
+// scheduler for constraint-aware offsets.
+#pragma once
+
+#include <vector>
+
+#include "cg/constraint_graph.hpp"
+#include "graph/algorithms.hpp"
+
+namespace relsched::sched {
+
+struct MobilityAnalysis {
+  std::vector<graph::Weight> asap;
+  std::vector<graph::Weight> alap;
+  std::vector<graph::Weight> mobility;  // alap - asap, >= 0
+  graph::Weight schedule_length = 0;    // ASAP of the sink
+
+  [[nodiscard]] bool is_critical(VertexId v) const {
+    return mobility[v.index()] == 0;
+  }
+};
+
+/// Preconditions: Gf acyclic and the graph polar (validate() clean).
+MobilityAnalysis compute_mobility(const cg::ConstraintGraph& g);
+
+}  // namespace relsched::sched

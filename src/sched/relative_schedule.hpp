@@ -1,0 +1,108 @@
+// Relative schedules (paper Definition 5) and their evaluation.
+//
+// A relative schedule Omega assigns each vertex v an offset sigma_a(v)
+// for every anchor a in its (full / relevant / irredundant) anchor set.
+// Given actual execution delays for the anchors (a DelayProfile), start
+// times follow the recursion
+//
+//   T(v) = max over a in S(v) of { T(a) + delta(a) + sigma_a(v) },
+//
+// which the control unit realizes with counters or shift registers.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "anchors/anchor_analysis.hpp"
+#include "base/ids.hpp"
+#include "cg/constraint_graph.hpp"
+
+namespace relsched::sched {
+
+/// Offsets of one vertex: sorted (anchor, offset) pairs.
+class OffsetMap {
+ public:
+  using Entry = std::pair<VertexId, graph::Weight>;
+
+  [[nodiscard]] std::optional<graph::Weight> get(VertexId anchor) const;
+  /// Sets sigma_anchor to `value`; inserts the anchor if absent.
+  void set(VertexId anchor, graph::Weight value);
+  /// max-update; returns true if the stored value increased.
+  bool raise(VertexId anchor, graph::Weight value);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  friend bool operator==(const OffsetMap& a, const OffsetMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Actual execution delays assumed for anchors when evaluating a
+/// schedule. Anchors without an explicit entry take delay 0 (their
+/// minimum). Bounded vertices always use their declared delay.
+class DelayProfile {
+ public:
+  DelayProfile() = default;
+
+  void set(VertexId anchor, int delay) { delays_[anchor] = delay; }
+
+  [[nodiscard]] int delay_of(const cg::ConstraintGraph& g, VertexId v) const {
+    if (g.vertex(v).delay.is_bounded() && v != g.source()) {
+      return g.vertex(v).delay.cycles();
+    }
+    auto it = delays_.find(v);
+    return it == delays_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<VertexId, int> delays_;
+};
+
+class RelativeSchedule {
+ public:
+  RelativeSchedule() = default;
+  explicit RelativeSchedule(int vertex_count)
+      : offsets_(static_cast<std::size_t>(vertex_count)) {}
+
+  [[nodiscard]] int vertex_count() const {
+    return static_cast<int>(offsets_.size());
+  }
+  [[nodiscard]] const OffsetMap& offsets(VertexId v) const {
+    return offsets_[v.index()];
+  }
+  [[nodiscard]] OffsetMap& offsets(VertexId v) { return offsets_[v.index()]; }
+
+  /// sigma_a(v); nullopt when `a` is not tracked for v.
+  [[nodiscard]] std::optional<graph::Weight> offset(VertexId v,
+                                                    VertexId a) const {
+    return offsets_[v.index()].get(a);
+  }
+
+  /// Maximum offset w.r.t. `anchor` over all vertices (sigma_a^max, §VI);
+  /// 0 when no vertex references the anchor.
+  [[nodiscard]] graph::Weight max_offset(VertexId anchor) const;
+
+  /// Start times T(v) under `profile`, evaluated in forward topological
+  /// order. The source starts at profile time 0.
+  [[nodiscard]] std::vector<graph::Weight> start_times(
+      const cg::ConstraintGraph& g, const DelayProfile& profile) const;
+
+ private:
+  std::vector<OffsetMap> offsets_;
+};
+
+/// Verifies that the start times induced by `schedule` under `profile`
+/// satisfy every constraint edge of `g` (with actual, not minimum,
+/// unbounded delays). Returns the first violated edge, if any.
+[[nodiscard]] std::optional<EdgeId> find_violation(
+    const cg::ConstraintGraph& g, const RelativeSchedule& schedule,
+    const DelayProfile& profile);
+
+}  // namespace relsched::sched

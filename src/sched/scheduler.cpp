@@ -1,0 +1,236 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+#include "graph/algorithms.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::sched {
+
+const char* to_string(ScheduleStatus status) {
+  switch (status) {
+    case ScheduleStatus::kScheduled:
+      return "scheduled";
+    case ScheduleStatus::kIllPosed:
+      return "ill-posed";
+    case ScheduleStatus::kInfeasible:
+      return "infeasible";
+    case ScheduleStatus::kInconsistent:
+      return "inconsistent";
+    case ScheduleStatus::kInvalidGraph:
+      return "invalid-graph";
+  }
+  return "?";
+}
+
+namespace {
+
+/// IncrementalOffset: one forward longest-path sweep in topological
+/// order, raising offsets monotonically from their current values.
+void incremental_offset(const cg::ConstraintGraph& g,
+                        const anchors::AnchorAnalysis& analysis,
+                        anchors::AnchorMode mode, const std::vector<int>& topo,
+                        RelativeSchedule& sched) {
+  for (int node : topo) {
+    const VertexId v(node);
+    const anchors::AnchorSet& tracked = analysis.set(v, mode);
+    if (tracked.empty()) continue;
+    for (EdgeId eid : g.in_edges(v)) {
+      const cg::Edge& e = g.edge(eid);
+      if (!cg::is_forward(e.kind)) continue;
+      const VertexId p = e.from;
+      const graph::Weight w = g.weight(eid).value;
+      // The tail itself may be an anchor: sigma_p(p) = 0 by
+      // normalization, so v inherits sigma_p(v) >= w.
+      if (g.is_anchor(p) && tracked.contains(p)) {
+        sched.offsets(v).raise(p, w);
+      }
+      for (const auto& [a, sigma_p] : sched.offsets(p).entries()) {
+        if (tracked.contains(a)) sched.offsets(v).raise(a, sigma_p + w);
+      }
+    }
+  }
+}
+
+/// ReadjustOffsets: walk backward edges in order; on a violation, delay
+/// the head's offset to the minimum satisfying value. Returns the number
+/// of violated edges. Unrepairable self-anchor violations (the head *is*
+/// the anchor) count as violations but cannot be adjusted; they surface
+/// as inconsistency after |Eb|+1 rounds (they only occur on infeasible
+/// graphs, which the prechecks reject anyway).
+int readjust_offsets(const cg::ConstraintGraph& g, RelativeSchedule& sched) {
+  int violated = 0;
+  for (const cg::Edge& e : g.edges()) {
+    if (cg::is_forward(e.kind)) continue;
+    const VertexId t = e.from;
+    const VertexId h = e.to;
+    const graph::Weight w = e.fixed_weight;  // <= 0
+    bool edge_violated = false;
+    for (const auto& [a, sigma_t] : sched.offsets(t).entries()) {
+      if (a == h) {
+        if (sigma_t + w > 0) edge_violated = true;  // sigma_h(h) == 0 fixed
+        continue;
+      }
+      const auto sigma_h = sched.offsets(h).get(a);
+      if (!sigma_h.has_value()) continue;  // anchor not common
+      if (*sigma_h < sigma_t + w) {
+        sched.offsets(h).set(a, sigma_t + w);
+        edge_violated = true;
+      }
+    }
+    if (edge_violated) ++violated;
+  }
+  return violated;
+}
+
+/// Scan-only violation check (used to decide termination before
+/// mutating anything, mirroring the paper's E_violate set).
+int count_violations(const cg::ConstraintGraph& g,
+                     const RelativeSchedule& sched) {
+  int violated = 0;
+  for (const cg::Edge& e : g.edges()) {
+    if (cg::is_forward(e.kind)) continue;
+    const VertexId t = e.from;
+    const VertexId h = e.to;
+    const graph::Weight w = e.fixed_weight;
+    for (const auto& [a, sigma_t] : sched.offsets(t).entries()) {
+      if (a == h) {
+        if (sigma_t + w > 0) {
+          ++violated;
+          break;
+        }
+        continue;
+      }
+      const auto sigma_h = sched.offsets(h).get(a);
+      if (sigma_h.has_value() && *sigma_h < sigma_t + w) {
+        ++violated;
+        break;
+      }
+    }
+  }
+  return violated;
+}
+
+}  // namespace
+
+ScheduleResult schedule(const cg::ConstraintGraph& g,
+                        const anchors::AnchorAnalysis& analysis,
+                        const ScheduleOptions& options) {
+  ScheduleResult result;
+  if (options.prechecks) {
+    if (!g.validate().empty()) {
+      result.status = ScheduleStatus::kInvalidGraph;
+      result.message = g.validate().front().message;
+      return result;
+    }
+    const auto wp = wellposed::check(g);
+    if (wp.status == wellposed::Status::kInfeasible) {
+      result.status = ScheduleStatus::kInfeasible;
+      result.message = wp.message;
+      return result;
+    }
+    if (wp.status == wellposed::Status::kIllPosed) {
+      result.status = ScheduleStatus::kIllPosed;
+      result.message = wp.message;
+      return result;
+    }
+  }
+
+  const graph::Digraph forward = g.project_forward();
+  const auto topo = graph::topological_order(forward);
+  if (!topo.has_value()) {
+    result.status = ScheduleStatus::kInvalidGraph;
+    result.message = "forward constraint graph has a cycle";
+    return result;
+  }
+
+  RelativeSchedule sched(g.vertex_count());
+  // Initial offsets: 0 for every tracked anchor (the paper's r = 0 state).
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    const VertexId v(vi);
+    for (VertexId a : analysis.set(v, options.mode)) {
+      sched.offsets(v).set(a, 0);
+    }
+  }
+
+  const int max_rounds = g.backward_edge_count() + 1;
+  for (int round = 1; round <= max_rounds; ++round) {
+    incremental_offset(g, analysis, options.mode, *topo, sched);
+    result.iterations = round;
+
+    IterationTrace trace;
+    if (options.record_trace) {
+      trace.iteration = round;
+      trace.after_compute = sched;
+    }
+
+    if (count_violations(g, sched) == 0) {
+      if (options.record_trace) result.trace.push_back(std::move(trace));
+      result.status = ScheduleStatus::kScheduled;
+      result.schedule = std::move(sched);
+      return result;
+    }
+    trace.violated_backward_edges = readjust_offsets(g, sched);
+    if (options.record_trace) {
+      trace.after_readjust = sched;
+      result.trace.push_back(std::move(trace));
+    }
+  }
+
+  result.status = ScheduleStatus::kInconsistent;
+  result.message = "no convergence within |Eb|+1 iterations";
+  return result;
+}
+
+ScheduleResult schedule(const cg::ConstraintGraph& g,
+                        const ScheduleOptions& options) {
+  // AnchorAnalysis::compute requires a valid, feasible graph; surface
+  // those failures as statuses instead of tripping its preconditions.
+  if (!g.validate().empty()) {
+    ScheduleResult result;
+    result.status = ScheduleStatus::kInvalidGraph;
+    result.message = g.validate().front().message;
+    return result;
+  }
+  if (!wellposed::is_feasible(g)) {
+    ScheduleResult result;
+    result.status = ScheduleStatus::kInfeasible;
+    result.message = "positive cycle with unbounded delays set to 0";
+    return result;
+  }
+  const auto analysis = anchors::AnchorAnalysis::compute(g);
+  return schedule(g, analysis, options);
+}
+
+RelativeSchedule decomposed_schedule(const cg::ConstraintGraph& g,
+                                     const anchors::AnchorAnalysis& analysis,
+                                     anchors::AnchorMode mode) {
+  RelativeSchedule out(g.vertex_count());
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    const VertexId v(vi);
+    for (VertexId a : analysis.set(v, mode)) {
+      const graph::Weight len = analysis.length(a, v);
+      // Anchors in A(v) always reach v inside their own cone.
+      RELSCHED_CHECK(len != graph::kNegInf, "anchor cannot reach vertex");
+      out.offsets(v).set(a, len);
+    }
+  }
+  return out;
+}
+
+RelativeSchedule restrict_schedule(const RelativeSchedule& schedule,
+                                   const anchors::AnchorAnalysis& analysis,
+                                   anchors::AnchorMode mode) {
+  RelativeSchedule out(schedule.vertex_count());
+  for (int vi = 0; vi < schedule.vertex_count(); ++vi) {
+    const VertexId v(vi);
+    const anchors::AnchorSet& keep = analysis.set(v, mode);
+    for (const auto& [a, sigma] : schedule.offsets(v).entries()) {
+      if (keep.contains(a)) out.offsets(v).set(a, sigma);
+    }
+  }
+  return out;
+}
+
+}  // namespace relsched::sched

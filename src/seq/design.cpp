@@ -1,0 +1,50 @@
+#include "seq/design.hpp"
+
+namespace relsched::seq {
+
+std::vector<SeqGraphId> Design::children(SeqGraphId id) const {
+  std::vector<SeqGraphId> out;
+  for (const SeqOp& op : graph(id).ops()) {
+    if (op.cond_body.is_valid()) out.push_back(op.cond_body);
+    if (op.body.is_valid()) out.push_back(op.body);
+    if (op.else_body.is_valid()) out.push_back(op.else_body);
+  }
+  return out;
+}
+
+std::vector<SeqGraphId> Design::postorder() const {
+  std::vector<SeqGraphId> order;
+  std::vector<bool> visited(static_cast<std::size_t>(graph_count()), false);
+  // Iterative postorder DFS from the root.
+  struct Frame {
+    SeqGraphId id;
+    std::vector<SeqGraphId> kids;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  RELSCHED_CHECK(root_.is_valid(), "design has no root graph");
+  stack.push_back(Frame{root_, children(root_), 0});
+  visited[root_.index()] = true;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next < top.kids.size()) {
+      const SeqGraphId kid = top.kids[top.next++];
+      if (!visited[kid.index()]) {
+        visited[kid.index()] = true;
+        stack.push_back(Frame{kid, children(kid), 0});
+      }
+    } else {
+      order.push_back(top.id);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+int Design::total_op_count() const {
+  int total = 0;
+  for (const SeqGraph& g : graphs_) total += g.op_count();
+  return total;
+}
+
+}  // namespace relsched::seq

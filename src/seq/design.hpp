@@ -1,0 +1,105 @@
+// Design: a hierarchical sequencing-graph model of one hardware process
+// plus its interface (ports) and storage (variables). Produced by the
+// HDL frontend or constructed programmatically.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/ids.hpp"
+#include "seq/seq_graph.hpp"
+
+namespace relsched::seq {
+
+enum class PortDirection { kIn, kOut };
+
+struct Port {
+  PortId id;
+  std::string name;
+  int width = 1;
+  PortDirection direction = PortDirection::kIn;
+};
+
+struct Var {
+  VarId id;
+  std::string name;
+  int width = 1;
+};
+
+class Design {
+ public:
+  explicit Design(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  PortId add_port(std::string name, int width, PortDirection direction) {
+    const PortId id(static_cast<int>(ports_.size()));
+    ports_.push_back(Port{id, std::move(name), width, direction});
+    return id;
+  }
+
+  VarId add_var(std::string name, int width) {
+    const VarId id(static_cast<int>(vars_.size()));
+    vars_.push_back(Var{id, std::move(name), width});
+    return id;
+  }
+
+  SeqGraphId add_graph(std::string name) {
+    const SeqGraphId id(static_cast<int>(graphs_.size()));
+    graphs_.emplace_back(id, std::move(name));
+    return id;
+  }
+
+  void set_root(SeqGraphId id) { root_ = id; }
+  [[nodiscard]] SeqGraphId root() const { return root_; }
+
+  [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+  [[nodiscard]] const std::vector<Var>& vars() const { return vars_; }
+  [[nodiscard]] const Port& port(PortId id) const { return ports_[id.index()]; }
+  [[nodiscard]] const Var& var(VarId id) const { return vars_[id.index()]; }
+
+  [[nodiscard]] int graph_count() const { return static_cast<int>(graphs_.size()); }
+  [[nodiscard]] const SeqGraph& graph(SeqGraphId id) const {
+    return graphs_[id.index()];
+  }
+  [[nodiscard]] SeqGraph& graph(SeqGraphId id) { return graphs_[id.index()]; }
+  [[nodiscard]] const std::vector<SeqGraph>& graphs() const { return graphs_; }
+  [[nodiscard]] std::vector<SeqGraph>& graphs() { return graphs_; }
+
+  [[nodiscard]] std::optional<PortId> find_port(std::string_view name) const {
+    for (const Port& p : ports_) {
+      if (p.name == name) return p.id;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] std::optional<VarId> find_var(std::string_view name) const {
+    for (const Var& v : vars_) {
+      if (v.name == name) return v.id;
+    }
+    return std::nullopt;
+  }
+
+  /// Children of a graph (bodies of its loop/cond/call ops), in op order.
+  [[nodiscard]] std::vector<SeqGraphId> children(SeqGraphId id) const;
+
+  /// All graphs in bottom-up (post-) order starting from the root:
+  /// children strictly before parents.
+  [[nodiscard]] std::vector<SeqGraphId> postorder() const;
+
+  /// Total number of operations over all graphs, excluding per-graph
+  /// source/sink bookkeeping? No: *including* them, matching the paper's
+  /// counting (source vertices are anchors and count in |V|).
+  [[nodiscard]] int total_op_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Port> ports_;
+  std::vector<Var> vars_;
+  std::vector<SeqGraph> graphs_;
+  SeqGraphId root_;
+};
+
+}  // namespace relsched::seq

@@ -1,0 +1,47 @@
+#include "seq/seq_graph.hpp"
+
+namespace relsched::seq {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSource: return "source";
+    case OpKind::kSink: return "sink";
+    case OpKind::kNop: return "nop";
+    case OpKind::kConst: return "const";
+    case OpKind::kAlu: return "alu";
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kAssign: return "assign";
+    case OpKind::kLoop: return "loop";
+    case OpKind::kCond: return "cond";
+    case OpKind::kCall: return "call";
+    case OpKind::kWait: return "wait";
+  }
+  return "?";
+}
+
+const char* to_string(AluOp op) {
+  switch (op) {
+    case AluOp::kAdd: return "+";
+    case AluOp::kSub: return "-";
+    case AluOp::kMul: return "*";
+    case AluOp::kDiv: return "/";
+    case AluOp::kMod: return "%";
+    case AluOp::kAnd: return "&";
+    case AluOp::kOr: return "|";
+    case AluOp::kXor: return "^";
+    case AluOp::kNot: return "~";
+    case AluOp::kNeg: return "neg";
+    case AluOp::kEq: return "==";
+    case AluOp::kNe: return "!=";
+    case AluOp::kLt: return "<";
+    case AluOp::kLe: return "<=";
+    case AluOp::kGt: return ">";
+    case AluOp::kGe: return ">=";
+    case AluOp::kShl: return "<<";
+    case AluOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+}  // namespace relsched::seq

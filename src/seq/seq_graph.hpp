@@ -1,0 +1,186 @@
+// Hierarchical sequencing graphs (paper §II).
+//
+// Hardware behavior is a set of operations plus a partial order. The
+// model is hierarchical: loop bodies, conditional branches, and called
+// procedures are child graphs; scheduling is applied bottom-up. Each
+// graph is polar (source and sink NOPs added automatically).
+//
+// Operations carry an execution delay that module binding fills in;
+// data-dependent loops and external waits are unbounded.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/ids.hpp"
+#include "cg/delay.hpp"
+
+namespace relsched::seq {
+
+enum class OpKind {
+  kSource,  // polar source NOP
+  kSink,    // polar sink NOP
+  kNop,
+  kConst,   // produce a constant value
+  kAlu,     // arithmetic / logic / relational operation
+  kRead,    // sample an input port
+  kWrite,   // drive an output port
+  kAssign,  // copy a value into a variable
+  kLoop,    // data-dependent iteration: child cond graph + body graph
+  kCond,    // two-way branch: then/else child graphs
+  kCall,    // procedure call: child graph
+  kWait,    // wait for an external signal level (unbounded)
+};
+
+[[nodiscard]] const char* to_string(OpKind kind);
+
+enum class AluOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kNot, kNeg,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kShl, kShr,
+};
+
+[[nodiscard]] const char* to_string(AluOp op);
+
+/// A value reference: variable, port, literal constant, or the result of
+/// another operation in the same graph.
+struct Operand {
+  enum class Kind { kNone, kVar, kPort, kConst, kOpResult };
+  Kind kind = Kind::kNone;
+  VarId var;
+  PortId port;
+  std::int64_t constant = 0;
+  OpId op;
+
+  static Operand none() { return {}; }
+  static Operand of_var(VarId v) {
+    Operand o;
+    o.kind = Kind::kVar;
+    o.var = v;
+    return o;
+  }
+  static Operand of_port(PortId p) {
+    Operand o;
+    o.kind = Kind::kPort;
+    o.port = p;
+    return o;
+  }
+  static Operand of_const(std::int64_t c) {
+    Operand o;
+    o.kind = Kind::kConst;
+    o.constant = c;
+    return o;
+  }
+  static Operand of_op(OpId op_id) {
+    Operand o;
+    o.kind = Kind::kOpResult;
+    o.op = op_id;
+    return o;
+  }
+  [[nodiscard]] bool is_none() const { return kind == Kind::kNone; }
+};
+
+struct SeqOp {
+  OpId id;
+  OpKind kind = OpKind::kNop;
+  std::string name;
+  AluOp alu = AluOp::kAdd;        // kAlu only
+  std::vector<Operand> inputs;    // value inputs (kAlu, kAssign, kWrite, kWait)
+  VarId target;                   // variable written (kAssign, kRead target)
+  PortId port;                    // kRead / kWrite
+  SeqGraphId body;                // kLoop body / kCond then / kCall callee
+  SeqGraphId else_body;           // kCond else (invalid if absent)
+  SeqGraphId cond_body;           // kLoop: condition-evaluation graph
+  Operand condition;              // kLoop / kCond: the tested value
+  bool wait_for_high = true;      // kWait: wait until input is 1 (else 0)
+
+  /// Execution delay; set by module binding / hierarchy resolution.
+  cg::Delay delay = cg::Delay::bounded(0);
+};
+
+/// How a loop body graph is tested (stored on the loop op).
+enum class LoopTest {
+  kPreTest,    // while (c) { body }: test, then body
+  kPostTest,   // repeat { body } until (c): body, then test
+  kInfinite,   // process-style forever loop (only used internally)
+};
+
+/// A timing constraint between the *start times* of two operations of
+/// the same graph (HardwareC `constraint mintime/maxtime from a to b`).
+struct TimingConstraint {
+  OpId from;
+  OpId to;
+  int cycles = 0;
+  bool is_min = true;  // false: maximum constraint
+};
+
+class SeqGraph {
+ public:
+  SeqGraph(SeqGraphId id, std::string name) : id_(id), name_(std::move(name)) {
+    add_op_internal(OpKind::kSource, "source");
+    add_op_internal(OpKind::kSink, "sink");
+  }
+
+  [[nodiscard]] SeqGraphId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] OpId source() const { return OpId(0); }
+  [[nodiscard]] OpId sink() const { return OpId(1); }
+
+  OpId add_op(SeqOp op) {
+    op.id = OpId(static_cast<int>(ops_.size()));
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+  }
+
+  /// Adds a sequencing dependency; exact duplicates are ignored.
+  /// Returns true if the edge was new.
+  bool add_dependency(OpId from, OpId to) {
+    RELSCHED_CHECK(from != to, "self dependency");
+    if (!dep_set_.insert({from.value(), to.value()}).second) return false;
+    deps_.emplace_back(from, to);
+    return true;
+  }
+
+  void add_constraint(TimingConstraint c) { constraints_.push_back(c); }
+
+  [[nodiscard]] int op_count() const { return static_cast<int>(ops_.size()); }
+  [[nodiscard]] const SeqOp& op(OpId id) const { return ops_[id.index()]; }
+  [[nodiscard]] SeqOp& op(OpId id) { return ops_[id.index()]; }
+  [[nodiscard]] const std::vector<SeqOp>& ops() const { return ops_; }
+  [[nodiscard]] std::vector<SeqOp>& ops() { return ops_; }
+  [[nodiscard]] const std::vector<std::pair<OpId, OpId>>& dependencies() const {
+    return deps_;
+  }
+  [[nodiscard]] const std::vector<TimingConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Loop-test kind when this graph is used as a loop body.
+  [[nodiscard]] LoopTest loop_test() const { return loop_test_; }
+  void set_loop_test(LoopTest t) { loop_test_ = t; }
+
+ private:
+  void add_op_internal(OpKind kind, std::string name) {
+    SeqOp op;
+    op.kind = kind;
+    op.name = std::move(name);
+    op.delay = cg::Delay::bounded(0);
+    add_op(std::move(op));
+  }
+
+  SeqGraphId id_;
+  std::string name_;
+  std::vector<SeqOp> ops_;
+  std::set<std::pair<std::int32_t, std::int32_t>> dep_set_;
+  std::vector<std::pair<OpId, OpId>> deps_;
+  std::vector<TimingConstraint> constraints_;
+  LoopTest loop_test_ = LoopTest::kPreTest;
+};
+
+}  // namespace relsched::seq

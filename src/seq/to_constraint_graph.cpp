@@ -1,0 +1,46 @@
+#include "seq/to_constraint_graph.hpp"
+
+namespace relsched::seq {
+
+cg::ConstraintGraph to_constraint_graph(const SeqGraph& graph) {
+  cg::ConstraintGraph out(graph.name());
+  for (const SeqOp& op : graph.ops()) {
+    out.add_vertex(op.name, op.delay);
+  }
+
+  const int n = graph.op_count();
+  std::vector<bool> has_in(static_cast<std::size_t>(n), false);
+  std::vector<bool> has_out(static_cast<std::size_t>(n), false);
+  for (const auto& [from, to] : graph.dependencies()) {
+    out.add_sequencing_edge(VertexId(from.value()), VertexId(to.value()));
+    has_out[from.index()] = true;
+    has_in[to.index()] = true;
+  }
+
+  // Restore polarity: every op without predecessors hangs off the
+  // source, every op without successors feeds the sink. (Timing
+  // constraints don't count as sequencing for polarity.)
+  const VertexId source(graph.source().value());
+  const VertexId sink(graph.sink().value());
+  for (int i = 0; i < n; ++i) {
+    const VertexId v(i);
+    if (v == source || v == sink) continue;
+    if (!has_in[static_cast<std::size_t>(i)]) out.add_sequencing_edge(source, v);
+    if (!has_out[static_cast<std::size_t>(i)]) out.add_sequencing_edge(v, sink);
+  }
+  // Degenerate (empty) graphs still need a source -> sink path.
+  if (!has_out[source.index()] && n == 2) out.add_sequencing_edge(source, sink);
+
+  for (const TimingConstraint& c : graph.constraints()) {
+    const VertexId from(c.from.value());
+    const VertexId to(c.to.value());
+    if (c.is_min) {
+      out.add_min_constraint(from, to, c.cycles);
+    } else {
+      out.add_max_constraint(from, to, c.cycles);
+    }
+  }
+  return out;
+}
+
+}  // namespace relsched::seq

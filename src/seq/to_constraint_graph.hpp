@@ -1,0 +1,18 @@
+// Lowering a (bound, delay-annotated) sequencing graph into the polar
+// constraint graph the scheduler consumes.
+//
+// Operations map 1:1 onto vertices (op id i -> vertex id i; the graph's
+// source NOP becomes the constraint graph's source v0). Dependencies
+// become sequencing edges; HDL timing constraints become min/max
+// constraint edges; polarity is restored by tying dangling operations to
+// the source and sink NOPs.
+#pragma once
+
+#include "cg/constraint_graph.hpp"
+#include "seq/seq_graph.hpp"
+
+namespace relsched::seq {
+
+cg::ConstraintGraph to_constraint_graph(const SeqGraph& graph);
+
+}  // namespace relsched::seq

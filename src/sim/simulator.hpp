@@ -1,0 +1,166 @@
+// Cycle-accurate simulation of a synthesized design (paper §VII).
+//
+// The simulator executes the hierarchical sequencing graphs under the
+// relative schedule: an operation starts at
+//   T(v) = max over tracked anchors a of { completion(a) + sigma_a(v) },
+// exactly what the generated control realizes in hardware. Unbounded
+// delays arise naturally at run time (loops iterate until their
+// condition settles; waits poll the stimulus), so simulation both
+// validates schedules against live delay profiles and reproduces the
+// paper's gcd waveform (Fig 14).
+//
+// Value semantics:
+//   - all values are unsigned, masked to the declared bit width on
+//     variable assignment and port write;
+//   - reads sample input ports at the operation's start cycle; writes
+//     drive output ports at the operation's completion cycle;
+//   - a variable write at cycle c is visible to reads at later cycles,
+//     and to same-cycle reads only along dependency (combinational
+//     forwarding) paths -- so the data-parallel swap < y = x; x = y; >
+//     exchanges values while sequential zero-delay chains still forward;
+//   - division/modulo by zero yield zero (simulation stays total).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/synthesis.hpp"
+#include "graph/digraph.hpp"
+#include "seq/design.hpp"
+
+namespace relsched::sim {
+
+/// Input-port waveforms: step functions over cycles. Ports without
+/// steps read 0.
+class Stimulus {
+ public:
+  void set(PortId port, graph::Weight cycle, std::int64_t value);
+
+  /// Convenience: resolve the port by name; unknown names are an error.
+  void set(const seq::Design& design, std::string_view port_name,
+           graph::Weight cycle, std::int64_t value);
+
+  [[nodiscard]] std::int64_t value_at(PortId port, graph::Weight cycle) const;
+
+ private:
+  // Per port: (cycle, value) steps sorted by cycle.
+  std::map<PortId, std::vector<std::pair<graph::Weight, std::int64_t>>> steps_;
+};
+
+/// Reactive test environment: a device model attached to the ports.
+/// The simulator notifies it of every output-port write and lets it
+/// override input-port values (falling back to the static Stimulus when
+/// drive() returns nullopt). This is how memory models, handshake
+/// partners, and bus agents are attached (e.g. the frisc CPU's memory).
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Called when the design drives `value` onto output `port` at
+  /// `cycle` (in nondecreasing cycle order per port, but interleaved
+  /// across ports).
+  virtual void on_port_write(PortId port, graph::Weight cycle,
+                             std::int64_t value) = 0;
+
+  /// Value of input `port` at `cycle`, or nullopt to defer to the
+  /// static stimulus.
+  virtual std::optional<std::int64_t> drive(PortId port,
+                                            graph::Weight cycle) = 0;
+};
+
+struct TraceEvent {
+  enum class Kind {
+    kActivate,   // graph activation begins
+    kComplete,   // graph activation completes
+    kStart,      // operation starts
+    kFinish,     // operation completes
+    kReadSample, // input port sampled (value recorded)
+    kPortWrite,  // output port driven (value recorded)
+  };
+  Kind kind;
+  graph::Weight cycle = 0;
+  SeqGraphId graph;
+  OpId op;
+  std::int64_t value = 0;
+  std::string label;
+};
+
+struct ConstraintCheck {
+  SeqGraphId graph;
+  std::size_t constraint_index = 0;
+  graph::Weight from_start = 0;
+  graph::Weight to_start = 0;
+  bool satisfied = true;
+};
+
+struct SimOptions {
+  graph::Weight max_cycles = 100000;
+  /// How many times to re-activate the root process graph.
+  int max_activations = 1;
+  /// Idle cycles between process activations.
+  graph::Weight reactivation_gap = 1;
+  /// Record per-op start/finish events (larger traces).
+  bool record_op_events = true;
+};
+
+struct SimResult {
+  bool timed_out = false;
+  graph::Weight end_cycle = 0;
+  int activations = 0;
+  std::vector<TraceEvent> events;
+  /// Every evaluated timing constraint with its observed start times.
+  std::vector<ConstraintCheck> constraint_checks;
+  /// Output-port drive history, per port, (cycle, value), time-ordered.
+  std::map<PortId, std::vector<std::pair<graph::Weight, std::int64_t>>>
+      port_writes;
+  /// Variable values when simulation ended.
+  std::map<VarId, std::int64_t> final_vars;
+
+  [[nodiscard]] bool all_constraints_satisfied() const {
+    for (const ConstraintCheck& c : constraint_checks) {
+      if (!c.satisfied) return false;
+    }
+    return true;
+  }
+
+  /// Last value driven on an output port at or before `cycle` (0 before
+  /// the first write).
+  [[nodiscard]] std::int64_t output_at(PortId port, graph::Weight cycle) const;
+};
+
+class Simulator {
+ public:
+  /// `design` must have been synthesized (schedules available for every
+  /// graph); `result` must be ok().
+  Simulator(const seq::Design& design, const driver::SynthesisResult& result,
+            Stimulus stimulus);
+
+  /// Attaches a reactive environment (not owned; must outlive run()).
+  void set_environment(Environment* environment) {
+    environment_ = environment;
+  }
+
+  SimResult run(const SimOptions& options = {});
+
+ private:
+  struct GraphInfo;
+  struct Activation;
+  class Engine;
+
+  const seq::Design& design_;
+  const driver::SynthesisResult& synthesis_;
+  Stimulus stimulus_;
+  Environment* environment_ = nullptr;
+};
+
+/// ASCII waveform (Fig 14 style): one row per listed port plus optional
+/// variables, one column per cycle in [from, to).
+std::string render_waveform(const seq::Design& design, const Stimulus& stimulus,
+                            const SimResult& result,
+                            const std::vector<std::string>& port_names,
+                            graph::Weight from, graph::Weight to);
+
+}  // namespace relsched::sim

@@ -1,0 +1,102 @@
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+#include "base/error.hpp"
+
+namespace relsched::sim {
+
+namespace {
+
+/// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+std::string binary(std::int64_t value, int width) {
+  std::string bits;
+  for (int b = width - 1; b >= 0; --b) {
+    bits.push_back(((value >> b) & 1) != 0 ? '1' : '0');
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::string to_vcd(const seq::Design& design, const Stimulus& stimulus,
+                   const SimResult& result, const VcdOptions& options) {
+  std::vector<PortId> ports;
+  if (options.port_names.empty()) {
+    for (const seq::Port& p : design.ports()) ports.push_back(p.id);
+  } else {
+    for (const std::string& name : options.port_names) {
+      const auto id = design.find_port(name);
+      RELSCHED_CHECK(id.has_value(), "unknown port in VCD request");
+      ports.push_back(*id);
+    }
+  }
+  const graph::Weight from = options.from;
+  const graph::Weight to =
+      options.to >= 0 ? options.to : result.end_cycle + 1;
+
+  std::ostringstream os;
+  os << "$date relsched simulation $end\n"
+     << "$version relsched 1.0 $end\n"
+     << "$timescale " << options.timescale << " $end\n"
+     << "$scope module " << design.name() << " $end\n";
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    const seq::Port& p = design.port(ports[i]);
+    os << "$var wire " << p.width << " " << vcd_code(i) << " " << p.name;
+    if (p.width > 1) os << " [" << p.width - 1 << ":0]";
+    os << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  const auto value_of = [&](PortId port, graph::Weight cycle) {
+    return design.port(port).direction == seq::PortDirection::kIn
+               ? stimulus.value_at(port, cycle)
+               : result.output_at(port, cycle);
+  };
+
+  std::vector<std::int64_t> last(ports.size());
+  os << "$dumpvars\n";
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    last[i] = value_of(ports[i], from);
+    const seq::Port& p = design.port(ports[i]);
+    if (p.width == 1) {
+      os << (last[i] != 0 ? '1' : '0') << vcd_code(i) << "\n";
+    } else {
+      os << "b" << binary(last[i], p.width) << " " << vcd_code(i) << "\n";
+    }
+  }
+  os << "$end\n";
+
+  for (graph::Weight cycle = from; cycle <= to; ++cycle) {
+    bool stamped = false;
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      const std::int64_t value = value_of(ports[i], cycle);
+      if (cycle != from && value == last[i]) continue;
+      if (cycle == from) continue;  // initial values already dumped
+      if (!stamped) {
+        os << "#" << cycle << "\n";
+        stamped = true;
+      }
+      const seq::Port& p = design.port(ports[i]);
+      if (p.width == 1) {
+        os << (value != 0 ? '1' : '0') << vcd_code(i) << "\n";
+      } else {
+        os << "b" << binary(value, p.width) << " " << vcd_code(i) << "\n";
+      }
+      last[i] = value;
+    }
+  }
+  os << "#" << to + 1 << "\n";
+  return os.str();
+}
+
+}  // namespace relsched::sim

@@ -1,0 +1,26 @@
+// VCD (IEEE 1364 value change dump) export of simulation results, so
+// traces can be inspected in GTKWave and friends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "seq/design.hpp"
+#include "sim/simulator.hpp"
+
+namespace relsched::sim {
+
+struct VcdOptions {
+  std::string timescale = "1ns";
+  /// Ports to dump; empty means every port of the design.
+  std::vector<std::string> port_names;
+  graph::Weight from = 0;
+  graph::Weight to = -1;  // negative: run until result.end_cycle + 1
+};
+
+/// Renders a VCD document for the given run: input ports from the
+/// stimulus, output ports from the recorded drive history.
+std::string to_vcd(const seq::Design& design, const Stimulus& stimulus,
+                   const SimResult& result, const VcdOptions& options = {});
+
+}  // namespace relsched::sim

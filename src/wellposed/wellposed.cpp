@@ -1,0 +1,158 @@
+#include "wellposed/wellposed.hpp"
+
+#include "base/strings.hpp"
+#include "graph/algorithms.hpp"
+
+namespace relsched::wellposed {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kWellPosed:
+      return "well-posed";
+    case Status::kIllPosed:
+      return "ill-posed";
+    case Status::kInfeasible:
+      return "infeasible";
+  }
+  return "?";
+}
+
+bool is_feasible(const cg::ConstraintGraph& g) {
+  const graph::Digraph full = g.project_full();
+  return !graph::longest_paths_from(full, g.source().value()).positive_cycle;
+}
+
+CheckResult check(const cg::ConstraintGraph& g) {
+  return check(g, anchors::find_anchor_sets(g));
+}
+
+CheckResult check(const cg::ConstraintGraph& g,
+                  const std::vector<anchors::AnchorSet>& anchor_sets) {
+  if (!is_feasible(g)) {
+    return CheckResult{Status::kInfeasible, EdgeId::invalid(),
+                       "positive cycle with unbounded delays set to 0"};
+  }
+  // Theorem 2 requires A(tail) subset-of A(head) for every edge; forward
+  // edges satisfy it by the definition of anchor sets, so only backward
+  // edges need checking (paper's checkWellposed).
+  for (const cg::Edge& e : g.edges()) {
+    if (cg::is_forward(e.kind)) continue;
+    const anchors::AnchorSet& tail_set = anchor_sets[e.from.index()];
+    const anchors::AnchorSet& head_set = anchor_sets[e.to.index()];
+    if (!tail_set.is_subset_of(head_set)) {
+      return CheckResult{
+          Status::kIllPosed, e.id,
+          cat("max constraint between '", g.vertex(e.to).name, "' and '",
+              g.vertex(e.from).name, "': A(", g.vertex(e.from).name,
+              ") not contained in A(", g.vertex(e.to).name, ")")};
+    }
+  }
+  return CheckResult{Status::kWellPosed, EdgeId::invalid(), ""};
+}
+
+MakeWellposedResult make_wellposed(cg::ConstraintGraph& g) {
+  MakeWellposedResult result;
+  if (!is_feasible(g)) {
+    result.status = Status::kInfeasible;
+    result.message = "constraint graph is infeasible";
+    return result;
+  }
+  const cg::ConstraintGraph original = g;  // basis for the pruning pass
+
+  // Reachability in the *current* forward graph (edges added mid-pass
+  // must be visible to the cycle check).
+  const auto forward_reaches = [&g](VertexId from, VertexId to) {
+    std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+    std::vector<VertexId> stack{from};
+    seen[from.index()] = true;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      if (v == to) return true;
+      for (EdgeId eid : g.out_edges(v)) {
+        const cg::Edge& e = g.edge(eid);
+        if (!cg::is_forward(e.kind)) continue;
+        if (!seen[e.to.index()]) {
+          seen[e.to.index()] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    return false;
+  };
+
+  // Fixed point over backward edges. Each pass either adds at least one
+  // serializing edge or terminates; additions are bounded by |A|*|V|.
+  for (;;) {
+    const auto anchor_sets = anchors::find_anchor_sets(g);
+    bool changed = false;
+
+    for (int ei = 0; ei < g.edge_count(); ++ei) {
+      const cg::Edge e = g.edge(EdgeId(ei));
+      if (cg::is_forward(e.kind)) continue;
+      const VertexId tail = e.from;
+      const VertexId head = e.to;
+      // Anchors present at the tail but missing at the head must be
+      // serialized before the head (paper's addEdge).
+      const anchors::AnchorSet missing =
+          anchor_sets[tail.index()].difference(anchor_sets[head.index()]);
+      for (VertexId a : missing) {
+        if (a == head) {
+          // The head itself is an unbounded anchor feeding the tail
+          // (Fig 3(a)): the unbounded delay sits inside the constrained
+          // window; no serialization can fix it.
+          result.status = Status::kIllPosed;
+          result.message =
+              cat("anchor '", g.vertex(a).name,
+                  "' lies on a path inside a maximum timing constraint");
+          return result;
+        }
+        // Adding a -> head must not close a cycle in Gf: if head already
+        // reaches a, the graph has an unbounded-length cycle (Lemma 3).
+        if (forward_reaches(head, a)) {
+          result.status = Status::kIllPosed;
+          result.message = cat("serializing '", g.vertex(a).name, "' -> '",
+                               g.vertex(head).name,
+                               "' would create an unbounded-length cycle");
+          return result;
+        }
+        g.add_sequencing_edge(a, head);
+        result.added_edges.emplace_back(a, head);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Pruning pass: a batch repair works from anchor sets computed at the
+  // start of its sweep, so an edge added early in a sweep can be
+  // subsumed by a later one. Drop every added edge whose removal keeps
+  // the graph well-posed -- each surviving serialization is then
+  // genuinely necessary (strong minimality; a redundant serialization
+  // would delay operations under some delay profile).
+  if (result.added_edges.size() > 1) {
+    std::vector<std::pair<VertexId, VertexId>> kept = result.added_edges;
+    for (std::size_t i = 0; i < kept.size();) {
+      cg::ConstraintGraph candidate = original;
+      for (std::size_t j = 0; j < kept.size(); ++j) {
+        if (j == i) continue;
+        candidate.add_sequencing_edge(kept[j].first, kept[j].second);
+      }
+      if (check(candidate).status == Status::kWellPosed) {
+        kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (kept.size() != result.added_edges.size()) {
+      g = original;
+      for (const auto& [from, to] : kept) g.add_sequencing_edge(from, to);
+      result.added_edges = std::move(kept);
+    }
+  }
+
+  result.status = Status::kWellPosed;
+  return result;
+}
+
+}  // namespace relsched::wellposed

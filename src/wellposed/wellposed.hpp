@@ -1,0 +1,66 @@
+// Well-posedness analysis of timing constraints (paper §III-B, §IV-B/C, §V-A).
+//
+//   - Feasibility (Definition 6, Theorem 1): constraints satisfiable when
+//     all unbounded delays are 0 <=> no positive cycle in G0.
+//   - Well-posedness (Definition 7, Theorem 2): constraints satisfiable
+//     for *all* unbounded delay values <=> A(v_i) subset-of A(v_j) for
+//     every edge e_ij.
+//   - makeWellposed (§IV-C, Theorem 7): serialize an ill-posed graph into
+//     a minimally serialized well-posed serial-compatible graph, if one
+//     exists (Lemma 3: iff no unbounded-length cycles).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "anchors/anchor_analysis.hpp"
+#include "cg/constraint_graph.hpp"
+
+namespace relsched::wellposed {
+
+enum class Status {
+  kWellPosed,
+  kIllPosed,    // some constraint unsatisfiable for some delay profile
+  kInfeasible,  // unsatisfiable even with all unbounded delays = 0
+};
+
+[[nodiscard]] const char* to_string(Status status);
+
+struct CheckResult {
+  Status status = Status::kWellPosed;
+  /// For kIllPosed: the edge whose anchor containment fails.
+  EdgeId violating_edge = EdgeId::invalid();
+  std::string message;
+};
+
+/// Theorem 1: feasibility via positive-cycle detection on G0.
+[[nodiscard]] bool is_feasible(const cg::ConstraintGraph& g);
+
+/// checkWellposed (paper §IV-B). Checks feasibility, then anchor-set
+/// containment A(tail) subset-of A(head) on every backward edge
+/// (forward edges satisfy containment by construction).
+CheckResult check(const cg::ConstraintGraph& g);
+CheckResult check(const cg::ConstraintGraph& g,
+                  const std::vector<anchors::AnchorSet>& anchor_sets);
+
+struct MakeWellposedResult {
+  Status status = Status::kWellPosed;
+  /// Serializing sequencing edges added: pairs (anchor, vertex).
+  std::vector<std::pair<VertexId, VertexId>> added_edges;
+  std::string message;
+};
+
+/// makeWellposed (paper §IV-C): adds sequencing dependencies
+/// anchor -> vertex (weight delta(anchor), zero offset) until every
+/// backward edge satisfies anchor containment, or detects that no
+/// well-posed serial-compatible graph exists.
+///
+/// Implemented as a fixed point: recompute anchor sets, repair every
+/// violated backward edge, repeat. Added edges have maximal defining
+/// path length 0, so the result is a *minimum* serial-compatible graph
+/// (Theorem 7). Mutates `g` in place; on failure `g` may contain some
+/// added edges (callers treat the graph as dead on failure).
+MakeWellposedResult make_wellposed(cg::ConstraintGraph& g);
+
+}  // namespace relsched::wellposed

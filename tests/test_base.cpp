@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+
+namespace relsched {
+namespace {
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(join(std::vector<std::string>{"a"}, ","), "a");
+  EXPECT_EQ(join(std::vector<std::string>{"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join(std::vector<int>{1, 2, 3}, "-"), "1-2-3");
+}
+
+TEST(Strings, Cat) {
+  EXPECT_EQ(cat("x", 1, "y", 2.5), "x1y2.5");
+  EXPECT_EQ(cat(), "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");  // never truncates
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("hello", "lo"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(TextTable, AlignsColumnsAndRules) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_rule();
+  table.add_row({"b", "10000"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  // Header present, first column left-aligned, second right-aligned.
+  EXPECT_NE(text.find("| name  |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 10000 |"), std::string::npos);
+  // Four rule lines: top, under header, inserted, bottom.
+  std::size_t rules = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells) {
+  TextTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"x"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("| x | "), std::string::npos);
+}
+
+TEST(Check, ThrowsApiErrorWithContext) {
+  try {
+    RELSCHED_CHECK(1 == 2, "the message");
+    FAIL() << "expected throw";
+  } catch (const ApiError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_base.cpp"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace relsched

@@ -1,0 +1,158 @@
+#include "bind/binder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "seq/design.hpp"
+
+namespace relsched::bind {
+namespace {
+
+using seq::AluOp;
+using seq::OpKind;
+using seq::SeqOp;
+
+SeqOp alu(AluOp op, std::string name) {
+  SeqOp s;
+  s.kind = OpKind::kAlu;
+  s.alu = op;
+  s.name = std::move(name);
+  return s;
+}
+
+TEST(ResourceLibrary, StandardCoversAllAluOps) {
+  const auto lib = ResourceLibrary::standard();
+  for (int i = 0; i <= static_cast<int>(AluOp::kShr); ++i) {
+    EXPECT_TRUE(lib.module_for(static_cast<AluOp>(i)).is_valid())
+        << "op " << i;
+  }
+}
+
+TEST(ResourceLibrary, AdderIsOneCycleMultiplierSlower) {
+  const auto lib = ResourceLibrary::standard();
+  const auto add = lib.type(lib.module_for(AluOp::kAdd));
+  const auto mul = lib.type(lib.module_for(AluOp::kMul));
+  EXPECT_EQ(add.delay_cycles, 1);
+  EXPECT_GT(mul.delay_cycles, add.delay_cycles);
+  EXPECT_GT(mul.area, add.area);
+}
+
+TEST(Binder, AssignsDelaysByKind) {
+  seq::Design d("d");
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  const OpId a = g.add_op(alu(AluOp::kAdd, "a"));
+  const OpId m = g.add_op(alu(AluOp::kMul, "m"));
+  SeqOp rd;
+  rd.kind = OpKind::kRead;
+  rd.name = "rd";
+  rd.port = PortId(0);
+  const OpId r = g.add_op(std::move(rd));
+  SeqOp lp;
+  lp.kind = OpKind::kLoop;
+  lp.name = "loop";
+  const OpId l = g.add_op(std::move(lp));
+
+  const auto lib = ResourceLibrary::standard();
+  bind_graph(g, lib);
+  EXPECT_EQ(g.op(a).delay, cg::Delay::bounded(1));
+  EXPECT_EQ(g.op(m).delay, cg::Delay::bounded(2));
+  EXPECT_EQ(g.op(r).delay, cg::Delay::bounded(1));
+  EXPECT_TRUE(g.op(l).delay.is_unbounded());
+  EXPECT_EQ(g.op(g.source()).delay, cg::Delay::bounded(0));
+}
+
+TEST(Binder, SerializesBeyondInstanceLimit) {
+  seq::Design d("d");
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  // Four independent adds, one adder: must end up fully serialized.
+  for (int i = 0; i < 4; ++i) g.add_op(alu(AluOp::kAdd, "add" + std::to_string(i)));
+  BindingOptions opts;
+  opts.instance_limits["adder"] = 1;
+  const auto result = bind_graph(g, ResourceLibrary::standard(), opts);
+  EXPECT_EQ(result.serializations.size(), 3u);
+  // All bindings on instance 0.
+  for (const OpBinding& b : result.bindings) EXPECT_EQ(b.instance, 0);
+}
+
+TEST(Binder, UnlimitedInstancesAddNoSerialization) {
+  seq::Design d("d");
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  for (int i = 0; i < 4; ++i) g.add_op(alu(AluOp::kAdd, "add" + std::to_string(i)));
+  BindingOptions opts;
+  opts.instance_limits["adder"] = 0;  // unlimited
+  const auto result = bind_graph(g, ResourceLibrary::standard(), opts);
+  EXPECT_TRUE(result.serializations.empty());
+}
+
+TEST(Binder, SerializationNeverCreatesCycles) {
+  seq::Design d("d");
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  // A diamond of adds plus extra independent ones.
+  std::vector<OpId> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(g.add_op(alu(AluOp::kAdd, "a" + std::to_string(i))));
+  }
+  g.add_dependency(ops[0], ops[1]);
+  g.add_dependency(ops[0], ops[2]);
+  g.add_dependency(ops[1], ops[3]);
+  g.add_dependency(ops[2], ops[3]);
+  g.add_dependency(ops[4], ops[5]);
+  BindingOptions opts;
+  opts.instance_limits["adder"] = 2;
+  bind_graph(g, ResourceLibrary::standard(), opts);
+  graph::Digraph dg(g.op_count());
+  for (const auto& [from, to] : g.dependencies()) {
+    dg.add_arc(from.value(), to.value(), 0);
+  }
+  EXPECT_TRUE(graph::is_acyclic(dg));
+}
+
+TEST(Binder, SerializationRespectsExistingOrder) {
+  seq::Design d("d");
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  const OpId a = g.add_op(alu(AluOp::kAdd, "a"));
+  const OpId b = g.add_op(alu(AluOp::kAdd, "b"));
+  g.add_dependency(a, b);
+  BindingOptions opts;
+  opts.instance_limits["adder"] = 1;
+  const auto result = bind_graph(g, ResourceLibrary::standard(), opts);
+  // a -> b already ordered; no duplicate serializing edge.
+  EXPECT_TRUE(result.serializations.empty());
+}
+
+TEST(Binder, PortAccessesKeepProgramOrder) {
+  seq::Design d("d");
+  const PortId p = d.add_port("bus", 8, seq::PortDirection::kIn);
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  SeqOp r1;
+  r1.kind = OpKind::kRead;
+  r1.name = "r1";
+  r1.port = p;
+  SeqOp r2 = r1;
+  r2.name = "r2";
+  const OpId o1 = g.add_op(std::move(r1));
+  const OpId o2 = g.add_op(std::move(r2));
+  const auto result = bind_graph(g, ResourceLibrary::standard());
+  ASSERT_EQ(result.serializations.size(), 1u);
+  EXPECT_EQ(result.serializations[0].first, o1);
+  EXPECT_EQ(result.serializations[0].second, o2);
+}
+
+TEST(Binder, AreaAccountsAllocatedInstances) {
+  seq::Design d("d");
+  seq::SeqGraph& g = d.graph(d.add_graph("g"));
+  g.add_op(alu(AluOp::kAdd, "a"));
+  g.add_op(alu(AluOp::kAdd, "b"));
+  g.add_op(alu(AluOp::kMul, "m"));
+  BindingOptions opts;
+  opts.instance_limits["adder"] = 2;
+  const auto lib = ResourceLibrary::standard();
+  const auto result = bind_graph(g, lib, opts);
+  const int adder_area = lib.type(lib.module_for(AluOp::kAdd)).area;
+  const int mul_area = lib.type(lib.module_for(AluOp::kMul)).area;
+  EXPECT_EQ(result.total_area, 2 * adder_area + mul_area);
+}
+
+}  // namespace
+}  // namespace relsched::bind

@@ -1,0 +1,131 @@
+// Cross-layer co-simulation: run the behavioral simulator on the gcd
+// design, extract the *actual* anchor completion times of the root
+// graph from the trace (including the data-dependent restart loop), and
+// verify the generated control network fires every operation at exactly
+// the cycles the behavioral simulation observed.
+//
+// This closes the loop between three layers that were each verified in
+// isolation: relative schedule evaluation, the simulator's live start
+// times, and the structural control hardware.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ctrl/control.hpp"
+#include "designs/designs.hpp"
+#include "driver/synthesis.hpp"
+#include "sim/simulator.hpp"
+
+namespace relsched {
+namespace {
+
+TEST(CoSim, GcdControlNetworkMatchesBehavioralTrace) {
+  seq::Design design = designs::build("gcd");
+  const auto synthesis = driver::synthesize(design);
+  ASSERT_TRUE(synthesis.ok()) << synthesis.message;
+
+  sim::Stimulus stim;
+  stim.set(design, "restart", 0, 1);
+  stim.set(design, "restart", 5, 0);
+  stim.set(design, "xin", 0, 36);
+  stim.set(design, "yin", 0, 24);
+  sim::Simulator simulator(design, synthesis, stim);
+  sim::SimOptions opts;
+  opts.record_op_events = true;
+  const auto run = simulator.run(opts);
+  ASSERT_FALSE(run.timed_out);
+
+  // Collect per-op start/finish cycles of the *root* graph's first
+  // activation from the trace.
+  const SeqGraphId root = design.root();
+  std::map<OpId, graph::Weight> start, finish;
+  for (const auto& e : run.events) {
+    if (e.graph != root || !e.op.is_valid()) continue;
+    if (e.kind == sim::TraceEvent::Kind::kStart && start.count(e.op) == 0) {
+      start[e.op] = e.cycle;
+    }
+    if (e.kind == sim::TraceEvent::Kind::kFinish && finish.count(e.op) == 0) {
+      finish[e.op] = e.cycle;
+    }
+  }
+  ASSERT_FALSE(start.empty());
+
+  const auto& gs = synthesis.for_graph(root);
+  const cg::ConstraintGraph& g = gs.constraint_graph;
+
+  for (const auto style :
+       {ctrl::ControlStyle::kCounter, ctrl::ControlStyle::kShiftRegister}) {
+    ctrl::ControlOptions copts;
+    copts.style = style;
+    copts.mode = anchors::AnchorMode::kIrredundant;
+    const auto unit =
+        ctrl::generate_control(g, gs.analysis, gs.schedule.schedule, copts);
+
+    // Anchor completion (done) cycles from the behavioral trace: the
+    // source completes at activation (cycle 0); unbounded ops complete
+    // at their observed finish cycle.
+    std::vector<graph::Weight> done(static_cast<std::size_t>(g.vertex_count()),
+                                    -1);
+    done[g.source().index()] = 0;
+    for (VertexId a : g.anchors()) {
+      if (a == g.source()) continue;
+      const auto it = finish.find(OpId(a.value()));
+      ASSERT_NE(it, finish.end()) << "anchor " << a << " never finished";
+      done[a.index()] = it->second;
+    }
+
+    const auto enables = ctrl::simulate_control(unit, g, done, run.end_cycle + 8);
+    for (const auto& [op, cycle] : start) {
+      if (op == design.graph(root).source()) continue;
+      EXPECT_EQ(enables[static_cast<std::size_t>(op.value())], cycle)
+          << ctrl::to_string(style) << " op "
+          << design.graph(root).op(op).name;
+    }
+  }
+}
+
+TEST(CoSim, TrafficControlNetworkMatchesBehavioralTrace) {
+  seq::Design design = designs::build("traffic");
+  const auto synthesis = driver::synthesize(design);
+  ASSERT_TRUE(synthesis.ok());
+
+  sim::Stimulus stim;
+  stim.set(design, "cars", 9, 1);
+  stim.set(design, "timeout", 17, 1);
+  sim::Simulator simulator(design, synthesis, stim);
+  const auto run = simulator.run();
+  ASSERT_FALSE(run.timed_out);
+
+  const SeqGraphId root = design.root();
+  std::map<OpId, graph::Weight> start, finish;
+  for (const auto& e : run.events) {
+    if (e.graph != root || !e.op.is_valid()) continue;
+    if (e.kind == sim::TraceEvent::Kind::kStart && start.count(e.op) == 0) {
+      start[e.op] = e.cycle;
+    }
+    if (e.kind == sim::TraceEvent::Kind::kFinish && finish.count(e.op) == 0) {
+      finish[e.op] = e.cycle;
+    }
+  }
+
+  const auto& gs = synthesis.for_graph(root);
+  const cg::ConstraintGraph& g = gs.constraint_graph;
+  const auto unit = ctrl::generate_control(g, gs.analysis,
+                                           gs.schedule.schedule, {});
+  std::vector<graph::Weight> done(static_cast<std::size_t>(g.vertex_count()),
+                                  -1);
+  done[g.source().index()] = 0;
+  for (VertexId a : g.anchors()) {
+    if (a == g.source()) continue;
+    done[a.index()] = finish.at(OpId(a.value()));
+  }
+  const auto enables = ctrl::simulate_control(unit, g, done, run.end_cycle + 8);
+  for (const auto& [op, cycle] : start) {
+    if (op == design.graph(root).source()) continue;
+    EXPECT_EQ(enables[static_cast<std::size_t>(op.value())], cycle)
+        << design.graph(root).op(op).name;
+  }
+}
+
+}  // namespace
+}  // namespace relsched

@@ -1,0 +1,175 @@
+#include "ctrl/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+#include "testutil.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::ctrl {
+namespace {
+
+using relsched::testing::Fig2Graph;
+
+struct Synthesized {
+  Fig2Graph f;
+  anchors::AnchorAnalysis analysis;
+  sched::ScheduleResult result;
+
+  Synthesized() {
+    analysis = anchors::AnchorAnalysis::compute(f.g);
+    result = sched::schedule(f.g, analysis);
+    EXPECT_TRUE(result.ok());
+  }
+};
+
+TEST(ControlGen, ShiftRegisterCostsMatchMaxOffsets) {
+  Synthesized s;
+  ControlOptions opts;
+  opts.style = ControlStyle::kShiftRegister;
+  opts.mode = anchors::AnchorMode::kFull;
+  const auto unit =
+      generate_control(s.f.g, s.analysis, s.result.schedule, opts);
+  // sigma_v0^max = 8 (v4), sigma_a^max = 5 (v4): 13 shift stages total.
+  ASSERT_EQ(unit.syncs.size(), 2u);
+  EXPECT_EQ(unit.syncs[0].anchor, s.f.v0);
+  EXPECT_EQ(unit.syncs[0].max_offset, 8);
+  EXPECT_EQ(unit.syncs[0].flipflops, 8);
+  EXPECT_EQ(unit.syncs[1].anchor, s.f.a);
+  EXPECT_EQ(unit.syncs[1].max_offset, 5);
+  EXPECT_EQ(unit.cost.flipflops, 13);
+}
+
+TEST(ControlGen, CounterUsesFewerFlipflops) {
+  Synthesized s;
+  ControlOptions sr_opts;
+  sr_opts.style = ControlStyle::kShiftRegister;
+  ControlOptions cnt_opts;
+  cnt_opts.style = ControlStyle::kCounter;
+  const auto sr = generate_control(s.f.g, s.analysis, s.result.schedule, sr_opts);
+  const auto cnt =
+      generate_control(s.f.g, s.analysis, s.result.schedule, cnt_opts);
+  EXPECT_LT(cnt.cost.flipflops, sr.cost.flipflops);
+  EXPECT_GT(cnt.cost.gates, sr.cost.gates);  // comparators cost logic
+}
+
+TEST(ControlGen, SimulationMatchesStartTimesBothStyles) {
+  Synthesized s;
+  for (const ControlStyle style :
+       {ControlStyle::kCounter, ControlStyle::kShiftRegister}) {
+    ControlOptions opts;
+    opts.style = style;
+    opts.mode = anchors::AnchorMode::kFull;
+    const auto unit =
+        generate_control(s.f.g, s.analysis, s.result.schedule, opts);
+    for (int da = 0; da <= 7; da += 7) {
+      sched::DelayProfile profile;
+      profile.set(s.f.a, da);
+      const auto start = s.result.schedule.start_times(s.f.g, profile);
+      // done cycles: completion of each anchor.
+      std::vector<graph::Weight> done(
+          static_cast<std::size_t>(s.f.g.vertex_count()), -1);
+      done[s.f.v0.index()] = 0;
+      done[s.f.a.index()] = start[s.f.a.index()] + da;
+      const auto enables = simulate_control(unit, s.f.g, done, 64);
+      for (int vi = 0; vi < s.f.g.vertex_count(); ++vi) {
+        EXPECT_EQ(enables[static_cast<std::size_t>(vi)],
+                  start[static_cast<std::size_t>(vi)])
+            << to_string(style) << " vertex " << vi << " delta(a)=" << da;
+      }
+    }
+  }
+}
+
+TEST(ControlGen, IrredundantModeShrinksControl) {
+  // Cascaded anchors (Fig 4): a dominated anchor drops out of the
+  // enable logic entirely under IR mode.
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::unbounded());
+  const VertexId b = g.add_vertex("b", cg::Delay::unbounded());
+  const VertexId vi = g.add_vertex("vi", cg::Delay::bounded(1));
+  const VertexId vn = g.add_vertex("vn", cg::Delay::bounded(0));
+  g.add_sequencing_edge(v0, a);
+  g.add_sequencing_edge(a, b);
+  g.add_sequencing_edge(b, vi);
+  g.add_sequencing_edge(vi, vn);
+  const auto analysis = anchors::AnchorAnalysis::compute(g);
+  const auto result = sched::schedule(g, analysis);
+  ASSERT_TRUE(result.ok());
+
+  ControlOptions full;
+  full.mode = anchors::AnchorMode::kFull;
+  ControlOptions ir;
+  ir.mode = anchors::AnchorMode::kIrredundant;
+  const auto unit_full = generate_control(g, analysis, result.schedule, full);
+  const auto unit_ir = generate_control(g, analysis, result.schedule, ir);
+
+  auto terms = [](const ControlUnit& u) {
+    std::size_t n = 0;
+    for (const auto& e : u.enables) n += e.terms.size();
+    return n;
+  };
+  EXPECT_LT(terms(unit_ir), terms(unit_full));
+  EXPECT_LE(unit_ir.cost.flipflops, unit_full.cost.flipflops);
+
+  // Both controls still fire ops at identical times.
+  for (int da = 0; da <= 5; da += 5) {
+    for (int db = 0; db <= 3; db += 3) {
+      sched::DelayProfile profile;
+      profile.set(a, da);
+      profile.set(b, db);
+      const auto start = result.schedule.start_times(g, profile);
+      std::vector<graph::Weight> done(static_cast<std::size_t>(g.vertex_count()),
+                                      -1);
+      done[v0.index()] = 0;
+      done[a.index()] = start[a.index()] + da;
+      done[b.index()] = start[b.index()] + db;
+      const auto en_full = simulate_control(unit_full, g, done, 64);
+      const auto en_ir = simulate_control(unit_ir, g, done, 64);
+      EXPECT_EQ(en_full, en_ir);
+      EXPECT_EQ(en_ir[vi.index()], start[vi.index()]);
+    }
+  }
+}
+
+TEST(ControlGen, VerilogEmissionContainsStructure) {
+  Synthesized s;
+  ControlOptions opts;
+  opts.style = ControlStyle::kShiftRegister;
+  opts.mode = anchors::AnchorMode::kFull;
+  const auto unit =
+      generate_control(s.f.g, s.analysis, s.result.schedule, opts);
+  const std::string v = unit.to_verilog(s.f.g, "fig2_ctrl");
+  EXPECT_NE(v.find("module fig2_ctrl"), std::string::npos);
+  EXPECT_NE(v.find("done_v0"), std::string::npos);
+  EXPECT_NE(v.find("done_a"), std::string::npos);
+  EXPECT_NE(v.find("sr_v0"), std::string::npos);
+  EXPECT_NE(v.find("en_v4"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+
+  ControlOptions cnt;
+  cnt.style = ControlStyle::kCounter;
+  cnt.mode = anchors::AnchorMode::kFull;
+  const auto unit2 =
+      generate_control(s.f.g, s.analysis, s.result.schedule, cnt);
+  const std::string v2 = unit2.to_verilog(s.f.g, "fig2_cnt");
+  EXPECT_NE(v2.find("cnt_v0"), std::string::npos);
+  EXPECT_NE(v2.find(">= "), std::string::npos);
+}
+
+TEST(ControlGen, ZeroOffsetAnchorsNeedNoState) {
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId v1 = g.add_vertex("v1", cg::Delay::bounded(0));
+  g.add_sequencing_edge(v0, v1);
+  const auto analysis = anchors::AnchorAnalysis::compute(g);
+  const auto result = sched::schedule(g, analysis);
+  ASSERT_TRUE(result.ok());
+  const auto unit = generate_control(g, analysis, result.schedule, {});
+  EXPECT_EQ(unit.cost.flipflops, 0);
+  EXPECT_EQ(unit.cost.gates, 0);
+}
+
+}  // namespace
+}  // namespace relsched::ctrl

@@ -1,0 +1,129 @@
+// Tests of the maximal-defining-path API (Definitions 8-10) and its
+// consistency with the relevant-anchor computation (Definition 9: an
+// anchor is relevant iff a defining path exists).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "anchors/anchor_analysis.hpp"
+#include "testutil.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::anchors {
+namespace {
+
+using relsched::testing::Fig2Graph;
+
+TEST(DefiningPaths, Fig2Lengths) {
+  Fig2Graph f;
+  const auto an = AnchorAnalysis::compute(f.g);
+  // v0's defining paths: v0 -> v1 -> v2 -> v3 -> v4 (lengths exclude
+  // delta(v0)): |rho*(v0, v1)| = 0, v2: 2, v3: 3, v4: 8.
+  EXPECT_EQ(an.maximal_defining_path_length(f.v0, f.v1), 0);
+  EXPECT_EQ(an.maximal_defining_path_length(f.v0, f.v2), 2);
+  EXPECT_EQ(an.maximal_defining_path_length(f.v0, f.v3), 3);
+  EXPECT_EQ(an.maximal_defining_path_length(f.v0, f.v4), 8);
+  // a's defining paths: a -> v3 (0), a -> v3 -> v4 (5).
+  EXPECT_EQ(an.maximal_defining_path_length(f.a, f.v3), 0);
+  EXPECT_EQ(an.maximal_defining_path_length(f.a, f.v4), 5);
+  // No defining path from a to v1.
+  EXPECT_EQ(an.maximal_defining_path_length(f.a, f.v1), graph::kNegInf);
+}
+
+TEST(DefiningPaths, StopsAtSecondUnboundedEdge) {
+  // v0 -> a -> b -> vi: v0's defining paths end at a (the a -> b edge
+  // is unbounded), so vi has no defining path from v0.
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::unbounded());
+  const VertexId b = g.add_vertex("b", cg::Delay::unbounded());
+  const VertexId vi = g.add_vertex("vi", cg::Delay::bounded(1));
+  g.add_sequencing_edge(v0, a);
+  g.add_sequencing_edge(a, b);
+  g.add_sequencing_edge(b, vi);
+  const auto an = AnchorAnalysis::compute(g);
+  EXPECT_EQ(an.maximal_defining_path_length(v0, a), 0);
+  EXPECT_EQ(an.maximal_defining_path_length(v0, b), graph::kNegInf);
+  EXPECT_EQ(an.maximal_defining_path_length(v0, vi), graph::kNegInf);
+  EXPECT_EQ(an.maximal_defining_path_length(b, vi), 0);
+}
+
+TEST(DefiningPaths, FollowsBackwardEdges) {
+  // Defining paths run in the *full* graph: a bounded backward edge can
+  // extend them (the paper's Fig 5(b) discussion).
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::unbounded());
+  const VertexId vj = g.add_vertex("vj", cg::Delay::bounded(1));
+  const VertexId vi = g.add_vertex("vi", cg::Delay::bounded(1));
+  const VertexId vn = g.add_vertex("vn", cg::Delay::bounded(0));
+  g.add_sequencing_edge(v0, a);
+  g.add_sequencing_edge(v0, vi);
+  g.add_sequencing_edge(a, vj);
+  g.add_sequencing_edge(vj, vn);
+  g.add_sequencing_edge(vi, vn);
+  // max constraint vi -> vj (u = 3) adds backward edge (vj -> vi, -3):
+  // a defining path a -> vj -> vi of length 0 + (-3) = -3 exists.
+  g.add_max_constraint(vi, vj, 3);
+  const auto an = AnchorAnalysis::compute(g);
+  EXPECT_EQ(an.maximal_defining_path_length(a, vi), -3);
+  EXPECT_TRUE(an.relevant_set(vi).contains(a));
+}
+
+class DefiningPathConsistency : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DefiningPathConsistency, RelevantIffDefiningPathExists) {
+  // Definition 9 cross-check: the DFS-based relevant computation and
+  // the Bellman-Ford-based defining-path lengths must agree exactly.
+  std::mt19937 rng(GetParam());
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    auto g = relsched::testing::random_constraint_graph(rng, {});
+    if (!g.validate().empty()) continue;
+    if (!wellposed::is_feasible(g)) continue;
+    const auto an = AnchorAnalysis::compute(g);
+    ++checked;
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      const VertexId v(vi);
+      for (VertexId a : an.anchors()) {
+        if (a == v) continue;
+        const bool relevant = an.relevant_set(v).contains(a);
+        const bool has_path =
+            an.maximal_defining_path_length(a, v) != graph::kNegInf;
+        EXPECT_EQ(relevant, has_path)
+            << "anchor " << a << " vertex " << v << " seed " << GetParam();
+      }
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+TEST_P(DefiningPathConsistency, DefiningPathNeverExceedsConeLongestPath) {
+  // |rho*(a, v)| <= length(a, v) = sigma_a^min(v) whenever both exist
+  // (the defining path is one of the paths the longest path ranges
+  // over, within the cone).
+  std::mt19937 rng(GetParam() + 17);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto g = relsched::testing::random_constraint_graph(rng, {});
+    if (!g.validate().empty()) continue;
+    if (wellposed::make_wellposed(g).status != wellposed::Status::kWellPosed) {
+      continue;
+    }
+    const auto an = AnchorAnalysis::compute(g);
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      const VertexId v(vi);
+      for (VertexId a : an.relevant_set(v)) {
+        const auto defining = an.maximal_defining_path_length(a, v);
+        const auto cone = an.length(a, v);
+        if (defining == graph::kNegInf || cone == graph::kNegInf) continue;
+        EXPECT_LE(defining, cone) << "anchor " << a << " vertex " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DefiningPathConsistency,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace relsched::anchors

@@ -1,0 +1,254 @@
+#include "driver/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/report.hpp"
+#include "driver/stats.hpp"
+
+namespace relsched::driver {
+namespace {
+
+using seq::AluOp;
+using seq::OpKind;
+using seq::SeqOp;
+
+SeqOp alu(AluOp op, std::string name) {
+  SeqOp s;
+  s.kind = OpKind::kAlu;
+  s.alu = op;
+  s.name = std::move(name);
+  return s;
+}
+
+/// root: read a; loop { add } ; write r   with the loop unbounded.
+seq::Design make_loop_design() {
+  seq::Design d("loopy");
+  const PortId in = d.add_port("in", 8, seq::PortDirection::kIn);
+  const PortId out = d.add_port("out", 8, seq::PortDirection::kOut);
+
+  const SeqGraphId root_id = d.add_graph("root");
+  const SeqGraphId body_id = d.add_graph("body");
+  const SeqGraphId cond_id = d.add_graph("cond");
+  d.set_root(root_id);
+
+  d.graph(body_id).add_op(alu(AluOp::kAdd, "body_add"));
+  d.graph(cond_id).add_op(alu(AluOp::kNe, "test"));
+
+  seq::SeqGraph& root = d.graph(root_id);
+  SeqOp rd;
+  rd.kind = OpKind::kRead;
+  rd.name = "rd";
+  rd.port = in;
+  const OpId r = root.add_op(std::move(rd));
+  SeqOp loop;
+  loop.kind = OpKind::kLoop;
+  loop.name = "loop";
+  loop.body = body_id;
+  loop.cond_body = cond_id;
+  const OpId l = root.add_op(std::move(loop));
+  SeqOp wr;
+  wr.kind = OpKind::kWrite;
+  wr.name = "wr";
+  wr.port = out;
+  const OpId w = root.add_op(std::move(wr));
+  root.add_dependency(r, l);
+  root.add_dependency(l, w);
+  return d;
+}
+
+/// A purely bounded design: two chained adds and a multiply.
+seq::Design make_bounded_design() {
+  seq::Design d("bounded");
+  const SeqGraphId gid = d.add_graph("root");
+  d.set_root(gid);
+  seq::SeqGraph& g = d.graph(gid);
+  const OpId a = g.add_op(alu(AluOp::kAdd, "a"));
+  const OpId b = g.add_op(alu(AluOp::kAdd, "b"));
+  const OpId m = g.add_op(alu(AluOp::kMul, "m"));
+  g.add_dependency(a, b);
+  g.add_dependency(b, m);
+  return d;
+}
+
+TEST(Synthesize, BoundedDesignGetsBoundedLatency) {
+  auto d = make_bounded_design();
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok()) << result.message;
+  const auto& gs = result.for_graph(d.root());
+  ASSERT_TRUE(gs.latency.is_bounded());
+  // add(1) + add(1) + mul(2) = 4 cycles to the sink.
+  EXPECT_EQ(gs.latency.cycles(), 4);
+  EXPECT_EQ(gs.analysis.anchors().size(), 1u);  // only the source
+}
+
+TEST(Synthesize, LoopMakesParentUnbounded) {
+  auto d = make_loop_design();
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok()) << result.message;
+  EXPECT_EQ(result.graphs.size(), 3u);
+  // Children bounded, root unbounded (contains the loop anchor).
+  for (const auto& gs : result.graphs) {
+    if (gs.graph_id == d.root()) {
+      EXPECT_TRUE(gs.latency.is_unbounded());
+      EXPECT_EQ(gs.analysis.anchors().size(), 2u);  // source + loop
+    } else {
+      EXPECT_TRUE(gs.latency.is_bounded());
+    }
+  }
+}
+
+TEST(Synthesize, CondTakesWorstCaseBranchLatency) {
+  seq::Design d("condy");
+  const SeqGraphId root_id = d.add_graph("root");
+  const SeqGraphId then_id = d.add_graph("then");
+  const SeqGraphId else_id = d.add_graph("else");
+  d.set_root(root_id);
+  // then: one multiply (2 cycles); else: one add (1 cycle).
+  d.graph(then_id).add_op(alu(AluOp::kMul, "m"));
+  d.graph(else_id).add_op(alu(AluOp::kAdd, "a"));
+  SeqOp cond;
+  cond.kind = OpKind::kCond;
+  cond.name = "if";
+  cond.body = then_id;
+  cond.else_body = else_id;
+  d.graph(root_id).add_op(std::move(cond));
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok()) << result.message;
+  const auto& root = result.for_graph(root_id);
+  ASSERT_TRUE(root.latency.is_bounded());
+  EXPECT_EQ(root.latency.cycles(), 2);  // worst case branch (mul)
+}
+
+TEST(Synthesize, CallInheritsChildLatency) {
+  seq::Design d("cally");
+  const SeqGraphId root_id = d.add_graph("root");
+  const SeqGraphId callee_id = d.add_graph("callee");
+  d.set_root(root_id);
+  const OpId x = d.graph(callee_id).add_op(alu(AluOp::kAdd, "x"));
+  const OpId y = d.graph(callee_id).add_op(alu(AluOp::kAdd, "y"));
+  d.graph(callee_id).add_dependency(x, y);
+  SeqOp call;
+  call.kind = OpKind::kCall;
+  call.name = "call";
+  call.body = callee_id;
+  d.graph(root_id).add_op(std::move(call));
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok()) << result.message;
+  EXPECT_EQ(result.for_graph(root_id).latency.cycles(), 2);
+}
+
+TEST(Synthesize, TimingConstraintEnforcedAcrossBinding) {
+  // Two reads of different ports, exact separation of 1 cycle
+  // (the gcd pattern): min 1 and max 1 between them.
+  seq::Design d("sample");
+  const PortId px = d.add_port("x", 8, seq::PortDirection::kIn);
+  const PortId py = d.add_port("y", 8, seq::PortDirection::kIn);
+  const SeqGraphId gid = d.add_graph("root");
+  d.set_root(gid);
+  seq::SeqGraph& g = d.graph(gid);
+  SeqOp ry;
+  ry.kind = OpKind::kRead;
+  ry.name = "read_y";
+  ry.port = py;
+  SeqOp rx;
+  rx.kind = OpKind::kRead;
+  rx.name = "read_x";
+  rx.port = px;
+  const OpId oy = g.add_op(std::move(ry));
+  const OpId ox = g.add_op(std::move(rx));
+  g.add_constraint({oy, ox, 1, /*is_min=*/true});
+  g.add_constraint({oy, ox, 1, /*is_min=*/false});
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok()) << result.message;
+  const auto& gs = result.for_graph(gid);
+  const auto sx = gs.schedule.schedule.offset(VertexId(ox.value()),
+                                              gs.constraint_graph.source());
+  const auto sy = gs.schedule.schedule.offset(VertexId(oy.value()),
+                                              gs.constraint_graph.source());
+  ASSERT_TRUE(sx.has_value() && sy.has_value());
+  EXPECT_EQ(*sx - *sy, 1);  // exactly one cycle apart
+}
+
+TEST(Synthesize, InconsistentConstraintsReported) {
+  seq::Design d("bad");
+  const SeqGraphId gid = d.add_graph("root");
+  d.set_root(gid);
+  seq::SeqGraph& g = d.graph(gid);
+  const OpId a = g.add_op(alu(AluOp::kAdd, "a"));
+  const OpId b = g.add_op(alu(AluOp::kAdd, "b"));
+  g.add_dependency(a, b);
+  g.add_constraint({a, b, 5, /*is_min=*/true});
+  g.add_constraint({a, b, 3, /*is_min=*/false});
+  const auto result = synthesize(d);
+  EXPECT_EQ(result.status, SynthesisStatus::kInfeasible);
+}
+
+TEST(Synthesize, IllPosedConstraintSerializedByMakeWellposed) {
+  // Fig 3(b) as a design: two waits feeding the ends of a max
+  // constraint; makeWellposed must serialize rather than fail.
+  seq::Design d("fix");
+  const PortId p1 = d.add_port("p1", 1, seq::PortDirection::kIn);
+  const PortId p2 = d.add_port("p2", 1, seq::PortDirection::kIn);
+  const SeqGraphId gid = d.add_graph("root");
+  d.set_root(gid);
+  seq::SeqGraph& g = d.graph(gid);
+  SeqOp w1;
+  w1.kind = OpKind::kWait;
+  w1.name = "w1";
+  w1.inputs.push_back(seq::Operand::of_port(p1));
+  SeqOp w2 = w1;
+  w2.name = "w2";
+  w2.inputs[0] = seq::Operand::of_port(p2);
+  const OpId a1 = g.add_op(std::move(w1));
+  const OpId a2 = g.add_op(std::move(w2));
+  const OpId vi = g.add_op(alu(AluOp::kAdd, "vi"));
+  const OpId vj = g.add_op(alu(AluOp::kAdd, "vj"));
+  g.add_dependency(a1, vi);
+  g.add_dependency(a2, vj);
+  g.add_constraint({vi, vj, 4, /*is_min=*/false});
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok()) << result.message;
+  EXPECT_FALSE(result.for_graph(gid).wellposed_fix.added_edges.empty());
+}
+
+TEST(Stats, IrredundantNeverExceedsFull) {
+  auto d = make_loop_design();
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok());
+  const auto stats = compute_stats(result);
+  EXPECT_GT(stats.total_vertices, 0);
+  EXPECT_GE(stats.total_anchors, 3);  // three sources at least
+  EXPECT_LE(stats.sum_irredundant, stats.sum_relevant);
+  EXPECT_LE(stats.sum_relevant, stats.sum_full);
+  EXPECT_LE(stats.max_offset_min, stats.max_offset_full);
+  EXPECT_LE(stats.sum_max_offset_min, stats.sum_max_offset_full);
+}
+
+TEST(Report, DesignReportMentionsAllGraphs) {
+  auto d = make_loop_design();
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok());
+  std::ostringstream os;
+  print_design_report(os, d, result);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("root"), std::string::npos);
+  EXPECT_NE(text.find("body"), std::string::npos);
+  EXPECT_NE(text.find("cond"), std::string::npos);
+  EXPECT_NE(text.find("loopy"), std::string::npos);
+}
+
+TEST(Report, ScheduleTablePrintsOffsets) {
+  auto d = make_bounded_design();
+  const auto result = synthesize(d);
+  ASSERT_TRUE(result.ok());
+  const auto& gs = result.for_graph(d.root());
+  std::ostringstream os;
+  print_schedule_table(os, gs.constraint_graph, gs.analysis,
+                       gs.schedule.schedule);
+  EXPECT_NE(os.str().find("sigma_source"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relsched::driver

@@ -1,0 +1,138 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace relsched::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3 with weights 1/2/3/4.
+  Digraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 3, 2);
+  g.add_arc(0, 2, 3);
+  g.add_arc(2, 3, 4);
+  return g;
+}
+
+TEST(Digraph, AdjacencyBookkeeping) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.arc_count(), 4);
+  EXPECT_EQ(g.out_arcs(0).size(), 2u);
+  EXPECT_EQ(g.in_arcs(3).size(), 2u);
+  EXPECT_EQ(g.arc(g.out_arcs(1)[0]).to, 3);
+}
+
+TEST(TopologicalOrder, DagProducesValidOrder) {
+  const Digraph g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<int> position(4);
+  for (int i = 0; i < 4; ++i) position[static_cast<std::size_t>((*order)[i])] = i;
+  for (const Arc& arc : g.arcs()) {
+    EXPECT_LT(position[static_cast<std::size_t>(arc.from)],
+              position[static_cast<std::size_t>(arc.to)]);
+  }
+}
+
+TEST(TopologicalOrder, CycleReturnsNullopt) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  g.add_arc(2, 0, 1);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(LongestPaths, DiamondTakesHeavierBranch) {
+  const Digraph g = diamond();
+  const auto lp = longest_paths_from(g, 0);
+  EXPECT_FALSE(lp.positive_cycle);
+  EXPECT_EQ(lp.dist[0], 0);
+  EXPECT_EQ(lp.dist[1], 1);
+  EXPECT_EQ(lp.dist[2], 3);
+  EXPECT_EQ(lp.dist[3], 7);  // 0->2->3
+}
+
+TEST(LongestPaths, UnreachableIsNegInf) {
+  Digraph g(3);
+  g.add_arc(0, 1, 5);
+  const auto lp = longest_paths_from(g, 0);
+  EXPECT_EQ(lp.dist[2], kNegInf);
+}
+
+TEST(LongestPaths, NegativeCycleIsAllowed) {
+  // Cycle of total weight -1 must not trip positive-cycle detection.
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 3);
+  g.add_arc(2, 1, -4);
+  const auto lp = longest_paths_from(g, 0);
+  EXPECT_FALSE(lp.positive_cycle);
+  EXPECT_EQ(lp.dist[1], 2);
+  EXPECT_EQ(lp.dist[2], 5);
+}
+
+TEST(LongestPaths, ZeroWeightCycleIsAllowed) {
+  Digraph g(3);
+  g.add_arc(0, 1, 2);
+  g.add_arc(1, 2, 3);
+  g.add_arc(2, 1, -3);
+  const auto lp = longest_paths_from(g, 0);
+  EXPECT_FALSE(lp.positive_cycle);
+  EXPECT_EQ(lp.dist[2], 5);
+}
+
+TEST(LongestPaths, PositiveCycleDetected) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1);
+  g.add_arc(1, 2, 1);
+  g.add_arc(2, 1, 0);  // cycle 1->2->1 of weight +1
+  const auto lp = longest_paths_from(g, 0);
+  EXPECT_TRUE(lp.positive_cycle);
+}
+
+TEST(LongestPaths, PositiveCycleUnreachableFromSourceIgnored) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1);
+  g.add_arc(2, 3, 1);
+  g.add_arc(3, 2, 1);  // positive cycle, but not reachable from 0
+  const auto lp = longest_paths_from(g, 0);
+  EXPECT_FALSE(lp.positive_cycle);
+  EXPECT_EQ(lp.dist[1], 1);
+}
+
+TEST(DagLongestPaths, MatchesBellmanFordOnDag) {
+  const Digraph g = diamond();
+  const auto topo = topological_order(g);
+  ASSERT_TRUE(topo.has_value());
+  const auto fast = dag_longest_paths_from(g, 0, *topo);
+  const auto slow = longest_paths_from(g, 0);
+  EXPECT_EQ(fast, slow.dist);
+}
+
+TEST(Reachability, ForwardAndBackward) {
+  Digraph g(4);
+  g.add_arc(0, 1, 0);
+  g.add_arc(1, 2, 0);
+  const auto fwd = reachable_from(g, 0);
+  EXPECT_TRUE(fwd[0] && fwd[1] && fwd[2]);
+  EXPECT_FALSE(fwd[3]);
+  const auto bwd = reaching(g, 2);
+  EXPECT_TRUE(bwd[0] && bwd[1] && bwd[2]);
+  EXPECT_FALSE(bwd[3]);
+}
+
+TEST(TransitiveClosure, MatchesPerNodeFloods) {
+  const Digraph g = diamond();
+  const auto closure = transitive_closure(g);
+  for (int v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(closure[static_cast<std::size_t>(v)], reachable_from(g, v));
+  }
+}
+
+}  // namespace
+}  // namespace relsched::graph

@@ -1,0 +1,93 @@
+#include "cg/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+#include "testutil.hpp"
+
+namespace relsched::cg {
+namespace {
+
+using relsched::testing::Fig2Graph;
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  Fig2Graph f;
+  const std::string text = to_text(f.g);
+  const auto parsed = from_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ConstraintGraph& g2 = *parsed.graph;
+  EXPECT_EQ(g2.name(), f.g.name());
+  ASSERT_EQ(g2.vertex_count(), f.g.vertex_count());
+  ASSERT_EQ(g2.edge_count(), f.g.edge_count());
+  for (int i = 0; i < f.g.vertex_count(); ++i) {
+    EXPECT_EQ(g2.vertex(VertexId(i)).name, f.g.vertex(VertexId(i)).name);
+    EXPECT_EQ(g2.vertex(VertexId(i)).delay, f.g.vertex(VertexId(i)).delay);
+  }
+  for (int i = 0; i < f.g.edge_count(); ++i) {
+    const Edge& a = f.g.edge(EdgeId(i));
+    const Edge& b = g2.edge(EdgeId(i));
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.fixed_weight, b.fixed_weight);
+  }
+}
+
+TEST(GraphIo, RoundTripPreservesSchedule) {
+  Fig2Graph f;
+  const auto parsed = from_text(to_text(f.g));
+  ASSERT_TRUE(parsed.ok());
+  const auto original = sched::schedule(f.g);
+  const auto reparsed = sched::schedule(*parsed.graph);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reparsed.ok());
+  for (int i = 0; i < f.g.vertex_count(); ++i) {
+    EXPECT_EQ(original.schedule.offsets(VertexId(i)),
+              reparsed.schedule.offsets(VertexId(i)));
+  }
+}
+
+TEST(GraphIo, ParsesHandWrittenGraph) {
+  const auto parsed = from_text(R"(
+# a tiny example
+graph demo
+vertex v0 0
+vertex a unbounded
+vertex v1 3
+seq v0 a
+seq a v1
+min v0 v1 2
+max v0 v1 9
+)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const ConstraintGraph& g = *parsed.graph;
+  EXPECT_EQ(g.vertex_count(), 3);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_TRUE(g.vertex(VertexId(1)).delay.is_unbounded());
+  EXPECT_EQ(g.backward_edge_count(), 1);
+}
+
+TEST(GraphIo, ErrorsNameTheLine) {
+  EXPECT_NE(from_text("graph g\nvertex v0 0\nseq v0 missing\n").error.find(
+                "line 3"),
+            std::string::npos);
+  EXPECT_FALSE(from_text("vertex v0 0\n").ok());          // missing header
+  EXPECT_FALSE(from_text("graph g\nvertex v0 -2\n").ok());  // bad delay
+  EXPECT_FALSE(from_text("graph g\nbogus a b\n").ok());     // bad keyword
+  EXPECT_FALSE(from_text("").ok());                         // empty
+  EXPECT_FALSE(
+      from_text("graph g\nvertex v 0\nvertex v 0\n").ok());  // duplicate
+  EXPECT_FALSE(
+      from_text("graph g\nvertex a 0\nvertex b 0\nmin a b -1\n").ok());
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored)
+{
+  const auto parsed = from_text(
+      "graph g   # name\n\n# full-line comment\nvertex v0 0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.graph->vertex_count(), 1);
+}
+
+}  // namespace
+}  // namespace relsched::cg

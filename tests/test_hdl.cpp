@@ -1,0 +1,499 @@
+#include "hdl/lower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdl/lexer.hpp"
+#include "hdl/parser.hpp"
+
+namespace relsched::hdl {
+namespace {
+
+// ---- Lexer -----------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  DiagnosticSink sink;
+  const auto tokens =
+      lex("process while <= >> != && x 42 0x2A 0b101010", sink);
+  ASSERT_FALSE(sink.has_errors());
+  ASSERT_EQ(tokens.size(), 11u);  // 10 tokens + eof
+  EXPECT_EQ(tokens[0].kind, TokenKind::kProcess);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kWhile);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kShr);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kAmpAmp);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[6].text, "x");
+  EXPECT_EQ(tokens[7].number, 42);
+  EXPECT_EQ(tokens[8].number, 42);   // hex
+  EXPECT_EQ(tokens[9].number, 42);   // binary
+  EXPECT_EQ(tokens[10].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, SkipsBothCommentStyles) {
+  DiagnosticSink sink;
+  const auto tokens = lex("a // line\n /* block\n comment */ b", sink);
+  ASSERT_FALSE(sink.has_errors());
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticSink sink;
+  const auto tokens = lex("a\n  b", sink);
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(Lexer, ReportsUnterminatedComment) {
+  DiagnosticSink sink;
+  lex("a /* never closed", sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Lexer, ReportsUnknownCharacter) {
+  DiagnosticSink sink;
+  lex("a $ b", sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+std::optional<Program> parse_ok(std::string_view src) {
+  DiagnosticSink sink;
+  auto program = parse(src, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  return program;
+}
+
+TEST(Parser, MinimalProcess) {
+  auto program = parse_ok("process p () { }");
+  ASSERT_TRUE(program.has_value());
+  ASSERT_EQ(program->processes.size(), 1u);
+  EXPECT_EQ(program->processes[0].name, "p");
+}
+
+TEST(Parser, DeclarationsAndWidths) {
+  auto program = parse_ok(R"(
+    process p (a, b) {
+      in port a[8], flag;
+      out port b[16];
+      boolean x[4], y;
+      tag t1, t2;
+    })");
+  ASSERT_TRUE(program.has_value());
+  const auto& proc = program->processes[0];
+  ASSERT_EQ(proc.ports.size(), 3u);
+  EXPECT_EQ(proc.ports[0].width, 8);
+  EXPECT_EQ(proc.ports[1].width, 1);
+  EXPECT_FALSE(proc.ports[2].is_input);
+  ASSERT_EQ(proc.vars.size(), 2u);
+  EXPECT_EQ(proc.vars[0].width, 4);
+  ASSERT_EQ(proc.tags.size(), 2u);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto program = parse_ok(R"(
+    process p () {
+      boolean x[8];
+      x = 1 + 2 * 3;
+    })");
+  ASSERT_TRUE(program.has_value());
+  const Stmt& assign = *program->processes[0].body[0];
+  ASSERT_EQ(assign.kind, Stmt::Kind::kAssign);
+  // Root must be '+' with '*' nested on the right.
+  EXPECT_EQ(assign.expr->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(assign.expr->rhs->binary_op, BinaryOp::kMul);
+}
+
+TEST(Parser, ComparisonInsideParallelBlockDisambiguated) {
+  auto program = parse_ok(R"(
+    process p () {
+      boolean x[8], y[8];
+      < y = x; x = y; >
+      x = x < y;
+    })");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_EQ(program->processes[0].body[0]->kind, Stmt::Kind::kParallel);
+  EXPECT_EQ(program->processes[0].body[1]->expr->binary_op, BinaryOp::kLt);
+}
+
+TEST(Parser, TaggedStatementsAndConstraints) {
+  auto program = parse_ok(R"(
+    process p (i) {
+      in port i[8];
+      boolean x[8], y[8];
+      tag a, b;
+      constraint mintime from a to b = 1 cycles;
+      constraint maxtime from a to b = 3 cycles;
+      a: x = read(i);
+      b: y = read(i);
+    })");
+  ASSERT_TRUE(program.has_value());
+  const auto& body = program->processes[0].body;
+  ASSERT_EQ(body.size(), 4u);
+  EXPECT_EQ(body[0]->kind, Stmt::Kind::kConstraint);
+  EXPECT_TRUE(body[0]->constraint_is_min);
+  EXPECT_FALSE(body[1]->constraint_is_min);
+  EXPECT_EQ(body[1]->cycles, 3);
+  EXPECT_EQ(body[2]->tag, "a");
+  EXPECT_EQ(body[3]->tag, "b");
+}
+
+TEST(Parser, ControlFlowNests) {
+  auto program = parse_ok(R"(
+    process p (c) {
+      in port c;
+      boolean x[8];
+      while (c) {
+        if (x == 0) x = 1; else x = 2;
+        repeat { x = x - 1; } until (x == 0);
+      }
+      wait (c);
+      wait (!c);
+    })");
+  ASSERT_TRUE(program.has_value());
+  EXPECT_EQ(program->processes[0].body[0]->kind, Stmt::Kind::kWhile);
+  EXPECT_EQ(program->processes[0].body[1]->kind, Stmt::Kind::kWait);
+}
+
+TEST(Parser, ErrorOnMissingSemicolon) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(parse("process p () { boolean x; x = 1 }", sink).has_value());
+  EXPECT_TRUE(sink.has_errors());
+}
+
+// ---- Lowering --------------------------------------------------------------
+
+TEST(Lower, SimpleAssignChainHasRawDeps) {
+  auto design = compile_single(R"(
+    process p () {
+      boolean x[8], y[8];
+      x = 1;
+      y = x + 2;
+    })");
+  const seq::SeqGraph& g = design.graph(design.root());
+  // ops: source, sink, assign x, alu add, assign y.
+  ASSERT_EQ(g.op_count(), 5);
+  // RAW: assign-x -> add, add -> assign-y.
+  bool raw_found = false;
+  for (const auto& [from, to] : g.dependencies()) {
+    if (g.op(from).kind == seq::OpKind::kAssign &&
+        g.op(to).kind == seq::OpKind::kAlu) {
+      raw_found = true;
+    }
+  }
+  EXPECT_TRUE(raw_found);
+}
+
+TEST(Lower, WarDependencyOrdersReadBeforeOverwrite) {
+  auto design = compile_single(R"(
+    process p () {
+      boolean x[8], y[8];
+      x = 1;
+      y = x;
+      x = 2;
+    })");
+  const seq::SeqGraph& g = design.graph(design.root());
+  // The second write of x must depend on the reader (assign y reads x).
+  OpId first_x, y_assign, second_x;
+  for (const auto& op : g.ops()) {
+    if (op.kind != seq::OpKind::kAssign) continue;
+    if (op.name.rfind("x=", 0) == 0) {
+      if (!first_x.is_valid()) {
+        first_x = op.id;
+      } else {
+        second_x = op.id;
+      }
+    }
+    if (op.name.rfind("y=", 0) == 0) y_assign = op.id;
+  }
+  ASSERT_TRUE(first_x.is_valid() && y_assign.is_valid() && second_x.is_valid());
+  bool war = false;
+  bool waw = false;
+  for (const auto& [from, to] : g.dependencies()) {
+    if (from == y_assign && to == second_x) war = true;
+    if (from == first_x && to == second_x) waw = true;
+  }
+  EXPECT_TRUE(war);
+  EXPECT_TRUE(waw);
+}
+
+TEST(Lower, ParallelSwapHasNoCrossDeps) {
+  auto design = compile_single(R"(
+    process p () {
+      boolean x[8], y[8];
+      x = 1;
+      y = 2;
+      < y = x; x = y; >
+    })");
+  const seq::SeqGraph& g = design.graph(design.root());
+  OpId swap_y, swap_x;  // the two assigns inside the parallel block
+  int xa = 0, ya = 0;
+  for (const auto& op : g.ops()) {
+    if (op.kind != seq::OpKind::kAssign) continue;
+    if (op.name.rfind("x=", 0) == 0 && ++xa == 2) swap_x = op.id;
+    if (op.name.rfind("y=", 0) == 0 && ++ya == 2) swap_y = op.id;
+  }
+  ASSERT_TRUE(swap_x.is_valid() && swap_y.is_valid());
+  for (const auto& [from, to] : g.dependencies()) {
+    EXPECT_FALSE(from == swap_y && to == swap_x);
+    EXPECT_FALSE(from == swap_x && to == swap_y);
+  }
+}
+
+TEST(Lower, ParallelDoubleWriteRejected) {
+  const auto result = compile(R"(
+    process p () {
+      boolean x[8];
+      < x = 1; x = 2; >
+    })");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Lower, WhileBecomesLoopWithCondGraph) {
+  auto design = compile_single(R"(
+    process p (c) {
+      in port c;
+      boolean x[8];
+      while (x < 8) {
+        x = x + 1;
+      }
+    })");
+  ASSERT_EQ(design.graph_count(), 3);  // root + cond + body
+  const seq::SeqGraph& root = design.graph(design.root());
+  const seq::SeqOp* loop = nullptr;
+  for (const auto& op : root.ops()) {
+    if (op.kind == seq::OpKind::kLoop) loop = &op;
+  }
+  ASSERT_NE(loop, nullptr);
+  EXPECT_TRUE(loop->body.is_valid());
+  EXPECT_TRUE(loop->cond_body.is_valid());
+  EXPECT_EQ(loop->condition.kind, seq::Operand::Kind::kOpResult);
+  EXPECT_EQ(design.graph(loop->body).loop_test(), seq::LoopTest::kPreTest);
+}
+
+TEST(Lower, PortInExpressionSynthesizesRead) {
+  auto design = compile_single(R"(
+    process p (c) {
+      in port c;
+      boolean x[8];
+      while (c)
+        ;
+      x = 1;
+    })");
+  const seq::SeqOp* loop = nullptr;
+  for (const auto& op : design.graph(design.root()).ops()) {
+    if (op.kind == seq::OpKind::kLoop) loop = &op;
+  }
+  ASSERT_NE(loop, nullptr);
+  const seq::SeqGraph& cond = design.graph(loop->cond_body);
+  bool has_read = false;
+  for (const auto& op : cond.ops()) {
+    if (op.kind == seq::OpKind::kRead) has_read = true;
+  }
+  EXPECT_TRUE(has_read);
+}
+
+TEST(Lower, LoopInheritsChildUsageDependencies) {
+  auto design = compile_single(R"(
+    process p () {
+      boolean x[8], y[8];
+      x = 5;
+      while (x != 0) {
+        x = x - 1;
+      }
+      y = x;
+    })");
+  const seq::SeqGraph& root = design.graph(design.root());
+  OpId init_x, loop_op, y_assign;
+  for (const auto& op : root.ops()) {
+    if (op.kind == seq::OpKind::kAssign && op.name.rfind("x=", 0) == 0) {
+      init_x = op.id;
+    }
+    if (op.kind == seq::OpKind::kLoop) loop_op = op.id;
+    if (op.kind == seq::OpKind::kAssign && op.name.rfind("y=", 0) == 0) {
+      y_assign = op.id;
+    }
+  }
+  ASSERT_TRUE(init_x.is_valid() && loop_op.is_valid() && y_assign.is_valid());
+  bool init_to_loop = false, loop_to_read = false;
+  for (const auto& [from, to] : root.dependencies()) {
+    if (from == init_x && to == loop_op) init_to_loop = true;
+    if (from == loop_op && to == y_assign) loop_to_read = true;
+  }
+  EXPECT_TRUE(init_to_loop);
+  EXPECT_TRUE(loop_to_read);
+}
+
+TEST(Lower, WaitFencesPriorPortWrites) {
+  // The awaited signal may be a device's response to earlier writes:
+  // every prior port write must be a dependency predecessor of the wait.
+  auto design = compile_single(R"(
+    process p (ack, req, other) {
+      in port ack;
+      out port req, other;
+      write req = 1;
+      write other = 1;
+      wait (ack);
+      write req = 0;
+    })");
+  const seq::SeqGraph& g = design.graph(design.root());
+  OpId wait_op, req1, other1;
+  for (const auto& op : g.ops()) {
+    if (op.kind == seq::OpKind::kWait) wait_op = op.id;
+    if (op.kind == seq::OpKind::kWrite && op.name.rfind("write_req", 0) == 0 &&
+        !req1.is_valid()) {
+      req1 = op.id;
+    }
+    if (op.kind == seq::OpKind::kWrite && op.name.rfind("write_other", 0) == 0) {
+      other1 = op.id;
+    }
+  }
+  ASSERT_TRUE(wait_op.is_valid() && req1.is_valid() && other1.is_valid());
+  bool req_fenced = false, other_fenced = false;
+  for (const auto& [from, to] : g.dependencies()) {
+    if (from == req1 && to == wait_op) req_fenced = true;
+    if (from == other1 && to == wait_op) other_fenced = true;
+  }
+  EXPECT_TRUE(req_fenced);
+  EXPECT_TRUE(other_fenced);
+}
+
+TEST(Lower, LoopFencesPriorPortWrites) {
+  auto design = compile_single(R"(
+    process p (busy, go) {
+      in port busy;
+      out port go;
+      write go = 1;
+      while (busy)
+        ;
+      write go = 0;
+    })");
+  const seq::SeqGraph& g = design.graph(design.root());
+  OpId loop_op, go1;
+  for (const auto& op : g.ops()) {
+    if (op.kind == seq::OpKind::kLoop) loop_op = op.id;
+    if (op.kind == seq::OpKind::kWrite && !go1.is_valid()) go1 = op.id;
+  }
+  ASSERT_TRUE(loop_op.is_valid() && go1.is_valid());
+  bool fenced = false;
+  for (const auto& [from, to] : g.dependencies()) {
+    if (from == go1 && to == loop_op) fenced = true;
+  }
+  EXPECT_TRUE(fenced);
+}
+
+TEST(Lower, ConstraintsAttachToTaggedOps) {
+  auto design = compile_single(R"(
+    process p (i, j) {
+      in port i[8], j[8];
+      boolean x[8], y[8];
+      tag a, b;
+      constraint mintime from a to b = 1 cycles;
+      constraint maxtime from a to b = 1 cycles;
+      a: y = read(j);
+      b: x = read(i);
+    })");
+  const seq::SeqGraph& root = design.graph(design.root());
+  ASSERT_EQ(root.constraints().size(), 2u);
+  const auto& c = root.constraints()[0];
+  // The tag binds to the first op of the statement: the read.
+  EXPECT_EQ(root.op(c.from).kind, seq::OpKind::kRead);
+  EXPECT_EQ(root.op(c.to).kind, seq::OpKind::kRead);
+}
+
+TEST(Lower, SemanticErrors) {
+  EXPECT_FALSE(compile("process p () { x = 1; }").ok());  // unknown var
+  EXPECT_FALSE(compile(R"(
+    process p (o) { out port o[8]; boolean x[8]; x = read(o); })")
+                   .ok());  // read of out port
+  EXPECT_FALSE(compile(R"(
+    process p (i) { in port i[8]; write i = 1; })")
+                   .ok());  // write to in port
+  EXPECT_FALSE(compile(R"(
+    process p (i) { in port i[8]; boolean x[8]; i = 1; })")
+                   .ok());  // assign to port
+  EXPECT_FALSE(compile(R"(
+    process p () {
+      boolean x[8];
+      tag a;
+      constraint mintime from a to a = 1 cycles;
+      x = 1;
+    })")
+                   .ok());  // unbound tag
+}
+
+TEST(Lower, ProcedureSharedAcrossCallSites) {
+  auto design = compile_single(R"(
+    process p (o) {
+      out port o[8];
+      boolean x[8];
+      proc bump {
+        x = x + 1;
+      }
+      x = 0;
+      call bump;
+      call bump;
+      write o = x;
+    })");
+  // One proc graph, shared by two call ops.
+  int call_ops = 0;
+  SeqGraphId proc_graph = SeqGraphId::invalid();
+  for (const auto& op : design.graph(design.root()).ops()) {
+    if (op.kind == seq::OpKind::kCall) {
+      ++call_ops;
+      if (proc_graph.is_valid()) {
+        EXPECT_EQ(op.body, proc_graph);  // same callee graph
+      }
+      proc_graph = op.body;
+    }
+  }
+  EXPECT_EQ(call_ops, 2);
+  ASSERT_TRUE(proc_graph.is_valid());
+  EXPECT_EQ(design.graph(proc_graph).name(), "proc_bump");
+  // Dataflow through the calls: x=0 -> call -> call -> write (the call
+  // op inherits the procedure's variable usage).
+  const seq::SeqGraph& root = design.graph(design.root());
+  int call_deps = 0;
+  for (const auto& [from, to] : root.dependencies()) {
+    if (root.op(to).kind == seq::OpKind::kCall ||
+        root.op(from).kind == seq::OpKind::kCall) {
+      ++call_deps;
+    }
+  }
+  EXPECT_GE(call_deps, 3);
+}
+
+TEST(Lower, RecursiveProcedureRejected) {
+  EXPECT_FALSE(compile(R"(
+    process p () {
+      boolean x[8];
+      proc loop_forever {
+        x = x + 1;
+        call loop_forever;
+      }
+      call loop_forever;
+    })")
+                   .ok());
+}
+
+TEST(Lower, UnknownProcedureRejected) {
+  EXPECT_FALSE(compile("process p () { call nope; }").ok());
+}
+
+TEST(Lower, MultipleProcessesYieldMultipleDesigns) {
+  const auto result = compile(R"(
+    process p1 () { boolean x[8]; x = 1; }
+    process p2 () { boolean y[8]; y = 2; }
+  )");
+  ASSERT_TRUE(result.ok()) << result.diagnostics.to_string();
+  ASSERT_EQ(result.designs.size(), 2u);
+  EXPECT_EQ(result.designs[0].name(), "p1");
+  EXPECT_EQ(result.designs[1].name(), "p2");
+}
+
+}  // namespace
+}  // namespace relsched::hdl

@@ -1,0 +1,93 @@
+#include "sched/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "testutil.hpp"
+
+namespace relsched::sched {
+namespace {
+
+using relsched::testing::Fig2Graph;
+
+TEST(Mobility, ChainHasZeroMobilityEverywhere) {
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::bounded(2));
+  const VertexId b = g.add_vertex("b", cg::Delay::bounded(3));
+  g.add_sequencing_edge(v0, a);
+  g.add_sequencing_edge(a, b);
+  const auto m = compute_mobility(g);
+  EXPECT_EQ(m.schedule_length, 2);  // start of b
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    EXPECT_EQ(m.mobility[static_cast<std::size_t>(vi)], 0) << vi;
+    EXPECT_TRUE(m.is_critical(VertexId(vi)));
+  }
+}
+
+TEST(Mobility, ShortBranchOfDiamondHasSlack) {
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId slow = g.add_vertex("slow", cg::Delay::bounded(5));
+  const VertexId fast = g.add_vertex("fast", cg::Delay::bounded(1));
+  const VertexId join = g.add_vertex("join", cg::Delay::bounded(0));
+  g.add_sequencing_edge(v0, slow);
+  g.add_sequencing_edge(v0, fast);
+  g.add_sequencing_edge(slow, join);
+  g.add_sequencing_edge(fast, join);
+  const auto m = compute_mobility(g);
+  EXPECT_EQ(m.schedule_length, 5);
+  EXPECT_EQ(m.mobility[slow.index()], 0);
+  EXPECT_EQ(m.mobility[fast.index()], 4);  // can start as late as cycle 4
+  EXPECT_EQ(m.alap[fast.index()], 4);
+  EXPECT_TRUE(m.is_critical(slow));
+  EXPECT_FALSE(m.is_critical(fast));
+}
+
+TEST(Mobility, Fig2CriticalPathThroughV1V2V3) {
+  Fig2Graph f;
+  const auto m = compute_mobility(f.g);
+  EXPECT_EQ(m.schedule_length, 8);  // start of v4
+  EXPECT_TRUE(m.is_critical(f.v1));
+  EXPECT_TRUE(m.is_critical(f.v2));
+  EXPECT_TRUE(m.is_critical(f.v3));
+  EXPECT_TRUE(m.is_critical(f.v4));
+  // The anchor path v0 -> a -> v3 is shorter (0 vs 3): a has slack 3.
+  EXPECT_EQ(m.mobility[f.a.index()], 3);
+}
+
+class MobilityInvariants : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MobilityInvariants, AsapAtMostAlapAndBoundsRespected) {
+  std::mt19937 rng(GetParam());
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto g = relsched::testing::random_constraint_graph(rng, {});
+    if (!g.validate().empty()) continue;
+    const auto m = compute_mobility(g);
+    ++checked;
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      const std::size_t i = static_cast<std::size_t>(vi);
+      EXPECT_LE(m.asap[i], m.alap[i]);
+      EXPECT_GE(m.mobility[i], 0);
+      EXPECT_LE(m.alap[i], m.schedule_length);
+    }
+    // Source and sink are always critical.
+    EXPECT_EQ(m.mobility[g.source().index()], 0);
+    EXPECT_EQ(m.mobility[g.sink().index()], 0);
+    // Every forward edge respects ALAP ordering too.
+    for (const auto& e : g.edges()) {
+      if (!cg::is_forward(e.kind)) continue;
+      EXPECT_LE(m.alap[e.from.index()] + g.weight(e.id).value,
+                m.alap[e.to.index()]);
+    }
+  }
+  EXPECT_GT(checked, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MobilityInvariants,
+                         ::testing::Values(3u, 7u, 19u, 37u));
+
+}  // namespace
+}  // namespace relsched::sched

@@ -1,0 +1,387 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+#include "hdl/lower.hpp"
+
+namespace relsched::sim {
+namespace {
+
+struct Synthesized {
+  seq::Design design;
+  driver::SynthesisResult result;
+
+  explicit Synthesized(std::string_view source)
+      : design(hdl::compile_single(source)) {
+    result = driver::synthesize(design);
+    EXPECT_TRUE(result.ok()) << result.message;
+  }
+};
+
+TEST(Stimulus, StepFunctionSemantics) {
+  seq::Design d("d");
+  const PortId p = d.add_port("p", 8, seq::PortDirection::kIn);
+  Stimulus s;
+  s.set(p, 5, 42);
+  s.set(p, 10, 7);
+  EXPECT_EQ(s.value_at(p, 0), 0);
+  EXPECT_EQ(s.value_at(p, 5), 42);
+  EXPECT_EQ(s.value_at(p, 9), 42);
+  EXPECT_EQ(s.value_at(p, 10), 7);
+  EXPECT_EQ(s.value_at(p, 100), 7);
+  // Overwriting a step replaces it.
+  s.set(p, 10, 8);
+  EXPECT_EQ(s.value_at(p, 10), 8);
+}
+
+TEST(Simulator, StraightLineDataflow) {
+  Synthesized s(R"(
+    process p (o) {
+      out port o[8];
+      boolean x[8], y[8];
+      x = 5;
+      y = x + 3;
+      write o = y * 2;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  EXPECT_FALSE(r.timed_out);
+  const PortId o = *s.design.find_port("o");
+  ASSERT_EQ(r.port_writes.at(o).size(), 1u);
+  EXPECT_EQ(r.port_writes.at(o)[0].second, 16);
+}
+
+TEST(Simulator, WidthMaskingWrapsValues) {
+  Synthesized s(R"(
+    process p (o) {
+      out port o[4];
+      boolean x[4];
+      x = 15;
+      x = x + 1;   // wraps to 0 in 4 bits
+      write o = x + 17;  // 0 + 17 masked to 4 bits = 1
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  const PortId o = *s.design.find_port("o");
+  EXPECT_EQ(r.port_writes.at(o)[0].second, 1);
+}
+
+TEST(Simulator, ParallelSwapExchangesValues) {
+  Synthesized s(R"(
+    process p (ox, oy) {
+      out port ox[8], oy[8];
+      boolean x[8], y[8];
+      x = 3;
+      y = 9;
+      < y = x; x = y; >
+      write ox = x;
+      write oy = y;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("ox"))[0].second, 9);
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("oy"))[0].second, 3);
+}
+
+TEST(Simulator, SequentialZeroDelayChainForwards) {
+  Synthesized s(R"(
+    process p (o) {
+      out port o[8];
+      boolean x[8], y[8];
+      x = 1;
+      y = x;   // same cycle, but dependency-ordered: sees the new x
+      write o = y;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("o"))[0].second, 1);
+}
+
+TEST(Simulator, WhileLoopCountsDataDependently) {
+  Synthesized s(R"(
+    process p (n, o) {
+      in port n[8];
+      out port o[8];
+      boolean x[8], sum[8];
+      x = read(n);
+      sum = 0;
+      while (x != 0) {
+        sum = sum + x;
+        x = x - 1;
+      }
+      write o = sum;
+    })");
+  for (int n : {0, 1, 5}) {
+    Stimulus stim;
+    stim.set(s.design, "n", 0, n);
+    Simulator sim(s.design, s.result, stim);
+    const auto r = sim.run();
+    EXPECT_FALSE(r.timed_out);
+    EXPECT_EQ(r.port_writes.at(*s.design.find_port("o")).back().second,
+              n * (n + 1) / 2)
+        << "n=" << n;
+  }
+}
+
+TEST(Simulator, RepeatUntilRunsBodyAtLeastOnce) {
+  Synthesized s(R"(
+    process p (o) {
+      out port o[8];
+      boolean x[8];
+      x = 9;
+      repeat {
+        x = x - 2;
+      } until (x < 4);
+      write o = x;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("o"))[0].second, 3);
+}
+
+TEST(Simulator, ConditionalTakesCorrectBranch) {
+  Synthesized s(R"(
+    process p (sel, o) {
+      in port sel;
+      out port o[8];
+      boolean x[8];
+      if (sel) {
+        x = 11;
+      } else {
+        x = 22;
+      }
+      write o = x;
+    })");
+  for (int sel : {0, 1}) {
+    Stimulus stim;
+    stim.set(s.design, "sel", 0, sel);
+    Simulator sim(s.design, s.result, stim);
+    const auto r = sim.run();
+    EXPECT_EQ(r.port_writes.at(*s.design.find_port("o")).back().second,
+              sel ? 11 : 22);
+  }
+}
+
+TEST(Simulator, WaitBlocksUntilLevel) {
+  Synthesized s(R"(
+    process p (go, o) {
+      in port go;
+      out port o[8];
+      wait (go);
+      write o = 1;
+    })");
+  Stimulus stim;
+  stim.set(s.design, "go", 7, 1);
+  Simulator sim(s.design, s.result, stim);
+  const auto r = sim.run();
+  ASSERT_EQ(r.port_writes.at(*s.design.find_port("o")).size(), 1u);
+  // wait completes at cycle 7; the 1-cycle write drives the port at 8.
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("o"))[0].first, 8);
+}
+
+TEST(Simulator, WaitForLowLevel) {
+  Synthesized s(R"(
+    process p (busy, o) {
+      in port busy;
+      out port o[8];
+      wait (!busy);
+      write o = 1;
+    })");
+  Stimulus stim;
+  stim.set(s.design, "busy", 0, 1);
+  stim.set(s.design, "busy", 5, 0);
+  Simulator sim(s.design, s.result, stim);
+  const auto r = sim.run();
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("o"))[0].first, 6);
+}
+
+TEST(Simulator, TimesOutWhenWaitNeverSatisfied) {
+  Synthesized s(R"(
+    process p (go, o) {
+      in port go;
+      out port o[8];
+      wait (go);
+      write o = 1;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  SimOptions opts;
+  opts.max_cycles = 50;
+  const auto r = sim.run(opts);
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(Simulator, ProcedureCallsExecuteSharedBody) {
+  Synthesized s(R"(
+    process p (o) {
+      out port o[8];
+      boolean x[8];
+      proc twice {
+        x = x * 2;
+      }
+      x = 3;
+      call twice;
+      call twice;
+      write o = x;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(r.port_writes.at(*s.design.find_port("o"))[0].second, 12);
+}
+
+TEST(Simulator, GcdComputesCorrectValues) {
+  auto design = designs::build("gcd");
+  auto result = driver::synthesize(design);
+  ASSERT_TRUE(result.ok()) << result.message;
+  struct Case {
+    int x, y, expected;
+  };
+  for (const Case c : {Case{12, 8, 4}, Case{35, 21, 7}, Case{13, 7, 1},
+                       Case{9, 9, 9}, Case{0, 5, 0}}) {
+    Stimulus stim;
+    stim.set(design, "restart", 0, 1);
+    stim.set(design, "restart", 3, 0);  // release restart
+    stim.set(design, "xin", 0, c.x);
+    stim.set(design, "yin", 0, c.y);
+    Simulator sim(design, result, stim);
+    const auto r = sim.run();
+    ASSERT_FALSE(r.timed_out) << c.x << "," << c.y;
+    const PortId res = *design.find_port("result");
+    ASSERT_FALSE(r.port_writes.at(res).empty());
+    EXPECT_EQ(r.port_writes.at(res).back().second, c.expected)
+        << "gcd(" << c.x << "," << c.y << ")";
+  }
+}
+
+TEST(Simulator, GcdSamplingWaitsForRestartToFall) {
+  // The restart polling loop is a synchronization barrier: the inputs
+  // must not be sampled while restart is still high (Fig 14).
+  auto design = designs::build("gcd");
+  auto result = driver::synthesize(design);
+  ASSERT_TRUE(result.ok());
+  Stimulus stim;
+  stim.set(design, "restart", 0, 1);
+  stim.set(design, "restart", 6, 0);
+  stim.set(design, "xin", 0, 10);
+  stim.set(design, "yin", 0, 4);
+  Simulator sim(design, result, stim);
+  const auto r = sim.run();
+  ASSERT_FALSE(r.timed_out);
+  for (const TraceEvent& e : r.events) {
+    if (e.kind == TraceEvent::Kind::kReadSample &&
+        (e.label == "xin" || e.label == "yin")) {
+      EXPECT_GE(e.cycle, 6) << e.label << " sampled while restart high";
+    }
+  }
+}
+
+TEST(Simulator, GcdSamplesYExactlyOneCycleBeforeX) {
+  auto design = designs::build("gcd");
+  auto result = driver::synthesize(design);
+  ASSERT_TRUE(result.ok());
+  Stimulus stim;
+  stim.set(design, "restart", 0, 1);
+  stim.set(design, "restart", 4, 0);
+  stim.set(design, "xin", 0, 30);
+  stim.set(design, "yin", 0, 18);
+  Simulator sim(design, result, stim);
+  const auto r = sim.run();
+  ASSERT_FALSE(r.timed_out);
+  // Both timing constraints (min 1, max 1 between the two samples) must
+  // be satisfied by the observed start times.
+  EXPECT_TRUE(r.all_constraints_satisfied());
+  graph::Weight y_cycle = -1, x_cycle = -1;
+  for (const TraceEvent& e : r.events) {
+    if (e.kind != TraceEvent::Kind::kReadSample) continue;
+    if (e.label == "yin") y_cycle = e.cycle;
+    if (e.label == "xin") x_cycle = e.cycle;
+  }
+  ASSERT_GE(y_cycle, 0);
+  ASSERT_GE(x_cycle, 0);
+  EXPECT_EQ(x_cycle - y_cycle, 1);  // the paper's Fig 14 behaviour
+}
+
+TEST(Simulator, ConstraintViolationDetectedWhenUnconstrainedScheduleUsed) {
+  // Sanity for the monitor: a always-false max constraint of 0 cycles
+  // between two reads separated by a min of 1 cannot be scheduled at
+  // all, so instead check the monitor records satisfied checks.
+  Synthesized s(R"(
+    process p (i, o) {
+      in port i[8];
+      out port o[8];
+      boolean a[8], b[8];
+      tag t1, t2;
+      constraint mintime from t1 to t2 = 2 cycles;
+      t1: a = read(i);
+      t2: b = read(i);
+      write o = a + b;
+    })");
+  Stimulus stim;
+  stim.set(s.design, "i", 0, 10);
+  Simulator sim(s.design, s.result, stim);
+  const auto r = sim.run();
+  ASSERT_FALSE(r.constraint_checks.empty());
+  EXPECT_TRUE(r.all_constraints_satisfied());
+  for (const auto& check : r.constraint_checks) {
+    EXPECT_GE(check.to_start - check.from_start, 2);
+  }
+}
+
+TEST(Simulator, MultipleActivationsRestartTheProcess) {
+  Synthesized s(R"(
+    process p (i, o) {
+      in port i[8];
+      out port o[8];
+      boolean x[8];
+      x = read(i);
+      write o = x + 1;
+    })");
+  Stimulus stim;
+  stim.set(s.design, "i", 0, 1);
+  stim.set(s.design, "i", 4, 7);
+  Simulator sim(s.design, s.result, stim);
+  SimOptions opts;
+  opts.max_activations = 3;
+  const auto r = sim.run(opts);
+  EXPECT_EQ(r.activations, 3);
+  const auto& writes = r.port_writes.at(*s.design.find_port("o"));
+  ASSERT_EQ(writes.size(), 3u);
+  EXPECT_EQ(writes.front().second, 2);
+  EXPECT_EQ(writes.back().second, 8);  // re-sampled after stimulus change
+}
+
+TEST(Simulator, FinalVarsReflectLastWrites) {
+  Synthesized s(R"(
+    process p (o) {
+      out port o[8];
+      boolean x[8];
+      x = 4;
+      x = x * 3;
+      write o = x;
+    })");
+  Simulator sim(s.design, s.result, Stimulus{});
+  const auto r = sim.run();
+  EXPECT_EQ(r.final_vars.at(*s.design.find_var("x")), 12);
+}
+
+TEST(Waveform, RendersInputsAndOutputs) {
+  auto design = designs::build("gcd");
+  auto result = driver::synthesize(design);
+  ASSERT_TRUE(result.ok());
+  Stimulus stim;
+  stim.set(design, "restart", 0, 1);
+  stim.set(design, "restart", 3, 0);
+  stim.set(design, "xin", 0, 12);
+  stim.set(design, "yin", 0, 8);
+  Simulator sim(design, result, stim);
+  const auto r = sim.run();
+  const std::string wave = render_waveform(
+      design, stim, r, {"restart", "xin", "yin", "result"}, 0, 20);
+  EXPECT_NE(wave.find("restart"), std::string::npos);
+  EXPECT_NE(wave.find("result"), std::string::npos);
+  EXPECT_NE(wave.find("12"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relsched::sim

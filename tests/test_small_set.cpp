@@ -1,0 +1,80 @@
+#include "base/small_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/ids.hpp"
+
+namespace relsched {
+namespace {
+
+TEST(SmallSet, StartsEmpty) {
+  SmallSet<int> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(SmallSet, InsertKeepsSortedUnique) {
+  SmallSet<int> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));  // duplicate
+  EXPECT_EQ(s.items(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SmallSet, InitializerListDeduplicates) {
+  SmallSet<int> s{4, 2, 4, 1};
+  EXPECT_EQ(s.items(), (std::vector<int>{1, 2, 4}));
+}
+
+TEST(SmallSet, EraseRemovesOnlyPresentElements) {
+  SmallSet<int> s{1, 2, 3};
+  EXPECT_TRUE(s.erase(2));
+  EXPECT_FALSE(s.erase(2));
+  EXPECT_EQ(s.items(), (std::vector<int>{1, 3}));
+}
+
+TEST(SmallSet, MergeReportsGrowth) {
+  SmallSet<int> a{1, 3};
+  SmallSet<int> b{3, 5};
+  EXPECT_TRUE(a.merge(b));
+  EXPECT_EQ(a.items(), (std::vector<int>{1, 3, 5}));
+  EXPECT_FALSE(a.merge(b));  // already contained
+}
+
+TEST(SmallSet, SubsetSemantics) {
+  SmallSet<int> a{1, 3};
+  SmallSet<int> b{1, 2, 3};
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(SmallSet<int>{}.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(SmallSet, IntersectAndDifference) {
+  SmallSet<int> a{1, 2, 3, 4};
+  SmallSet<int> b{2, 4, 6};
+  EXPECT_EQ(a.intersect(b).items(), (std::vector<int>{2, 4}));
+  EXPECT_EQ(a.difference(b).items(), (std::vector<int>{1, 3}));
+  EXPECT_EQ(b.difference(a).items(), (std::vector<int>{6}));
+}
+
+TEST(SmallSet, WorksWithStrongIds) {
+  SmallSet<VertexId> s;
+  s.insert(VertexId(7));
+  s.insert(VertexId(2));
+  EXPECT_TRUE(s.contains(VertexId(7)));
+  EXPECT_FALSE(s.contains(VertexId(3)));
+  EXPECT_EQ(s.items().front(), VertexId(2));
+}
+
+TEST(StrongId, InvalidAndComparisons) {
+  EXPECT_FALSE(VertexId::invalid().is_valid());
+  EXPECT_TRUE(VertexId(0).is_valid());
+  EXPECT_LT(VertexId(1), VertexId(2));
+  EXPECT_NE(VertexId(1), VertexId(2));
+}
+
+}  // namespace
+}  // namespace relsched

@@ -1,0 +1,93 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "designs/designs.hpp"
+#include "driver/synthesis.hpp"
+#include "hdl/lower.hpp"
+
+namespace relsched::sim {
+namespace {
+
+struct GcdRun {
+  seq::Design design = designs::build("gcd");
+  driver::SynthesisResult synthesis;
+  Stimulus stim;
+  SimResult run;
+
+  GcdRun() {
+    synthesis = driver::synthesize(design);
+    EXPECT_TRUE(synthesis.ok());
+    stim.set(design, "restart", 0, 1);
+    stim.set(design, "restart", 3, 0);
+    stim.set(design, "xin", 0, 12);
+    stim.set(design, "yin", 0, 8);
+    Simulator sim(design, synthesis, stim);
+    run = sim.run();
+  }
+};
+
+TEST(Vcd, HeaderDeclaresAllPorts) {
+  GcdRun r;
+  const std::string vcd = to_vcd(r.design, r.stim, r.run);
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module gcd $end"), std::string::npos);
+  for (const auto& p : r.design.ports()) {
+    EXPECT_NE(vcd.find(" " + p.name), std::string::npos) << p.name;
+  }
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, MultiBitPortsUseVectorSyntax) {
+  GcdRun r;
+  const std::string vcd = to_vcd(r.design, r.stim, r.run);
+  // xin is 8 bits wide: declared with a range and dumped as b....
+  EXPECT_NE(vcd.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(vcd.find("[7:0]"), std::string::npos);
+  EXPECT_NE(vcd.find("b00001100 "), std::string::npos);  // xin = 12
+}
+
+TEST(Vcd, RecordsRestartFallAndResultChange) {
+  GcdRun r;
+  VcdOptions opts;
+  opts.port_names = {"restart", "result"};
+  const std::string vcd = to_vcd(r.design, r.stim, r.run, opts);
+  // restart falls at cycle 3: a timestamped scalar change must appear.
+  EXPECT_NE(vcd.find("#3"), std::string::npos);
+  // result eventually becomes 4 = b00000100.
+  EXPECT_NE(vcd.find("b00000100 "), std::string::npos);
+}
+
+TEST(Vcd, OnlyChangesAreDumped) {
+  GcdRun r;
+  VcdOptions opts;
+  opts.port_names = {"xin"};  // constant for the whole run
+  const std::string vcd = to_vcd(r.design, r.stim, r.run, opts);
+  // One initial dump, then no further xin changes.
+  std::size_t count = 0, pos = 0;
+  while ((pos = vcd.find("b00001100", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Vcd, UnknownPortIsRejected) {
+  GcdRun r;
+  VcdOptions opts;
+  opts.port_names = {"nope"};
+  EXPECT_THROW((void)to_vcd(r.design, r.stim, r.run, opts), ApiError);
+}
+
+TEST(Vcd, WindowedDump) {
+  GcdRun r;
+  VcdOptions opts;
+  opts.from = 0;
+  opts.to = 2;  // before restart falls: nothing changes
+  opts.port_names = {"restart"};
+  const std::string vcd = to_vcd(r.design, r.stim, r.run, opts);
+  EXPECT_EQ(vcd.find("#3\n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relsched::sim

@@ -1,0 +1,160 @@
+#include "wellposed/wellposed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace relsched::wellposed {
+namespace {
+
+using relsched::testing::Fig2Graph;
+using relsched::testing::Fig3aGraph;
+using relsched::testing::Fig3bGraph;
+
+TEST(Feasibility, PaperExampleIsFeasible) {
+  Fig2Graph f;
+  EXPECT_TRUE(is_feasible(f.g));
+}
+
+TEST(Feasibility, TightMaxConstraintMakesPositiveCycle) {
+  // v0 -> v1 (delta 0*) -> v2 with delta(v1) = 3, max constraint u = 2
+  // between v1 and v2: cycle v1 -> v2 -> v1 of weight 3 - 2 = +1.
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId v1 = g.add_vertex("v1", cg::Delay::bounded(3));
+  const VertexId v2 = g.add_vertex("v2", cg::Delay::bounded(1));
+  g.add_sequencing_edge(v0, v1);
+  g.add_sequencing_edge(v1, v2);
+  g.add_max_constraint(v1, v2, 2);
+  EXPECT_FALSE(is_feasible(g));
+  EXPECT_EQ(check(g).status, Status::kInfeasible);
+}
+
+TEST(Feasibility, UnboundedDelaysCountAsZero) {
+  // Same shape but the gap vertex is unbounded: with delta = 0 the max
+  // constraint is satisfiable, so the graph is *feasible* (Definition 6)
+  // even though it is ill-posed.
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a = g.add_vertex("a", cg::Delay::unbounded());
+  const VertexId v2 = g.add_vertex("v2", cg::Delay::bounded(1));
+  g.add_sequencing_edge(v0, a);
+  g.add_sequencing_edge(a, v2);
+  g.add_max_constraint(a, v2, 2);
+  EXPECT_TRUE(is_feasible(g));
+}
+
+TEST(CheckWellposed, PaperExampleIsWellPosed) {
+  Fig2Graph f;
+  EXPECT_EQ(check(f.g).status, Status::kWellPosed);
+}
+
+TEST(CheckWellposed, Fig3aIsIllPosed) {
+  Fig3aGraph f;
+  const auto result = check(f.g);
+  EXPECT_EQ(result.status, Status::kIllPosed);
+  EXPECT_TRUE(result.violating_edge.is_valid());
+}
+
+TEST(CheckWellposed, Fig3bIsIllPosed) {
+  Fig3bGraph f;
+  EXPECT_EQ(check(f.g).status, Status::kIllPosed);
+}
+
+TEST(MakeWellposed, Fig3aCannotBeRepaired) {
+  Fig3aGraph f;
+  const auto result = make_wellposed(f.g);
+  EXPECT_EQ(result.status, Status::kIllPosed);
+}
+
+TEST(MakeWellposed, Fig3bSerializesA2BeforeVi) {
+  Fig3bGraph f;
+  const auto result = make_wellposed(f.g);
+  ASSERT_EQ(result.status, Status::kWellPosed);
+  ASSERT_EQ(result.added_edges.size(), 1u);
+  EXPECT_EQ(result.added_edges[0].first, f.a2);
+  EXPECT_EQ(result.added_edges[0].second, f.vi);
+  // The repaired graph (Fig 3(c)) must check clean.
+  EXPECT_EQ(check(f.g).status, Status::kWellPosed);
+}
+
+TEST(MakeWellposed, WellPosedGraphIsUntouched) {
+  Fig2Graph f;
+  const int edges_before = f.g.edge_count();
+  const auto result = make_wellposed(f.g);
+  EXPECT_EQ(result.status, Status::kWellPosed);
+  EXPECT_TRUE(result.added_edges.empty());
+  EXPECT_EQ(f.g.edge_count(), edges_before);
+}
+
+TEST(MakeWellposed, InfeasibleGraphIsRejected) {
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId v1 = g.add_vertex("v1", cg::Delay::bounded(3));
+  const VertexId v2 = g.add_vertex("v2", cg::Delay::bounded(1));
+  g.add_sequencing_edge(v0, v1);
+  g.add_sequencing_edge(v1, v2);
+  g.add_max_constraint(v1, v2, 2);
+  EXPECT_EQ(make_wellposed(g).status, Status::kInfeasible);
+}
+
+TEST(MakeWellposed, ChainOfBackwardEdgesPropagatesAnchors) {
+  // Backward-edge chain vj <- vk (two max constraints): anchors missing
+  // at the head of one backward edge must propagate through the chain
+  // (the paper's addEdge recursion; our fixed point).
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a1 = g.add_vertex("a1", cg::Delay::unbounded());
+  const VertexId a2 = g.add_vertex("a2", cg::Delay::unbounded());
+  const VertexId vi = g.add_vertex("vi", cg::Delay::bounded(1));
+  const VertexId vj = g.add_vertex("vj", cg::Delay::bounded(1));
+  const VertexId vk = g.add_vertex("vk", cg::Delay::bounded(1));
+  const VertexId vn = g.add_vertex("vn", cg::Delay::bounded(0));
+  g.add_sequencing_edge(v0, a1);
+  g.add_sequencing_edge(v0, a2);
+  g.add_sequencing_edge(a1, vi);
+  g.add_sequencing_edge(a2, vj);
+  g.add_sequencing_edge(v0, vk);
+  g.add_sequencing_edge(vi, vn);
+  g.add_sequencing_edge(vj, vn);
+  g.add_sequencing_edge(vk, vn);
+  // Backward edge (vj -> vi) forces a2 into A(vi); the repaired A(vi)
+  // must then propagate across backward edge (vi -> vk), forcing both
+  // a1 and a2 into A(vk).
+  g.add_max_constraint(vi, vj, 4);
+  g.add_max_constraint(vk, vi, 4);
+  const auto result = make_wellposed(g);
+  ASSERT_EQ(result.status, Status::kWellPosed);
+  EXPECT_EQ(check(g).status, Status::kWellPosed);
+  const auto sets = anchors::find_anchor_sets(g);
+  EXPECT_TRUE(sets[vi.index()].contains(a2));
+  EXPECT_TRUE(sets[vk.index()].contains(a1));
+  EXPECT_TRUE(sets[vk.index()].contains(a2));
+}
+
+TEST(MakeWellposed, RandomGraphsEndWellPosedOrDetectedIllPosed) {
+  std::mt19937 rng(5);
+  int repaired = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    relsched::testing::RandomGraphParams params;
+    params.vertex_count = 16;
+    params.unbounded_fraction = 0.3;
+    params.max_constraints = 3;
+    auto g = relsched::testing::random_constraint_graph(rng, params);
+    if (!g.validate().empty()) continue;
+    if (!is_feasible(g)) continue;
+    const auto before = check(g).status;
+    const auto result = make_wellposed(g);
+    if (result.status == Status::kWellPosed) {
+      EXPECT_EQ(check(g).status, Status::kWellPosed);
+      if (before == Status::kIllPosed) ++repaired;
+    } else {
+      EXPECT_EQ(result.status, Status::kIllPosed);
+    }
+  }
+  // The sweep must have exercised actual repairs.
+  EXPECT_GT(repaired, 0);
+}
+
+}  // namespace
+}  // namespace relsched::wellposed

@@ -1,0 +1,79 @@
+#include "testutil.hpp"
+
+#include "base/strings.hpp"
+#include "graph/algorithms.hpp"
+
+namespace relsched::testing {
+
+cg::ConstraintGraph random_constraint_graph(std::mt19937& rng,
+                                            const RandomGraphParams& params) {
+  const int n = params.vertex_count;
+  cg::ConstraintGraph g("random");
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> delay_dist(0, params.max_delay);
+
+  std::vector<VertexId> vertices;
+  vertices.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cg::Delay delay = cg::Delay::bounded(delay_dist(rng));
+    if (i > 0 && i + 1 < n && unit(rng) < params.unbounded_fraction) {
+      delay = cg::Delay::unbounded();
+    }
+    vertices.push_back(g.add_vertex(cat("v", i), delay));
+  }
+
+  // Spine: every non-source vertex hangs off an earlier one, keeping Gf
+  // acyclic by construction (creation order is a topological order).
+  for (int i = 1; i < n; ++i) {
+    std::uniform_int_distribution<int> pred(0, i - 1);
+    g.add_sequencing_edge(vertices[static_cast<std::size_t>(pred(rng))],
+                          vertices[static_cast<std::size_t>(i)]);
+  }
+  // Extra forward edges.
+  const int extras =
+      static_cast<int>(params.extra_edge_fraction * static_cast<double>(n));
+  for (int k = 0; k < extras && n > 2; ++k) {
+    std::uniform_int_distribution<int> to_dist(1, n - 1);
+    const int to = to_dist(rng);
+    std::uniform_int_distribution<int> from_dist(0, to - 1);
+    const int from = from_dist(rng);
+    g.add_sequencing_edge(vertices[static_cast<std::size_t>(from)],
+                          vertices[static_cast<std::size_t>(to)]);
+  }
+  // Polarity: connect sinkless vertices (other than the sink) to the sink.
+  for (int i = 0; i + 1 < n; ++i) {
+    const VertexId v = vertices[static_cast<std::size_t>(i)];
+    bool has_out = false;
+    for (EdgeId e : g.out_edges(v)) {
+      if (cg::is_forward(g.edge(e).kind)) {
+        has_out = true;
+        break;
+      }
+    }
+    if (!has_out) g.add_sequencing_edge(v, vertices[static_cast<std::size_t>(n - 1)]);
+  }
+
+  // Max constraints with slack above the current longest-path distance,
+  // so the constraint itself starts out feasible.
+  const graph::Digraph full = g.project_full();
+  int added = 0;
+  for (int attempt = 0; attempt < params.max_constraints * 8; ++attempt) {
+    if (added >= params.max_constraints) break;
+    std::uniform_int_distribution<int> to_dist(1, n - 1);
+    const int to = to_dist(rng);
+    std::uniform_int_distribution<int> from_dist(0, to - 1);
+    const int from = from_dist(rng);
+    const auto dist = graph::longest_paths_from(full, from);
+    if (dist.positive_cycle) break;
+    if (dist.dist[static_cast<std::size_t>(to)] == graph::kNegInf) continue;
+    std::uniform_int_distribution<int> slack(0, params.max_constraint_slack);
+    g.add_max_constraint(
+        vertices[static_cast<std::size_t>(from)],
+        vertices[static_cast<std::size_t>(to)],
+        static_cast<int>(dist.dist[static_cast<std::size_t>(to)]) + slack(rng));
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace relsched::testing

@@ -1,0 +1,102 @@
+// Shared helpers for relsched tests: canonical paper graphs and a
+// deterministic random constraint-graph generator for property tests.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "cg/constraint_graph.hpp"
+
+namespace relsched::testing {
+
+/// The paper's Fig. 2 graph (offsets tabulated in Table II).
+///
+///   v0 --d(v0)--> a --d(a)-----------> v3 --5--> v4
+///   v0 --d(v0)--> v1 --2--> v2 --1--> v3
+///   min constraint  v0 -> v3, l = 3
+///   max constraint  v1 -> v2, u = 2  (backward edge v2 -> v1, weight -2)
+///
+/// Expected minimum offsets (Table II):
+///   a: sigma_v0=0; v1: 0; v2: 2; v3: (3, 0); v4: (8, 5).
+struct Fig2Graph {
+  cg::ConstraintGraph g{"fig2"};
+  VertexId v0, a, v1, v2, v3, v4;
+
+  Fig2Graph() {
+    v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+    a = g.add_vertex("a", cg::Delay::unbounded());
+    v1 = g.add_vertex("v1", cg::Delay::bounded(2));
+    v2 = g.add_vertex("v2", cg::Delay::bounded(1));
+    v3 = g.add_vertex("v3", cg::Delay::bounded(5));
+    v4 = g.add_vertex("v4", cg::Delay::bounded(1));
+    g.add_sequencing_edge(v0, a);
+    g.add_sequencing_edge(v0, v1);
+    g.add_sequencing_edge(a, v3);
+    g.add_sequencing_edge(v1, v2);
+    g.add_sequencing_edge(v2, v3);
+    g.add_sequencing_edge(v3, v4);
+    g.add_min_constraint(v0, v3, 3);
+    g.add_max_constraint(v1, v2, 2);
+  }
+};
+
+/// Fig. 3(a): an unbounded anchor on the path inside a max constraint.
+/// Ill-posed and *not* repairable by serialization.
+struct Fig3aGraph {
+  cg::ConstraintGraph g{"fig3a"};
+  VertexId v0, vi, a, vj;
+
+  Fig3aGraph() {
+    v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+    vi = g.add_vertex("vi", cg::Delay::bounded(1));
+    a = g.add_vertex("a", cg::Delay::unbounded());
+    vj = g.add_vertex("vj", cg::Delay::bounded(1));
+    g.add_sequencing_edge(v0, vi);
+    g.add_sequencing_edge(vi, a);
+    g.add_sequencing_edge(a, vj);
+    g.add_max_constraint(vi, vj, 4);
+  }
+};
+
+/// Fig. 3(b): two parallel anchors feeding the two ends of a max
+/// constraint. Ill-posed, but repairable by serializing a2 before vi
+/// (which yields Fig. 3(c)).
+struct Fig3bGraph {
+  cg::ConstraintGraph g{"fig3b"};
+  VertexId v0, a1, a2, vi, vj, sink;
+
+  Fig3bGraph() {
+    v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+    a1 = g.add_vertex("a1", cg::Delay::unbounded());
+    a2 = g.add_vertex("a2", cg::Delay::unbounded());
+    vi = g.add_vertex("vi", cg::Delay::bounded(1));
+    vj = g.add_vertex("vj", cg::Delay::bounded(1));
+    sink = g.add_vertex("vn", cg::Delay::bounded(0));
+    g.add_sequencing_edge(v0, a1);
+    g.add_sequencing_edge(v0, a2);
+    g.add_sequencing_edge(a1, vi);
+    g.add_sequencing_edge(a2, vj);
+    g.add_sequencing_edge(vi, sink);
+    g.add_sequencing_edge(vj, sink);
+    g.add_max_constraint(vi, vj, 4);
+  }
+};
+
+/// Parameters for the random well-formed constraint-graph generator.
+struct RandomGraphParams {
+  int vertex_count = 12;          // including source and sink
+  double unbounded_fraction = 0.2;
+  int max_delay = 4;
+  double extra_edge_fraction = 0.5;  // extra forward edges beyond the spine
+  int max_constraints = 2;           // max-timing constraints to attempt
+  int max_constraint_slack = 6;      // u = longest-path distance + slack
+};
+
+/// Generates a polar, forward-acyclic constraint graph. Max constraints
+/// are added between comparable vertices with enough slack to keep the
+/// graph feasible most of the time; well-posedness is *not* guaranteed
+/// (callers exercise check/make_wellposed).
+cg::ConstraintGraph random_constraint_graph(std::mt19937& rng,
+                                            const RandomGraphParams& params);
+
+}  // namespace relsched::testing
