@@ -1,0 +1,215 @@
+// E12: cold vs warm resolve cost of the incremental synthesis engine.
+//
+// For every suite design, synthesize it, take its largest constraint
+// graph, and compare:
+//
+//   cold - a fresh SynthesisSession::resolve() (full anchor analysis,
+//          feasibility, well-posedness, scheduling from zero offsets);
+//   warm - re-resolving the same session after a single constraint
+//          edit (alternately loosening and restoring one max-constraint
+//          bound), which recomputes only the dirty cone and warm-starts
+//          the scheduler from the previous offsets.
+//
+// Emits a human-readable table plus BENCH_incremental.json, and exits
+// nonzero when the warm path is less than 5x faster than cold on the
+// largest design (the engine's headline guarantee).
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "base/table.hpp"
+#include "bench_json.hpp"
+#include "designs/designs.hpp"
+#include "driver/synthesis.hpp"
+#include "engine/session.hpp"
+
+using namespace relsched;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double median_us(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? samples[n / 2]
+                              : 0.5 * (samples[n / 2 - 1] + samples[n / 2]));
+}
+
+template <typename Fn>
+double timed_us(Fn&& fn) {
+  const auto t0 = Clock::now();
+  fn();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+struct Row {
+  std::string design;
+  int vertices = 0;
+  int edges = 0;
+  int anchors = 0;
+  double cold_us = 0;
+  double warm_us = 0;
+  int warm_resolves = 0;
+  int last_affected = 0;
+
+  [[nodiscard]] double speedup() const {
+    return warm_us > 0 ? cold_us / warm_us : 0.0;
+  }
+};
+
+std::string fmt(double v, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kColdRepeats = 15;
+  constexpr int kWarmRepeats = 60;
+
+  std::vector<Row> rows;
+  for (const designs::BenchmarkDesign& bench : designs::benchmark_suite()) {
+    const std::string& name = bench.name;
+    seq::Design design = designs::build(name);
+    const auto result = driver::synthesize(design);
+    if (!result.ok()) {
+      std::cerr << name << ": " << result.message << "\n";
+      return EXIT_FAILURE;
+    }
+    // The design's largest graph dominates its synthesis cost.
+    const driver::GraphSynthesis* largest = nullptr;
+    for (const auto& gs : result.graphs) {
+      if (largest == nullptr || gs.constraint_graph.vertex_count() >
+                                    largest->constraint_graph.vertex_count()) {
+        largest = &gs;
+      }
+    }
+    cg::ConstraintGraph graph = largest->constraint_graph;
+
+    Row row;
+    row.design = name;
+    row.vertices = graph.vertex_count();
+    row.edges = graph.edge_count();
+    row.anchors = static_cast<int>(graph.anchors().size());
+
+    // The edited constraint: an existing max constraint, or one added
+    // with generous slack when the graph has none.
+    engine::SynthesisSession session(std::move(graph), {});
+    EdgeId edited = EdgeId::invalid();
+    for (const cg::Edge& e : session.graph().edges()) {
+      if (e.kind == cg::EdgeKind::kMaxConstraint) {
+        edited = e.id;
+        break;
+      }
+    }
+    if (!edited.is_valid()) {
+      // Add one along a forward edge whose endpoints share an anchor
+      // set: the backward edge then satisfies containment (well-posed)
+      // and generous slack keeps it feasible.
+      for (const cg::Edge& e : session.graph().edges()) {
+        if (!cg::is_forward(e.kind)) continue;
+        if (largest->analysis.anchor_set(e.from) !=
+            largest->analysis.anchor_set(e.to)) {
+          continue;
+        }
+        const auto lp = graph::longest_paths_from(
+            session.graph().project_forward(), e.from.value());
+        edited = session.add_max_constraint(
+            e.from, e.to, static_cast<int>(lp.dist[e.to.index()]) + 8);
+        break;
+      }
+    }
+    if (!edited.is_valid()) {
+      std::cerr << name << ": no editable max constraint found\n";
+      return EXIT_FAILURE;
+    }
+    if (!session.resolve().ok()) {
+      std::cerr << name << ": session resolve failed: "
+                << session.resolve().schedule.message << "\n";
+      return EXIT_FAILURE;
+    }
+    const int bound = std::abs(session.graph().edge(edited).fixed_weight);
+
+    // Cold baseline: a fresh session per repeat.
+    std::vector<double> cold;
+    for (int i = 0; i < kColdRepeats; ++i) {
+      engine::SynthesisSession fresh(session.graph(), {});
+      cold.push_back(timed_us([&] { fresh.resolve(); }));
+      if (!fresh.products().ok()) return EXIT_FAILURE;
+    }
+    row.cold_us = median_us(cold);
+
+    // Warm: alternately loosen and restore the bound, one edit per
+    // resolve, so every resolve takes the incremental path.
+    std::vector<double> warm;
+    for (int i = 0; i < kWarmRepeats; ++i) {
+      session.set_constraint_bound(edited, i % 2 == 0 ? bound + 1 : bound);
+      warm.push_back(timed_us([&] { session.resolve(); }));
+      if (!session.products().ok()) return EXIT_FAILURE;
+    }
+    row.warm_us = median_us(warm);
+    row.warm_resolves = session.stats().warm_resolves;
+    row.last_affected = session.stats().last_affected_vertices;
+    if (row.warm_resolves < kWarmRepeats) {
+      std::cerr << name << ": only " << row.warm_resolves << "/" << kWarmRepeats
+                << " resolves took the warm path\n";
+      return EXIT_FAILURE;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::cout << "E12: incremental engine, cold vs warm resolve after one "
+               "constraint edit\n\n";
+  TextTable table;
+  table.set_header({"design", "|V|", "|E|", "|A|", "cold (us)", "warm (us)",
+                    "speedup", "dirty cone"});
+  for (const Row& row : rows) {
+    table.add_row({row.design, cat(row.vertices), cat(row.edges),
+                   cat(row.anchors), fmt(row.cold_us), fmt(row.warm_us),
+                   cat(fmt(row.speedup()), "x"),
+                   cat(row.last_affected, "/", row.vertices)});
+  }
+  table.print(std::cout);
+
+  const Row* largest_row = nullptr;
+  for (const Row& row : rows) {
+    if (largest_row == nullptr || row.vertices > largest_row->vertices) {
+      largest_row = &row;
+    }
+  }
+
+  benchio::Json designs_json = benchio::Json::array();
+  for (const Row& row : rows) {
+    designs_json.element(benchio::Json::object()
+                             .field("design", row.design)
+                             .field("vertices", row.vertices)
+                             .field("edges", row.edges)
+                             .field("anchors", row.anchors)
+                             .field("cold_us", row.cold_us)
+                             .field("warm_us", row.warm_us)
+                             .field("speedup", row.speedup())
+                             .field("dirty_cone_vertices", row.last_affected));
+  }
+  benchio::Json::object()
+      .field("bench", "incremental")
+      .field("cold_repeats", kColdRepeats)
+      .field("warm_repeats", kWarmRepeats)
+      .field("largest_design", largest_row->design)
+      .field("largest_speedup", largest_row->speedup())
+      .field("designs", designs_json)
+      .write("BENCH_incremental.json");
+  std::cout << "\nwrote BENCH_incremental.json\n";
+
+  std::cout << "\nlargest design (" << largest_row->design
+            << "): " << fmt(largest_row->speedup())
+            << "x warm speedup (required: >= 5x): "
+            << (largest_row->speedup() >= 5.0 ? "HOLDS" : "FAILS") << "\n";
+  return largest_row->speedup() >= 5.0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

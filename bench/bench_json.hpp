@@ -1,0 +1,105 @@
+// Minimal machine-readable output for bench binaries: a JSON value
+// builder just rich enough for flat records ({"k": v} objects, arrays
+// of them, numbers/strings/bools). CI jobs archive the emitted
+// BENCH_*.json files so runs can be diffed across commits without
+// scraping the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace relsched::benchio {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Streaming builder for one JSON value. Nested containers are built
+/// separately and spliced in with `raw()`.
+class Json {
+ public:
+  static Json object() { return Json('{', '}'); }
+  static Json array() { return Json('[', ']'); }
+
+  Json& field(const std::string& key, const std::string& value) {
+    return raw_field(key, '"' + json_escape(value) + '"');
+  }
+  Json& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  Json& field(const std::string& key, double value) {
+    return raw_field(key, number(value));
+  }
+  Json& field(const std::string& key, long long value) {
+    return raw_field(key, std::to_string(value));
+  }
+  Json& field(const std::string& key, int value) {
+    return raw_field(key, std::to_string(value));
+  }
+  Json& field(const std::string& key, bool value) {
+    return raw_field(key, value ? "true" : "false");
+  }
+  Json& field(const std::string& key, const Json& value) {
+    return raw_field(key, value.str());
+  }
+
+  /// Array element (object fields use field()).
+  Json& element(const Json& value) {
+    separator();
+    body_ += value.str();
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const {
+    return open_ + body_ + close_;
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << str() << "\n";
+  }
+
+ private:
+  Json(char open, char close) : open_(1, open), close_(1, close) {}
+
+  static std::string number(double v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  void separator() {
+    if (!body_.empty()) body_ += ", ";
+  }
+
+  Json& raw_field(const std::string& key, const std::string& value) {
+    separator();
+    body_ += '"' + json_escape(key) + "\": " + value;
+    return *this;
+  }
+
+  std::string open_, close_, body_;
+};
+
+}  // namespace relsched::benchio

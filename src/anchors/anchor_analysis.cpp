@@ -143,10 +143,10 @@ std::vector<graph::Weight> defining_path_lengths(const cg::ConstraintGraph& g,
       if (e.from == anchor) continue;
       const cg::EdgeWeight w = g.weight(e.id);
       if (w.unbounded) continue;
-      const graph::Weight from = dist[e.from.index()];
-      if (from == graph::kNegInf) continue;
-      if (from + w.value > dist[e.to.index()]) {
-        dist[e.to.index()] = from + w.value;
+      const graph::Weight candidate =
+          graph::saturating_add(dist[e.from.index()], w.value);
+      if (candidate > dist[e.to.index()]) {
+        dist[e.to.index()] = candidate;
         changed = true;
       }
     }
@@ -158,7 +158,142 @@ std::vector<graph::Weight> defining_path_lengths(const cg::ConstraintGraph& g,
   return dist;
 }
 
+/// Cone-restricted longest paths from `anchor`: longest paths within
+/// the subgraph induced by {anchor} union {v : anchor in A(v)}, with
+/// unbounded weights 0. Equals the minimum offset sigma_a^min(v)
+/// (Theorem 3); graph::kNegInf outside the cone. The cone restriction
+/// matters: a backward edge leaving the cone (whose tail's anchor set
+/// does not carry `anchor`) would otherwise inflate the value beyond
+/// the offset the schedule actually realizes.
+std::vector<graph::Weight> cone_longest_paths(
+    const cg::ConstraintGraph& g, VertexId anchor,
+    const std::vector<AnchorSet>& anchor_sets) {
+  const int n = g.vertex_count();
+  std::vector<int> cone_index(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> cone_vertices;
+  for (int vi = 0; vi < n; ++vi) {
+    const VertexId v(vi);
+    if (v == anchor || anchor_sets[v.index()].contains(anchor)) {
+      cone_index[v.index()] = static_cast<int>(cone_vertices.size());
+      cone_vertices.push_back(v);
+    }
+  }
+  graph::Digraph cone(static_cast<int>(cone_vertices.size()));
+  for (const cg::Edge& e : g.edges()) {
+    const int from = cone_index[e.from.index()];
+    const int to = cone_index[e.to.index()];
+    if (from < 0 || to < 0) continue;
+    cone.add_arc(from, to, g.weight(e.id).value);
+  }
+  auto lp = graph::longest_paths_from(cone, cone_index[anchor.index()]);
+  RELSCHED_CHECK(!lp.positive_cycle,
+                 "anchor analysis requires a feasible graph");
+  std::vector<graph::Weight> dist(static_cast<std::size_t>(n),
+                                  graph::kNegInf);
+  for (std::size_t i = 0; i < cone_vertices.size(); ++i) {
+    dist[cone_vertices[i].index()] = lp.dist[i];
+  }
+  return dist;
+}
+
+/// In-place variant of defining_path_lengths for update(): entries at
+/// unaffected vertices are already correct for the edited graph (a
+/// defining path whose length changed uses an edited edge, so its
+/// endpoint is reachable from a seed, i.e. affected), so only affected
+/// entries are re-derived, with unaffected in-neighbours acting as
+/// fixed boundary values. Once a path enters the affected cone it
+/// stays inside (the cone is closed under out-edges), so the
+/// relaxation converges in at most |affected| passes.
+void patch_defining_path_lengths(const cg::ConstraintGraph& g, VertexId anchor,
+                                 const std::vector<bool>& affected,
+                                 std::vector<graph::Weight>& dist) {
+  for (std::size_t vi = 0; vi < dist.size(); ++vi) {
+    if (affected[vi]) dist[vi] = graph::kNegInf;
+  }
+  for (EdgeId eid : g.out_edges(anchor)) {
+    if (!g.weight(eid).unbounded) continue;
+    const VertexId head = g.edge(eid).to;
+    if (affected[head.index()]) {
+      dist[head.index()] = std::max<graph::Weight>(dist[head.index()], 0);
+    }
+  }
+  for (int pass = 0; pass < g.vertex_count(); ++pass) {
+    bool changed = false;
+    for (const cg::Edge& e : g.edges()) {
+      if (e.from == anchor || !affected[e.to.index()]) continue;
+      const cg::EdgeWeight w = g.weight(e.id);
+      if (w.unbounded) continue;
+      const graph::Weight candidate =
+          graph::saturating_add(dist[e.from.index()], w.value);
+      if (candidate > dist[e.to.index()]) {
+        dist[e.to.index()] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  dist[anchor.index()] = graph::kNegInf;
+}
+
+/// In-place variant of cone_longest_paths for update(), by the same
+/// boundary argument as patch_defining_path_lengths. `anchor_sets`
+/// must already be the post-edit sets: cone membership at affected
+/// vertices is re-evaluated against them, and unaffected membership is
+/// unchanged by construction.
+void patch_cone_longest_paths(const cg::ConstraintGraph& g, VertexId anchor,
+                              const std::vector<AnchorSet>& anchor_sets,
+                              const std::vector<bool>& affected,
+                              std::vector<graph::Weight>& dist) {
+  const auto in_cone = [&](VertexId v) {
+    return v == anchor || anchor_sets[v.index()].contains(anchor);
+  };
+  for (std::size_t vi = 0; vi < dist.size(); ++vi) {
+    if (affected[vi]) dist[vi] = graph::kNegInf;
+  }
+  if (affected[anchor.index()]) dist[anchor.index()] = 0;
+  bool changed = true;
+  for (int pass = 0; pass <= g.vertex_count() && changed; ++pass) {
+    changed = false;
+    for (const cg::Edge& e : g.edges()) {
+      if (!affected[e.to.index()] || !in_cone(e.to) || !in_cone(e.from)) {
+        continue;
+      }
+      const graph::Weight candidate =
+          graph::saturating_add(dist[e.from.index()], g.weight(e.id).value);
+      if (candidate > dist[e.to.index()]) {
+        dist[e.to.index()] = candidate;
+        changed = true;
+      }
+    }
+  }
+  RELSCHED_CHECK(!changed, "anchor analysis requires a feasible graph");
+}
+
 }  // namespace
+
+/// minimumAnchor (paper §IV-D) at one vertex: x in R(v) is redundant if
+/// some relevant anchor r in R(v) with x in A(r) satisfies
+///   length(x, v) <= length(x, r) + length(r, v).
+void AnchorAnalysis::compute_irredundant_at(VertexId v) {
+  const AnchorSet& rel = relevant_[v.index()];
+  AnchorSet& irr = irredundant_[v.index()];
+  irr.clear();
+  for (VertexId x : rel) {
+    bool redundant = false;
+    for (VertexId r : rel) {
+      if (r == x) continue;
+      if (!anchor_sets_[r.index()].contains(x)) continue;
+      if (length(x, r) == graph::kNegInf || length(r, v) == graph::kNegInf) {
+        continue;
+      }
+      if (length(x, v) <= length(x, r) + length(r, v)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) irr.insert(x);
+  }
+}
 
 AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
   AnchorAnalysis a = compute_anchor_sets_only(g);
@@ -174,70 +309,129 @@ AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
     a.defining_from_.push_back(defining_path_lengths(g, anchor));
   }
 
-  // Cone-restricted longest paths: for each anchor a, longest paths from
-  // a within the subgraph induced by {a} union {v : a in A(v)}, with
-  // unbounded weights 0. This equals the minimum offset sigma_a^min(v)
-  // (Theorem 3). Restricting to the cone matters: a backward edge leaving
-  // the cone (whose tail's anchor set does not carry `a`) would otherwise
-  // inflate length(a, v) beyond the offset the schedule actually realizes,
-  // corrupting the redundancy test below.
-  const int n = g.vertex_count();
+  // Cone-restricted longest paths (see cone_longest_paths): equals the
+  // minimum offset sigma_a^min(v) by Theorem 3.
   a.length_from_.reserve(a.anchors_.size());
   for (VertexId anchor : a.anchors_) {
-    std::vector<int> cone_index(static_cast<std::size_t>(n), -1);
-    std::vector<VertexId> cone_vertices;
-    for (int vi = 0; vi < n; ++vi) {
-      const VertexId v(vi);
-      if (v == anchor || a.anchor_sets_[v.index()].contains(anchor)) {
-        cone_index[v.index()] = static_cast<int>(cone_vertices.size());
-        cone_vertices.push_back(v);
+    a.length_from_.push_back(cone_longest_paths(g, anchor, a.anchor_sets_));
+  }
+  a.rows_recomputed_ = static_cast<int>(a.anchors_.size());
+
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    a.compute_irredundant_at(VertexId(vi));
+  }
+  return a;
+}
+
+void AnchorAnalysis::update(const cg::ConstraintGraph& g,
+                            const UpdatePlan& plan) {
+  RELSCHED_CHECK(plan.topo != nullptr, "update() needs a topological order");
+  const int n = g.vertex_count();
+  RELSCHED_CHECK(static_cast<int>(plan.affected.size()) == n &&
+                     static_cast<int>(anchor_sets_.size()) == n,
+                 "update() vertex sets out of sync");
+  // The anchor population is fixed: structural edits (vertex additions,
+  // bounded<->unbounded flips) force a cold compute() upstream.
+  const std::size_t num_anchors = anchors_.size();
+  rows_recomputed_ = 0;
+
+  // A(v): only a changed Gf edge set can change anchor sets, and every
+  // changed value lies in the affected cone (any new/dead forward path
+  // through an edit reaches v only if v is reachable from a seed).
+  // Re-derive affected vertices in topological order over the edited
+  // graph; unaffected in-neighbours contribute their kept sets. The
+  // row-reuse criterion below needs the *pre-edit* sets at the seeds,
+  // so save those first.
+  std::vector<AnchorSet> prev_seed_sets;
+  prev_seed_sets.reserve(plan.seeds.size());
+  for (VertexId s : plan.seeds) {
+    prev_seed_sets.push_back(anchor_sets_[s.index()]);
+  }
+  if (plan.forward_changed) {
+    for (int node : *plan.topo) {
+      const VertexId v(node);
+      if (!plan.affected[v.index()]) continue;
+      AnchorSet& set = anchor_sets_[v.index()];
+      set.clear();
+      for (EdgeId eid : g.in_edges(v)) {
+        const cg::Edge& e = g.edge(eid);
+        if (!cg::is_forward(e.kind)) continue;
+        set.merge(anchor_sets_[e.from.index()]);
+        if (g.weight(eid).unbounded) set.insert(e.from);
       }
     }
-    graph::Digraph cone(static_cast<int>(cone_vertices.size()));
-    for (const cg::Edge& e : g.edges()) {
-      const int from = cone_index[e.from.index()];
-      const int to = cone_index[e.to.index()];
-      if (from < 0 || to < 0) continue;
-      cone.add_arc(from, to, g.weight(e.id).value);
-    }
-    auto lp = graph::longest_paths_from(cone, cone_index[anchor.index()]);
-    RELSCHED_CHECK(!lp.positive_cycle,
-                   "AnchorAnalysis::compute requires a feasible graph");
-    std::vector<graph::Weight> dist(static_cast<std::size_t>(n),
-                                    graph::kNegInf);
-    for (std::size_t i = 0; i < cone_vertices.size(); ++i) {
-      dist[cone_vertices[i].index()] = lp.dist[i];
-    }
-    a.length_from_.push_back(std::move(dist));
   }
 
-  // minimumAnchor (paper §IV-D): x in R(v) is redundant if some relevant
-  // anchor r in R(v) with x in A(r) satisfies
-  //   length(x, v) <= length(x, r) + length(r, v).
-  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+  // Which per-anchor rows (defining-path lengths + cone longest paths)
+  // must be recomputed? Anchor x's row can only change if some path
+  // counted in it gains/loses/reweighs an edge, i.e. some edit seed s
+  // lies on such a path -- then s sits in x's cone or defining region
+  // (old or new), detectable from the row values at s. The anchor
+  // itself being affected covers cone growth through x (s upstream of
+  // x), and s == x covers edits incident to the anchor. Evaluated
+  // before any row is overwritten.
+  std::vector<bool> touched(num_anchors, false);
+  for (std::size_t i = 0; i < num_anchors; ++i) {
+    const VertexId x = anchors_[i];
+    if (plan.affected[x.index()]) {
+      touched[i] = true;
+      continue;
+    }
+    for (std::size_t si = 0; si < plan.seeds.size(); ++si) {
+      const VertexId s = plan.seeds[si];
+      if (s == x || anchor_sets_[s.index()].contains(x) ||
+          prev_seed_sets[si].contains(x) ||
+          defining_from_[i][s.index()] != graph::kNegInf ||
+          length_from_[i][s.index()] != graph::kNegInf) {
+        touched[i] = true;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < num_anchors; ++i) {
+    if (!touched[i]) continue;
+    patch_defining_path_lengths(g, anchors_[i], plan.affected,
+                                defining_from_[i]);
+    patch_cone_longest_paths(g, anchors_[i], anchor_sets_, plan.affected,
+                             length_from_[i]);
+    ++rows_recomputed_;
+  }
+
+  // R(v): by construction x in R(v) iff a defining path from x reaches
+  // v, i.e. defining_from_[x][v] is finite (propagate_relevant and
+  // defining_path_lengths traverse the same bounded-edge region). Patch
+  // membership from the fresh rows; only touched anchors' membership at
+  // affected vertices can differ.
+  for (int vi = 0; vi < n; ++vi) {
+    if (!plan.affected[vi]) continue;
+    for (std::size_t i = 0; i < num_anchors; ++i) {
+      if (!touched[i]) continue;
+      if (defining_from_[i][vi] != graph::kNegInf) {
+        relevant_[vi].insert(anchors_[i]);
+      } else {
+        relevant_[vi].erase(anchors_[i]);
+      }
+    }
+  }
+
+  // IR(v): the redundancy test at v reads length(x, v), length(x, r)
+  // and length(r, v) for x, r in R(v). Beyond affected vertices, the
+  // via-anchor term length(x, r) can flip the verdict at an *unaffected*
+  // v when the anchor-vertex r itself is affected -- recompute those too.
+  for (int vi = 0; vi < n; ++vi) {
     const VertexId v(vi);
-    const AnchorSet& rel = a.relevant_[v.index()];
-    AnchorSet& irr = a.irredundant_[v.index()];
-    for (VertexId x : rel) {
-      bool redundant = false;
-      for (VertexId r : rel) {
-        if (r == x) continue;
-        if (!a.anchor_sets_[r.index()].contains(x)) continue;
-        const graph::Weight via =
-            a.length(x, r) + a.length(r, v);
-        if (a.length(x, r) == graph::kNegInf ||
-            a.length(r, v) == graph::kNegInf) {
-          continue;
-        }
-        if (a.length(x, v) <= via) {
-          redundant = true;
+    bool recompute = plan.affected[vi];
+    if (!recompute) {
+      for (VertexId r : relevant_[vi]) {
+        if (plan.affected[r.index()]) {
+          recompute = true;
           break;
         }
       }
-      if (!redundant) irr.insert(x);
     }
+    if (recompute) compute_irredundant_at(v);
   }
-  return a;
 }
 
 }  // namespace relsched::anchors

@@ -34,6 +34,21 @@ enum class AnchorMode { kFull, kRelevant, kIrredundant };
 /// Precondition: Gf acyclic.
 std::vector<AnchorSet> find_anchor_sets(const cg::ConstraintGraph& g);
 
+/// Dirty-region description for AnchorAnalysis::update(). Produced by
+/// the engine layer from the constraint graph's edit journal.
+struct UpdatePlan {
+  /// Vertex -> reachable (in the full graph) from an edit's seed
+  /// vertices; only these vertices' products may have changed.
+  std::vector<bool> affected;
+  /// The edits' seed vertices (a subset of `affected`).
+  std::vector<VertexId> seeds;
+  /// The edge set of Gf changed (min-constraint insertion/removal):
+  /// anchor sets A(v) must be re-derived over `affected`.
+  bool forward_changed = false;
+  /// Forward topological order of the edited graph. Required.
+  const std::vector<int>* topo = nullptr;
+};
+
 class AnchorAnalysis {
  public:
   /// Runs the full pipeline: A(v), R(v), IR(v) and anchor-to-vertex
@@ -44,11 +59,31 @@ class AnchorAnalysis {
   /// Anchor sets A(v) only (cheaper; enough for well-posedness checks).
   static AnchorAnalysis compute_anchor_sets_only(const cg::ConstraintGraph& g);
 
+  /// Incremental recompute after a non-structural edit, in place: only
+  /// the cone of vertices in `plan.affected` is re-derived, and the
+  /// per-anchor longest-path rows are recomputed only for anchors whose
+  /// defining region or cone touches an edit (all other rows are kept
+  /// verbatim -- mutating in place instead of rebuilding avoids copying
+  /// the untouched majority). Preconditions: *this was computed by
+  /// compute() for the pre-edit graph, and `g` has the same vertices
+  /// and anchors, is feasible, with Gf acyclic. The result is
+  /// equivalent to compute(g) -- property-tested bit-for-bit.
+  void update(const cg::ConstraintGraph& g, const UpdatePlan& plan);
+
+  /// Number of per-anchor path rows the last update() recomputed (the
+  /// dominant cost; compute() recomputes all of them). For engine
+  /// statistics.
+  [[nodiscard]] int rows_recomputed() const { return rows_recomputed_; }
+
   [[nodiscard]] const std::vector<VertexId>& anchors() const { return anchors_; }
   [[nodiscard]] bool is_anchor(VertexId v) const;
 
   [[nodiscard]] const AnchorSet& anchor_set(VertexId v) const {
     return anchor_sets_[v.index()];
+  }
+  /// All A(v) indexed by vertex (reused by wellposed::check).
+  [[nodiscard]] const std::vector<AnchorSet>& anchor_sets() const {
+    return anchor_sets_;
   }
   [[nodiscard]] const AnchorSet& relevant_set(VertexId v) const {
     return relevant_[v.index()];
@@ -79,6 +114,9 @@ class AnchorAnalysis {
                                                            VertexId v) const;
 
  private:
+  void compute_irredundant_at(VertexId v);
+
+  int rows_recomputed_ = 0;
   std::vector<VertexId> anchors_;
   std::vector<int> anchor_index_;  // vertex -> position in anchors_, or -1
   std::vector<AnchorSet> anchor_sets_;

@@ -11,6 +11,8 @@ VertexId ConstraintGraph::add_vertex(std::string name, Delay delay) {
   vertices_.push_back(Vertex{id, std::move(name), delay});
   out_.emplace_back();
   in_.emplace_back();
+  edits_.push_back(Edit{Edit::Kind::kAddVertex, /*structural=*/true,
+                        /*forward=*/true, id, id, {id}});
   return id;
 }
 
@@ -29,13 +31,19 @@ EdgeId ConstraintGraph::add_edge(VertexId from, VertexId to, EdgeKind kind,
 }
 
 EdgeId ConstraintGraph::add_sequencing_edge(VertexId from, VertexId to) {
-  return add_edge(from, to, EdgeKind::kSequencing, 0);
+  const EdgeId id = add_edge(from, to, EdgeKind::kSequencing, 0);
+  edits_.push_back(Edit{Edit::Kind::kAddSequencingEdge, /*structural=*/true,
+                        /*forward=*/true, from, to, {from, to}});
+  return id;
 }
 
 EdgeId ConstraintGraph::add_min_constraint(VertexId from, VertexId to,
                                            int min_cycles) {
   RELSCHED_CHECK(min_cycles >= 0, "minimum timing constraint must be >= 0");
-  return add_edge(from, to, EdgeKind::kMinConstraint, min_cycles);
+  const EdgeId id = add_edge(from, to, EdgeKind::kMinConstraint, min_cycles);
+  edits_.push_back(Edit{Edit::Kind::kAddMinConstraint, /*structural=*/false,
+                        /*forward=*/true, from, to, {from, to}});
+  return id;
 }
 
 EdgeId ConstraintGraph::add_max_constraint(VertexId from, VertexId to,
@@ -43,11 +51,101 @@ EdgeId ConstraintGraph::add_max_constraint(VertexId from, VertexId to,
   RELSCHED_CHECK(max_cycles >= 0, "maximum timing constraint must be >= 0");
   // sigma(to) <= sigma(from) + u  <=>  sigma(from) >= sigma(to) - u:
   // backward edge (to, from) with weight -u (Table I).
-  return add_edge(to, from, EdgeKind::kMaxConstraint, -max_cycles);
+  const EdgeId id = add_edge(to, from, EdgeKind::kMaxConstraint, -max_cycles);
+  edits_.push_back(Edit{Edit::Kind::kAddMaxConstraint, /*structural=*/false,
+                        /*forward=*/false, to, from, {to, from}});
+  return id;
 }
 
 void ConstraintGraph::set_delay(VertexId v, Delay delay) {
+  // A bounded<->unbounded flip changes the anchor set itself (and which
+  // out-edges carry unbounded weight): structural for consumers.
+  const bool flips =
+      vertices_[v.index()].delay.is_bounded() != delay.is_bounded();
   vertices_[v.index()].delay = delay;
+  edits_.push_back(Edit{Edit::Kind::kSetDelay, /*structural=*/flips,
+                        /*forward=*/false, v, v, {v}});
+}
+
+std::vector<VertexId> ConstraintGraph::reachable_cone(VertexId start) const {
+  std::vector<bool> seen(static_cast<std::size_t>(vertex_count()), false);
+  std::vector<VertexId> cone{start};
+  seen[start.index()] = true;
+  for (std::size_t i = 0; i < cone.size(); ++i) {
+    for (EdgeId eid : out_edges(cone[i])) {
+      const VertexId next = edge(eid).to;
+      if (!seen[next.index()]) {
+        seen[next.index()] = true;
+        cone.push_back(next);
+      }
+    }
+  }
+  return cone;
+}
+
+void ConstraintGraph::remove_constraint(EdgeId e) {
+  RELSCHED_CHECK(e.is_valid() && e.value() < edge_count(),
+                 "edge id out of range");
+  const Edge removed = edges_[e.index()];
+  RELSCHED_CHECK(removed.kind != EdgeKind::kSequencing,
+                 "sequencing edges cannot be removed");
+  if (removed.kind == EdgeKind::kMinConstraint) {
+    // Keep the graph polar: the tail must retain a forward out-edge and
+    // the head a forward in-edge.
+    int tail_out = 0, head_in = 0;
+    for (EdgeId eid : out_edges(removed.from)) {
+      if (is_forward(edge(eid).kind)) ++tail_out;
+    }
+    for (EdgeId eid : in_edges(removed.to)) {
+      if (is_forward(edge(eid).kind)) ++head_in;
+    }
+    RELSCHED_CHECK(tail_out > 1, "removal would leave the tail sinkless");
+    RELSCHED_CHECK(head_in > 1, "removal would leave the head unreachable");
+  }
+  // Dirty cone before the edge disappears: values downstream of the
+  // head may shrink once paths through the edge are gone.
+  Edit edit{Edit::Kind::kRemoveConstraint, /*structural=*/false,
+            removed.kind == EdgeKind::kMinConstraint, removed.from, removed.to,
+            reachable_cone(removed.to)};
+  edit.seeds.push_back(removed.from);
+
+  const auto unlink = [this](std::vector<EdgeId>& list, EdgeId id) {
+    const auto it = std::find(list.begin(), list.end(), id);
+    RELSCHED_CHECK(it != list.end(), "adjacency lists out of sync");
+    list.erase(it);
+  };
+  unlink(out_[removed.from.index()], e);
+  unlink(in_[removed.to.index()], e);
+  const EdgeId last(edge_count() - 1);
+  if (e != last) {
+    // Swap-pop: the previously-last edge takes the freed id.
+    Edge moved = edges_.back();
+    const auto relabel = [last, e](std::vector<EdgeId>& list) {
+      const auto it = std::find(list.begin(), list.end(), last);
+      RELSCHED_CHECK(it != list.end(), "adjacency lists out of sync");
+      *it = e;
+    };
+    relabel(out_[moved.from.index()]);
+    relabel(in_[moved.to.index()]);
+    moved.id = e;
+    edges_[e.index()] = moved;
+  }
+  edges_.pop_back();
+  edits_.push_back(std::move(edit));
+}
+
+void ConstraintGraph::set_constraint_bound(EdgeId e, int cycles) {
+  RELSCHED_CHECK(e.is_valid() && e.value() < edge_count(),
+                 "edge id out of range");
+  RELSCHED_CHECK(cycles >= 0, "timing constraint bound must be >= 0");
+  Edge& edge = edges_[e.index()];
+  RELSCHED_CHECK(edge.kind != EdgeKind::kSequencing,
+                 "sequencing edges have no bound");
+  edge.fixed_weight =
+      edge.kind == EdgeKind::kMinConstraint ? cycles : -cycles;
+  edits_.push_back(Edit{Edit::Kind::kSetConstraintBound, /*structural=*/false,
+                        /*forward=*/false, edge.from, edge.to,
+                        {edge.from, edge.to}});
 }
 
 VertexId ConstraintGraph::sink() const {

@@ -18,6 +18,7 @@
 // the delay it was declared with.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -63,6 +64,42 @@ struct EdgeWeight {
   bool unbounded = false;
 };
 
+/// One recorded mutation. Every mutating ConstraintGraph method appends
+/// an Edit to the journal and bumps the revision; the engine layer
+/// (engine::SynthesisSession) consumes the journal to derive dirty
+/// regions for incremental recomputation.
+struct Edit {
+  enum class Kind {
+    kAddVertex,
+    kAddSequencingEdge,
+    kAddMinConstraint,
+    kAddMaxConstraint,
+    kRemoveConstraint,
+    kSetConstraintBound,
+    kSetDelay,
+  };
+  Kind kind;
+  /// Structural edits (new vertices, sequencing edges, anchor-status
+  /// flips) invalidate incremental state wholesale; consumers fall back
+  /// to a cold rebuild.
+  bool structural = false;
+  /// True when the edit changes which edges exist in the forward graph
+  /// Gf (min-constraint insertion/removal): topological orders and
+  /// anchor sets may shift.
+  bool forward = false;
+  /// Endpoints in graph orientation (tail, head); the touched vertex
+  /// for kSetDelay. Note: edge ids recorded before a later
+  /// kRemoveConstraint may be stale (removal swap-pops the edge list),
+  /// so consumers key off vertices, never off journaled edge ids.
+  VertexId from = VertexId::invalid();
+  VertexId to = VertexId::invalid();
+  /// Dirty seed vertices: any value derived from a path through one of
+  /// these may have changed. For removals this is the pre-removal
+  /// reachability cone of the edge head — paths that used the edge no
+  /// longer exist afterwards, and the shrink must be visible.
+  std::vector<VertexId> seeds;
+};
+
 /// Outcome of structural validation.
 struct ValidationIssue {
   enum class Kind {
@@ -100,6 +137,34 @@ class ConstraintGraph {
   /// Replaces the execution delay of `v` (used by hierarchical
   /// scheduling when a child graph's latency becomes known).
   void set_delay(VertexId v, Delay delay);
+
+  // ---- Edit API (incremental synthesis) -----------------------------------
+  //
+  // Constraint edges can be removed and re-weighted after construction.
+  // Together with add_min_constraint / add_max_constraint / set_delay
+  // these form the edit surface of the incremental engine: each call
+  // bumps revision() and journals its dirty region.
+
+  /// Removes a min- or max-constraint edge (sequencing edges carry the
+  /// structural dependences and cannot be removed). The last edge is
+  /// swap-popped into the freed slot, so `e` and the previously-last
+  /// EdgeId are invalidated; all other ids are stable. Removing a
+  /// min-constraint that is some vertex's only forward in/out edge
+  /// would break polarity and is rejected.
+  void remove_constraint(EdgeId e);
+
+  /// Rewrites the bound of a constraint edge: min_cycles l >= 0 for a
+  /// min constraint, max_cycles u >= 0 for a max constraint (stored as
+  /// -u). A pure weight change: edge existence, anchor sets, and
+  /// well-posedness are untouched.
+  void set_constraint_bound(EdgeId e, int cycles);
+
+  /// Monotone counter bumped by every mutation (== total edits so far).
+  [[nodiscard]] std::uint64_t revision() const { return edits_.size(); }
+
+  /// The full edit journal; consumers remember how many entries they
+  /// have already applied and replay the suffix.
+  [[nodiscard]] const std::vector<Edit>& edits() const { return edits_; }
 
   // ---- Accessors ----------------------------------------------------------
 
@@ -163,12 +228,16 @@ class ConstraintGraph {
 
  private:
   EdgeId add_edge(VertexId from, VertexId to, EdgeKind kind, int fixed_weight);
+  /// Vertices reachable from `start` over all edges (the dirty cone
+  /// journaled for removals).
+  [[nodiscard]] std::vector<VertexId> reachable_cone(VertexId start) const;
 
   std::string name_;
   std::vector<Vertex> vertices_;
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
+  std::vector<Edit> edits_;
 };
 
 }  // namespace relsched::cg

@@ -1,6 +1,7 @@
 #include "driver/synthesis.hpp"
 
 #include "base/strings.hpp"
+#include "engine/session.hpp"
 #include "seq/to_constraint_graph.hpp"
 
 namespace relsched::driver {
@@ -99,10 +100,17 @@ AttemptStatus attempt_graph(seq::SeqGraph& sg, GraphSynthesis& gs,
     }
   }
 
-  gs.analysis = anchors::AnchorAnalysis::compute(gs.constraint_graph);
-  sched::ScheduleOptions sopts;
-  sopts.mode = options.schedule_mode;
-  gs.schedule = sched::schedule(gs.constraint_graph, gs.analysis, sopts);
+  // From here the synthesis session owns the graph and every derived
+  // product; driver-level retries build a fresh session, while
+  // interactive callers (examples/design_explorer) keep editing one
+  // session and resolve incrementally.
+  engine::SessionOptions eopts;
+  eopts.schedule_mode = options.schedule_mode;
+  engine::SynthesisSession session(std::move(gs.constraint_graph), eopts);
+  const engine::Products& products = session.resolve();
+  gs.constraint_graph = session.graph();
+  gs.analysis = products.analysis;
+  gs.schedule = products.schedule;
   if (!gs.schedule.ok()) {
     switch (gs.schedule.status) {
       case sched::ScheduleStatus::kInfeasible:

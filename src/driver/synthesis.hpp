@@ -3,9 +3,16 @@
 //   sequencing graphs  ->  module binding + conflict resolution
 //                      ->  constraint graph
 //                      ->  (optional) makeWellposed serialization
-//                      ->  anchor analysis (A / R / IR)
-//                      ->  iterative incremental relative scheduling
+//                      ->  engine::SynthesisSession::resolve()
+//                            |  anchor analysis (A / R / IR)
+//                            |  well-posedness / feasibility verdicts
+//                            |  iterative incremental relative scheduling
 //                      ->  per-graph latency fed bottom-up into parents
+//
+// The session step caches its products against the constraint graph's
+// revision counter: this one-shot driver resolves each graph cold, but
+// callers that keep the session (examples/design_explorer) edit
+// constraints and re-resolve warm, recomputing only the dirty cone.
 //
 // Scheduling is hierarchical and bottom-up: loop bodies, conditional
 // branches, and callees are scheduled first; a child with no internal

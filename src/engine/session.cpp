@@ -1,0 +1,196 @@
+#include "engine/session.hpp"
+
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace relsched::engine {
+
+SynthesisSession::SynthesisSession(cg::ConstraintGraph graph,
+                                   SessionOptions options)
+    : graph_(std::move(graph)), options_(options) {
+  // Construction-time history is irrelevant: the first resolve is cold.
+  consumed_edits_ = graph_.edits().size();
+}
+
+const Products& SynthesisSession::resolve() {
+  if (resolved_once_ && !force_cold_ &&
+      products_.revision == graph_.revision()) {
+    return products_;
+  }
+
+  // Fold the journal suffix into one dirty description.
+  const std::vector<cg::Edit>& edits = graph_.edits();
+  bool structural = force_cold_ || !resolved_once_ || !products_.ok();
+  bool forward_changed = false;
+  std::vector<VertexId> seeds;
+  std::vector<bool> seen(static_cast<std::size_t>(graph_.vertex_count()),
+                         false);
+  for (std::size_t i = consumed_edits_; i < edits.size(); ++i) {
+    const cg::Edit& e = edits[i];
+    if (e.structural) structural = true;
+    if (e.forward && (e.kind == cg::Edit::Kind::kAddMinConstraint ||
+                      e.kind == cg::Edit::Kind::kRemoveConstraint)) {
+      forward_changed = true;
+    }
+    for (VertexId s : e.seeds) {
+      // A structural edit may have grown the vertex set past `seen`;
+      // irrelevant, since structural forces the cold path anyway.
+      if (structural) break;
+      if (!seen[s.index()]) {
+        seen[s.index()] = true;
+        seeds.push_back(s);
+      }
+    }
+  }
+  consumed_edits_ = edits.size();
+
+  if (structural || !try_incremental(seeds, forward_changed)) {
+    cold_resolve();
+    ++stats_.cold_resolves;
+  } else {
+    ++stats_.warm_resolves;
+  }
+  resolved_once_ = true;
+  force_cold_ = false;
+  products_.revision = graph_.revision();
+  return products_;
+}
+
+void SynthesisSession::adopt_schedule() {
+  products_.topo = topo_.order();
+  potentials_ =
+      products_.schedule.schedule.start_times(graph_, {}, topo_.order());
+}
+
+void SynthesisSession::cold_resolve() {
+  products_ = Products{};
+  sched::ScheduleResult& out = products_.schedule;
+
+  if (const auto issues = graph_.validate(); !issues.empty()) {
+    out.status = sched::ScheduleStatus::kInvalidGraph;
+    out.message = issues.front().message;
+    return;
+  }
+  // AnchorAnalysis::compute requires feasibility, so check() cannot be
+  // deferred past it.
+  if (!wellposed::is_feasible(graph_)) {
+    out.status = sched::ScheduleStatus::kInfeasible;
+    out.message = "positive cycle with unbounded delays set to 0";
+    return;
+  }
+  products_.analysis = anchors::AnchorAnalysis::compute(graph_);
+  const wellposed::CheckResult wp =
+      wellposed::check(graph_, products_.analysis.anchor_sets());
+  if (wp.status == wellposed::Status::kIllPosed) {
+    out.status = sched::ScheduleStatus::kIllPosed;
+    out.message = wp.message;
+    return;
+  }
+
+  sched::ScheduleOptions sopts;
+  sopts.mode = options_.schedule_mode;
+  sopts.prechecks = false;
+  out = sched::schedule(graph_, products_.analysis, sopts);
+  stats_.anchor_rows_recomputed += products_.analysis.rows_recomputed();
+  stats_.anchor_rows_cold_equivalent += products_.analysis.rows_recomputed();
+  if (out.ok()) {
+    RELSCHED_CHECK(topo_.reset(graph_.project_forward()),
+                   "validated graph must have an acyclic Gf");
+    adopt_schedule();
+  }
+}
+
+bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
+                                       bool forward_changed) {
+  // Patch the topological order edge by edge, in journal order. A
+  // min-constraint insertion that closes a forward cycle makes the
+  // graph invalid; defer to the cold path, which reports it.
+  if (!topo_.valid()) return false;
+  // The journal suffix since the last resolve: products_.revision is
+  // the edit count the cached products were computed at.
+  const std::vector<cg::Edit>& edits = graph_.edits();
+  for (std::size_t i = static_cast<std::size_t>(products_.revision);
+       i < edits.size(); ++i) {
+    const cg::Edit& e = edits[i];
+    switch (e.kind) {
+      case cg::Edit::Kind::kAddMinConstraint:
+        if (!topo_.add_arc(e.from.value(), e.to.value())) return false;
+        break;
+      case cg::Edit::Kind::kRemoveConstraint:
+        if (e.forward) {
+          RELSCHED_CHECK(topo_.remove_arc(e.from.value(), e.to.value()),
+                         "topo mirror out of sync with the graph");
+        }
+        break;
+      default:
+        break;  // backward edges and re-weights never touch Gf's order
+    }
+  }
+
+  // Dirty cone: everything reachable from a seed in the current full
+  // graph (removal edits journaled their pre-removal cone, so shrunk
+  // paths are covered too).
+  std::vector<bool> affected(static_cast<std::size_t>(graph_.vertex_count()),
+                             false);
+  std::vector<VertexId> worklist = seeds;
+  for (VertexId s : seeds) affected[s.index()] = true;
+  for (std::size_t i = 0; i < worklist.size(); ++i) {
+    for (EdgeId eid : graph_.out_edges(worklist[i])) {
+      const VertexId next = graph_.edge(eid).to;
+      if (!affected[next.index()]) {
+        affected[next.index()] = true;
+        worklist.push_back(next);
+      }
+    }
+  }
+  stats_.last_affected_vertices = static_cast<int>(worklist.size());
+
+  // Feasibility: repair the previous potentials from the seeds.
+  std::vector<graph::Weight> potentials = potentials_;
+  if (!wellposed::is_feasible_incremental(graph_, potentials, seeds)) {
+    // Equivalent to the cold path's is_feasible() == false verdict
+    // (the SPFA cycle detector is exact); produce the same products.
+    products_ = Products{};
+    products_.schedule.status = sched::ScheduleStatus::kInfeasible;
+    products_.schedule.message = "positive cycle with unbounded delays set to 0";
+    return true;
+  }
+
+  anchors::UpdatePlan plan;
+  plan.affected = affected;
+  plan.seeds = seeds;
+  plan.forward_changed = forward_changed;
+  const std::vector<int>& topo = topo_.order();
+  plan.topo = &topo;
+  // In place: the cached analysis holds valid pre-edit products (the
+  // incremental path is only taken when the last resolve succeeded).
+  anchors::AnchorAnalysis& analysis = products_.analysis;
+  analysis.update(graph_, plan);
+  stats_.anchor_rows_recomputed += analysis.rows_recomputed();
+  stats_.anchor_rows_cold_equivalent +=
+      static_cast<long long>(analysis.anchors().size());
+
+  const wellposed::CheckResult wp =
+      wellposed::recheck(graph_, analysis.anchor_sets(), affected);
+  if (wp.status == wellposed::Status::kIllPosed) {
+    // Mirrors the cold path: keep the analysis, drop the schedule.
+    products_.topo.clear();
+    products_.schedule = sched::ScheduleResult{};
+    products_.schedule.status = sched::ScheduleStatus::kIllPosed;
+    products_.schedule.message = wp.message;
+    return true;
+  }
+
+  sched::ScheduleOptions sopts;
+  sopts.mode = options_.schedule_mode;
+  sopts.prechecks = false;
+  sched::ScheduleResult rescheduled = sched::reschedule(
+      graph_, analysis, topo, products_.schedule.schedule, affected, sopts);
+  products_.schedule = std::move(rescheduled);
+  potentials_ = std::move(potentials);
+  if (products_.ok()) adopt_schedule();
+  return true;
+}
+
+}  // namespace relsched::engine

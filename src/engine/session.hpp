@@ -1,0 +1,132 @@
+// Incremental synthesis engine.
+//
+// A SynthesisSession owns one constraint graph plus every product the
+// pipeline derives from it -- forward topological order, anchor
+// analysis, well-posedness verdict, relative schedule -- cached and
+// keyed by the graph's revision counter. Edits flow through the
+// graph's journaled edit API (cg::ConstraintGraph::edits()); resolve()
+// replays the journal suffix since the last resolve and chooses:
+//
+//   cold  - any structural edit (new vertex / sequencing edge /
+//           anchor-status flip), an invalid cached state, or a patch
+//           failure: recompute everything from scratch.
+//   warm  - constraint-only edits on top of a scheduled state: patch
+//           the dynamic topological order (Pearce-Kelly), flood the
+//           dirty cone from the journal's seed vertices, re-establish
+//           feasibility by label-correcting the previous schedule's
+//           start-time potentials, update the anchor analysis on the
+//           cone only, re-check containment on touched backward edges,
+//           and warm-start the scheduler from the previous offsets.
+//
+// Warm results are bit-identical to a cold recompute of the edited
+// graph (property-tested in tests/property_engine.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "anchors/anchor_analysis.hpp"
+#include "cg/constraint_graph.hpp"
+#include "graph/dynamic_topo.hpp"
+#include "sched/scheduler.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::engine {
+
+struct SessionOptions {
+  /// Anchor sets tracked while scheduling (Theorems 4/6: identical
+  /// start times for all three on well-posed graphs).
+  anchors::AnchorMode schedule_mode = anchors::AnchorMode::kFull;
+};
+
+/// Everything resolve() derives from the graph at one revision.
+/// Wellposed/feasibility failures surface through `schedule.status`
+/// exactly like sched::schedule's prechecks would report them.
+struct Products {
+  /// Graph revision these products were computed at.
+  std::uint64_t revision = 0;
+  anchors::AnchorAnalysis analysis;
+  sched::ScheduleResult schedule;
+  /// Forward topological order the schedule was computed with.
+  std::vector<int> topo;
+
+  [[nodiscard]] bool ok() const { return schedule.ok(); }
+};
+
+struct SessionStats {
+  int cold_resolves = 0;
+  int warm_resolves = 0;
+  /// Per-anchor path rows recomputed across warm resolves, vs. the
+  /// rows a cold recompute would have rebuilt each time.
+  long long anchor_rows_recomputed = 0;
+  long long anchor_rows_cold_equivalent = 0;
+  /// Dirty-cone size of the most recent warm resolve.
+  int last_affected_vertices = 0;
+};
+
+class SynthesisSession {
+ public:
+  explicit SynthesisSession(cg::ConstraintGraph graph,
+                            SessionOptions options = {});
+
+  [[nodiscard]] const cg::ConstraintGraph& graph() const { return graph_; }
+
+  /// Escape hatch for mutations outside the journaled edit API below;
+  /// the next resolve() is forced cold.
+  cg::ConstraintGraph& mutable_graph() {
+    force_cold_ = true;
+    return graph_;
+  }
+
+  // ---- Edits (forwarded to the graph's journaled edit API) ---------------
+
+  EdgeId add_min_constraint(VertexId from, VertexId to, int min_cycles) {
+    return graph_.add_min_constraint(from, to, min_cycles);
+  }
+  EdgeId add_max_constraint(VertexId from, VertexId to, int max_cycles) {
+    return graph_.add_max_constraint(from, to, max_cycles);
+  }
+  void remove_constraint(EdgeId e) { graph_.remove_constraint(e); }
+  void set_constraint_bound(EdgeId e, int cycles) {
+    graph_.set_constraint_bound(e, cycles);
+  }
+  void set_delay(VertexId v, cg::Delay delay) { graph_.set_delay(v, delay); }
+
+  // ---- Resolution --------------------------------------------------------
+
+  /// Brings the cached products up to the graph's current revision and
+  /// returns them. No-op when already current.
+  const Products& resolve();
+
+  /// Last resolved products (resolve() must have run at least once).
+  [[nodiscard]] const Products& products() const { return products_; }
+
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+
+ private:
+  void cold_resolve();
+  /// Warm path; returns false when it must defer to cold_resolve()
+  /// (e.g. a min-constraint insertion closed a forward cycle).
+  bool try_incremental(const std::vector<VertexId>& seeds,
+                       bool forward_changed);
+  /// Refreshes topo/potentials after a successful schedule.
+  void adopt_schedule();
+
+  cg::ConstraintGraph graph_;
+  SessionOptions options_;
+  Products products_;
+  SessionStats stats_;
+  /// Pearce-Kelly order over Gf, patched per forward-edge edit.
+  graph::DynamicTopoOrder topo_;
+  /// Zero-profile start times of the last valid schedule: a potential
+  /// function satisfying every G0 edge, re-used as the starting point
+  /// for incremental feasibility.
+  std::vector<graph::Weight> potentials_;
+  /// Journal entries already folded into `products_`.
+  std::size_t consumed_edits_ = 0;
+  bool resolved_once_ = false;
+  bool force_cold_ = false;
+};
+
+}  // namespace relsched::engine

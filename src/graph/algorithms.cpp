@@ -44,10 +44,10 @@ LongestPaths longest_paths_from(const Digraph& g, int source) {
     bool changed = false;
     for (const Arc& arc : g.arcs()) {
       const Weight from_dist = result.dist[static_cast<std::size_t>(arc.from)];
-      if (from_dist == kNegInf) continue;
       Weight& to_dist = result.dist[static_cast<std::size_t>(arc.to)];
-      if (from_dist + arc.weight > to_dist) {
-        to_dist = from_dist + arc.weight;
+      const Weight candidate = saturating_add(from_dist, arc.weight);
+      if (candidate > to_dist) {
+        to_dist = candidate;
         changed = true;
       }
     }
@@ -56,8 +56,8 @@ LongestPaths longest_paths_from(const Digraph& g, int source) {
   // n passes without stabilizing: one more probe pass confirms the cycle.
   for (const Arc& arc : g.arcs()) {
     const Weight from_dist = result.dist[static_cast<std::size_t>(arc.from)];
-    if (from_dist == kNegInf) continue;
-    if (from_dist + arc.weight > result.dist[static_cast<std::size_t>(arc.to)]) {
+    if (saturating_add(from_dist, arc.weight) >
+        result.dist[static_cast<std::size_t>(arc.to)]) {
       result.positive_cycle = true;
       return result;
     }
@@ -75,7 +75,7 @@ std::vector<Weight> dag_longest_paths_from(const Digraph& g, int source,
     for (int arc_idx : g.out_arcs(v)) {
       const Arc& arc = g.arc(arc_idx);
       Weight& dt = dist[static_cast<std::size_t>(arc.to)];
-      dt = std::max(dt, dv + arc.weight);
+      dt = std::max(dt, saturating_add(dv, arc.weight));
     }
   }
   return dist;

@@ -15,6 +15,16 @@ namespace relsched::graph {
 /// "Minus infinity" marker for unreachable nodes in longest-path arrays.
 inline constexpr Weight kNegInf = static_cast<Weight>(-1) << 40;
 
+/// Adds a path length and an arc weight without escaping the sentinel:
+/// kNegInf absorbs (unreachable stays unreachable) and finite sums are
+/// clamped at kNegInf, so a long chain of very negative weights cannot
+/// wrap past the sentinel and masquerade as a huge reachable distance.
+[[nodiscard]] constexpr Weight saturating_add(Weight a, Weight b) {
+  if (a == kNegInf || b == kNegInf) return kNegInf;
+  const Weight sum = a + b;
+  return sum < kNegInf ? kNegInf : sum;
+}
+
 /// Kahn topological order; std::nullopt if the graph has a cycle.
 std::optional<std::vector<int>> topological_order(const Digraph& g);
 

@@ -1,0 +1,125 @@
+#include "graph/dynamic_topo.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+
+namespace relsched::graph {
+
+bool DynamicTopoOrder::reset(const Digraph& g) {
+  valid_ = false;
+  const auto topo = topological_order(g);
+  if (!topo.has_value()) return false;
+  const std::size_t n = static_cast<std::size_t>(g.node_count());
+  out_.assign(n, {});
+  in_.assign(n, {});
+  for (const Arc& arc : g.arcs()) {
+    out_[static_cast<std::size_t>(arc.from)].push_back(arc.to);
+    in_[static_cast<std::size_t>(arc.to)].push_back(arc.from);
+  }
+  order_ = *topo;
+  pos_.assign(n, 0);
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    pos_[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
+  }
+  valid_ = true;
+  return true;
+}
+
+void DynamicTopoOrder::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  pos_.push_back(static_cast<int>(order_.size()));
+  order_.push_back(static_cast<int>(out_.size()) - 1);
+}
+
+bool DynamicTopoOrder::add_arc(int from, int to) {
+  RELSCHED_CHECK(valid_, "DynamicTopoOrder used before a successful reset");
+  RELSCHED_CHECK(from >= 0 && from < node_count(), "arc tail out of range");
+  RELSCHED_CHECK(to >= 0 && to < node_count(), "arc head out of range");
+  if (from == to) return false;  // self loop is a cycle
+
+  const int lo = pos_[static_cast<std::size_t>(to)];
+  const int hi = pos_[static_cast<std::size_t>(from)];
+  if (lo > hi) {  // already consistent with the order
+    out_[static_cast<std::size_t>(from)].push_back(to);
+    in_[static_cast<std::size_t>(to)].push_back(from);
+    return true;
+  }
+
+  // Affected region: nodes with lo <= pos <= hi. Forward discovery from
+  // `to` finds delta_f; reaching `from` proves the new arc closes a
+  // cycle. Backward discovery from `from` finds delta_b.
+  std::vector<int> delta_f, delta_b, stack;
+  std::vector<bool> seen(static_cast<std::size_t>(node_count()), false);
+  stack.push_back(to);
+  seen[static_cast<std::size_t>(to)] = true;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (v == from) return false;  // cycle: reject, nothing modified yet
+    delta_f.push_back(v);
+    for (int w : out_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)] &&
+          pos_[static_cast<std::size_t>(w)] <= hi) {
+        seen[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  stack.push_back(from);
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    delta_b.push_back(v);
+    for (int w : in_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)] &&
+          pos_[static_cast<std::size_t>(w)] >= lo) {
+        seen[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+
+  // Reorder: delta_b keeps its internal order, then delta_f, packed into
+  // the union of their old positions (ascending).
+  const auto by_pos = [this](int a, int b) {
+    return pos_[static_cast<std::size_t>(a)] < pos_[static_cast<std::size_t>(b)];
+  };
+  std::sort(delta_b.begin(), delta_b.end(), by_pos);
+  std::sort(delta_f.begin(), delta_f.end(), by_pos);
+  std::vector<int> slots;
+  slots.reserve(delta_b.size() + delta_f.size());
+  for (int v : delta_b) slots.push_back(pos_[static_cast<std::size_t>(v)]);
+  for (int v : delta_f) slots.push_back(pos_[static_cast<std::size_t>(v)]);
+  std::sort(slots.begin(), slots.end());
+  std::size_t slot = 0;
+  for (int v : delta_b) {
+    pos_[static_cast<std::size_t>(v)] = slots[slot];
+    order_[static_cast<std::size_t>(slots[slot++])] = v;
+  }
+  for (int v : delta_f) {
+    pos_[static_cast<std::size_t>(v)] = slots[slot];
+    order_[static_cast<std::size_t>(slots[slot++])] = v;
+  }
+
+  out_[static_cast<std::size_t>(from)].push_back(to);
+  in_[static_cast<std::size_t>(to)].push_back(from);
+  return true;
+}
+
+bool DynamicTopoOrder::remove_arc(int from, int to) {
+  RELSCHED_CHECK(valid_, "DynamicTopoOrder used before a successful reset");
+  auto& out = out_[static_cast<std::size_t>(from)];
+  const auto oit = std::find(out.begin(), out.end(), to);
+  if (oit == out.end()) return false;
+  out.erase(oit);
+  auto& in = in_[static_cast<std::size_t>(to)];
+  const auto iit = std::find(in.begin(), in.end(), from);
+  RELSCHED_CHECK(iit != in.end(), "adjacency mirrors out of sync");
+  in.erase(iit);
+  return true;
+}
+
+}  // namespace relsched::graph

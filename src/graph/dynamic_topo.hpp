@@ -1,0 +1,58 @@
+// DynamicTopoOrder: a topological order maintained under arc insertion
+// and deletion (Pearce–Kelly, "A Dynamic Topological Sort Algorithm for
+// Directed Acyclic Graphs", JEA 2006).
+//
+// This is the graph-kernel piece of the incremental synthesis engine:
+// the forward constraint graph Gf changes by one edge per design edit,
+// and recomputing Kahn's order from scratch on every edit would make
+// each warm reschedule pay O(V+E) before it even starts. An insertion
+// (x, y) with ord[x] < ord[y] costs O(1); otherwise only the "affected
+// region" — nodes ordered between y and x — is visited and reordered.
+// Deletions are O(deg): removing an arc can never invalidate a
+// topological order of the remaining graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace relsched::graph {
+
+class DynamicTopoOrder {
+ public:
+  DynamicTopoOrder() = default;
+
+  /// (Re)initializes from `g`'s arcs. Returns false (and leaves the
+  /// object invalid) when `g` is cyclic.
+  bool reset(const Digraph& g);
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] int node_count() const { return static_cast<int>(out_.size()); }
+
+  /// Topological order (node indices) / inverse (node -> position).
+  [[nodiscard]] const std::vector<int>& order() const { return order_; }
+  [[nodiscard]] int position(int node) const {
+    return pos_[static_cast<std::size_t>(node)];
+  }
+
+  /// Appends a node at the end of the order.
+  void add_node();
+
+  /// Inserts arc (from, to), locally reordering the affected region.
+  /// Returns false and leaves both the arc set and the order unchanged
+  /// when the arc would close a cycle.
+  bool add_arc(int from, int to);
+
+  /// Removes one occurrence of arc (from, to); the order stays valid.
+  /// Returns false if no such arc is present.
+  bool remove_arc(int from, int to);
+
+ private:
+  bool valid_ = false;
+  std::vector<std::vector<int>> out_;  // mirror adjacency (node lists)
+  std::vector<std::vector<int>> in_;
+  std::vector<int> order_;  // position -> node
+  std::vector<int> pos_;    // node -> position
+};
+
+}  // namespace relsched::graph

@@ -54,10 +54,15 @@ std::vector<graph::Weight> RelativeSchedule::start_times(
   const graph::Digraph forward = g.project_forward();
   const auto topo = graph::topological_order(forward);
   RELSCHED_CHECK(topo.has_value(), "start_times requires an acyclic Gf");
+  return start_times(g, profile, *topo);
+}
 
+std::vector<graph::Weight> RelativeSchedule::start_times(
+    const cg::ConstraintGraph& g, const DelayProfile& profile,
+    std::span<const int> topo) const {
   std::vector<graph::Weight> start(static_cast<std::size_t>(g.vertex_count()),
                                    0);
-  for (int node : *topo) {
+  for (int node : topo) {
     const VertexId v(node);
     if (v == g.source()) {
       start[v.index()] = 0;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -93,6 +94,11 @@ class RelativeSchedule {
   /// order. The source starts at profile time 0.
   [[nodiscard]] std::vector<graph::Weight> start_times(
       const cg::ConstraintGraph& g, const DelayProfile& profile) const;
+  /// Same, with a caller-supplied forward topological order (skips the
+  /// Gf projection + sort; used by the engine's warm path).
+  [[nodiscard]] std::vector<graph::Weight> start_times(
+      const cg::ConstraintGraph& g, const DelayProfile& profile,
+      std::span<const int> topo) const;
 
  private:
   std::vector<OffsetMap> offsets_;

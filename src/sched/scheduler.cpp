@@ -1,6 +1,8 @@
 #include "sched/scheduler.hpp"
 
 #include <algorithm>
+#include <span>
+#include <utility>
 
 #include "base/error.hpp"
 #include "graph/algorithms.hpp"
@@ -27,10 +29,12 @@ const char* to_string(ScheduleStatus status) {
 namespace {
 
 /// IncrementalOffset: one forward longest-path sweep in topological
-/// order, raising offsets monotonically from their current values.
+/// order, raising offsets monotonically from their current values. The
+/// span may be a suffix of the full order (warm restarts skip the
+/// settled prefix).
 void incremental_offset(const cg::ConstraintGraph& g,
                         const anchors::AnchorAnalysis& analysis,
-                        anchors::AnchorMode mode, const std::vector<int>& topo,
+                        anchors::AnchorMode mode, std::span<const int> topo,
                         RelativeSchedule& sched) {
   for (int node : topo) {
     const VertexId v(node);
@@ -53,13 +57,18 @@ void incremental_offset(const cg::ConstraintGraph& g,
   }
 }
 
-/// ReadjustOffsets: walk backward edges in order; on a violation, delay
-/// the head's offset to the minimum satisfying value. Returns the number
-/// of violated edges. Unrepairable self-anchor violations (the head *is*
-/// the anchor) count as violations but cannot be adjusted; they surface
-/// as inconsistency after |Eb|+1 rounds (they only occur on infeasible
+/// One sweep over the backward edges, returning the number of violated
+/// edges. With `repair == nullptr` it only scans (the paper's E_violate
+/// set, checked before mutating anything); with `repair` (which aliases
+/// `sched` at every call site) it is ReadjustOffsets: each violated
+/// head offset is delayed to the minimum satisfying value. Self-anchor
+/// violations (the head *is* the anchor, whose own offset is pinned at
+/// 0) cannot be repaired; they count as violations and surface as
+/// inconsistency after |Eb|+1 rounds (they only occur on infeasible
 /// graphs, which the prechecks reject anyway).
-int readjust_offsets(const cg::ConstraintGraph& g, RelativeSchedule& sched) {
+int backward_edge_sweep(const cg::ConstraintGraph& g,
+                        const RelativeSchedule& sched,
+                        RelativeSchedule* repair) {
   int violated = 0;
   for (const cg::Edge& e : g.edges()) {
     if (cg::is_forward(e.kind)) continue;
@@ -70,46 +79,58 @@ int readjust_offsets(const cg::ConstraintGraph& g, RelativeSchedule& sched) {
     for (const auto& [a, sigma_t] : sched.offsets(t).entries()) {
       if (a == h) {
         if (sigma_t + w > 0) edge_violated = true;  // sigma_h(h) == 0 fixed
-        continue;
-      }
-      const auto sigma_h = sched.offsets(h).get(a);
-      if (!sigma_h.has_value()) continue;  // anchor not common
-      if (*sigma_h < sigma_t + w) {
-        sched.offsets(h).set(a, sigma_t + w);
+      } else if (const auto sigma_h = sched.offsets(h).get(a);
+                 sigma_h.has_value() && *sigma_h < sigma_t + w) {
+        // .has_value() filters anchors not common to both endpoints.
+        if (repair != nullptr) repair->offsets(h).set(a, sigma_t + w);
         edge_violated = true;
       }
+      if (edge_violated && repair == nullptr) break;
     }
     if (edge_violated) ++violated;
   }
   return violated;
 }
 
-/// Scan-only violation check (used to decide termination before
-/// mutating anything, mirroring the paper's E_violate set).
-int count_violations(const cg::ConstraintGraph& g,
-                     const RelativeSchedule& sched) {
-  int violated = 0;
-  for (const cg::Edge& e : g.edges()) {
-    if (cg::is_forward(e.kind)) continue;
-    const VertexId t = e.from;
-    const VertexId h = e.to;
-    const graph::Weight w = e.fixed_weight;
-    for (const auto& [a, sigma_t] : sched.offsets(t).entries()) {
-      if (a == h) {
-        if (sigma_t + w > 0) {
-          ++violated;
-          break;
-        }
-        continue;
-      }
-      const auto sigma_h = sched.offsets(h).get(a);
-      if (sigma_h.has_value() && *sigma_h < sigma_t + w) {
-        ++violated;
-        break;
-      }
+/// The shared iteration loop (paper Fig 8): alternate IncrementalOffset
+/// and ReadjustOffsets until a sweep produces no violations, at most
+/// |Eb|+1 rounds (Theorem 8 / Corollary 2). `first_sweep` is the
+/// portion of `topo` the first round propagates over -- the full order
+/// for cold starts, the suffix from the first affected position for
+/// warm restarts (the settled prefix already satisfies its forward
+/// constraints); later rounds always sweep the full order.
+void run_rounds(const cg::ConstraintGraph& g,
+                const anchors::AnchorAnalysis& analysis,
+                const ScheduleOptions& options, std::span<const int> topo,
+                std::span<const int> first_sweep, RelativeSchedule sched,
+                ScheduleResult& result) {
+  const int max_rounds = g.backward_edge_count() + 1;
+  for (int round = 1; round <= max_rounds; ++round) {
+    incremental_offset(g, analysis, options.mode,
+                       round == 1 ? first_sweep : topo, sched);
+    result.iterations = round;
+
+    IterationTrace trace;
+    if (options.record_trace) {
+      trace.iteration = round;
+      trace.after_compute = sched;
+    }
+
+    if (backward_edge_sweep(g, sched, nullptr) == 0) {
+      if (options.record_trace) result.trace.push_back(std::move(trace));
+      result.status = ScheduleStatus::kScheduled;
+      result.schedule = std::move(sched);
+      return;
+    }
+    trace.violated_backward_edges = backward_edge_sweep(g, sched, &sched);
+    if (options.record_trace) {
+      trace.after_readjust = sched;
+      result.trace.push_back(std::move(trace));
     }
   }
-  return violated;
+
+  result.status = ScheduleStatus::kInconsistent;
+  result.message = "no convergence within |Eb|+1 iterations";
 }
 
 }  // namespace
@@ -154,32 +175,47 @@ ScheduleResult schedule(const cg::ConstraintGraph& g,
     }
   }
 
-  const int max_rounds = g.backward_edge_count() + 1;
-  for (int round = 1; round <= max_rounds; ++round) {
-    incremental_offset(g, analysis, options.mode, *topo, sched);
-    result.iterations = round;
+  run_rounds(g, analysis, options, *topo, *topo, std::move(sched), result);
+  return result;
+}
 
-    IterationTrace trace;
-    if (options.record_trace) {
-      trace.iteration = round;
-      trace.after_compute = sched;
-    }
-
-    if (count_violations(g, sched) == 0) {
-      if (options.record_trace) result.trace.push_back(std::move(trace));
-      result.status = ScheduleStatus::kScheduled;
-      result.schedule = std::move(sched);
-      return result;
-    }
-    trace.violated_backward_edges = readjust_offsets(g, sched);
-    if (options.record_trace) {
-      trace.after_readjust = sched;
-      result.trace.push_back(std::move(trace));
+ScheduleResult reschedule(const cg::ConstraintGraph& g,
+                          const anchors::AnchorAnalysis& analysis,
+                          const std::vector<int>& topo,
+                          const RelativeSchedule& previous,
+                          const std::vector<bool>& affected,
+                          const ScheduleOptions& options) {
+  ScheduleResult result;
+  // Warm seed: a vertex outside the affected cone keeps its previous
+  // offsets (any path whose length changed runs through an edit seed,
+  // so its endpoints are affected -- unaffected minima are unchanged);
+  // affected vertices restart from the paper's r = 0 state. Anchors
+  // newly tracked at a vertex (IR(v) can grow at an unaffected vertex
+  // when a via-anchor moved) also start at 0. Every seed is therefore
+  // <= the minimum schedule, and the monotone-raise iteration converges
+  // to exactly the offsets a cold schedule() of `g` would produce, in
+  // at most as many rounds.
+  RelativeSchedule sched(g.vertex_count());
+  for (int vi = 0; vi < g.vertex_count(); ++vi) {
+    const VertexId v(vi);
+    for (VertexId a : analysis.set(v, options.mode)) {
+      const graph::Weight seed =
+          affected[v.index()] ? 0 : previous.offsets(v).get(a).value_or(0);
+      sched.offsets(v).set(a, seed);
     }
   }
 
-  result.status = ScheduleStatus::kInconsistent;
-  result.message = "no convergence within |Eb|+1 iterations";
+  // The settled prefix of the topological order (before the first
+  // affected vertex) already satisfies its forward constraints; the
+  // first sweep starts at the frontier.
+  std::size_t frontier = 0;
+  while (frontier < topo.size() &&
+         !affected[static_cast<std::size_t>(topo[frontier])]) {
+    ++frontier;
+  }
+  run_rounds(g, analysis, options, topo,
+             std::span<const int>(topo).subspan(frontier), std::move(sched),
+             result);
   return result;
 }
 

@@ -72,6 +72,22 @@ ScheduleResult schedule(const cg::ConstraintGraph& g,
 ScheduleResult schedule(const cg::ConstraintGraph& g,
                         const ScheduleOptions& options = {});
 
+/// Warm-start rescheduling after an edit (engine layer). `previous`
+/// must be a valid minimum schedule of the pre-edit graph and
+/// `affected` the dirty cone of the edits; unaffected vertices seed
+/// their previous offsets, affected ones restart from 0, and the first
+/// sweep begins at the first affected position of `topo` (the forward
+/// topological order of the edited graph). Produces offsets identical
+/// to a cold schedule() of `g` -- property-tested bit-for-bit. Skips
+/// prechecks: callers have already re-established validity,
+/// feasibility, and well-posedness.
+ScheduleResult reschedule(const cg::ConstraintGraph& g,
+                          const anchors::AnchorAnalysis& analysis,
+                          const std::vector<int>& topo,
+                          const RelativeSchedule& previous,
+                          const std::vector<bool>& affected,
+                          const ScheduleOptions& options = {});
+
 /// Projects a schedule computed over full anchor sets down to the
 /// relevant or irredundant sets (Theorems 4 and 6 guarantee identical
 /// start times on well-posed graphs). Used by control generation to

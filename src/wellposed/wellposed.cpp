@@ -1,5 +1,6 @@
 #include "wellposed/wellposed.hpp"
 
+#include "base/error.hpp"
 #include "base/strings.hpp"
 #include "graph/algorithms.hpp"
 
@@ -22,6 +23,55 @@ bool is_feasible(const cg::ConstraintGraph& g) {
   return !graph::longest_paths_from(full, g.source().value()).positive_cycle;
 }
 
+bool is_feasible_incremental(const cg::ConstraintGraph& g,
+                             std::vector<graph::Weight>& potentials,
+                             std::span<const VertexId> dirty) {
+  const int n = g.vertex_count();
+  RELSCHED_CHECK(static_cast<int>(potentials.size()) == n,
+                 "potentials out of sync with the graph");
+  // SPFA-style label correction with a FIFO queue. Old edges are
+  // satisfied by `potentials`, so only edges out of dirty vertices can
+  // be violated initially; every later violation has a tail we raised.
+  // With FIFO order, a vertex enqueued more than n times lies on a
+  // positive cycle (and any positive cycle keeps raising its vertices
+  // forever), so the counter is an exact detector.
+  std::vector<int> enqueued(static_cast<std::size_t>(n), 0);
+  std::vector<bool> in_queue(static_cast<std::size_t>(n), false);
+  std::vector<VertexId> queue(dirty.begin(), dirty.end());
+  for (const VertexId v : dirty) {
+    in_queue[v.index()] = true;
+    enqueued[v.index()] = 1;
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    in_queue[v.index()] = false;
+    for (EdgeId eid : g.out_edges(v)) {
+      const cg::Edge& e = g.edge(eid);
+      const graph::Weight candidate =
+          graph::saturating_add(potentials[v.index()], g.weight(eid).value);
+      if (candidate <= potentials[e.to.index()]) continue;
+      potentials[e.to.index()] = candidate;
+      if (in_queue[e.to.index()]) continue;
+      if (++enqueued[e.to.index()] > n) return false;
+      in_queue[e.to.index()] = true;
+      queue.push_back(e.to);
+    }
+  }
+  return true;
+}
+
+namespace {
+
+CheckResult ill_posed_at(const cg::ConstraintGraph& g, const cg::Edge& e) {
+  return CheckResult{
+      Status::kIllPosed, e.id,
+      cat("max constraint between '", g.vertex(e.to).name, "' and '",
+          g.vertex(e.from).name, "': A(", g.vertex(e.from).name,
+          ") not contained in A(", g.vertex(e.to).name, ")")};
+}
+
+}  // namespace
+
 CheckResult check(const cg::ConstraintGraph& g) {
   return check(g, anchors::find_anchor_sets(g));
 }
@@ -39,12 +89,22 @@ CheckResult check(const cg::ConstraintGraph& g,
     if (cg::is_forward(e.kind)) continue;
     const anchors::AnchorSet& tail_set = anchor_sets[e.from.index()];
     const anchors::AnchorSet& head_set = anchor_sets[e.to.index()];
-    if (!tail_set.is_subset_of(head_set)) {
-      return CheckResult{
-          Status::kIllPosed, e.id,
-          cat("max constraint between '", g.vertex(e.to).name, "' and '",
-              g.vertex(e.from).name, "': A(", g.vertex(e.from).name,
-              ") not contained in A(", g.vertex(e.to).name, ")")};
+    if (!tail_set.is_subset_of(head_set)) return ill_posed_at(g, e);
+  }
+  return CheckResult{Status::kWellPosed, EdgeId::invalid(), ""};
+}
+
+CheckResult recheck(const cg::ConstraintGraph& g,
+                    const std::vector<anchors::AnchorSet>& anchor_sets,
+                    const std::vector<bool>& affected) {
+  for (const cg::Edge& e : g.edges()) {
+    if (cg::is_forward(e.kind)) continue;
+    // A(v) only changes for affected vertices, and the pre-edit graph
+    // was well-posed, so containment can only break where an endpoint
+    // is affected.
+    if (!affected[e.from.index()] && !affected[e.to.index()]) continue;
+    if (!anchor_sets[e.from.index()].is_subset_of(anchor_sets[e.to.index()])) {
+      return ill_posed_at(g, e);
     }
   }
   return CheckResult{Status::kWellPosed, EdgeId::invalid(), ""};

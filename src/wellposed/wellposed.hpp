@@ -10,6 +10,7 @@
 //     exists (Lemma 3: iff no unbounded-length cycles).
 #pragma once
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,12 +38,35 @@ struct CheckResult {
 /// Theorem 1: feasibility via positive-cycle detection on G0.
 [[nodiscard]] bool is_feasible(const cg::ConstraintGraph& g);
 
+/// Incremental feasibility after an edit. `potentials` must satisfy
+/// every G0 edge of the *pre-edit* graph (sigma(head) >= sigma(tail) +
+/// w); the zero-profile start times of a valid schedule are such a
+/// potential function. Only constraints out of `dirty` vertices can be
+/// newly violated, so relaxation starts there and spreads by a
+/// label-correcting worklist. Returns true and repairs `potentials` in
+/// place when the edited graph is feasible; returns false (leaving
+/// `potentials` unusable) when a positive cycle is detected -- callers
+/// fall back to the cold path.
+[[nodiscard]] bool is_feasible_incremental(const cg::ConstraintGraph& g,
+                                           std::vector<graph::Weight>& potentials,
+                                           std::span<const VertexId> dirty);
+
 /// checkWellposed (paper §IV-B). Checks feasibility, then anchor-set
 /// containment A(tail) subset-of A(head) on every backward edge
 /// (forward edges satisfy containment by construction).
 CheckResult check(const cg::ConstraintGraph& g);
 CheckResult check(const cg::ConstraintGraph& g,
                   const std::vector<anchors::AnchorSet>& anchor_sets);
+
+/// Containment re-check after an edit, assuming the pre-edit graph was
+/// well-posed and feasibility has already been re-established. A
+/// backward edge can only become violating if an endpoint's anchor set
+/// changed, i.e. the endpoint is in `affected`; all other edges are
+/// skipped. Scans in edge-id order like check(), so the reported edge
+/// and message are identical to a cold check of the edited graph.
+CheckResult recheck(const cg::ConstraintGraph& g,
+                    const std::vector<anchors::AnchorSet>& anchor_sets,
+                    const std::vector<bool>& affected);
 
 struct MakeWellposedResult {
   Status status = Status::kWellPosed;

@@ -1,0 +1,237 @@
+// Equivalence property for the incremental synthesis engine: for random
+// well-posed graphs and random edit sequences (constraint insertion,
+// removal, re-weighting), a SynthesisSession resolved after each edit
+// produces *bit-identical* products to a cold recompute of the edited
+// graph -- same status and message, same A / R / IR sets, same
+// anchor-to-vertex path lengths, same schedule offsets. Edits are free
+// to drive the graph infeasible or ill-posed and back; the session must
+// agree with the cold pipeline at every step.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "engine/session.hpp"
+#include "graph/algorithms.hpp"
+#include "testutil.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::engine {
+namespace {
+
+/// The cold pipeline the session must match: exactly the sequence
+/// cold_resolve() runs, on an independent copy of the graph.
+struct ColdProducts {
+  sched::ScheduleStatus status = sched::ScheduleStatus::kInvalidGraph;
+  std::string message;
+  std::optional<anchors::AnchorAnalysis> analysis;
+  sched::RelativeSchedule schedule;
+};
+
+ColdProducts cold_pipeline(const cg::ConstraintGraph& g,
+                           anchors::AnchorMode mode) {
+  ColdProducts c;
+  if (const auto issues = g.validate(); !issues.empty()) {
+    c.status = sched::ScheduleStatus::kInvalidGraph;
+    c.message = issues.front().message;
+    return c;
+  }
+  if (!wellposed::is_feasible(g)) {
+    c.status = sched::ScheduleStatus::kInfeasible;
+    c.message = "positive cycle with unbounded delays set to 0";
+    return c;
+  }
+  c.analysis = anchors::AnchorAnalysis::compute(g);
+  const auto wp = wellposed::check(g, c.analysis->anchor_sets());
+  if (wp.status == wellposed::Status::kIllPosed) {
+    c.status = sched::ScheduleStatus::kIllPosed;
+    c.message = wp.message;
+    return c;
+  }
+  sched::ScheduleOptions sopts;
+  sopts.mode = mode;
+  sopts.prechecks = false;
+  auto result = sched::schedule(g, *c.analysis, sopts);
+  c.status = result.status;
+  c.message = result.message;
+  c.schedule = std::move(result.schedule);
+  return c;
+}
+
+void expect_equivalent(const Products& p, const ColdProducts& c,
+                       const cg::ConstraintGraph& g, int step) {
+  ASSERT_EQ(p.schedule.status, c.status) << "edit step " << step;
+  EXPECT_EQ(p.schedule.message, c.message) << "edit step " << step;
+  if (c.analysis.has_value() &&
+      p.schedule.status != sched::ScheduleStatus::kInfeasible) {
+    const anchors::AnchorAnalysis& cold = *c.analysis;
+    const anchors::AnchorAnalysis& warm = p.analysis;
+    ASSERT_EQ(warm.anchors(), cold.anchors()) << "edit step " << step;
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      const VertexId v(vi);
+      EXPECT_EQ(warm.anchor_set(v), cold.anchor_set(v))
+          << "A(v" << vi << "), edit step " << step;
+      EXPECT_EQ(warm.relevant_set(v), cold.relevant_set(v))
+          << "R(v" << vi << "), edit step " << step;
+      EXPECT_EQ(warm.irredundant_set(v), cold.irredundant_set(v))
+          << "IR(v" << vi << "), edit step " << step;
+      for (VertexId a : cold.anchors()) {
+        EXPECT_EQ(warm.length(a, v), cold.length(a, v))
+            << "length(v" << a << ", v" << vi << "), edit step " << step;
+        EXPECT_EQ(warm.maximal_defining_path_length(a, v),
+                  cold.maximal_defining_path_length(a, v))
+            << "|rho*(v" << a << ", v" << vi << ")|, edit step " << step;
+      }
+    }
+  }
+  if (p.ok()) {
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      const VertexId v(vi);
+      EXPECT_EQ(p.schedule.schedule.offsets(v), c.schedule.offsets(v))
+          << "offsets(v" << vi << "), edit step " << step;
+    }
+  }
+}
+
+/// Applies one random journaled edit through the session. Returns false
+/// when no applicable edit was found (caller skips the step).
+bool random_edit(SynthesisSession& session, std::mt19937& rng) {
+  const cg::ConstraintGraph& g = session.graph();
+  const graph::Digraph forward = g.project_forward();
+
+  switch (rng() % 4) {
+    case 0: {  // add a max constraint between comparable vertices
+      const VertexId from(static_cast<int>(
+          rng() % static_cast<unsigned>(std::max(1, g.vertex_count() - 1))));
+      const auto lp = graph::longest_paths_from(forward, from.value());
+      if (lp.positive_cycle) return false;
+      std::vector<VertexId> reachable;
+      for (int vi = 0; vi < g.vertex_count(); ++vi) {
+        if (vi != from.value() && lp.dist[static_cast<std::size_t>(vi)] !=
+                                      graph::kNegInf) {
+          reachable.push_back(VertexId(vi));
+        }
+      }
+      if (reachable.empty()) return false;
+      const VertexId to = reachable[rng() % reachable.size()];
+      const auto dist = lp.dist[to.index()];
+      // Slack 0..5 keeps most additions feasible; tightening below
+      // drives some of them infeasible.
+      session.add_max_constraint(from, to,
+                                 static_cast<int>(dist) +
+                                     static_cast<int>(rng() % 6));
+      return true;
+    }
+    case 1: {  // add a min constraint along the topological order
+      const auto topo = graph::topological_order(forward);
+      if (!topo.has_value() || topo->size() < 2) return false;
+      const std::size_t i = rng() % (topo->size() - 1);
+      const std::size_t j = i + 1 + rng() % (topo->size() - 1 - i);
+      // Tail precedes head in a topological order, so the new forward
+      // edge cannot close a cycle.
+      session.add_min_constraint(VertexId((*topo)[i]), VertexId((*topo)[j]),
+                                 static_cast<int>(rng() % 5));
+      return true;
+    }
+    case 2: {  // re-weight a constraint edge by +-1
+      std::vector<EdgeId> constraints;
+      for (const cg::Edge& e : g.edges()) {
+        if (e.kind != cg::EdgeKind::kSequencing) constraints.push_back(e.id);
+      }
+      if (constraints.empty()) return false;
+      const EdgeId eid = constraints[rng() % constraints.size()];
+      const int bound = std::abs(g.edge(eid).fixed_weight);
+      const int delta = static_cast<int>(rng() % 3) - 1;
+      session.set_constraint_bound(eid, std::max(0, bound + delta));
+      return true;
+    }
+    default: {  // remove a constraint edge (respecting polarity guards)
+      std::vector<EdgeId> removable;
+      for (const cg::Edge& e : g.edges()) {
+        if (e.kind == cg::EdgeKind::kMaxConstraint) {
+          removable.push_back(e.id);
+        } else if (e.kind == cg::EdgeKind::kMinConstraint) {
+          int tail_out = 0, head_in = 0;
+          for (EdgeId oe : g.out_edges(e.from)) {
+            if (cg::is_forward(g.edge(oe).kind)) ++tail_out;
+          }
+          for (EdgeId ie : g.in_edges(e.to)) {
+            if (cg::is_forward(g.edge(ie).kind)) ++head_in;
+          }
+          if (tail_out > 1 && head_in > 1) removable.push_back(e.id);
+        }
+      }
+      if (removable.empty()) return false;
+      session.remove_constraint(removable[rng() % removable.size()]);
+      return true;
+    }
+  }
+}
+
+class EngineProperties : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineProperties, IncrementalResolveMatchesColdRecompute) {
+  std::mt19937 rng(GetParam());
+  int corpora = 0;
+  int warm_total = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    relsched::testing::RandomGraphParams params;
+    params.vertex_count = 8 + static_cast<int>(rng() % 14);
+    params.unbounded_fraction = 0.15 + 0.2 * (rng() % 3);
+    params.max_constraints = 1 + static_cast<int>(rng() % 3);
+    auto g = relsched::testing::random_constraint_graph(rng, params);
+    if (!g.validate().empty()) continue;
+    if (wellposed::make_wellposed(g).status != wellposed::Status::kWellPosed) {
+      continue;
+    }
+
+    const auto mode = static_cast<anchors::AnchorMode>(rng() % 3);
+    SessionOptions opts;
+    opts.schedule_mode = mode;
+    SynthesisSession session(std::move(g), opts);
+    if (!session.resolve().ok()) continue;
+    ++corpora;
+
+    for (int step = 0; step < 10; ++step) {
+      if (!random_edit(session, rng)) continue;
+      const Products& products = session.resolve();
+      const ColdProducts cold = cold_pipeline(session.graph(), mode);
+      expect_equivalent(products, cold, session.graph(), step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    warm_total += session.stats().warm_resolves;
+  }
+  EXPECT_GT(corpora, 5) << "corpus too thin for seed " << GetParam();
+  EXPECT_GT(warm_total, 10) << "edit sequences never exercised the warm path";
+}
+
+TEST_P(EngineProperties, ResolveIsIdempotentAndCached) {
+  std::mt19937 rng(GetParam());
+  relsched::testing::RandomGraphParams params;
+  std::optional<cg::ConstraintGraph> graph;
+  for (int trial = 0; trial < 40 && !graph.has_value(); ++trial) {
+    auto g = relsched::testing::random_constraint_graph(rng, params);
+    if (g.validate().empty() && wellposed::make_wellposed(g).status ==
+                                    wellposed::Status::kWellPosed) {
+      graph = std::move(g);
+    }
+  }
+  ASSERT_TRUE(graph.has_value()) << "no well-posed graph in 40 trials";
+  SynthesisSession session(std::move(*graph), {});
+  const Products& first = session.resolve();
+  const std::uint64_t revision = first.revision;
+  const int colds = session.stats().cold_resolves;
+  // No edits: resolve() must be a cached no-op.
+  const Products& second = session.resolve();
+  EXPECT_EQ(second.revision, revision);
+  EXPECT_EQ(session.stats().cold_resolves, colds);
+  EXPECT_EQ(session.stats().warm_resolves, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperties,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace relsched::engine
