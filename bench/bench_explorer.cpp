@@ -1,0 +1,238 @@
+// E13: parallel design-space exploration throughput.
+//
+// Takes the largest constraint graph in the benchmark suite, builds a
+// batch of bound-perturbation candidates around one resolved base
+// session, and runs the same batch through explore::Explorer twice:
+// sequentially (1 worker) and in parallel (4 workers). Every candidate
+// is an independent copy-on-write fork resolving one transaction, so
+// the parallel run must return bit-identical per-candidate products and
+// the same winner -- that equivalence is checked unconditionally and is
+// a hard failure.
+//
+// The >= 3x speedup gate only makes sense with real cores underneath;
+// on machines with fewer than 4 hardware threads the gate is reported
+// as SKIPPED and the binary exits 0 (CI runs this on 4-vCPU runners,
+// where the gate is enforced). Emits BENCH_explorer.json either way.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/table.hpp"
+#include "bench_json.hpp"
+#include "designs/designs.hpp"
+#include "driver/synthesis.hpp"
+#include "engine/session.hpp"
+#include "explore/explorer.hpp"
+
+using namespace relsched;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double median_us(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n == 0 ? 0.0
+                : (n % 2 == 1 ? samples[n / 2]
+                              : 0.5 * (samples[n / 2 - 1] + samples[n / 2]));
+}
+
+std::string fmt(double v, int precision = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+struct Run {
+  double us = 0;
+  explore::ExplorationResult result;
+  long long forks = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --check-only: enforce the bit-identical equivalence but skip the
+  // speedup gate (used under ThreadSanitizer, whose instrumentation
+  // distorts the timing comparison).
+  bool check_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check-only") check_only = true;
+  }
+  constexpr int kCandidateTarget = 64;
+  constexpr int kRepeats = 7;
+  constexpr int kParallelThreads = 4;
+  constexpr double kRequiredSpeedup = 3.0;
+
+  // The suite's largest graph: the design whose resolves are expensive
+  // enough for parallelism to matter.
+  cg::ConstraintGraph graph;
+  anchors::AnchorAnalysis analysis;
+  std::string design_name;
+  for (const designs::BenchmarkDesign& bench : designs::benchmark_suite()) {
+    seq::Design design = designs::build(bench.name);
+    const auto result = driver::synthesize(design);
+    if (!result.ok()) {
+      std::cerr << bench.name << ": " << result.message << "\n";
+      return EXIT_FAILURE;
+    }
+    for (const auto& gs : result.graphs) {
+      if (gs.constraint_graph.vertex_count() > graph.vertex_count()) {
+        graph = gs.constraint_graph;
+        analysis = gs.analysis;
+        design_name = bench.name;
+      }
+    }
+  }
+
+  // Editable max constraints; install one with generous slack when the
+  // design has none (same recipe as bench_incremental).
+  std::vector<EdgeId> max_edges;
+  for (const cg::Edge& e : graph.edges()) {
+    if (e.kind == cg::EdgeKind::kMaxConstraint) max_edges.push_back(e.id);
+  }
+  if (max_edges.empty()) {
+    for (const cg::Edge& e : graph.edges()) {
+      if (!cg::is_forward(e.kind)) continue;
+      if (analysis.anchor_set(e.from) != analysis.anchor_set(e.to)) continue;
+      const auto lp = graph::longest_paths_from(graph.project_forward(),
+                                                e.from.value());
+      max_edges.push_back(graph.add_max_constraint(
+          e.from, e.to, static_cast<int>(lp.dist[e.to.index()]) + 8));
+      break;
+    }
+  }
+  if (max_edges.empty()) {
+    std::cerr << design_name << ": no editable max constraint found\n";
+    return EXIT_FAILURE;
+  }
+
+  // Candidate batch: per max constraint, loosen the bound by 1..8
+  // cycles -- every candidate stays feasible and floods that
+  // constraint's dirty cone. Two-edit candidates (loosen, then settle
+  // one cycle lower) exercise the transaction coalescing path.
+  std::vector<explore::Candidate> candidates;
+  for (int i = 0; candidates.size() < static_cast<std::size_t>(kCandidateTarget);
+       ++i) {
+    const EdgeId edge = max_edges[static_cast<std::size_t>(i) % max_edges.size()];
+    const int bound = std::abs(graph.edge(edge).fixed_weight);
+    const int delta = 1 + (i / static_cast<int>(max_edges.size())) % 8;
+    explore::Candidate c;
+    c.label = "e" + std::to_string(edge.value()) + "+" + std::to_string(delta);
+    c.edits.push_back(explore::EditOp::set_bound(edge, bound + delta + 1));
+    c.edits.push_back(explore::EditOp::set_bound(edge, bound + delta));
+    candidates.push_back(std::move(c));
+  }
+
+  const explore::Objective objective = explore::min_latency();
+  const auto run_with = [&](int threads) {
+    explore::ExplorerOptions opts;
+    opts.threads = threads;
+    explore::Explorer explorer(engine::SynthesisSession(graph, {}), opts);
+    (void)explorer.explore(candidates, objective);  // warm-up
+    std::vector<double> samples;
+    Run run;
+    for (int i = 0; i < kRepeats; ++i) {
+      const auto t0 = Clock::now();
+      run.result = explorer.explore(candidates, objective);
+      samples.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+    }
+    run.us = median_us(samples);
+    run.forks = explorer.base().stats().forks_taken;
+    return run;
+  };
+
+  const Run sequential = run_with(1);
+  const Run parallel = run_with(kParallelThreads);
+
+  // Hard requirement at ANY thread count: same winner, bit-identical
+  // per-candidate products.
+  bool identical = sequential.result.winner == parallel.result.winner;
+  for (std::size_t i = 0; identical && i < candidates.size(); ++i) {
+    const explore::CandidateResult& a = sequential.result.candidates[i];
+    const explore::CandidateResult& b = parallel.result.candidates[i];
+    identical = a.feasible == b.feasible && a.score == b.score &&
+                a.products.schedule.status == b.products.schedule.status;
+    for (int vi = 0; identical && vi < graph.vertex_count(); ++vi) {
+      identical = a.products.schedule.schedule.offsets(VertexId(vi)) ==
+                  b.products.schedule.schedule.offsets(VertexId(vi));
+    }
+    if (!identical) {
+      std::cerr << "candidate " << a.label
+                << ": parallel result diverges from sequential\n";
+    }
+  }
+
+  const double speedup = parallel.us > 0 ? sequential.us / parallel.us : 0.0;
+  const unsigned hardware = std::thread::hardware_concurrency();
+
+  std::cout << "E13: parallel design-space exploration, " << candidates.size()
+            << " candidates on " << design_name << " (|V|="
+            << graph.vertex_count() << ", |E|=" << graph.edge_count() << ")\n\n";
+  TextTable table;
+  table.set_header({"mode", "threads", "explore (us)", "us/candidate", "forks",
+                    "steals"});
+  table.add_row({"sequential", "1", fmt(sequential.us),
+                 fmt(sequential.us / static_cast<double>(candidates.size())),
+                 cat(sequential.forks), cat(sequential.result.steals)});
+  table.add_row({"parallel", cat(kParallelThreads), fmt(parallel.us),
+                 fmt(parallel.us / static_cast<double>(candidates.size())),
+                 cat(parallel.forks), cat(parallel.result.steals)});
+  table.print(std::cout);
+  std::cout << "\nwinner: "
+            << (parallel.result.winner >= 0 ? parallel.result.best().label
+                                            : std::string("<none>"))
+            << "; per-candidate results bit-identical across thread counts: "
+            << (identical ? "yes" : "NO") << "\n";
+
+  const bool gate_applies =
+      !check_only && hardware >= static_cast<unsigned>(kParallelThreads);
+  const std::string gate = !gate_applies ? "SKIPPED"
+                           : speedup >= kRequiredSpeedup ? "HOLDS"
+                                                         : "FAILS";
+
+  benchio::Json scores = benchio::Json::array();
+  for (const explore::CandidateResult& c : parallel.result.candidates) {
+    scores.element(c.feasible ? c.score : -1.0);
+  }
+  benchio::Json::object()
+      .field("bench", "explorer")
+      .field("design", design_name)
+      .field("vertices", graph.vertex_count())
+      .field("edges", graph.edge_count())
+      .field("candidates", static_cast<int>(candidates.size()))
+      .field("repeats", kRepeats)
+      .field("parallel_threads", kParallelThreads)
+      .field("hardware_concurrency", static_cast<int>(hardware))
+      .field("sequential_us", sequential.us)
+      .field("parallel_us", parallel.us)
+      .field("speedup", speedup)
+      .field("steals", parallel.result.steals)
+      .field("identical", identical)
+      .field("required_speedup", kRequiredSpeedup)
+      .field("gate", gate)
+      .field("winner",
+             parallel.result.winner >= 0 ? parallel.result.best().label
+                                         : std::string("<none>"))
+      .field("scores", scores)
+      .write("BENCH_explorer.json");
+  std::cout << "wrote BENCH_explorer.json\n";
+
+  if (!identical) return EXIT_FAILURE;
+  std::cout << "\n" << kParallelThreads << "-thread speedup: " << fmt(speedup, 2)
+            << "x (required: >= " << fmt(kRequiredSpeedup) << "x, "
+            << "hardware threads: " << hardware << "): " << gate << "\n";
+  if (!gate_applies) {
+    std::cout << (check_only ? "--check-only: speedup gate skipped\n"
+                             : "fewer than 4 hardware threads: speedup gate "
+                               "skipped\n");
+    return EXIT_SUCCESS;
+  }
+  return speedup >= kRequiredSpeedup ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -56,6 +56,11 @@ struct Row {
   double warm_us = 0;
   int warm_resolves = 0;
   int last_affected = 0;
+  // Warm-path phase breakdown, microseconds per warm resolve.
+  double topo_us = 0;
+  double spfa_us = 0;
+  double anchor_us = 0;
+  double resched_us = 0;
 
   [[nodiscard]] double speedup() const {
     return warm_us > 0 ? cold_us / warm_us : 0.0;
@@ -155,8 +160,16 @@ int main() {
       if (!session.products().ok()) return EXIT_FAILURE;
     }
     row.warm_us = median_us(warm);
-    row.warm_resolves = session.stats().warm_resolves;
-    row.last_affected = session.stats().last_affected_vertices;
+    const engine::SessionStats stats = session.stats();
+    row.warm_resolves = stats.warm_resolves;
+    row.last_affected = stats.last_affected_vertices;
+    // The session accumulates per-phase wall time across warm resolves;
+    // report the per-resolve average next to the end-to-end median.
+    const double resolves = std::max(1, stats.warm_resolves);
+    row.topo_us = stats.warm_topo_us / resolves;
+    row.spfa_us = stats.warm_spfa_us / resolves;
+    row.anchor_us = stats.warm_anchor_us / resolves;
+    row.resched_us = stats.warm_resched_us / resolves;
     if (row.warm_resolves < kWarmRepeats) {
       std::cerr << name << ": only " << row.warm_resolves << "/" << kWarmRepeats
                 << " resolves took the warm path\n";
@@ -178,6 +191,16 @@ int main() {
   }
   table.print(std::cout);
 
+  std::cout << "\nwarm-path phase breakdown (us per warm resolve)\n\n";
+  TextTable phases;
+  phases.set_header(
+      {"design", "topo patch", "SPFA repair", "anchor patch", "reschedule"});
+  for (const Row& row : rows) {
+    phases.add_row({row.design, fmt(row.topo_us, 2), fmt(row.spfa_us, 2),
+                    fmt(row.anchor_us, 2), fmt(row.resched_us, 2)});
+  }
+  phases.print(std::cout);
+
   const Row* largest_row = nullptr;
   for (const Row& row : rows) {
     if (largest_row == nullptr || row.vertices > largest_row->vertices) {
@@ -195,7 +218,11 @@ int main() {
                              .field("cold_us", row.cold_us)
                              .field("warm_us", row.warm_us)
                              .field("speedup", row.speedup())
-                             .field("dirty_cone_vertices", row.last_affected));
+                             .field("dirty_cone_vertices", row.last_affected)
+                             .field("warm_topo_us", row.topo_us)
+                             .field("warm_spfa_us", row.spfa_us)
+                             .field("warm_anchor_us", row.anchor_us)
+                             .field("warm_resched_us", row.resched_us));
   }
   benchio::Json::object()
       .field("bench", "incremental")

@@ -70,6 +70,26 @@ class Json {
     body_ += value.str();
     return *this;
   }
+  Json& element(double value) {
+    separator();
+    body_ += number(value);
+    return *this;
+  }
+  Json& element(int value) {
+    separator();
+    body_ += std::to_string(value);
+    return *this;
+  }
+  Json& element(long long value) {
+    separator();
+    body_ += std::to_string(value);
+    return *this;
+  }
+  Json& element(const std::string& value) {
+    separator();
+    body_ += '"' + json_escape(value) + '"';
+    return *this;
+  }
 
   [[nodiscard]] std::string str() const {
     return open_ + body_ + close_;

@@ -14,6 +14,7 @@
 #include "driver/stats.hpp"
 #include "driver/synthesis.hpp"
 #include "engine/session.hpp"
+#include "explore/explorer.hpp"
 #include "graph/algorithms.hpp"
 
 using namespace relsched;
@@ -35,19 +36,12 @@ ctrl::ControlCost total_control_cost(const driver::SynthesisResult& result,
   return total;
 }
 
-/// Zero-profile schedule latency: the largest start time when every
-/// anchor takes its minimum (zero) delay.
-graph::Weight latency_of(const engine::Products& products,
-                         const cg::ConstraintGraph& g) {
-  const auto start = products.schedule.schedule.start_times(g, {});
-  return *std::max_element(start.begin(), start.end());
-}
-
-/// Constraint sweep on one graph: tighten a max-constraint bound one
-/// cycle at a time, warm-resolving after each edit, until the design
-/// goes infeasible or ill-posed. Demonstrates the intended exploration
-/// loop: one session, many edits, each resolve pays only for its dirty
-/// cone.
+/// Constraint sweep on one graph: every tightening of one max
+/// constraint becomes a candidate, and the whole sweep runs through the
+/// parallel explorer -- each candidate on its own copy-on-write fork of
+/// one resolved base session, resolved as a single transaction and
+/// scored by zero-profile latency. The result is deterministic for any
+/// worker count, so the table below never depends on the machine.
 void explore_incrementally(const std::string& design_name,
                            cg::ConstraintGraph graph,
                            const anchors::AnchorAnalysis& analysis) {
@@ -87,38 +81,43 @@ void explore_incrementally(const std::string& design_name,
   const cg::Edge& edge = session.graph().edge(swept);
   const VertexId from = edge.from;
   const VertexId to = edge.to;
-  int bound = std::abs(edge.fixed_weight);
+  const int bound = std::abs(edge.fixed_weight);
 
-  std::cout << "\nIncremental sweep on " << design_name << ": max constraint '"
+  std::cout << "\nParallel sweep on " << design_name << ": max constraint '"
             << session.graph().vertex(from).name << "' -> '"
-            << session.graph().vertex(to).name << "', tightening from "
-            << bound << " cycles\n";
+            << session.graph().vertex(to).name << "', bounds " << bound
+            << "..0, one fork per candidate\n";
+
+  std::vector<explore::Candidate> candidates;
+  for (int b = bound; b >= 0; --b) {
+    candidates.push_back({"bound=" + std::to_string(b),
+                          {explore::EditOp::set_bound(swept, b)}});
+  }
+  explore::Explorer explorer(std::move(session), {});
+  const explore::ExplorationResult result =
+      explorer.explore(candidates, explore::min_latency());
+
   TextTable sweep;
   sweep.set_header({"bound", "status", "latency", "dirty cone"});
-  while (bound >= 0) {
-    session.set_constraint_bound(swept, bound);
-    const engine::Products& products = session.resolve();
-    std::string status = "ok";
-    std::string latency = "-";
-    if (products.ok()) {
-      latency = std::to_string(latency_of(products, session.graph()));
-    } else {
-      status = products.schedule.message;
-    }
-    sweep.add_row({std::to_string(bound), status, latency,
-                   std::to_string(session.stats().last_affected_vertices) + "/" +
-                       std::to_string(session.graph().vertex_count())});
-    if (!products.ok()) break;  // the first failing bound ends the sweep
-    --bound;
+  for (const explore::CandidateResult& c : result.candidates) {
+    sweep.add_row(
+        {c.label.substr(c.label.find('=') + 1),
+         c.feasible ? "ok" : c.error,
+         c.feasible ? std::to_string(static_cast<long long>(c.score)) : "-",
+         std::to_string(c.stats.last_affected_vertices) + "/" +
+             std::to_string(explorer.base().graph().vertex_count())});
   }
   sweep.print(std::cout);
 
-  const engine::SessionStats& st = session.stats();
-  std::cout << "\nsession: " << st.cold_resolves << " cold / "
-            << st.warm_resolves << " warm resolves; anchor path rows "
-            << st.anchor_rows_recomputed << " patched vs "
-            << st.anchor_rows_cold_equivalent
-            << " a cold pipeline would rebuild\n";
+  const engine::SessionStats st = explorer.base().stats();
+  std::cout << "\nexplorer: " << candidates.size() << " candidates on "
+            << explorer.threads() << " threads, " << st.forks_taken
+            << " copy-on-write forks, " << result.steals << " steals";
+  if (result.winner >= 0) {
+    std::cout << "; best candidate " << result.best().label << " at latency "
+              << static_cast<long long>(result.best().score);
+  }
+  std::cout << "\n";
 }
 
 }  // namespace

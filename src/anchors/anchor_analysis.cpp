@@ -49,7 +49,14 @@ graph::Weight AnchorAnalysis::length(VertexId anchor, VertexId v) const {
   const int pos = anchor_index_[anchor.index()];
   RELSCHED_CHECK(pos >= 0, "length() queried for a non-anchor");
   if (length_from_.empty()) return graph::kNegInf;
-  return length_from_[static_cast<std::size_t>(pos)][v.index()];
+  return length_from_[static_cast<std::size_t>(pos)].read()[v.index()];
+}
+
+int AnchorAnalysis::rows_shared() const {
+  int shared = 0;
+  for (const Row& row : length_from_) shared += row.shared() ? 1 : 0;
+  for (const Row& row : defining_from_) shared += row.shared() ? 1 : 0;
+  return shared;
 }
 
 std::size_t AnchorAnalysis::total_anchor_set_size(AnchorMode mode) const {
@@ -112,7 +119,7 @@ graph::Weight AnchorAnalysis::maximal_defining_path_length(VertexId anchor,
   const int pos = anchor_index_[anchor.index()];
   RELSCHED_CHECK(pos >= 0, "defining path queried for a non-anchor");
   if (defining_from_.empty()) return graph::kNegInf;
-  return defining_from_[static_cast<std::size_t>(pos)][v.index()];
+  return defining_from_[static_cast<std::size_t>(pos)].read()[v.index()];
 }
 
 namespace {
@@ -306,14 +313,14 @@ AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
   // Maximal defining path lengths (Definition 10).
   a.defining_from_.reserve(a.anchors_.size());
   for (VertexId anchor : a.anchors_) {
-    a.defining_from_.push_back(defining_path_lengths(g, anchor));
+    a.defining_from_.emplace_back(defining_path_lengths(g, anchor));
   }
 
   // Cone-restricted longest paths (see cone_longest_paths): equals the
   // minimum offset sigma_a^min(v) by Theorem 3.
   a.length_from_.reserve(a.anchors_.size());
   for (VertexId anchor : a.anchors_) {
-    a.length_from_.push_back(cone_longest_paths(g, anchor, a.anchor_sets_));
+    a.length_from_.emplace_back(cone_longest_paths(g, anchor, a.anchor_sets_));
   }
   a.rows_recomputed_ = static_cast<int>(a.anchors_.size());
 
@@ -381,20 +388,22 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
       const VertexId s = plan.seeds[si];
       if (s == x || anchor_sets_[s.index()].contains(x) ||
           prev_seed_sets[si].contains(x) ||
-          defining_from_[i][s.index()] != graph::kNegInf ||
-          length_from_[i][s.index()] != graph::kNegInf) {
+          defining_from_[i].read()[s.index()] != graph::kNegInf ||
+          length_from_[i].read()[s.index()] != graph::kNegInf) {
         touched[i] = true;
         break;
       }
     }
   }
 
+  // write() unshares a row from any fork parent before patching it;
+  // untouched rows stay physically shared.
   for (std::size_t i = 0; i < num_anchors; ++i) {
     if (!touched[i]) continue;
     patch_defining_path_lengths(g, anchors_[i], plan.affected,
-                                defining_from_[i]);
+                                defining_from_[i].write());
     patch_cone_longest_paths(g, anchors_[i], anchor_sets_, plan.affected,
-                             length_from_[i]);
+                             length_from_[i].write());
     ++rows_recomputed_;
   }
 
@@ -407,7 +416,7 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
     if (!plan.affected[vi]) continue;
     for (std::size_t i = 0; i < num_anchors; ++i) {
       if (!touched[i]) continue;
-      if (defining_from_[i][vi] != graph::kNegInf) {
+      if (defining_from_[i].read()[vi] != graph::kNegInf) {
         relevant_[vi].insert(anchors_[i]);
       } else {
         relevant_[vi].erase(anchors_[i]);

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "base/cow.hpp"
 #include "base/ids.hpp"
 #include "base/small_set.hpp"
 #include "cg/constraint_graph.hpp"
@@ -75,6 +76,13 @@ class AnchorAnalysis {
   /// statistics.
   [[nodiscard]] int rows_recomputed() const { return rows_recomputed_; }
 
+  /// Per-anchor path rows still shared with another analysis (i.e. with
+  /// the fork parent's copy). Copies of an AnchorAnalysis share rows
+  /// copy-on-write; update() clones only the rows it patches, so a
+  /// forked session's private footprint is proportional to its dirty
+  /// cone, not the design. For engine statistics.
+  [[nodiscard]] int rows_shared() const;
+
   [[nodiscard]] const std::vector<VertexId>& anchors() const { return anchors_; }
   [[nodiscard]] bool is_anchor(VertexId v) const;
 
@@ -122,10 +130,13 @@ class AnchorAnalysis {
   std::vector<AnchorSet> anchor_sets_;
   std::vector<AnchorSet> relevant_;
   std::vector<AnchorSet> irredundant_;
+  /// One length row per anchor, copy-on-write so copies of the analysis
+  /// (session forks) share unpatched rows with their parent.
+  using Row = base::Cow<std::vector<graph::Weight>>;
   /// length_from_[i][v] = longest path from anchors_[i] to vertex v.
-  std::vector<std::vector<graph::Weight>> length_from_;
+  std::vector<Row> length_from_;
   /// defining_from_[i][v] = |rho*(anchors_[i], v)|.
-  std::vector<std::vector<graph::Weight>> defining_from_;
+  std::vector<Row> defining_from_;
 };
 
 }  // namespace relsched::anchors

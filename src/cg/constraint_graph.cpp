@@ -67,22 +67,6 @@ void ConstraintGraph::set_delay(VertexId v, Delay delay) {
                         /*forward=*/false, v, v, {v}});
 }
 
-std::vector<VertexId> ConstraintGraph::reachable_cone(VertexId start) const {
-  std::vector<bool> seen(static_cast<std::size_t>(vertex_count()), false);
-  std::vector<VertexId> cone{start};
-  seen[start.index()] = true;
-  for (std::size_t i = 0; i < cone.size(); ++i) {
-    for (EdgeId eid : out_edges(cone[i])) {
-      const VertexId next = edge(eid).to;
-      if (!seen[next.index()]) {
-        seen[next.index()] = true;
-        cone.push_back(next);
-      }
-    }
-  }
-  return cone;
-}
-
 void ConstraintGraph::remove_constraint(EdgeId e) {
   RELSCHED_CHECK(e.is_valid() && e.value() < edge_count(),
                  "edge id out of range");
@@ -102,12 +86,15 @@ void ConstraintGraph::remove_constraint(EdgeId e) {
     RELSCHED_CHECK(tail_out > 1, "removal would leave the tail sinkless");
     RELSCHED_CHECK(head_in > 1, "removal would leave the head unreachable");
   }
-  // Dirty cone before the edge disappears: values downstream of the
-  // head may shrink once paths through the edge are gone.
+  // Endpoint seeds suffice for the dirty cone (see Edit::seeds): any
+  // path the removal kills passes through the head, and consumers flood
+  // the union of all unconsumed seeds on the post-edit graph, where the
+  // surviving suffix of every such path still hangs off some removal's
+  // head. The tail is seeded too so anchor-row reuse checks can see
+  // edits incident to an anchor's cone boundary.
   Edit edit{Edit::Kind::kRemoveConstraint, /*structural=*/false,
             removed.kind == EdgeKind::kMinConstraint, removed.from, removed.to,
-            reachable_cone(removed.to)};
-  edit.seeds.push_back(removed.from);
+            {removed.to, removed.from}};
 
   const auto unlink = [this](std::vector<EdgeId>& list, EdgeId id) {
     const auto it = std::find(list.begin(), list.end(), id);

@@ -94,9 +94,13 @@ struct Edit {
   VertexId from = VertexId::invalid();
   VertexId to = VertexId::invalid();
   /// Dirty seed vertices: any value derived from a path through one of
-  /// these may have changed. For removals this is the pre-removal
-  /// reachability cone of the edge head — paths that used the edge no
-  /// longer exist afterwards, and the shrink must be visible.
+  /// these may have changed. Always the edit's endpoint vertices -- for
+  /// removals too: any path that used the removed edge (t, h) passes
+  /// through h, and the suffix of such a path after the *last* edge the
+  /// journal suffix removes survives into the current graph, so flooding
+  /// from the heads of every unconsumed removal covers all shrunk paths
+  /// (the engine consumes the journal suffix atomically and floods from
+  /// the union of its seeds).
   std::vector<VertexId> seeds;
 };
 
@@ -159,12 +163,31 @@ class ConstraintGraph {
   /// well-posedness are untouched.
   void set_constraint_bound(EdgeId e, int cycles);
 
-  /// Monotone counter bumped by every mutation (== total edits so far).
-  [[nodiscard]] std::uint64_t revision() const { return edits_.size(); }
+  /// Monotone counter bumped by every mutation (== total edits so far,
+  /// including entries dropped by rebase_journal()).
+  [[nodiscard]] std::uint64_t revision() const {
+    return journal_base_ + edits_.size();
+  }
 
-  /// The full edit journal; consumers remember how many entries they
-  /// have already applied and replay the suffix.
+  /// The retained journal suffix: entries with revisions
+  /// [journal_base(), revision()). Consumers remember the revision they
+  /// have already applied and replay `edits()[r - journal_base()]`
+  /// onwards.
   [[nodiscard]] const std::vector<Edit>& edits() const { return edits_; }
+
+  /// First revision still present in edits().
+  [[nodiscard]] std::uint64_t journal_base() const { return journal_base_; }
+
+  /// Branch point: forgets the retained journal (all entries are known
+  /// to be consumed by every observer of this copy). revision() is
+  /// unchanged -- it stays monotone across the rebase -- so caches keyed
+  /// by revision remain valid. Used when forking a session: the fork's
+  /// graph starts with an empty journal instead of dragging the parent's
+  /// edit history along.
+  void rebase_journal() {
+    journal_base_ += edits_.size();
+    edits_.clear();
+  }
 
   // ---- Accessors ----------------------------------------------------------
 
@@ -228,9 +251,6 @@ class ConstraintGraph {
 
  private:
   EdgeId add_edge(VertexId from, VertexId to, EdgeKind kind, int fixed_weight);
-  /// Vertices reachable from `start` over all edges (the dirty cone
-  /// journaled for removals).
-  [[nodiscard]] std::vector<VertexId> reachable_cone(VertexId start) const;
 
   std::string name_;
   std::vector<Vertex> vertices_;
@@ -238,6 +258,7 @@ class ConstraintGraph {
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
   std::vector<Edit> edits_;
+  std::uint64_t journal_base_ = 0;
 };
 
 }  // namespace relsched::cg

@@ -1,32 +1,139 @@
 #include "engine/session.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "base/error.hpp"
 
 namespace relsched::engine {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
 SynthesisSession::SynthesisSession(cg::ConstraintGraph graph,
                                    SessionOptions options)
     : graph_(std::move(graph)), options_(options) {
   // Construction-time history is irrelevant: the first resolve is cold.
-  consumed_edits_ = graph_.edits().size();
+  consumed_edits_ = graph_.revision();
+}
+
+SessionStats SynthesisSession::stats() const {
+  SessionStats s = stats_;
+  s.forks_taken = forks_taken_->load(std::memory_order_relaxed);
+  s.anchor_rows_shared = products_.analysis.rows_shared();
+  return s;
+}
+
+void SynthesisSession::begin_txn() {
+  RELSCHED_CHECK(!in_txn_, "transactions do not nest");
+  in_txn_ = true;
+}
+
+const Products& SynthesisSession::commit() {
+  RELSCHED_CHECK(in_txn_, "commit() without begin_txn()");
+  in_txn_ = false;
+
+  // Cone accounting for the batch: what one-resolve-per-edit would have
+  // flooded (sum of per-edit cones) vs. the single merged cone this
+  // commit floods. Both are measured on the committed graph so the
+  // comparison is apples-to-apples; skipped when the batch contains a
+  // structural edit, which forces a cold resolve with no cone at all.
+  const std::vector<cg::Edit>& edits = graph_.edits();
+  const std::uint64_t base = graph_.journal_base();
+  RELSCHED_CHECK(consumed_edits_ >= base, "journal rebased past consumer");
+  const std::size_t begin = static_cast<std::size_t>(consumed_edits_ - base);
+  stats_.last_txn_edits = static_cast<int>(edits.size() - begin);
+  ++stats_.transactions;
+  stats_.edits_coalesced += stats_.last_txn_edits;
+  stats_.last_merged_cone_vertices = 0;
+  stats_.last_cone_vertices_sum = 0;
+
+  bool structural = false;
+  for (std::size_t i = begin; i < edits.size(); ++i) {
+    structural = structural || edits[i].structural;
+  }
+  if (!structural && resolved_once_) {
+    long long sum = 0;
+    std::vector<VertexId> merged_seeds;
+    for (std::size_t i = begin; i < edits.size(); ++i) {
+      sum += flood_count(edits[i].seeds);
+      merged_seeds.insert(merged_seeds.end(), edits[i].seeds.begin(),
+                          edits[i].seeds.end());
+    }
+    stats_.last_cone_vertices_sum = sum;
+    stats_.last_merged_cone_vertices = flood_count(merged_seeds);
+  }
+  return resolve();
+}
+
+int SynthesisSession::flood_count(const std::vector<VertexId>& seeds) const {
+  std::vector<bool> seen(static_cast<std::size_t>(graph_.vertex_count()),
+                         false);
+  std::vector<VertexId> worklist;
+  for (VertexId s : seeds) {
+    if (!seen[s.index()]) {
+      seen[s.index()] = true;
+      worklist.push_back(s);
+    }
+  }
+  for (std::size_t i = 0; i < worklist.size(); ++i) {
+    for (EdgeId eid : graph_.out_edges(worklist[i])) {
+      const VertexId next = graph_.edge(eid).to;
+      if (!seen[next.index()]) {
+        seen[next.index()] = true;
+        worklist.push_back(next);
+      }
+    }
+  }
+  return static_cast<int>(worklist.size());
+}
+
+SynthesisSession SynthesisSession::fork() const {
+  RELSCHED_CHECK(resolved_once_ && !force_cold_ && !in_txn_ &&
+                     products_.revision == graph_.revision(),
+                 "fork() requires a current resolve() and no open transaction");
+  SynthesisSession f(graph_, options_);
+  // Branch point: the fork's journal starts empty at the same revision,
+  // so the parent's consumed edit history is not dragged along.
+  f.graph_.rebase_journal();
+  f.consumed_edits_ = f.graph_.revision();
+  // Copy-on-write product copy: the anchor path rows stay shared with
+  // this session until the fork's own resolves patch them.
+  f.products_ = products_;
+  f.topo_ = topo_;
+  f.potentials_ = potentials_;
+  f.resolved_once_ = true;
+  forks_taken_->fetch_add(1, std::memory_order_relaxed);
+  return f;
 }
 
 const Products& SynthesisSession::resolve() {
+  RELSCHED_CHECK(!in_txn_, "resolve() inside an open transaction");
   if (resolved_once_ && !force_cold_ &&
       products_.revision == graph_.revision()) {
     return products_;
   }
 
-  // Fold the journal suffix into one dirty description.
+  // Fold the journal suffix into one dirty description: the union of
+  // the edits' seed vertices, deduped, floods a single merged cone in
+  // try_incremental() no matter how many edits the suffix holds.
   const std::vector<cg::Edit>& edits = graph_.edits();
+  const std::uint64_t base = graph_.journal_base();
+  RELSCHED_CHECK(consumed_edits_ >= base, "journal rebased past consumer");
   bool structural = force_cold_ || !resolved_once_ || !products_.ok();
   bool forward_changed = false;
   std::vector<VertexId> seeds;
   std::vector<bool> seen(static_cast<std::size_t>(graph_.vertex_count()),
                          false);
-  for (std::size_t i = consumed_edits_; i < edits.size(); ++i) {
+  for (std::size_t i = static_cast<std::size_t>(consumed_edits_ - base);
+       i < edits.size(); ++i) {
     const cg::Edit& e = edits[i];
     if (e.structural) structural = true;
     if (e.forward && (e.kind == cg::Edit::Kind::kAddMinConstraint ||
@@ -43,7 +150,7 @@ const Products& SynthesisSession::resolve() {
       }
     }
   }
-  consumed_edits_ = edits.size();
+  consumed_edits_ = graph_.revision();
 
   if (structural || !try_incremental(seeds, forward_changed)) {
     cold_resolve();
@@ -107,10 +214,12 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   // min-constraint insertion that closes a forward cycle makes the
   // graph invalid; defer to the cold path, which reports it.
   if (!topo_.valid()) return false;
+  const Clock::time_point t_begin = Clock::now();
   // The journal suffix since the last resolve: products_.revision is
-  // the edit count the cached products were computed at.
+  // the absolute revision the cached products were computed at.
   const std::vector<cg::Edit>& edits = graph_.edits();
-  for (std::size_t i = static_cast<std::size_t>(products_.revision);
+  const std::uint64_t base = graph_.journal_base();
+  for (std::size_t i = static_cast<std::size_t>(products_.revision - base);
        i < edits.size(); ++i) {
     const cg::Edit& e = edits[i];
     switch (e.kind) {
@@ -129,8 +238,10 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   }
 
   // Dirty cone: everything reachable from a seed in the current full
-  // graph (removal edits journaled their pre-removal cone, so shrunk
-  // paths are covered too).
+  // graph. One flood covers the whole journal suffix -- k edits, one
+  // merged cone. (Removal edits seed their endpoints: the surviving
+  // suffix of any killed path hangs off some removal's head, so shrunk
+  // paths are covered too; see cg::Edit::seeds.)
   std::vector<bool> affected(static_cast<std::size_t>(graph_.vertex_count()),
                              false);
   std::vector<VertexId> worklist = seeds;
@@ -145,10 +256,13 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
     }
   }
   stats_.last_affected_vertices = static_cast<int>(worklist.size());
+  const Clock::time_point t_topo = Clock::now();
+  stats_.warm_topo_us += us_between(t_begin, t_topo);
 
   // Feasibility: repair the previous potentials from the seeds.
   std::vector<graph::Weight> potentials = potentials_;
   if (!wellposed::is_feasible_incremental(graph_, potentials, seeds)) {
+    stats_.warm_spfa_us += us_between(t_topo, Clock::now());
     // Equivalent to the cold path's is_feasible() == false verdict
     // (the SPFA cycle detector is exact); produce the same products.
     products_ = Products{};
@@ -156,6 +270,8 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
     products_.schedule.message = "positive cycle with unbounded delays set to 0";
     return true;
   }
+  const Clock::time_point t_spfa = Clock::now();
+  stats_.warm_spfa_us += us_between(t_topo, t_spfa);
 
   anchors::UpdatePlan plan;
   plan.affected = affected;
@@ -173,6 +289,8 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
 
   const wellposed::CheckResult wp =
       wellposed::recheck(graph_, analysis.anchor_sets(), affected);
+  const Clock::time_point t_anchor = Clock::now();
+  stats_.warm_anchor_us += us_between(t_spfa, t_anchor);
   if (wp.status == wellposed::Status::kIllPosed) {
     // Mirrors the cold path: keep the analysis, drop the schedule.
     products_.topo.clear();
@@ -190,6 +308,7 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   products_.schedule = std::move(rescheduled);
   potentials_ = std::move(potentials);
   if (products_.ok()) adopt_schedule();
+  stats_.warm_resched_us += us_between(t_anchor, Clock::now());
   return true;
 }
 

@@ -20,9 +20,30 @@
 //
 // Warm results are bit-identical to a cold recompute of the edited
 // graph (property-tested in tests/property_engine.cpp).
+//
+// Two batching mechanisms sit on top of single-edit resolves:
+//
+//   Transactions -- begin_txn()/commit() group a batch of edits into
+//   one resolve. The commit floods ONE merged dirty cone (the union of
+//   the per-edit cones) and dedupes touched anchor rows across the
+//   whole batch, so a k-edit transaction pays for the union, not the
+//   sum, of its edits. Intermediate states inside a transaction are
+//   never materialized: edits may pass through infeasible or ill-posed
+//   configurations as long as the committed graph resolves.
+//
+//   Forks -- fork() copies a resolved session with copy-on-write
+//   products: the per-anchor path rows (the O(|anchors| * |V|) bulk)
+//   stay physically shared with the parent until a fork's own warm
+//   resolve patches them, so a forked candidate costs memory
+//   proportional to its dirty cone, not the design. fork() is const
+//   and thread-safe against concurrent fork() calls on the same
+//   parent; the parent must not be edited or resolved while forks are
+//   being taken (the explore::Explorer forks from an immutable base).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,12 +84,49 @@ struct SessionStats {
   long long anchor_rows_cold_equivalent = 0;
   /// Dirty-cone size of the most recent warm resolve.
   int last_affected_vertices = 0;
+
+  // ---- Transactions ------------------------------------------------------
+  /// commit() calls served.
+  int transactions = 0;
+  /// Journaled edits folded into committed transactions.
+  long long edits_coalesced = 0;
+  /// Edits in the most recent commit().
+  int last_txn_edits = 0;
+  /// Cone accounting of the most recent commit(): the merged cone the
+  /// batch actually floods (|union of per-edit cones|) vs. the sum of
+  /// the per-edit cones that one-resolve-per-edit would have flooded.
+  /// merged <= sum always, with equality exactly when the per-edit
+  /// cones are pairwise disjoint.
+  int last_merged_cone_vertices = 0;
+  long long last_cone_vertices_sum = 0;
+
+  // ---- Forks -------------------------------------------------------------
+  /// fork() calls served by this session.
+  long long forks_taken = 0;
+  /// Per-anchor path rows of products().analysis still physically
+  /// shared with a fork relative (copy-on-write), at the time stats()
+  /// was called.
+  int anchor_rows_shared = 0;
+
+  // ---- Warm-path phase breakdown (cumulative microseconds) ---------------
+  /// Pearce-Kelly topological-order patching plus the dirty-cone flood.
+  double warm_topo_us = 0;
+  /// SPFA feasibility repair of the start-time potentials.
+  double warm_spfa_us = 0;
+  /// In-place anchor-analysis patch plus backward-edge containment
+  /// recheck.
+  double warm_anchor_us = 0;
+  /// Warm-started rescheduling.
+  double warm_resched_us = 0;
 };
 
 class SynthesisSession {
  public:
   explicit SynthesisSession(cg::ConstraintGraph graph,
                             SessionOptions options = {});
+
+  SynthesisSession(SynthesisSession&&) = default;
+  SynthesisSession& operator=(SynthesisSession&&) = default;
 
   [[nodiscard]] const cg::ConstraintGraph& graph() const { return graph_; }
 
@@ -93,16 +151,45 @@ class SynthesisSession {
   }
   void set_delay(VertexId v, cg::Delay delay) { graph_.set_delay(v, delay); }
 
+  // ---- Transactions ------------------------------------------------------
+
+  /// Opens an edit transaction. Edits are journaled as usual but must
+  /// not be resolved until commit(); the commit folds the whole batch
+  /// into one merged-cone resolve. Transactions do not nest.
+  void begin_txn();
+
+  /// Closes the transaction opened by begin_txn(), records the batch's
+  /// cone-coalescing statistics, and resolves. Returns the products of
+  /// the committed graph.
+  const Products& commit();
+
+  [[nodiscard]] bool in_txn() const { return in_txn_; }
+
+  // ---- Forking -----------------------------------------------------------
+
+  /// Copies this session for an independent what-if exploration. The
+  /// fork starts resolved at the same revision with copy-on-write
+  /// products (anchor path rows shared until patched) and an empty
+  /// journal (the parent graph's retained journal is rebased away).
+  /// Requires a current resolve() and no open transaction. Thread-safe
+  /// against concurrent fork() calls on the same parent as long as the
+  /// parent is not concurrently edited or resolved.
+  [[nodiscard]] SynthesisSession fork() const;
+
   // ---- Resolution --------------------------------------------------------
 
   /// Brings the cached products up to the graph's current revision and
-  /// returns them. No-op when already current.
+  /// returns them. No-op when already current. Must not be called with
+  /// a transaction open (commit() instead).
   const Products& resolve();
 
   /// Last resolved products (resolve() must have run at least once).
   [[nodiscard]] const Products& products() const { return products_; }
 
-  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+  /// Counters and timings. Returned by value: the fork counter is
+  /// updated from const fork() calls and folded in here, and the
+  /// shared-row count is sampled at call time.
+  [[nodiscard]] SessionStats stats() const;
 
  private:
   void cold_resolve();
@@ -112,21 +199,30 @@ class SynthesisSession {
                        bool forward_changed);
   /// Refreshes topo/potentials after a successful schedule.
   void adopt_schedule();
+  /// |reachable set| from `seeds` over the current full graph; the
+  /// cone-accounting primitive behind commit()'s statistics.
+  [[nodiscard]] int flood_count(const std::vector<VertexId>& seeds) const;
 
   cg::ConstraintGraph graph_;
   SessionOptions options_;
   Products products_;
   SessionStats stats_;
+  /// Forks served, shared-pointer-boxed so fork() can stay const (and
+  /// concurrently callable) while the session object remains movable.
+  std::shared_ptr<std::atomic<long long>> forks_taken_ =
+      std::make_shared<std::atomic<long long>>(0);
   /// Pearce-Kelly order over Gf, patched per forward-edge edit.
   graph::DynamicTopoOrder topo_;
   /// Zero-profile start times of the last valid schedule: a potential
   /// function satisfying every G0 edge, re-used as the starting point
   /// for incremental feasibility.
   std::vector<graph::Weight> potentials_;
-  /// Journal entries already folded into `products_`.
-  std::size_t consumed_edits_ = 0;
+  /// Journal entries already folded into `products_`, as an absolute
+  /// revision (survives the graph's journal rebases).
+  std::uint64_t consumed_edits_ = 0;
   bool resolved_once_ = false;
   bool force_cold_ = false;
+  bool in_txn_ = false;
 };
 
 }  // namespace relsched::engine

@@ -1,0 +1,139 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "base/error.hpp"
+
+namespace relsched::explore {
+
+EditOp EditOp::set_bound(EdgeId e, int cycles) {
+  EditOp op;
+  op.kind = Kind::kSetBound;
+  op.edge = e;
+  op.cycles = cycles;
+  return op;
+}
+
+EditOp EditOp::add_min(VertexId from, VertexId to, int min_cycles) {
+  EditOp op;
+  op.kind = Kind::kAddMin;
+  op.from = from;
+  op.to = to;
+  op.cycles = min_cycles;
+  return op;
+}
+
+EditOp EditOp::add_max(VertexId from, VertexId to, int max_cycles) {
+  EditOp op;
+  op.kind = Kind::kAddMax;
+  op.from = from;
+  op.to = to;
+  op.cycles = max_cycles;
+  return op;
+}
+
+EditOp EditOp::remove(EdgeId e) {
+  EditOp op;
+  op.kind = Kind::kRemove;
+  op.edge = e;
+  return op;
+}
+
+void apply(engine::SynthesisSession& session, const EditOp& op) {
+  switch (op.kind) {
+    case EditOp::Kind::kSetBound:
+      session.set_constraint_bound(op.edge, op.cycles);
+      return;
+    case EditOp::Kind::kAddMin:
+      session.add_min_constraint(op.from, op.to, op.cycles);
+      return;
+    case EditOp::Kind::kAddMax:
+      session.add_max_constraint(op.from, op.to, op.cycles);
+      return;
+    case EditOp::Kind::kRemove:
+      session.remove_constraint(op.edge);
+      return;
+  }
+  RELSCHED_CHECK(false, "unknown edit op kind");
+}
+
+Objective min_latency() {
+  return [](const cg::ConstraintGraph& g, const engine::Products& products) {
+    const auto start = products.schedule.schedule.start_times(g, {});
+    return static_cast<double>(
+        *std::max_element(start.begin(), start.end()));
+  };
+}
+
+const CandidateResult& ExplorationResult::best() const {
+  RELSCHED_CHECK(winner >= 0, "best() with no feasible candidate");
+  return candidates[static_cast<std::size_t>(winner)];
+}
+
+namespace {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+Explorer::Explorer(engine::SynthesisSession base, ExplorerOptions options)
+    : base_(std::move(base)), pool_(resolve_threads(options.threads)) {
+  const engine::Products& products = base_.resolve();
+  RELSCHED_CHECK(products.ok(),
+                 "explorer base session must resolve to a schedule");
+}
+
+ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
+                                    const Objective& objective) {
+  ExplorationResult result;
+  result.candidates.resize(candidates.size());
+  const long long steals_before = pool_.steals();
+
+  // Result slots are disjoint per task; the pool's completion barrier
+  // publishes them to this thread.
+  pool_.run(static_cast<int>(candidates.size()), [&](int i) {
+    const Candidate& candidate = candidates[static_cast<std::size_t>(i)];
+    CandidateResult& slot = result.candidates[static_cast<std::size_t>(i)];
+    slot.index = i;
+    slot.label = candidate.label;
+    try {
+      engine::SynthesisSession fork = base_.fork();
+      fork.begin_txn();
+      for (const EditOp& op : candidate.edits) apply(fork, op);
+      const engine::Products& products = fork.commit();
+      slot.feasible = products.ok();
+      if (slot.feasible) {
+        slot.score = objective(fork.graph(), products);
+      } else {
+        slot.error = products.schedule.message;
+      }
+      slot.products = products;
+      slot.stats = fork.stats();
+    } catch (const ApiError& e) {
+      // An edit violated an API precondition (e.g. removing a polarity-
+      // critical constraint): the candidate is reported infeasible, not
+      // fatal for the batch.
+      slot.feasible = false;
+      slot.error = e.what();
+    }
+  });
+
+  for (const CandidateResult& candidate : result.candidates) {
+    if (!candidate.feasible) continue;
+    if (result.winner < 0 ||
+        candidate.score <
+            result.candidates[static_cast<std::size_t>(result.winner)].score) {
+      result.winner = candidate.index;
+    }
+  }
+  result.steals = pool_.steals() - steals_before;
+  return result;
+}
+
+}  // namespace relsched::explore

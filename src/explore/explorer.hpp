@@ -1,0 +1,128 @@
+// Parallel design-space exploration over an incremental synthesis
+// session (ROADMAP: serve many concurrent what-if queries).
+//
+// The exploration model: one resolved base SynthesisSession, a batch of
+// *candidates* -- each a named list of journaled edits -- and an
+// objective. For every candidate the explorer forks the base session
+// (copy-on-write products, so a fork's memory cost is proportional to
+// its dirty cone), applies the candidate's edits inside one transaction
+// (one merged-cone resolve per candidate, however many edits it holds),
+// scores the resolved products, and reduces to the best feasible
+// candidate.
+//
+// Determinism guarantee: candidates are resolved on independent forks
+// with no shared mutable state, every fork resolve is bit-identical to
+// a sequential warm resolve of the same edits, and the reduction
+// tie-breaks on the candidate index. The winner and every per-candidate
+// product are therefore identical for any thread count, including 1
+// (tested in tests/test_explore.cpp).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cg/constraint_graph.hpp"
+#include "engine/session.hpp"
+#include "explore/thread_pool.hpp"
+
+namespace relsched::explore {
+
+/// One journaled edit of a candidate, replayed onto a fork. Edge ids
+/// refer to the base session's graph (stable across forks; a kRemove
+/// inside the list invalidates ids exactly like
+/// cg::ConstraintGraph::remove_constraint documents).
+struct EditOp {
+  enum class Kind { kSetBound, kAddMin, kAddMax, kRemove };
+  Kind kind = Kind::kSetBound;
+  EdgeId edge = EdgeId::invalid();      // kSetBound / kRemove
+  VertexId from = VertexId::invalid();  // kAddMin / kAddMax
+  VertexId to = VertexId::invalid();
+  int cycles = 0;  // bound for kSetBound / kAddMin / kAddMax
+
+  static EditOp set_bound(EdgeId e, int cycles);
+  static EditOp add_min(VertexId from, VertexId to, int min_cycles);
+  static EditOp add_max(VertexId from, VertexId to, int max_cycles);
+  static EditOp remove(EdgeId e);
+};
+
+/// Applies one op through the session's journaled edit API.
+void apply(engine::SynthesisSession& session, const EditOp& op);
+
+struct Candidate {
+  std::string label;
+  std::vector<EditOp> edits;
+};
+
+/// Score of a resolved candidate; lower is better. Called only for
+/// candidates whose products are ok(). Must be a pure function of its
+/// arguments: it runs concurrently on worker threads.
+using Objective = std::function<double(const cg::ConstraintGraph& graph,
+                                       const engine::Products& products)>;
+
+/// Zero-profile schedule latency (the largest start time when every
+/// anchor takes its minimum delay).
+[[nodiscard]] Objective min_latency();
+
+/// Control cost of the schedule: weighted flip-flops + gates of the
+/// generated control unit (paper §VI). Defined in objectives.cpp;
+/// pulls in the ctrl library.
+[[nodiscard]] Objective min_control_cost(double flipflop_weight = 1.0,
+                                         double gate_weight = 1.0);
+
+struct CandidateResult {
+  int index = -1;
+  std::string label;
+  /// products.ok(): the candidate resolved to a schedulable design.
+  bool feasible = false;
+  /// Objective value; unset (0) when infeasible.
+  double score = 0;
+  /// Why the candidate failed (schedule status message, or an edit API
+  /// error); empty when feasible.
+  std::string error;
+  /// The fork's resolved products (copy-on-write: rows untouched by the
+  /// candidate's cone are still shared with the base session).
+  engine::Products products;
+  /// The fork's session stats (merged cone size, warm/cold, timings).
+  engine::SessionStats stats;
+};
+
+struct ExplorationResult {
+  /// Index of the best feasible candidate: smallest score, ties broken
+  /// by smallest index. -1 when every candidate is infeasible.
+  int winner = -1;
+  std::vector<CandidateResult> candidates;
+  /// Tasks that ran on a worker other than the one they were assigned
+  /// to (work-stealing effectiveness; nondeterministic, diagnostics
+  /// only -- everything else in this struct is thread-count-invariant).
+  long long steals = 0;
+
+  [[nodiscard]] const CandidateResult& best() const;
+};
+
+struct ExplorerOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+class Explorer {
+ public:
+  /// Takes ownership of the base session and resolves it. The base must
+  /// resolve to a schedulable design (warm forks need a valid baseline).
+  explicit Explorer(engine::SynthesisSession base, ExplorerOptions options = {});
+
+  [[nodiscard]] const engine::SynthesisSession& base() const { return base_; }
+  [[nodiscard]] int threads() const { return pool_.thread_count(); }
+
+  /// Resolves every candidate on its own fork of the base session, in
+  /// parallel, and reduces to the best feasible candidate under
+  /// `objective`. Deterministic for any thread count.
+  ExplorationResult explore(const std::vector<Candidate>& candidates,
+                            const Objective& objective);
+
+ private:
+  engine::SynthesisSession base_;
+  WorkStealingPool pool_;
+};
+
+}  // namespace relsched::explore

@@ -1,0 +1,23 @@
+// Objectives that pull in libraries beyond the engine (kept out of
+// explorer.cpp so its translation unit stays dependency-light).
+#include "ctrl/control.hpp"
+#include "explore/explorer.hpp"
+
+namespace relsched::explore {
+
+Objective min_control_cost(double flipflop_weight, double gate_weight) {
+  return [flipflop_weight, gate_weight](const cg::ConstraintGraph& g,
+                                        const engine::Products& products) {
+    // Shift-register control over irredundant anchor sets: the paper's
+    // recommended (cheapest) implementation; the weights let callers
+    // trade flip-flop area against logic area.
+    ctrl::ControlOptions opts;
+    opts.style = ctrl::ControlStyle::kShiftRegister;
+    opts.mode = anchors::AnchorMode::kIrredundant;
+    const ctrl::ControlUnit unit = ctrl::generate_control(
+        g, products.analysis, products.schedule.schedule, opts);
+    return flipflop_weight * unit.cost.flipflops + gate_weight * unit.cost.gates;
+  };
+}
+
+}  // namespace relsched::explore

@@ -1,0 +1,110 @@
+#include "explore/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace relsched::explore {
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lk(job_mutex_);
+    stopping_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int WorkStealingPool::pop_own(int id) {
+  Worker& w = *workers_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> lk(w.mutex);
+  if (w.queue.empty()) return -1;
+  const int task = w.queue.front();
+  w.queue.pop_front();
+  return task;
+}
+
+int WorkStealingPool::steal(int thief) {
+  const int n = thread_count();
+  for (int k = 1; k < n; ++k) {
+    Worker& victim = *workers_[static_cast<std::size_t>((thief + k) % n)];
+    std::lock_guard<std::mutex> lk(victim.mutex);
+    if (victim.queue.empty()) continue;
+    const int task = victim.queue.back();
+    victim.queue.pop_back();
+    return task;
+  }
+  return -1;
+}
+
+void WorkStealingPool::drain(int id, const std::function<void(int)>& fn) {
+  for (;;) {
+    int task = pop_own(id);
+    bool stolen = false;
+    if (task < 0) {
+      task = steal(id);
+      stolen = task >= 0;
+    }
+    if (task < 0) return;
+    fn(task);
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      if (stolen) ++steals_;
+      if (--tasks_remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkStealingPool::worker_loop(int id) {
+  std::unique_lock<std::mutex> lk(job_mutex_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    job_cv_.wait(lk, [&] { return stopping_ || job_generation_ != seen; });
+    if (stopping_) return;
+    seen = job_generation_;
+    const std::function<void(int)>* fn = job_fn_;
+    ++workers_active_;
+    lk.unlock();
+    drain(id, *fn);
+    lk.lock();
+    if (--workers_active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  // No worker touches the queues between jobs (the previous run()
+  // waited for every worker to go idle), so seeding needs only the
+  // queue locks for the memory ordering.
+  for (int i = 0; i < count; ++i) {
+    Worker& w = *workers_[static_cast<std::size_t>(i) % workers_.size()];
+    std::lock_guard<std::mutex> qlk(w.mutex);
+    w.queue.push_back(i);
+  }
+  std::unique_lock<std::mutex> lk(job_mutex_);
+  RELSCHED_CHECK(job_fn_ == nullptr, "run() calls must not overlap");
+  job_fn_ = &fn;
+  tasks_remaining_ = count;
+  ++job_generation_;
+  job_cv_.notify_all();
+  done_cv_.wait(lk,
+                [&] { return tasks_remaining_ == 0 && workers_active_ == 0; });
+  job_fn_ = nullptr;
+}
+
+long long WorkStealingPool::steals() const {
+  std::lock_guard<std::mutex> lk(job_mutex_);
+  return steals_;
+}
+
+}  // namespace relsched::explore

@@ -1,0 +1,233 @@
+// Parallel design-space explorer: the winner and every per-candidate
+// product must be identical for any thread count (the headline
+// determinism guarantee), forked candidates must match independent
+// from-scratch sessions bit for bit, and the work-stealing pool must
+// run every task exactly once.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "explore/explorer.hpp"
+#include "testutil.hpp"
+#include "wellposed/wellposed.hpp"
+
+namespace relsched::explore {
+namespace {
+
+/// A random well-posed, schedulable graph to explore around.
+cg::ConstraintGraph exploration_graph(unsigned seed) {
+  std::mt19937 rng(seed);
+  relsched::testing::RandomGraphParams params;
+  params.vertex_count = 24;
+  params.max_constraints = 3;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto g = relsched::testing::random_constraint_graph(rng, params);
+    if (!g.validate().empty()) continue;
+    if (wellposed::make_wellposed(g).status != wellposed::Status::kWellPosed) {
+      continue;
+    }
+    engine::SynthesisSession probe(g, {});
+    if (probe.resolve().ok()) return g;
+  }
+  ADD_FAILURE() << "no schedulable random graph in 200 trials";
+  return cg::ConstraintGraph("empty");
+}
+
+/// A design-space sweep: the unmodified baseline, per-constraint bound
+/// perturbations, constraint removals, new constraints between the
+/// source and the sink, and one multi-edit candidate tightening every
+/// max constraint inside a single transaction. Some candidates are
+/// deliberately aggressive enough to come back infeasible.
+std::vector<Candidate> sweep_candidates(const cg::ConstraintGraph& g) {
+  std::vector<Candidate> out;
+  out.push_back({"baseline", {}});
+  Candidate tighten_all{"tighten-all", {}};
+  for (const cg::Edge& e : g.edges()) {
+    if (e.kind == cg::EdgeKind::kSequencing) continue;
+    const int bound = std::abs(e.fixed_weight);
+    for (int delta : {-2, -1, 1, 2}) {
+      Candidate c;
+      c.label = "edge" + std::to_string(e.id.value()) + "/" +
+                std::to_string(delta);
+      c.edits.push_back(EditOp::set_bound(e.id, std::max(0, bound + delta)));
+      out.push_back(std::move(c));
+    }
+    if (e.kind == cg::EdgeKind::kMaxConstraint) {
+      out.push_back({"drop" + std::to_string(e.id.value()),
+                     {EditOp::remove(e.id)}});
+      tighten_all.edits.push_back(
+          EditOp::set_bound(e.id, std::max(0, bound - 1)));
+    }
+  }
+  if (!tighten_all.edits.empty()) out.push_back(std::move(tighten_all));
+  const VertexId source(0);
+  const VertexId sink(g.vertex_count() - 1);
+  out.push_back({"min-span", {EditOp::add_min(source, sink, 1)}});
+  out.push_back({"max-span", {EditOp::add_max(source, sink, 50)}});
+  return out;
+}
+
+void expect_identical_results(const ExplorationResult& a,
+                              const ExplorationResult& b,
+                              const cg::ConstraintGraph& g) {
+  EXPECT_EQ(a.winner, b.winner);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateResult& ca = a.candidates[i];
+    const CandidateResult& cb = b.candidates[i];
+    EXPECT_EQ(ca.index, cb.index);
+    EXPECT_EQ(ca.feasible, cb.feasible) << ca.label;
+    EXPECT_EQ(ca.score, cb.score) << ca.label;  // bit-identical, not "near"
+    EXPECT_EQ(ca.error, cb.error) << ca.label;
+    EXPECT_EQ(ca.products.schedule.status, cb.products.schedule.status)
+        << ca.label;
+    if (ca.feasible && cb.feasible) {
+      for (int vi = 0; vi < g.vertex_count(); ++vi) {
+        EXPECT_EQ(ca.products.schedule.schedule.offsets(VertexId(vi)),
+                  cb.products.schedule.schedule.offsets(VertexId(vi)))
+            << ca.label << ", v" << vi;
+      }
+    }
+  }
+}
+
+TEST(ExplorerTest, DeterministicAcrossThreadCounts) {
+  const cg::ConstraintGraph g = exploration_graph(42);
+  const std::vector<Candidate> candidates = sweep_candidates(g);
+  ASSERT_GT(candidates.size(), 8u);
+
+  std::vector<ExplorationResult> results;
+  for (int threads : {1, 2, 8}) {
+    ExplorerOptions opts;
+    opts.threads = threads;
+    Explorer explorer(engine::SynthesisSession(g, {}), opts);
+    EXPECT_EQ(explorer.threads(), threads);
+    results.push_back(explorer.explore(candidates, min_latency()));
+  }
+
+  const ExplorationResult& ref = results.front();
+  // The untouched baseline guarantees at least one feasible candidate.
+  ASSERT_GE(ref.winner, 0);
+  EXPECT_EQ(ref.best().index, ref.winner);
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    expect_identical_results(ref, results[r], g);
+  }
+}
+
+TEST(ExplorerTest, WinnerIsBestFeasibleScoreWithSmallestIndex) {
+  const cg::ConstraintGraph g = exploration_graph(7);
+  std::vector<Candidate> candidates = sweep_candidates(g);
+  // Duplicate the first candidate at the end: an exact score tie that
+  // must never displace the earlier index.
+  candidates.push_back({"baseline-again", candidates.front().edits});
+
+  ExplorerOptions opts;
+  opts.threads = 4;
+  Explorer explorer(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult result = explorer.explore(candidates, min_latency());
+
+  ASSERT_GE(result.winner, 0);
+  int expected = -1;
+  for (const CandidateResult& c : result.candidates) {
+    if (!c.feasible) continue;
+    if (expected < 0 ||
+        c.score < result.candidates[static_cast<std::size_t>(expected)].score) {
+      expected = c.index;
+    }
+  }
+  EXPECT_EQ(result.winner, expected);
+  const CandidateResult& front = result.candidates.front();
+  const CandidateResult& dup = result.candidates.back();
+  ASSERT_TRUE(front.feasible);
+  ASSERT_TRUE(dup.feasible);
+  EXPECT_EQ(front.score, dup.score);
+  EXPECT_LT(result.winner, dup.index);  // the tie broke toward the front
+}
+
+TEST(ExplorerTest, ForkedCandidatesMatchIndependentSessions) {
+  const cg::ConstraintGraph g = exploration_graph(1337);
+  const std::vector<Candidate> candidates = sweep_candidates(g);
+  ExplorerOptions opts;
+  opts.threads = 4;
+  Explorer explorer(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult result = explorer.explore(candidates, min_latency());
+  ASSERT_EQ(result.candidates.size(), candidates.size());
+
+  const Objective latency = min_latency();
+  for (const CandidateResult& c : result.candidates) {
+    // Replay the candidate on a completely independent session (cold
+    // resolve, no forking, no transaction): the explorer's warm forked
+    // resolve must be bit-identical to it.
+    engine::SynthesisSession fresh(g, {});
+    bool api_error = false;
+    try {
+      for (const EditOp& op : candidates[static_cast<std::size_t>(c.index)].edits) {
+        apply(fresh, op);
+      }
+    } catch (const ApiError&) {
+      api_error = true;
+    }
+    if (api_error) {
+      EXPECT_FALSE(c.feasible) << c.label;
+      EXPECT_FALSE(c.error.empty()) << c.label;
+      continue;
+    }
+    const engine::Products& cold = fresh.resolve();
+    EXPECT_EQ(c.feasible, cold.ok()) << c.label;
+    EXPECT_EQ(c.products.schedule.status, cold.schedule.status) << c.label;
+    if (!c.feasible) continue;
+    for (int vi = 0; vi < g.vertex_count(); ++vi) {
+      EXPECT_EQ(c.products.schedule.schedule.offsets(VertexId(vi)),
+                cold.schedule.schedule.offsets(VertexId(vi)))
+          << c.label << ", v" << vi;
+    }
+    EXPECT_EQ(c.score, latency(fresh.graph(), cold)) << c.label;
+    // Each candidate was one fork + one single-transaction warm resolve.
+    EXPECT_EQ(c.stats.transactions, 1) << c.label;
+  }
+}
+
+TEST(ExplorerTest, BestThrowsWhenEverythingIsInfeasible) {
+  ExplorationResult empty;
+  EXPECT_THROW((void)empty.best(), ApiError);
+}
+
+TEST(WorkStealingPoolTest, RunsEveryTaskExactlyOnceAndIsReusable) {
+  WorkStealingPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.run(kTasks, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+  // The pool is reusable: a second run on the same workers.
+  pool.run(kTasks, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 2) << "task " << i;
+  }
+  EXPECT_GE(pool.steals(), 0);
+}
+
+TEST(WorkStealingPoolTest, EmptyRunAndThreadClamping) {
+  WorkStealingPool pool(0);  // clamped to one worker
+  EXPECT_EQ(pool.thread_count(), 1);
+  pool.run(0, [](int) { std::abort(); });  // no tasks, no calls
+  std::vector<int> order;
+  pool.run(5, [&](int i) { order.push_back(i); });
+  // One worker, round-robin seeding, FIFO pops: strict task order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace relsched::explore
