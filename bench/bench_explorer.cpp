@@ -60,9 +60,15 @@ int main(int argc, char** argv) {
   // --check-only: enforce the bit-identical equivalence but skip the
   // speedup gate (used under ThreadSanitizer, whose instrumentation
   // distorts the timing comparison).
+  // --advisory-speedup: measure and report the speedup gate but never
+  // fail on it (used in CI, where shared noisy runners make a hard
+  // timing gate flake-prone); bit-identity remains a hard failure.
   bool check_only = false;
+  bool advisory = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--check-only") check_only = true;
+    const std::string arg = argv[i];
+    if (arg == "--check-only") check_only = true;
+    if (arg == "--advisory-speedup") advisory = true;
   }
   constexpr int kCandidateTarget = 64;
   constexpr int kRepeats = 7;
@@ -193,9 +199,10 @@ int main(int argc, char** argv) {
 
   const bool gate_applies =
       !check_only && hardware >= static_cast<unsigned>(kParallelThreads);
-  const std::string gate = !gate_applies ? "SKIPPED"
-                           : speedup >= kRequiredSpeedup ? "HOLDS"
-                                                         : "FAILS";
+  const std::string gate = !gate_applies          ? "SKIPPED"
+                           : speedup >= kRequiredSpeedup
+                               ? "HOLDS"
+                               : (advisory ? "FAILS (advisory)" : "FAILS");
 
   benchio::Json scores = benchio::Json::array();
   for (const explore::CandidateResult& c : parallel.result.candidates) {
@@ -217,6 +224,9 @@ int main(int argc, char** argv) {
       .field("identical", identical)
       .field("required_speedup", kRequiredSpeedup)
       .field("gate", gate)
+      .field("gate_mode", check_only  ? std::string("skipped")
+                          : advisory  ? std::string("advisory")
+                                      : std::string("enforced"))
       .field("winner",
              parallel.result.winner >= 0 ? parallel.result.best().label
                                          : std::string("<none>"))
@@ -232,6 +242,10 @@ int main(int argc, char** argv) {
     std::cout << (check_only ? "--check-only: speedup gate skipped\n"
                              : "fewer than 4 hardware threads: speedup gate "
                                "skipped\n");
+    return EXIT_SUCCESS;
+  }
+  if (speedup < kRequiredSpeedup && advisory) {
+    std::cout << "--advisory-speedup: gate miss reported, not enforced\n";
     return EXIT_SUCCESS;
   }
   return speedup >= kRequiredSpeedup ? EXIT_SUCCESS : EXIT_FAILURE;

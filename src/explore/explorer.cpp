@@ -1,6 +1,7 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -110,6 +111,13 @@ ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
       slot.feasible = products.ok();
       if (slot.feasible) {
         slot.score = objective(fork.graph(), products);
+        if (!std::isfinite(slot.score)) {
+          // A NaN score would poison the winner reduction (every
+          // comparison against it is false); an infinite one is never a
+          // meaningful optimum either.
+          slot.feasible = false;
+          slot.error = "objective returned a non-finite score";
+        }
       } else {
         slot.error = products.schedule.message;
       }
@@ -121,6 +129,15 @@ ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
       // fatal for the batch.
       slot.feasible = false;
       slot.error = e.what();
+    } catch (const std::exception& e) {
+      // The pool contract says fn must not throw: anything escaping the
+      // objective (a user-supplied callable) or an allocation failure
+      // must not std::terminate the batch.
+      slot.feasible = false;
+      slot.error = e.what();
+    } catch (...) {
+      slot.feasible = false;
+      slot.error = "unknown exception while resolving candidate";
     }
   });
 

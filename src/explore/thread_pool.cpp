@@ -69,7 +69,13 @@ void WorkStealingPool::worker_loop(int id) {
   std::unique_lock<std::mutex> lk(job_mutex_);
   std::uint64_t seen = 0;
   for (;;) {
-    job_cv_.wait(lk, [&] { return stopping_ || job_generation_ != seen; });
+    // The predicate requires a live job, not just a new generation: a
+    // worker descheduled long enough to miss a generation entirely must
+    // not wake into the gap after run() retired it (job_fn_ == nullptr)
+    // -- it sleeps through and joins the next published job instead.
+    job_cv_.wait(lk, [&] {
+      return stopping_ || (job_generation_ != seen && job_fn_ != nullptr);
+    });
     if (stopping_) return;
     seen = job_generation_;
     const std::function<void(int)>* fn = job_fn_;
@@ -83,16 +89,17 @@ void WorkStealingPool::worker_loop(int id) {
 
 void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
-  // No worker touches the queues between jobs (the previous run()
-  // waited for every worker to go idle), so seeding needs only the
-  // queue locks for the memory ordering.
+  std::unique_lock<std::mutex> lk(job_mutex_);
+  RELSCHED_CHECK(job_fn_ == nullptr, "run() calls must not overlap");
+  // Seed while holding job_mutex_: every parked worker's wait predicate
+  // requires a live job_fn_, so no worker -- including one that slept
+  // through an entire previous generation -- can touch the queues
+  // before this job is published below.
   for (int i = 0; i < count; ++i) {
     Worker& w = *workers_[static_cast<std::size_t>(i) % workers_.size()];
     std::lock_guard<std::mutex> qlk(w.mutex);
     w.queue.push_back(i);
   }
-  std::unique_lock<std::mutex> lk(job_mutex_);
-  RELSCHED_CHECK(job_fn_ == nullptr, "run() calls must not overlap");
   job_fn_ = &fn;
   tasks_remaining_ = count;
   ++job_generation_;
