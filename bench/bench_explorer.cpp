@@ -136,10 +136,12 @@ int main(int argc, char** argv) {
   }
 
   const explore::Objective objective = explore::min_latency();
-  const auto run_with = [&](int threads) {
+  const auto run_with = [&](int threads, bool certify) {
     explore::ExplorerOptions opts;
     opts.threads = threads;
-    explore::Explorer explorer(engine::SynthesisSession(graph, {}), opts);
+    engine::SessionOptions sopts;
+    sopts.certify = certify;
+    explore::Explorer explorer(engine::SynthesisSession(graph, sopts), opts);
     (void)explorer.explore(candidates, objective);  // warm-up
     std::vector<double> samples;
     Run run;
@@ -154,25 +156,46 @@ int main(int argc, char** argv) {
     return run;
   };
 
-  const Run sequential = run_with(1);
-  const Run parallel = run_with(kParallelThreads);
+  const Run sequential = run_with(1, false);
+  const Run parallel = run_with(kParallelThreads, false);
+  // Certification on: every candidate product is validated against its
+  // edited graph by certify::check_products, and the results must still
+  // be bit-identical to the uncertified runs (the certifier observes,
+  // it must never perturb).
+  const Run certified = run_with(kParallelThreads, true);
 
-  // Hard requirement at ANY thread count: same winner, bit-identical
-  // per-candidate products.
-  bool identical = sequential.result.winner == parallel.result.winner;
-  for (std::size_t i = 0; identical && i < candidates.size(); ++i) {
-    const explore::CandidateResult& a = sequential.result.candidates[i];
-    const explore::CandidateResult& b = parallel.result.candidates[i];
-    identical = a.feasible == b.feasible && a.score == b.score &&
-                a.products.schedule.status == b.products.schedule.status;
-    for (int vi = 0; identical && vi < graph.vertex_count(); ++vi) {
-      identical = a.products.schedule.schedule.offsets(VertexId(vi)) ==
-                  b.products.schedule.schedule.offsets(VertexId(vi));
+  // Hard requirement at ANY thread count, with or without the
+  // certifier: same winner, bit-identical per-candidate products.
+  const auto compare_runs = [&](const Run& lhs, const Run& rhs,
+                                const char* what) {
+    bool same = lhs.result.winner == rhs.result.winner;
+    for (std::size_t i = 0; same && i < candidates.size(); ++i) {
+      const explore::CandidateResult& a = lhs.result.candidates[i];
+      const explore::CandidateResult& b = rhs.result.candidates[i];
+      same = a.feasible == b.feasible && a.score == b.score &&
+             a.products.schedule.status == b.products.schedule.status;
+      for (int vi = 0; same && vi < graph.vertex_count(); ++vi) {
+        same = a.products.schedule.schedule.offsets(VertexId(vi)) ==
+               b.products.schedule.schedule.offsets(VertexId(vi));
+      }
+      if (!same) {
+        std::cerr << "candidate " << a.label << ": " << what << "\n";
+      }
     }
-    if (!identical) {
-      std::cerr << "candidate " << a.label
-                << ": parallel result diverges from sequential\n";
-    }
+    return same;
+  };
+  const bool identical = compare_runs(sequential, parallel,
+                                      "parallel result diverges from "
+                                      "sequential");
+  const bool certified_identical = compare_runs(
+      parallel, certified, "certified result diverges from uncertified");
+  long long certificate_failures = 0;
+  for (const explore::CandidateResult& c : certified.result.candidates) {
+    certificate_failures += c.stats.certificate_failures;
+  }
+  if (certificate_failures != 0) {
+    std::cerr << "certifier tripped " << certificate_failures
+              << " time(s) on a clean exploration\n";
   }
 
   const double speedup = parallel.us > 0 ? sequential.us / parallel.us : 0.0;
@@ -190,12 +213,17 @@ int main(int argc, char** argv) {
   table.add_row({"parallel", cat(kParallelThreads), fmt(parallel.us),
                  fmt(parallel.us / static_cast<double>(candidates.size())),
                  cat(parallel.forks), cat(parallel.result.steals)});
+  table.add_row({"certified", cat(kParallelThreads), fmt(certified.us),
+                 fmt(certified.us / static_cast<double>(candidates.size())),
+                 cat(certified.forks), cat(certified.result.steals)});
   table.print(std::cout);
   std::cout << "\nwinner: "
             << (parallel.result.winner >= 0 ? parallel.result.best().label
                                             : std::string("<none>"))
             << "; per-candidate results bit-identical across thread counts: "
-            << (identical ? "yes" : "NO") << "\n";
+            << (identical ? "yes" : "NO")
+            << "; with certification on: "
+            << (certified_identical ? "yes" : "NO") << "\n";
 
   const bool gate_applies =
       !check_only && hardware >= static_cast<unsigned>(kParallelThreads);
@@ -222,6 +250,9 @@ int main(int argc, char** argv) {
       .field("speedup", speedup)
       .field("steals", parallel.result.steals)
       .field("identical", identical)
+      .field("certified_us", certified.us)
+      .field("certified_identical", certified_identical)
+      .field("certificate_failures", certificate_failures)
       .field("required_speedup", kRequiredSpeedup)
       .field("gate", gate)
       .field("gate_mode", check_only  ? std::string("skipped")
@@ -234,7 +265,9 @@ int main(int argc, char** argv) {
       .write("BENCH_explorer.json");
   std::cout << "wrote BENCH_explorer.json\n";
 
-  if (!identical) return EXIT_FAILURE;
+  if (!identical || !certified_identical || certificate_failures != 0) {
+    return EXIT_FAILURE;
+  }
   std::cout << "\n" << kParallelThreads << "-thread speedup: " << fmt(speedup, 2)
             << "x (required: >= " << fmt(kRequiredSpeedup) << "x, "
             << "hardware threads: " << hardware << "): " << gate << "\n";

@@ -52,6 +52,26 @@ graph::Weight AnchorAnalysis::length(VertexId anchor, VertexId v) const {
   return length_from_[static_cast<std::size_t>(pos)].read()[v.index()];
 }
 
+const std::vector<graph::Weight>& AnchorAnalysis::length_row(
+    VertexId anchor) const {
+  const int pos = anchor_index_[anchor.index()];
+  RELSCHED_CHECK(pos >= 0 && !length_from_.empty(),
+                 "length_row() queried for a non-anchor");
+  return length_from_[static_cast<std::size_t>(pos)].read();
+}
+
+void AnchorAnalysis::corrupt_length_row_for_testing(VertexId anchor,
+                                                    int keep_prefix) {
+  const int pos = anchor_index_[anchor.index()];
+  if (pos < 0 || length_from_.empty()) return;
+  std::vector<graph::Weight>& row =
+      length_from_[static_cast<std::size_t>(pos)].write();
+  for (std::size_t v = static_cast<std::size_t>(std::max(keep_prefix, 0));
+       v < row.size(); ++v) {
+    row[v] = graph::kNegInf;
+  }
+}
+
 int AnchorAnalysis::rows_shared() const {
   int shared = 0;
   for (const Row& row : length_from_) shared += row.shared() ? 1 : 0;

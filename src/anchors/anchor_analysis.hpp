@@ -110,8 +110,22 @@ class AnchorAnalysis {
   /// exceed the realizable offset.)
   [[nodiscard]] graph::Weight length(VertexId anchor, VertexId v) const;
 
+  /// Read-only view of the whole length(anchor, .) row, indexed by
+  /// vertex. Bulk accessor for consumers that sweep every vertex (the
+  /// certifier's length-row certificate); one bounds check instead of
+  /// |V| per-entry lookups.
+  [[nodiscard]] const std::vector<graph::Weight>& length_row(
+      VertexId anchor) const;
+
   /// Sum / average helpers used by the Table III harness.
   [[nodiscard]] std::size_t total_anchor_set_size(AnchorMode mode) const;
+
+  /// Fault-injection hook (engine::FaultInjector, tests only): truncates
+  /// the length(anchor, .) row by overwriting every entry past
+  /// `keep_prefix` vertices with kNegInf, simulating a partially written
+  /// row. No-op when `anchor` is not an anchor. The certifier's
+  /// Theorem 3 cross-check (certify::check_products) must catch this.
+  void corrupt_length_row_for_testing(VertexId anchor, int keep_prefix);
 
   /// |rho*(a, v)|: the length of the *maximal defining path* from
   /// anchor `a` to `v` (Definitions 8 and 10) -- the longest path whose

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "certify/certify.hpp"
 #include "cg/graph_io.hpp"
 #include "ctrl/control.hpp"
 #include "ctrl/design_control.hpp"
@@ -34,7 +35,7 @@ namespace {
 
 int usage() {
   std::cerr << "usage: relsched_cli [--report] [--schedule] [--stats] "
-               "[--verilog] [--dot] [--counter] [--graph] "
+               "[--verilog] [--dot] [--counter] [--graph] [--diag-json] "
                "<design.hwc | graph.cg>\n";
   return 2;
 }
@@ -43,9 +44,39 @@ int usage() {
 
 namespace {
 
+/// Exit codes (covered by tests/test_driver.cpp and the CLI tests):
+/// 0 ok, 1 generic/structural error, 2 usage, 3 infeasible,
+/// 4 ill-posed, 5 no schedule found.
+int exit_code_for(wellposed::Status status) {
+  return status == wellposed::Status::kInfeasible ? 3 : 4;
+}
+
+int exit_code_for(sched::ScheduleStatus status) {
+  switch (status) {
+    case sched::ScheduleStatus::kInfeasible:
+      return 3;
+    case sched::ScheduleStatus::kIllPosed:
+      return 4;
+    case sched::ScheduleStatus::kInconsistent:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+/// Failure epilogue: the witness rendered human-readable on stderr,
+/// and (with --diag-json) the machine-readable diagnostic as a single
+/// JSON object on stdout.
+void emit_diag(const certify::Diag& diag, const cg::ConstraintGraph& g,
+               bool diag_json) {
+  if (diag.ok()) return;
+  std::cerr << certify::render(diag, g) << "\n";
+  if (diag_json) std::cout << certify::to_json(diag, g) << "\n";
+}
+
 /// --graph mode: schedule one raw constraint graph and print results.
 int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
-                   bool dot, bool counter) {
+                   bool dot, bool counter, bool diag_json) {
   auto parsed = cg::from_text(text);
   if (!parsed.ok()) {
     std::cerr << parsed.error << "\n";
@@ -60,7 +91,12 @@ int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
   if (fix.status != wellposed::Status::kWellPosed) {
     std::cerr << "cannot schedule: " << wellposed::to_string(fix.status)
               << " (" << fix.message << ")\n";
-    return 1;
+    // The failure rolled `g` back; the witness refers to the restored
+    // graph with the pre-failure serializing edges re-applied.
+    cg::ConstraintGraph wg = g;
+    for (const auto& [a, v] : fix.added_edges) wg.add_sequencing_edge(a, v);
+    emit_diag(fix.diag, wg, diag_json);
+    return exit_code_for(fix.status);
   }
   for (const auto& [from, to] : fix.added_edges) {
     std::cout << "serialized: " << g.vertex(from).name << " -> "
@@ -70,7 +106,8 @@ int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
   const auto result = sched::schedule(g, analysis);
   if (!result.ok()) {
     std::cerr << "no schedule: " << result.message << "\n";
-    return 1;
+    emit_diag(result.diag, g, diag_json);
+    return exit_code_for(result.status);
   }
   std::cout << "scheduled in " << result.iterations << " iteration(s)\n";
   if (schedule_table || (!verilog && !dot)) {
@@ -92,7 +129,8 @@ int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
 
 int main(int argc, char** argv) {
   bool report = false, schedule = false, stats = false, verilog = false,
-       dot = false, counter = false, graph_mode = false, rtl = false;
+       dot = false, counter = false, graph_mode = false, rtl = false,
+       diag_json = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +150,8 @@ int main(int argc, char** argv) {
       graph_mode = true;
     } else if (arg == "--rtl") {
       rtl = true;
+    } else if (arg == "--diag-json") {
+      diag_json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -132,7 +172,8 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
 
   if (graph_mode || path.size() > 3 && path.substr(path.size() - 3) == ".cg") {
-    return run_graph_mode(buffer.str(), schedule, verilog, dot, counter);
+    return run_graph_mode(buffer.str(), schedule, verilog, dot, counter,
+                          diag_json);
   }
 
   auto compiled = hdl::compile(buffer.str());
@@ -151,7 +192,8 @@ int main(int argc, char** argv) {
       std::cerr << "process '" << design.name()
                 << "': " << driver::to_string(result.status) << ": "
                 << result.message << "\n";
-      return 1;
+      emit_diag(result.diag, result.diag_graph, diag_json);
+      return driver::exit_code(result.status);
     }
     if (report) {
       driver::print_design_report(std::cout, design, result);

@@ -22,6 +22,22 @@ const char* to_string(SynthesisStatus status) {
   return "?";
 }
 
+int exit_code(SynthesisStatus status) {
+  switch (status) {
+    case SynthesisStatus::kOk:
+      return 0;
+    case SynthesisStatus::kInfeasible:
+      return 3;
+    case SynthesisStatus::kIllPosed:
+      return 4;
+    case SynthesisStatus::kInconsistent:
+      return 5;
+    case SynthesisStatus::kInvalid:
+      return 1;
+  }
+  return 1;
+}
+
 const GraphSynthesis& SynthesisResult::for_graph(SeqGraphId id) const {
   RELSCHED_CHECK(id.is_valid() && id.index() < graph_index.size() &&
                      graph_index[id.index()] >= 0,
@@ -87,15 +103,22 @@ AttemptStatus attempt_graph(seq::SeqGraph& sg, GraphSynthesis& gs,
   }
   if (options.apply_make_wellposed) {
     gs.wellposed_fix = wellposed::make_wellposed(gs.constraint_graph);
-    if (gs.wellposed_fix.status == wellposed::Status::kInfeasible) {
-      result.status = SynthesisStatus::kInfeasible;
-      result.message = cat("graph '", sg.name(), "': infeasible constraints");
-      return AttemptStatus::kRetryable;
-    }
-    if (gs.wellposed_fix.status == wellposed::Status::kIllPosed) {
-      result.status = SynthesisStatus::kIllPosed;
-      result.message =
-          cat("graph '", sg.name(), "': ", gs.wellposed_fix.message);
+    if (gs.wellposed_fix.status != wellposed::Status::kWellPosed) {
+      if (gs.wellposed_fix.status == wellposed::Status::kInfeasible) {
+        result.status = SynthesisStatus::kInfeasible;
+        result.message = cat("graph '", sg.name(), "': infeasible constraints");
+      } else {
+        result.status = SynthesisStatus::kIllPosed;
+        result.message =
+            cat("graph '", sg.name(), "': ", gs.wellposed_fix.message);
+      }
+      result.diag = gs.wellposed_fix.diag;
+      // make_wellposed rolled the graph back; its witness refers to the
+      // restored graph with the pre-failure serializing edges re-applied.
+      result.diag_graph = gs.constraint_graph;
+      for (const auto& [a, v] : gs.wellposed_fix.added_edges) {
+        result.diag_graph.add_sequencing_edge(a, v);
+      }
       return AttemptStatus::kRetryable;
     }
   }
@@ -127,6 +150,8 @@ AttemptStatus attempt_graph(seq::SeqGraph& sg, GraphSynthesis& gs,
         break;
     }
     result.message = cat("graph '", sg.name(), "': ", gs.schedule.message);
+    result.diag = gs.schedule.diag;
+    result.diag_graph = gs.constraint_graph;
     // A different serialization order may satisfy the constraints
     // (constrained conflict resolution); structural problems cannot be
     // fixed this way.

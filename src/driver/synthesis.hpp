@@ -76,10 +76,24 @@ struct SynthesisResult {
   std::vector<GraphSynthesis> graphs;
   /// graph id -> index into `graphs` (-1 if absent).
   std::vector<int> graph_index;
+  /// Witness-carrying diagnostic for the failing graph of the LAST
+  /// attempt (kNone on success, or when the failure carries no
+  /// witness), with `diag_graph` the constraint graph the witness
+  /// refers to -- kept here because failed graphs are never appended
+  /// to `graphs`. Renderable via certify::render / certify::to_json
+  /// and replayable via certify::verify_witness.
+  certify::Diag diag;
+  cg::ConstraintGraph diag_graph{"unset"};
 
   [[nodiscard]] bool ok() const { return status == SynthesisStatus::kOk; }
   [[nodiscard]] const GraphSynthesis& for_graph(SeqGraphId id) const;
 };
+
+/// Process exit code for a synthesis outcome -- the relsched_cli
+/// contract, covered by tests/test_driver.cpp: 0 ok, 3 infeasible,
+/// 4 ill-posed, 5 no schedule found (inconsistent constraints),
+/// 1 structural/invalid failures. (2 is reserved for usage errors.)
+[[nodiscard]] int exit_code(SynthesisStatus status);
 
 /// Runs the full pipeline. Mutates `design` (delay annotations plus
 /// serializing dependencies from binding).

@@ -1,9 +1,12 @@
 #include "engine/session.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 #include "base/error.hpp"
+#include "base/strings.hpp"
+#include "certify/certify.hpp"
 
 namespace relsched::engine {
 
@@ -16,6 +19,14 @@ double us_between(Clock::time_point a, Clock::time_point b) {
 }
 
 }  // namespace
+
+bool certify_default() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("RELSCHED_CERTIFY");
+    return env != nullptr && env[0] == '1';
+  }();
+  return enabled;
+}
 
 SynthesisSession::SynthesisSession(cg::ConstraintGraph graph,
                                    SessionOptions options)
@@ -132,8 +143,19 @@ const Products& SynthesisSession::resolve() {
   std::vector<VertexId> seeds;
   std::vector<bool> seen(static_cast<std::size_t>(graph_.vertex_count()),
                          false);
-  for (std::size_t i = static_cast<std::size_t>(consumed_edits_ - base);
-       i < edits.size(); ++i) {
+  const std::size_t fold_begin =
+      static_cast<std::size_t>(consumed_edits_ - base);
+  // Fault injection (tests): pretend one suffix entry was never
+  // journaled, so its seeds are missing from the merged dirty cone.
+  std::size_t dropped_entry = edits.size();
+  if (fault_.kind == FaultInjector::Kind::kDropJournalEntry &&
+      edits.size() > fold_begin) {
+    dropped_entry = fold_begin + static_cast<std::size_t>(
+                                     fault_.seed % (edits.size() - fold_begin));
+    fault_.kind = FaultInjector::Kind::kNone;
+  }
+  for (std::size_t i = fold_begin; i < edits.size(); ++i) {
+    if (i == dropped_entry) continue;
     const cg::Edit& e = edits[i];
     if (e.structural) structural = true;
     if (e.forward && (e.kind == cg::Edit::Kind::kAddMinConstraint ||
@@ -155,8 +177,20 @@ const Products& SynthesisSession::resolve() {
   if (structural || !try_incremental(seeds, forward_changed)) {
     cold_resolve();
     ++stats_.cold_resolves;
+    certify_cold_products();
   } else {
     ++stats_.warm_resolves;
+    if (const certify::Diag caught = certify_warm_products(); !caught.ok()) {
+      // Graceful degradation: the warm products failed independent
+      // certification. The graph itself is untouched (only cached
+      // products are suspect), so a full cold recompute transparently
+      // restores correct products; `certificate` records the catch.
+      ++stats_.certificate_failures;
+      cold_resolve();
+      ++stats_.cold_resolves;
+      products_.certificate = caught;
+      certify_cold_products();
+    }
   }
   resolved_once_ = true;
   force_cold_ = false;
@@ -184,6 +218,7 @@ void SynthesisSession::cold_resolve() {
   if (!wellposed::is_feasible(graph_)) {
     out.status = sched::ScheduleStatus::kInfeasible;
     out.message = "positive cycle with unbounded delays set to 0";
+    out.diag = certify::find_positive_cycle(graph_);
     return;
   }
   products_.analysis = anchors::AnchorAnalysis::compute(graph_);
@@ -192,6 +227,7 @@ void SynthesisSession::cold_resolve() {
   if (wp.status == wellposed::Status::kIllPosed) {
     out.status = sched::ScheduleStatus::kIllPosed;
     out.message = wp.message;
+    out.diag = wp.diag;
     return;
   }
 
@@ -256,11 +292,28 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
     }
   }
   stats_.last_affected_vertices = static_cast<int>(worklist.size());
+  // Fault injection (tests): clear one dirty bit, so the anchor patch
+  // and containment recheck below skip a vertex whose products may
+  // have changed.
+  if (fault_.kind == FaultInjector::Kind::kFlipDirtyBit && !worklist.empty()) {
+    affected[worklist[fault_.seed % worklist.size()].index()] = false;
+    fault_.kind = FaultInjector::Kind::kNone;
+  }
   const Clock::time_point t_topo = Clock::now();
   stats_.warm_topo_us += us_between(t_begin, t_topo);
 
   // Feasibility: repair the previous potentials from the seeds.
   std::vector<graph::Weight> potentials = potentials_;
+  // Fault injection (tests): raise one cached potential, absorbing
+  // relaxations the SPFA repair should have propagated through it
+  // (can mask a positive cycle behind the victim).
+  if (fault_.kind == FaultInjector::Kind::kCorruptPotential &&
+      !potentials.empty()) {
+    potentials[fault_.seed % potentials.size()] =
+        graph::saturating_add(potentials[fault_.seed % potentials.size()],
+                              1000);
+    fault_.kind = FaultInjector::Kind::kNone;
+  }
   if (!wellposed::is_feasible_incremental(graph_, potentials, seeds)) {
     stats_.warm_spfa_us += us_between(t_topo, Clock::now());
     // Equivalent to the cold path's is_feasible() == false verdict
@@ -268,6 +321,7 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
     products_ = Products{};
     products_.schedule.status = sched::ScheduleStatus::kInfeasible;
     products_.schedule.message = "positive cycle with unbounded delays set to 0";
+    products_.schedule.diag = certify::find_positive_cycle(graph_);
     return true;
   }
   const Clock::time_point t_spfa = Clock::now();
@@ -286,6 +340,15 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   stats_.anchor_rows_recomputed += analysis.rows_recomputed();
   stats_.anchor_rows_cold_equivalent +=
       static_cast<long long>(analysis.anchors().size());
+  // Fault injection (tests): truncate one anchor's freshly patched
+  // longest-path row, as if its recompute had been interrupted.
+  if (fault_.kind == FaultInjector::Kind::kTruncateAnchorRow &&
+      !analysis.anchors().empty()) {
+    analysis.corrupt_length_row_for_testing(
+        analysis.anchors()[fault_.seed % analysis.anchors().size()],
+        graph_.vertex_count() / 2);
+    fault_.kind = FaultInjector::Kind::kNone;
+  }
 
   const wellposed::CheckResult wp =
       wellposed::recheck(graph_, analysis.anchor_sets(), affected);
@@ -297,6 +360,7 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
     products_.schedule = sched::ScheduleResult{};
     products_.schedule.status = sched::ScheduleStatus::kIllPosed;
     products_.schedule.message = wp.message;
+    products_.schedule.diag = wp.diag;
     return true;
   }
 
@@ -310,6 +374,69 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   if (products_.ok()) adopt_schedule();
   stats_.warm_resched_us += us_between(t_anchor, Clock::now());
   return true;
+}
+
+certify::Diag SynthesisSession::certify_warm_products() {
+  if (!options_.certify) return certify::Diag{};
+  const Clock::time_point t0 = Clock::now();
+  certify::Diag caught;
+  bool certified = true;
+  if (products_.ok()) {
+    if (options_.schedule_mode == anchors::AnchorMode::kFull) {
+      // The schedule validated over all delay profiles plus the
+      // Theorem 3 minimality cross-check against the patched analysis,
+      // with zero dependence on the warm path's data structures.
+      caught = certify::check_products(graph_, products_.analysis,
+                                       products_.schedule.schedule);
+    } else {
+      // The per-anchor inequalities are only sound for full anchor
+      // tracking; restricted modes go uncertified.
+      certified = false;
+    }
+  } else {
+    // A warm failure verdict is cross-checked against an independent
+    // cold check of the same graph, which also extracts the
+    // authoritative witness for the verdict.
+    const wellposed::CheckResult wp = wellposed::check(graph_);
+    sched::ScheduleStatus expect = sched::ScheduleStatus::kScheduled;
+    if (wp.status == wellposed::Status::kInfeasible) {
+      expect = sched::ScheduleStatus::kInfeasible;
+    } else if (wp.status == wellposed::Status::kIllPosed) {
+      expect = sched::ScheduleStatus::kIllPosed;
+    }
+    if (products_.schedule.status == expect) {
+      products_.schedule.message = wp.message;
+      products_.schedule.diag = wp.diag;
+    } else {
+      caught.code = certify::Code::kVerdictMismatch;
+      caught.message =
+          cat("warm verdict '", sched::to_string(products_.schedule.status),
+              "' disagrees with an independent cold check ('",
+              wellposed::to_string(wp.status), "')");
+    }
+  }
+  stats_.certify_us += us_between(t0, Clock::now());
+  if (caught.ok() && certified) ++stats_.certified_resolves;
+  return caught;
+}
+
+void SynthesisSession::certify_cold_products() {
+  if (!options_.certify || !products_.ok() ||
+      options_.schedule_mode != anchors::AnchorMode::kFull) {
+    // Cold failure verdicts ARE the independent check (there is no
+    // second implementation to cross-check them against), and
+    // restricted modes go uncertified; nothing to do.
+    return;
+  }
+  const Clock::time_point t0 = Clock::now();
+  const certify::Diag caught = certify::check_products(
+      graph_, products_.analysis, products_.schedule.schedule);
+  stats_.certify_us += us_between(t0, Clock::now());
+  // No slower path exists to fall back to: a cold product that fails
+  // its certificate means the pipeline itself is broken.
+  RELSCHED_CHECK(caught.ok(),
+                 cat("cold products failed certification: ", caught.message));
+  ++stats_.certified_resolves;
 }
 
 }  // namespace relsched::engine

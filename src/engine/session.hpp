@@ -55,10 +55,53 @@
 
 namespace relsched::engine {
 
+/// True when the RELSCHED_CERTIFY environment variable is set to a
+/// value starting with '1' (read once per process). The default for
+/// SessionOptions::certify, so CI can certify every session of an
+/// existing test binary without touching its code.
+[[nodiscard]] bool certify_default();
+
 struct SessionOptions {
   /// Anchor sets tracked while scheduling (Theorems 4/6: identical
   /// start times for all three on well-posed graphs).
   anchors::AnchorMode schedule_mode = anchors::AnchorMode::kFull;
+  /// Independently certify every resolve: successful products pass
+  /// through certify::check_products (schedule valid over all delay
+  /// profiles + Theorem 3 minimality), failure verdicts are
+  /// cross-checked against a cold wellposed::check. A certificate
+  /// failure increments SessionStats::certificate_failures, records
+  /// the caught diag in Products::certificate, and transparently falls
+  /// back to a cold recompute. Product certification requires kFull
+  /// schedule_mode (the per-anchor inequalities are only sound there);
+  /// restricted modes certify failure verdicts only.
+  bool certify = certify_default();
+};
+
+/// Deterministic fault-injection hook (tests/fuzz_certify.cpp). One
+/// fault is armed via SynthesisSession::arm_fault() and fires at its
+/// injection point during the next resolve()/commit(), then disarms.
+/// Every fault class must be either caught by certification (cold
+/// fallback, counter bumped) or provably harmless to the products.
+struct FaultInjector {
+  enum class Kind {
+    kNone,
+    /// Raise one cached start-time potential, masking relaxations the
+    /// SPFA feasibility repair should have propagated.
+    kCorruptPotential,
+    /// Clear one vertex's dirty bit after the cone flood, so the
+    /// anchor-analysis patch and containment recheck skip it.
+    kFlipDirtyBit,
+    /// Skip one journal entry's seeds when folding the edit suffix,
+    /// as if the edit had never been journaled.
+    kDropJournalEntry,
+    /// Truncate one anchor's longest-path row (kNegInf tail), as if a
+    /// row recompute had been interrupted.
+    kTruncateAnchorRow,
+  };
+  Kind kind = Kind::kNone;
+  /// Selects the victim (vertex / journal entry / anchor) by modular
+  /// arithmetic, so every seed is valid for every graph.
+  std::uint64_t seed = 0;
 };
 
 /// Everything resolve() derives from the graph at one revision.
@@ -71,6 +114,10 @@ struct Products {
   sched::ScheduleResult schedule;
   /// Forward topological order the schedule was computed with.
   std::vector<int> topo;
+  /// What certification caught, when it caught anything (kNone
+  /// otherwise): these products then come from the cold fallback, and
+  /// `certificate` records why the warm results were rejected.
+  certify::Diag certificate;
 
   [[nodiscard]] bool ok() const { return schedule.ok(); }
 };
@@ -107,6 +154,17 @@ struct SessionStats {
   /// shared with a fork relative (copy-on-write), at the time stats()
   /// was called.
   int anchor_rows_shared = 0;
+
+  // ---- Certification -----------------------------------------------------
+  /// Resolves whose products (or failure verdicts) passed independent
+  /// certification.
+  long long certified_resolves = 0;
+  /// Certificates that failed; each forced a transparent cold
+  /// fallback. Nonzero on a clean run indicates an engine bug (or an
+  /// injected fault that was caught, which is the point).
+  int certificate_failures = 0;
+  /// Cumulative certification time (microseconds).
+  double certify_us = 0;
 
   // ---- Warm-path phase breakdown (cumulative microseconds) ---------------
   /// Pearce-Kelly topological-order patching plus the dirty-cone flood.
@@ -186,6 +244,10 @@ class SynthesisSession {
   /// Last resolved products (resolve() must have run at least once).
   [[nodiscard]] const Products& products() const { return products_; }
 
+  /// Arms one fault to fire during the next resolve()/commit()
+  /// (tests only; see FaultInjector). Overwrites any pending fault.
+  void arm_fault(FaultInjector fault) { fault_ = fault; }
+
   /// Counters and timings. Returned by value: the fork counter is
   /// updated from const fork() calls and folded in here, and the
   /// shared-row count is sampled at call time.
@@ -197,6 +259,14 @@ class SynthesisSession {
   /// (e.g. a min-constraint insertion closed a forward cycle).
   bool try_incremental(const std::vector<VertexId>& seeds,
                        bool forward_changed);
+  /// Independent certification of the just-computed warm products
+  /// (successful products and failure verdicts alike). Returns the
+  /// diag certification caught -- ok() when everything checked out.
+  [[nodiscard]] certify::Diag certify_warm_products();
+  /// Certifies cold products when options_.certify is set. There is no
+  /// slower path to fall back to, so a failure here is a hard error
+  /// (RELSCHED_CHECK).
+  void certify_cold_products();
   /// Refreshes topo/potentials after a successful schedule.
   void adopt_schedule();
   /// |reachable set| from `seeds` over the current full graph; the
@@ -223,6 +293,8 @@ class SynthesisSession {
   bool resolved_once_ = false;
   bool force_cold_ = false;
   bool in_txn_ = false;
+  /// Pending injected fault (tests); disarmed at its injection point.
+  FaultInjector fault_;
 };
 
 }  // namespace relsched::engine

@@ -120,6 +120,7 @@ ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
         }
       } else {
         slot.error = products.schedule.message;
+        slot.diag = products.schedule.diag;
       }
       slot.products = products;
       slot.stats = fork.stats();

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "certify/certify.hpp"
 #include "cg/constraint_graph.hpp"
 #include "engine/session.hpp"
 #include "explore/thread_pool.hpp"
@@ -80,6 +81,11 @@ struct CandidateResult {
   /// Why the candidate failed (schedule status message, or an edit API
   /// error); empty when feasible.
   std::string error;
+  /// Witness-carrying diagnostic for an infeasible/ill-posed candidate
+  /// (copied from products.schedule.diag; kNone when feasible or when
+  /// the failure was an exception with no witness). Replayable against
+  /// the candidate's edited graph via certify::verify_witness.
+  certify::Diag diag;
   /// The fork's resolved products (copy-on-write: rows untouched by the
   /// candidate's cone are still shared with the base session).
   engine::Products products;

@@ -149,11 +149,13 @@ ScheduleResult schedule(const cg::ConstraintGraph& g,
     if (wp.status == wellposed::Status::kInfeasible) {
       result.status = ScheduleStatus::kInfeasible;
       result.message = wp.message;
+      result.diag = wp.diag;
       return result;
     }
     if (wp.status == wellposed::Status::kIllPosed) {
       result.status = ScheduleStatus::kIllPosed;
       result.message = wp.message;
+      result.diag = wp.diag;
       return result;
     }
   }

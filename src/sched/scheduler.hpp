@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "certify/certify.hpp"
 #include "cg/constraint_graph.hpp"
 #include "sched/relative_schedule.hpp"
 
@@ -59,6 +60,9 @@ struct ScheduleResult {
   int iterations = 0;
   std::vector<IterationTrace> trace;
   std::string message;
+  /// Witness-carrying diagnostic for kInfeasible / kIllPosed precheck
+  /// failures (forwarded from wellposed::check); kNone otherwise.
+  certify::Diag diag;
 
   [[nodiscard]] bool ok() const { return status == ScheduleStatus::kScheduled; }
 };

@@ -62,12 +62,36 @@ bool is_feasible_incremental(const cg::ConstraintGraph& g,
 
 namespace {
 
-CheckResult ill_posed_at(const cg::ConstraintGraph& g, const cg::Edge& e) {
-  return CheckResult{
+CheckResult ill_posed_at(const cg::ConstraintGraph& g, const cg::Edge& e,
+                         const std::vector<anchors::AnchorSet>& anchor_sets) {
+  CheckResult result{
       Status::kIllPosed, e.id,
       cat("max constraint between '", g.vertex(e.to).name, "' and '",
           g.vertex(e.from).name, "': A(", g.vertex(e.from).name,
-          ") not contained in A(", g.vertex(e.to).name, ")")};
+          ") not contained in A(", g.vertex(e.to).name, ")"),
+      certify::Diag{}};
+  // Witness: a concrete counterexample anchor a in A(tail) \ A(head)
+  // with its defining path. The anchor sets handed in may be stale or
+  // corrupted (the engine feeds incrementally patched ones); a wrong
+  // claim produces a witness certify::verify_witness rejects, which is
+  // exactly the signal the engine's certification path needs.
+  const anchors::AnchorSet missing =
+      anchor_sets[e.from.index()].difference(anchor_sets[e.to.index()]);
+  if (missing.size() > 0) {
+    result.diag = certify::make_containment_diag(g, e.id, *missing.begin());
+  } else {
+    result.diag.code = certify::Code::kContainment;
+    result.diag.message = result.message;
+  }
+  return result;
+}
+
+CheckResult infeasible_result(const cg::ConstraintGraph& g) {
+  CheckResult result{Status::kInfeasible, EdgeId::invalid(),
+                     "positive cycle with unbounded delays set to 0",
+                     certify::Diag{}};
+  result.diag = certify::find_positive_cycle(g);
+  return result;
 }
 
 }  // namespace
@@ -78,10 +102,7 @@ CheckResult check(const cg::ConstraintGraph& g) {
 
 CheckResult check(const cg::ConstraintGraph& g,
                   const std::vector<anchors::AnchorSet>& anchor_sets) {
-  if (!is_feasible(g)) {
-    return CheckResult{Status::kInfeasible, EdgeId::invalid(),
-                       "positive cycle with unbounded delays set to 0"};
-  }
+  if (!is_feasible(g)) return infeasible_result(g);
   // Theorem 2 requires A(tail) subset-of A(head) for every edge; forward
   // edges satisfy it by the definition of anchor sets, so only backward
   // edges need checking (paper's checkWellposed).
@@ -89,9 +110,9 @@ CheckResult check(const cg::ConstraintGraph& g,
     if (cg::is_forward(e.kind)) continue;
     const anchors::AnchorSet& tail_set = anchor_sets[e.from.index()];
     const anchors::AnchorSet& head_set = anchor_sets[e.to.index()];
-    if (!tail_set.is_subset_of(head_set)) return ill_posed_at(g, e);
+    if (!tail_set.is_subset_of(head_set)) return ill_posed_at(g, e, anchor_sets);
   }
-  return CheckResult{Status::kWellPosed, EdgeId::invalid(), ""};
+  return CheckResult{Status::kWellPosed, EdgeId::invalid(), "", certify::Diag{}};
 }
 
 CheckResult recheck(const cg::ConstraintGraph& g,
@@ -104,10 +125,10 @@ CheckResult recheck(const cg::ConstraintGraph& g,
     // is affected.
     if (!affected[e.from.index()] && !affected[e.to.index()]) continue;
     if (!anchor_sets[e.from.index()].is_subset_of(anchor_sets[e.to.index()])) {
-      return ill_posed_at(g, e);
+      return ill_posed_at(g, e, anchor_sets);
     }
   }
-  return CheckResult{Status::kWellPosed, EdgeId::invalid(), ""};
+  return CheckResult{Status::kWellPosed, EdgeId::invalid(), "", certify::Diag{}};
 }
 
 MakeWellposedResult make_wellposed(cg::ConstraintGraph& g) {
@@ -115,9 +136,12 @@ MakeWellposedResult make_wellposed(cg::ConstraintGraph& g) {
   if (!is_feasible(g)) {
     result.status = Status::kInfeasible;
     result.message = "constraint graph is infeasible";
+    result.diag = certify::find_positive_cycle(g);
     return result;
   }
-  const cg::ConstraintGraph original = g;  // basis for the pruning pass
+  // Basis for the pruning pass, and for the transactional rollback on
+  // failure: `g` is restored to this copy before any failing return.
+  const cg::ConstraintGraph original = g;
 
   // Reachability in the *current* forward graph (edges added mid-pass
   // must be visible to the cycle check).
@@ -165,6 +189,13 @@ MakeWellposedResult make_wellposed(cg::ConstraintGraph& g) {
           result.message =
               cat("anchor '", g.vertex(a).name,
                   "' lies on a path inside a maximum timing constraint");
+          // Build the witness against the mutated graph (its defining
+          // path may use serializing edges added this call), THEN roll
+          // back. `result.added_edges` lets callers re-apply those
+          // edges -- sequencing edges append deterministically, so the
+          // witness's edge ids reproduce exactly.
+          result.diag = certify::make_containment_diag(g, e.id, a);
+          g = original;
           return result;
         }
         // Adding a -> head must not close a cycle in Gf: if head already
@@ -174,6 +205,8 @@ MakeWellposedResult make_wellposed(cg::ConstraintGraph& g) {
           result.message = cat("serializing '", g.vertex(a).name, "' -> '",
                                g.vertex(head).name,
                                "' would create an unbounded-length cycle");
+          result.diag = certify::make_unbounded_cycle_diag(g, e.id, a);
+          g = original;
           return result;
         }
         g.add_sequencing_edge(a, head);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "certify/certify.hpp"
 #include "cg/constraint_graph.hpp"
 
 namespace relsched::wellposed {
@@ -33,6 +34,11 @@ struct CheckResult {
   /// For kIllPosed: the edge whose anchor containment fails.
   EdgeId violating_edge = EdgeId::invalid();
   std::string message;
+  /// Machine-checkable witness for failed statuses (code kNone when
+  /// well-posed): the positive cycle (Theorem 1) or the containment
+  /// counterexample a in A(tail) \ A(head) with its defining path
+  /// (Theorem 2). Replayable via certify::verify_witness.
+  certify::Diag diag;
 };
 
 /// Theorem 1: feasibility via positive-cycle detection on G0.
@@ -73,6 +79,14 @@ struct MakeWellposedResult {
   /// Serializing sequencing edges added: pairs (anchor, vertex).
   std::vector<std::pair<VertexId, VertexId>> added_edges;
   std::string message;
+  /// Machine-checkable witness for failed statuses: the positive cycle
+  /// (Theorem 1), the in-window anchor with its defining path
+  /// (Fig 3(a)), or the unbounded-length cycle the repair would close
+  /// (Lemma 3). The witness refers to the restored (pre-call) graph
+  /// with `added_edges` re-applied: sequencing edges append
+  /// deterministically, so re-adding them reproduces the witness's
+  /// edge ids exactly.
+  certify::Diag diag;
 };
 
 /// makeWellposed (paper §IV-C): adds sequencing dependencies
@@ -83,8 +97,10 @@ struct MakeWellposedResult {
 /// Implemented as a fixed point: recompute anchor sets, repair every
 /// violated backward edge, repeat. Added edges have maximal defining
 /// path length 0, so the result is a *minimum* serial-compatible graph
-/// (Theorem 7). Mutates `g` in place; on failure `g` may contain some
-/// added edges (callers treat the graph as dead on failure).
+/// (Theorem 7). Mutates `g` in place; transactional on failure: every
+/// serializing edge added along the way is rolled back out, so `g` is
+/// restored to its pre-call state (verify the failure diag against the
+/// restored graph with `added_edges` re-applied).
 MakeWellposedResult make_wellposed(cg::ConstraintGraph& g);
 
 }  // namespace relsched::wellposed

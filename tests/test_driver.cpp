@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "certify/certify.hpp"
 #include "driver/report.hpp"
 #include "driver/stats.hpp"
 
@@ -211,6 +212,38 @@ TEST(Synthesize, IllPosedConstraintSerializedByMakeWellposed) {
   const auto result = synthesize(d);
   ASSERT_TRUE(result.ok()) << result.message;
   EXPECT_FALSE(result.for_graph(gid).wellposed_fix.added_edges.empty());
+}
+
+TEST(ExitCodes, StableMappingForScripts) {
+  // The CLI contract (relsched_cli and tests/data scripts key off
+  // these): 0 ok, 1 structural, 3 infeasible, 4 ill-posed,
+  // 5 inconsistent; 2 is reserved for usage errors.
+  EXPECT_EQ(exit_code(SynthesisStatus::kOk), 0);
+  EXPECT_EQ(exit_code(SynthesisStatus::kInvalid), 1);
+  EXPECT_EQ(exit_code(SynthesisStatus::kInfeasible), 3);
+  EXPECT_EQ(exit_code(SynthesisStatus::kIllPosed), 4);
+  EXPECT_EQ(exit_code(SynthesisStatus::kInconsistent), 5);
+}
+
+TEST(Synthesize, InfeasibleDesignCarriesReplayableWitness) {
+  // Same shape as InconsistentConstraintsReported: min 5 vs max 3
+  // between dependent ops closes a positive cycle. The synthesis result
+  // must carry the certificate and the graph it replays against.
+  seq::Design d("bad");
+  const SeqGraphId gid = d.add_graph("root");
+  d.set_root(gid);
+  seq::SeqGraph& g = d.graph(gid);
+  const OpId a = g.add_op(alu(AluOp::kAdd, "a"));
+  const OpId b = g.add_op(alu(AluOp::kAdd, "b"));
+  g.add_dependency(a, b);
+  g.add_constraint({a, b, 5, /*is_min=*/true});
+  g.add_constraint({a, b, 3, /*is_min=*/false});
+  const auto result = synthesize(d);
+  ASSERT_EQ(result.status, SynthesisStatus::kInfeasible);
+  ASSERT_TRUE(result.diag.has_witness()) << result.message;
+  EXPECT_EQ(certify::verify_witness(result.diag_graph, result.diag),
+            std::nullopt);
+  EXPECT_EQ(exit_code(result.status), 3);
 }
 
 TEST(Stats, IrredundantNeverExceedsFull) {

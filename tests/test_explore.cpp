@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "certify/certify.hpp"
 #include "explore/explorer.hpp"
 #include "testutil.hpp"
 #include "wellposed/wellposed.hpp"
@@ -191,6 +192,34 @@ TEST(ExplorerTest, ForkedCandidatesMatchIndependentSessions) {
     // Each candidate was one fork + one single-transaction warm resolve.
     EXPECT_EQ(c.stats.transactions, 1) << c.label;
   }
+}
+
+TEST(ExplorerTest, InfeasibleCandidatesCarryReplayableWitnesses) {
+  // Tightening Fig 2's max constraint to u = 0 closes a positive cycle;
+  // the candidate must come back infeasible with a witness that replays
+  // against the candidate's edited graph (satellite of the certifying
+  // pipeline: explorers surface per-candidate diagnostics).
+  relsched::testing::Fig2Graph f;
+  EdgeId max_edge = EdgeId::invalid();
+  for (const cg::Edge& e : f.g.edges()) {
+    if (e.kind == cg::EdgeKind::kMaxConstraint) max_edge = e.id;
+  }
+  ASSERT_TRUE(max_edge.is_valid());
+
+  std::vector<Candidate> candidates;
+  candidates.push_back({"baseline", {}});
+  candidates.push_back({"too-tight", {EditOp::set_bound(max_edge, 0)}});
+  Explorer explorer(engine::SynthesisSession(f.g, {}), {});
+  const ExplorationResult result = explorer.explore(candidates, min_latency());
+
+  EXPECT_TRUE(result.candidates[0].feasible);
+  EXPECT_TRUE(result.candidates[0].diag.ok());
+  const CandidateResult& bad = result.candidates[1];
+  ASSERT_FALSE(bad.feasible);
+  ASSERT_TRUE(bad.diag.has_witness()) << bad.error;
+  cg::ConstraintGraph edited = f.g;
+  edited.set_constraint_bound(max_edge, 0);
+  EXPECT_EQ(certify::verify_witness(edited, bad.diag), std::nullopt);
 }
 
 TEST(ExplorerTest, BestThrowsWhenEverythingIsInfeasible) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "certify/certify.hpp"
 #include "testutil.hpp"
 
 namespace relsched::wellposed {
@@ -85,6 +86,46 @@ TEST(MakeWellposed, WellPosedGraphIsUntouched) {
   EXPECT_EQ(result.status, Status::kWellPosed);
   EXPECT_TRUE(result.added_edges.empty());
   EXPECT_EQ(f.g.edge_count(), edges_before);
+}
+
+TEST(MakeWellposed, FailureRollsTheGraphBack) {
+  // One repairable violation (a2 missing at vi, Fig 3(b) style) plus an
+  // unrepairable one (a max constraint out of the anchor a3 itself):
+  // make_wellposed may serialize the first before it trips over the
+  // second, but on failure the caller's graph must come back untouched
+  // and the diag must replay against the restored graph with the
+  // recorded serializing edges re-applied.
+  cg::ConstraintGraph g;
+  const VertexId v0 = g.add_vertex("v0", cg::Delay::bounded(0));
+  const VertexId a1 = g.add_vertex("a1", cg::Delay::unbounded());
+  const VertexId a2 = g.add_vertex("a2", cg::Delay::unbounded());
+  const VertexId vi = g.add_vertex("vi", cg::Delay::bounded(1));
+  const VertexId vj = g.add_vertex("vj", cg::Delay::bounded(1));
+  const VertexId a3 = g.add_vertex("a3", cg::Delay::unbounded());
+  const VertexId vk = g.add_vertex("vk", cg::Delay::bounded(1));
+  g.add_sequencing_edge(v0, a1);
+  g.add_sequencing_edge(v0, a2);
+  g.add_sequencing_edge(a1, vi);
+  g.add_sequencing_edge(a2, vj);
+  g.add_sequencing_edge(vi, vj);
+  g.add_max_constraint(vi, vj, 5);  // repairable: serialize a2 -> vi
+  g.add_sequencing_edge(v0, a3);
+  g.add_sequencing_edge(a3, vk);
+  g.add_max_constraint(a3, vk, 5);  // unrepairable: a3 in its own window
+
+  const cg::ConstraintGraph before = g;
+  const auto result = make_wellposed(g);
+  ASSERT_NE(result.status, Status::kWellPosed);
+  EXPECT_EQ(g.edge_count(), before.edge_count());
+  EXPECT_EQ(g.revision(), before.revision());
+  EXPECT_EQ(g.to_dot(), before.to_dot());
+
+  ASSERT_TRUE(result.diag.has_witness());
+  cg::ConstraintGraph wg = g;
+  for (const auto& [from, to] : result.added_edges) {
+    wg.add_sequencing_edge(from, to);
+  }
+  EXPECT_EQ(certify::verify_witness(wg, result.diag), std::nullopt);
 }
 
 TEST(MakeWellposed, InfeasibleGraphIsRejected) {
