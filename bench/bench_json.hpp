@@ -5,6 +5,7 @@
 // scraping the human-readable tables.
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -95,9 +96,26 @@ class Json {
     return open_ + body_ + close_;
   }
 
-  void write(const std::string& path) const {
-    std::ofstream out(path);
-    out << str() << "\n";
+  /// Crash-safe emit: the bytes land in `path + ".tmp"` and rename into
+  /// place, so an interrupted bench leaves either the previous
+  /// BENCH_*.json or the new one -- never a torn hybrid. Returns false
+  /// when the file could not be written.
+  bool write(const std::string& path) const {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << str() << "\n";
+      out.flush();
+      if (!out) {
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
   }
 
  private:

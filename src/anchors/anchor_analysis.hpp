@@ -23,6 +23,10 @@
 #include "cg/constraint_graph.hpp"
 #include "graph/algorithms.hpp"
 
+namespace relsched::persist {
+struct AnchorAnalysisAccess;  // checkpoint serialization (persist layer)
+}  // namespace relsched::persist
+
 namespace relsched::anchors {
 
 using AnchorSet = SmallSet<VertexId>;
@@ -136,6 +140,10 @@ class AnchorAnalysis {
                                                            VertexId v) const;
 
  private:
+  /// Snapshot (de)serialization: the path rows have no mutating public
+  /// API, and persist sits above this library in the build graph.
+  friend struct relsched::persist::AnchorAnalysisAccess;
+
   void compute_irredundant_at(VertexId v);
 
   int rows_recomputed_ = 0;

@@ -1,0 +1,136 @@
+// Hardened environment-variable parsing.
+//
+// Every RELSCHED_* knob goes through these helpers so a typo'd value
+// ("RELSCHED_CERTIFY=yse") warns once on stderr and falls back to the
+// documented default instead of being silently misread. The parse_*
+// functions are pure (unit-testable without touching the environment);
+// the env_* wrappers add getenv + the warn-once policy.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <iterator>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "base/strings.hpp"
+
+namespace relsched::base {
+
+namespace detail {
+
+inline char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+inline bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+/// True the first time a given variable warns, false afterwards: each
+/// misspelt variable produces one stderr line per process, not one per
+/// resolve.
+inline bool first_warning_for(const std::string& name) {
+  static std::mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  return warned->insert(name).second;
+}
+
+inline void warn_bad_value(const char* name, const char* value,
+                           const char* expected, const char* fallback) {
+  if (!first_warning_for(name)) return;
+  std::fputs(cat("relsched: ignoring ", name, "=\"", value, "\" (expected ",
+                 expected, "); using default ", fallback, "\n")
+                 .c_str(),
+             stderr);
+}
+
+}  // namespace detail
+
+/// Strict boolean parse: 1/true/on/yes and 0/false/off/no (ASCII
+/// case-insensitive). Anything else -- including "" and trailing
+/// garbage -- is unrecognized.
+inline std::optional<bool> parse_env_flag(std::string_view value) {
+  for (const char* word : {"1", "true", "on", "yes"}) {
+    if (detail::iequals(value, word)) return true;
+  }
+  for (const char* word : {"0", "false", "off", "no"}) {
+    if (detail::iequals(value, word)) return false;
+  }
+  return std::nullopt;
+}
+
+/// Strict base-10 integer parse (optional leading '-'); the whole
+/// string must be consumed.
+inline std::optional<long long> parse_env_int(std::string_view value) {
+  if (value.empty()) return std::nullopt;
+  const std::string buf(value);
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return parsed;
+}
+
+/// Index of `value` in `choices` (ASCII case-insensitive), or nullopt.
+inline std::optional<int> parse_env_choice(
+    std::string_view value, std::initializer_list<std::string_view> choices) {
+  int index = 0;
+  for (const std::string_view choice : choices) {
+    if (detail::iequals(value, choice)) return index;
+    ++index;
+  }
+  return std::nullopt;
+}
+
+/// getenv + parse_env_flag; unset -> fallback, unrecognized -> one
+/// stderr warning then fallback.
+inline bool env_flag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (const auto parsed = parse_env_flag(value)) return *parsed;
+  detail::warn_bad_value(name, value, "0/1/true/false/on/off/yes/no",
+                         fallback ? "1" : "0");
+  return fallback;
+}
+
+/// getenv + parse_env_int; unset -> fallback, unrecognized -> one
+/// stderr warning then fallback.
+inline long long env_int(const char* name, long long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (const auto parsed = parse_env_int(value)) return *parsed;
+  detail::warn_bad_value(name, value, "an integer",
+                         cat(fallback).c_str());
+  return fallback;
+}
+
+/// getenv + parse_env_choice; returns the matched index, or `fallback`
+/// (an index into `choices`) after a one-shot warning.
+inline int env_choice(const char* name,
+                      std::initializer_list<std::string_view> choices,
+                      int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  if (const auto parsed = parse_env_choice(value, choices)) return *parsed;
+  std::string expected;
+  for (const std::string_view choice : choices) {
+    if (!expected.empty()) expected += "|";
+    expected += choice;
+  }
+  detail::warn_bad_value(name, value, expected.c_str(),
+                         std::string(std::data(choices)[fallback]).c_str());
+  return fallback;
+}
+
+}  // namespace relsched::base

@@ -1,0 +1,139 @@
+// Cooperative cancellation for long-running analyses.
+//
+// A CancelToken is a cheap shared handle to one "please stop" flag:
+// the driver's signal handler or an exploration deadline requests
+// cancellation once, and every computation holding a copy of the token
+// observes it. A Watchdog wraps one computation's view of a token plus
+// a wall-clock deadline and an iteration budget: inner loops charge()
+// their work to it and bail out when it trips. Polling the clock and
+// the token happens at most once per kPollQuantum charged steps, so a
+// hot relaxation loop pays one branch per step, not one syscall -- and
+// a stop request is honoured within one quantum of work.
+//
+// Both types are inert by default: a default-constructed CancelToken
+// can never be cancelled and a default-constructed Watchdog never
+// trips, so `Watchdog* == nullptr` and "no limits" behave identically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace relsched::base {
+
+class CancelToken {
+ public:
+  /// Inert token: cancelled() is permanently false and request_cancel()
+  /// is a no-op.
+  CancelToken() = default;
+
+  /// A live token backed by a shared flag; copies observe the same flag.
+  [[nodiscard]] static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Sets the shared flag. Only touches one lock-free atomic store, so
+  /// it is safe to call from a POSIX signal handler (the driver's
+  /// SIGINT/SIGTERM handler does).
+  void request_cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Watchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Steps between polls of the token/clock; also the bound on how much
+  /// extra work runs after a stop condition arises ("one quantum").
+  static constexpr std::uint64_t kPollQuantum = 1024;
+
+  /// Sentinel for "no deadline".
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  enum class Stop : std::uint8_t { kNone, kCancelled, kDeadline, kStepLimit };
+
+  /// Inert watchdog: charge() never trips.
+  Watchdog() = default;
+
+  /// `step_limit` == 0 means unlimited. The token and deadline are
+  /// polled once at construction, so a stop condition that predates the
+  /// computation (an already-expired deadline, a signal delivered
+  /// between resolves) trips immediately instead of waiting out the
+  /// first poll quantum.
+  Watchdog(CancelToken token, Clock::time_point deadline,
+           std::uint64_t step_limit)
+      : token_(std::move(token)),
+        deadline_(deadline),
+        step_limit_(step_limit == 0
+                        ? std::numeric_limits<std::uint64_t>::max()
+                        : step_limit) {
+    if (token_.cancelled()) {
+      stop_ = Stop::kCancelled;
+    } else if (deadline_ != kNoDeadline && Clock::now() >= deadline_) {
+      stop_ = Stop::kDeadline;
+    }
+  }
+
+  /// Charges `n` steps of work; returns true when the computation must
+  /// stop (sticky once tripped). The step limit is exact; the token and
+  /// deadline are polled when the charge crosses a kPollQuantum
+  /// boundary.
+  bool charge(std::uint64_t n = 1) {
+    if (stop_ != Stop::kNone) return true;
+    const std::uint64_t before = steps_;
+    steps_ += n;
+    if (steps_ > step_limit_) {
+      stop_ = Stop::kStepLimit;
+      return true;
+    }
+    if (before / kPollQuantum != steps_ / kPollQuantum) {
+      if (token_.cancelled()) {
+        stop_ = Stop::kCancelled;
+      } else if (deadline_ != kNoDeadline && Clock::now() >= deadline_) {
+        stop_ = Stop::kDeadline;
+      }
+    }
+    return stop_ != Stop::kNone;
+  }
+
+  [[nodiscard]] bool stopped() const { return stop_ != Stop::kNone; }
+  [[nodiscard]] Stop why() const { return stop_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+  /// Human rendering of why(), for messages and diagnostics.
+  [[nodiscard]] const char* reason() const {
+    switch (stop_) {
+      case Stop::kNone:
+        return "not stopped";
+      case Stop::kCancelled:
+        return "cancellation requested";
+      case Stop::kDeadline:
+        return "deadline exceeded";
+      case Stop::kStepLimit:
+        return "iteration budget exhausted";
+    }
+    return "?";
+  }
+
+ private:
+  CancelToken token_;
+  Clock::time_point deadline_ = kNoDeadline;
+  std::uint64_t step_limit_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t steps_ = 0;
+  Stop stop_ = Stop::kNone;
+};
+
+}  // namespace relsched::base

@@ -26,6 +26,8 @@ const char* to_string(Code code) {
       return "schedule-violation";
     case Code::kVerdictMismatch:
       return "verdict-mismatch";
+    case Code::kTimeout:
+      return "timeout";
   }
   return "?";
 }
@@ -367,6 +369,9 @@ std::optional<std::string> verify_witness(const cg::ConstraintGraph& g,
 
     case Code::kVerdictMismatch:
       return "verdict-mismatch diags carry no witness";
+
+    case Code::kTimeout:
+      return "timeout diags carry no witness";
   }
   return "unknown diag code";
 }

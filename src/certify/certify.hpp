@@ -57,6 +57,11 @@ enum class Code {
                        // disagrees with an independent cold check
                        // (carries no witness; the cold fallback's
                        // products carry the authoritative diag)
+  kTimeout,            // cooperative cancellation: a watchdog (deadline,
+                       // cancel request, or iteration budget) stopped
+                       // the resolve before a verdict; carries no
+                       // witness -- the result is undecided, not a
+                       // constraint failure
 };
 
 [[nodiscard]] const char* to_string(Code code);

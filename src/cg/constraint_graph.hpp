@@ -189,6 +189,19 @@ class ConstraintGraph {
     edits_.clear();
   }
 
+  /// Checkpoint support: after rebuilding a graph from a snapshot, the
+  /// construction journal describes edits the snapshot's products have
+  /// by definition already consumed. Drops it and adopts the snapshot's
+  /// revision counter, so consumers keyed by absolute revision (engine
+  /// product caches, WAL records) line up with the original session.
+  /// `revision` must not go backwards.
+  void restore_revision(std::uint64_t revision) {
+    RELSCHED_CHECK(revision >= this->revision(),
+                   "restore_revision cannot rewind the revision counter");
+    edits_.clear();
+    journal_base_ = revision;
+  }
+
   // ---- Accessors ----------------------------------------------------------
 
   [[nodiscard]] const std::string& name() const { return name_; }

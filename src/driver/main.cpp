@@ -11,12 +11,32 @@
 //                  (see cg/graph_io.hpp) instead of HardwareC
 //     --rtl        emit the full structural result: hierarchical
 //                  control plus datapath Verilog
+//
+//   Operating long runs (--graph mode):
+//     --checkpoint-dir <dir>  journal edits + snapshot session state into
+//                             <dir> (crash-safe: temp+rename, checksummed)
+//     --resume                recover from <dir>'s snapshot + WAL tail
+//                             instead of starting fresh
+//     --deadline-ms <n>       stop synthesis within one watchdog quantum
+//                             once the budget elapses; exit code 6 with
+//                             the partial state checkpointed
+//     --diag-json-out <path>  atomically write the failure diagnostic
+//                             JSON to <path> (in addition to --diag-json
+//                             on stdout)
+//   SIGINT/SIGTERM request cooperative cancellation: the run stops at
+//   the next watchdog poll, writes a final checkpoint, and exits 6.
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "base/watchdog.hpp"
 #include "certify/certify.hpp"
 #include "cg/graph_io.hpp"
 #include "ctrl/control.hpp"
@@ -24,7 +44,9 @@
 #include "driver/report.hpp"
 #include "driver/stats.hpp"
 #include "driver/synthesis.hpp"
+#include "engine/session.hpp"
 #include "hdl/lower.hpp"
+#include "persist/serialize.hpp"
 #include "rtl/datapath.hpp"
 #include "sched/scheduler.hpp"
 #include "wellposed/wellposed.hpp"
@@ -36,7 +58,8 @@ namespace {
 int usage() {
   std::cerr << "usage: relsched_cli [--report] [--schedule] [--stats] "
                "[--verilog] [--dot] [--counter] [--graph] [--diag-json] "
-               "<design.hwc | graph.cg>\n";
+               "[--diag-json-out <path>] [--checkpoint-dir <dir>] [--resume] "
+               "[--deadline-ms <n>] <design.hwc | graph.cg>\n";
   return 2;
 }
 
@@ -44,9 +67,28 @@ int usage() {
 
 namespace {
 
+/// Crash-safety / cancellation settings (see the header comment).
+struct RunOptions {
+  std::string checkpoint_dir;
+  bool resume = false;
+  long long deadline_ms = -1;  // < 0: no deadline
+  std::string diag_json_out;
+
+  [[nodiscard]] bool session_mode() const {
+    return !checkpoint_dir.empty() || resume || deadline_ms >= 0;
+  }
+};
+
+/// Shared cancel flag flipped by the SIGINT/SIGTERM handler; the
+/// handler only performs one lock-free atomic store.
+base::CancelToken g_cancel;  // NOLINT(cert-err58-cpp)
+
+extern "C" void request_cancel_handler(int) { g_cancel.request_cancel(); }
+
 /// Exit codes (covered by tests/test_driver.cpp and the CLI tests):
 /// 0 ok, 1 generic/structural error, 2 usage, 3 infeasible,
-/// 4 ill-posed, 5 no schedule found.
+/// 4 ill-posed, 5 no schedule found, 6 cancelled/deadline exceeded
+/// (partial results checkpointed when --checkpoint-dir is set).
 int exit_code_for(wellposed::Status status) {
   return status == wellposed::Status::kInfeasible ? 3 : 4;
 }
@@ -59,24 +101,154 @@ int exit_code_for(sched::ScheduleStatus status) {
       return 4;
     case sched::ScheduleStatus::kInconsistent:
       return 5;
+    case sched::ScheduleStatus::kCancelled:
+      return 6;
     default:
       return 1;
   }
 }
 
 /// Failure epilogue: the witness rendered human-readable on stderr,
-/// and (with --diag-json) the machine-readable diagnostic as a single
-/// JSON object on stdout.
+/// with --diag-json the machine-readable diagnostic as a single JSON
+/// object on stdout, and with --diag-json-out the same JSON written
+/// atomically (temp + rename) so a crash mid-emit never leaves a
+/// consumer half a document.
 void emit_diag(const certify::Diag& diag, const cg::ConstraintGraph& g,
-               bool diag_json) {
+               bool diag_json, const std::string& diag_json_out = {}) {
   if (diag.ok()) return;
   std::cerr << certify::render(diag, g) << "\n";
   if (diag_json) std::cout << certify::to_json(diag, g) << "\n";
+  if (!diag_json_out.empty()) {
+    if (persist::Error e = persist::atomic_write_file(
+            diag_json_out, certify::to_json(diag, g) + "\n");
+        !e.ok()) {
+      std::cerr << "cannot write diagnostic JSON: " << e.render() << "\n";
+    }
+  }
+}
+
+/// Graph-mode output stage, shared by the direct and session paths.
+void print_graph_products(const cg::ConstraintGraph& g,
+                          const anchors::AnchorAnalysis& analysis,
+                          const sched::ScheduleResult& result,
+                          bool schedule_table, bool verilog, bool dot,
+                          bool counter) {
+  std::cout << "scheduled in " << result.iterations << " iteration(s)\n";
+  if (schedule_table || (!verilog && !dot)) {
+    driver::print_schedule_table(std::cout, g, analysis, result.schedule);
+  }
+  if (verilog) {
+    ctrl::ControlOptions opts;
+    opts.style = counter ? ctrl::ControlStyle::kCounter
+                         : ctrl::ControlStyle::kShiftRegister;
+    const auto unit =
+        ctrl::generate_control(g, analysis, result.schedule, opts);
+    std::cout << unit.to_verilog(g, g.name() + "_ctrl") << "\n";
+  }
+  if (dot) std::cout << g.to_dot() << "\n";
+}
+
+/// Crash-safe --graph mode: the graph runs inside a SynthesisSession
+/// with a write-ahead journal, checkpoint/restore, and a cancellation
+/// watchdog. Recovery order: snapshot -> WAL tail -> certificate check.
+int run_graph_session(cg::ConstraintGraph g, const RunOptions& run,
+                      bool schedule_table, bool verilog, bool dot,
+                      bool counter, bool diag_json) {
+  engine::SessionOptions sopts;
+  sopts.cancel = g_cancel;
+  if (run.deadline_ms >= 0) {
+    sopts.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(run.deadline_ms);
+  }
+
+  std::optional<engine::SynthesisSession> session;
+  const bool checkpointing = !run.checkpoint_dir.empty();
+  const std::string snap =
+      checkpointing ? persist::snapshot_path(run.checkpoint_dir) : "";
+  const std::string wal =
+      checkpointing ? persist::wal_path(run.checkpoint_dir) : "";
+
+  if (run.resume && checkpointing && ::access(snap.c_str(), F_OK) == 0) {
+    engine::SynthesisSession::RestoreReport report;
+    session = engine::SynthesisSession::restore(run.checkpoint_dir, sopts,
+                                                &report);
+    if (!session.has_value()) {
+      std::cerr << "cannot resume: " << report.error.render() << "\n";
+      return 1;
+    }
+    if (report.wal_torn_tail) {
+      std::cerr << "note: dropped torn WAL tail (" << report.wal_torn_detail
+                << ")\n";
+    }
+    if (report.cold_fallback) {
+      std::cerr << "note: restored products failed certification; "
+                   "recomputed cold\n";
+    }
+  } else {
+    session.emplace(std::move(g), sopts);
+    // Crash before the first checkpoint: no snapshot yet, but the WAL
+    // may hold journaled edits. The fresh session is rebuilt from the
+    // input deterministically, so the tail replays onto it exactly.
+    if (checkpointing && ::access(wal.c_str(), F_OK) == 0) {
+      engine::SynthesisSession::RestoreReport report;
+      if (persist::Error e = session->replay_wal(wal, &report); !e.ok()) {
+        std::cerr << "cannot replay journal: " << e.render() << "\n";
+        return 1;
+      }
+      if (report.wal_torn_tail) {
+        std::cerr << "note: dropped torn WAL tail (" << report.wal_torn_detail
+                  << ")\n";
+      }
+    }
+  }
+
+  if (checkpointing) {
+    if (persist::Error e = persist::ensure_dir(run.checkpoint_dir); !e.ok()) {
+      std::cerr << "cannot create checkpoint directory: " << e.render()
+                << "\n";
+      return 1;
+    }
+    if (persist::Error e = session->attach_wal(wal); !e.ok()) {
+      std::cerr << "cannot attach journal: " << e.render() << "\n";
+      return 1;
+    }
+  }
+
+  const engine::Products& products = session->resolve();
+
+  // Final clean checkpoint: on success, on failure verdicts, and on
+  // cancellation alike -- a later --resume picks up from here.
+  if (checkpointing) {
+    if (persist::Error e = session->checkpoint(run.checkpoint_dir); !e.ok()) {
+      std::cerr << "cannot write checkpoint: " << e.render() << "\n";
+    }
+  }
+
+  if (products.schedule.status == sched::ScheduleStatus::kCancelled) {
+    std::cerr << "stopped: " << products.schedule.message << "\n";
+    if (checkpointing) {
+      std::cerr << "partial state checkpointed to '" << run.checkpoint_dir
+                << "' (resume with --resume)\n";
+    }
+    emit_diag(products.schedule.diag, session->graph(), diag_json,
+              run.diag_json_out);
+    return 6;
+  }
+  if (!products.ok()) {
+    std::cerr << "no schedule: " << products.schedule.message << "\n";
+    emit_diag(products.schedule.diag, session->graph(), diag_json,
+              run.diag_json_out);
+    return exit_code_for(products.schedule.status);
+  }
+  print_graph_products(session->graph(), products.analysis, products.schedule,
+                       schedule_table, verilog, dot, counter);
+  return 0;
 }
 
 /// --graph mode: schedule one raw constraint graph and print results.
-int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
-                   bool dot, bool counter, bool diag_json) {
+int run_graph_mode(const std::string& text, const RunOptions& run,
+                   bool schedule_table, bool verilog, bool dot, bool counter,
+                   bool diag_json) {
   auto parsed = cg::from_text(text);
   if (!parsed.ok()) {
     std::cerr << parsed.error << "\n";
@@ -95,33 +267,26 @@ int run_graph_mode(const std::string& text, bool schedule_table, bool verilog,
     // graph with the pre-failure serializing edges re-applied.
     cg::ConstraintGraph wg = g;
     for (const auto& [a, v] : fix.added_edges) wg.add_sequencing_edge(a, v);
-    emit_diag(fix.diag, wg, diag_json);
+    emit_diag(fix.diag, wg, diag_json, run.diag_json_out);
     return exit_code_for(fix.status);
   }
   for (const auto& [from, to] : fix.added_edges) {
     std::cout << "serialized: " << g.vertex(from).name << " -> "
               << g.vertex(to).name << "\n";
   }
+  if (run.session_mode()) {
+    return run_graph_session(std::move(g), run, schedule_table, verilog, dot,
+                             counter, diag_json);
+  }
   const auto analysis = anchors::AnchorAnalysis::compute(g);
   const auto result = sched::schedule(g, analysis);
   if (!result.ok()) {
     std::cerr << "no schedule: " << result.message << "\n";
-    emit_diag(result.diag, g, diag_json);
+    emit_diag(result.diag, g, diag_json, run.diag_json_out);
     return exit_code_for(result.status);
   }
-  std::cout << "scheduled in " << result.iterations << " iteration(s)\n";
-  if (schedule_table || (!verilog && !dot)) {
-    driver::print_schedule_table(std::cout, g, analysis, result.schedule);
-  }
-  if (verilog) {
-    ctrl::ControlOptions opts;
-    opts.style = counter ? ctrl::ControlStyle::kCounter
-                         : ctrl::ControlStyle::kShiftRegister;
-    const auto unit =
-        ctrl::generate_control(g, analysis, result.schedule, opts);
-    std::cout << unit.to_verilog(g, g.name() + "_ctrl") << "\n";
-  }
-  if (dot) std::cout << g.to_dot() << "\n";
+  print_graph_products(g, analysis, result, schedule_table, verilog, dot,
+                       counter);
   return 0;
 }
 
@@ -131,6 +296,7 @@ int main(int argc, char** argv) {
   bool report = false, schedule = false, stats = false, verilog = false,
        dot = false, counter = false, graph_mode = false, rtl = false,
        diag_json = false;
+  RunOptions run;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -152,6 +318,23 @@ int main(int argc, char** argv) {
       rtl = true;
     } else if (arg == "--diag-json") {
       diag_json = true;
+    } else if (arg == "--diag-json-out") {
+      if (++i >= argc) return usage();
+      run.diag_json_out = argv[i];
+    } else if (arg == "--checkpoint-dir") {
+      if (++i >= argc) return usage();
+      run.checkpoint_dir = argv[i];
+    } else if (arg == "--resume") {
+      run.resume = true;
+    } else if (arg == "--deadline-ms") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      run.deadline_ms = std::strtoll(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || run.deadline_ms < 0) {
+        std::cerr << "--deadline-ms expects a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -162,6 +345,18 @@ int main(int argc, char** argv) {
   if (!report && !schedule && !stats && !verilog && !dot && !rtl) {
     report = true;
   }
+  if (run.resume && run.checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint-dir\n";
+    return 2;
+  }
+  if (run.session_mode()) {
+    // Ctrl-C / SIGTERM request cooperative cancellation so the run can
+    // write its final checkpoint; the default disposition stays in
+    // place for plain (non-session) invocations.
+    g_cancel = base::CancelToken::make();
+    std::signal(SIGINT, request_cancel_handler);
+    std::signal(SIGTERM, request_cancel_handler);
+  }
 
   std::ifstream in(path);
   if (!in) {
@@ -171,9 +366,15 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  if (graph_mode || path.size() > 3 && path.substr(path.size() - 3) == ".cg") {
-    return run_graph_mode(buffer.str(), schedule, verilog, dot, counter,
+  if (graph_mode ||
+      (path.size() > 3 && path.substr(path.size() - 3) == ".cg")) {
+    return run_graph_mode(buffer.str(), run, schedule, verilog, dot, counter,
                           diag_json);
+  }
+  if (run.session_mode()) {
+    std::cerr << "--checkpoint-dir/--resume/--deadline-ms apply to --graph "
+                 "mode only\n";
+    return 2;
   }
 
   auto compiled = hdl::compile(buffer.str());
@@ -192,7 +393,7 @@ int main(int argc, char** argv) {
       std::cerr << "process '" << design.name()
                 << "': " << driver::to_string(result.status) << ": "
                 << result.message << "\n";
-      emit_diag(result.diag, result.diag_graph, diag_json);
+      emit_diag(result.diag, result.diag_graph, diag_json, run.diag_json_out);
       return driver::exit_code(result.status);
     }
     if (report) {

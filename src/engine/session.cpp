@@ -1,18 +1,26 @@
 #include "engine/session.hpp"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdlib>
 #include <utility>
 
+#include "base/env.hpp"
 #include "base/error.hpp"
 #include "base/strings.hpp"
 #include "certify/certify.hpp"
+#include "persist/snapshot.hpp"
 
 namespace relsched::engine {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Framed-file identity of session snapshots (see persist/serialize.hpp).
+constexpr std::string_view kSnapshotMagic = "RSNAP001";
+constexpr std::uint32_t kSnapshotVersion = 1;
 
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
@@ -21,10 +29,7 @@ double us_between(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 bool certify_default() {
-  static const bool enabled = [] {
-    const char* env = std::getenv("RELSCHED_CERTIFY");
-    return env != nullptr && env[0] == '1';
-  }();
+  static const bool enabled = base::env_flag("RELSCHED_CERTIFY", false);
   return enabled;
 }
 
@@ -39,6 +44,10 @@ SessionStats SynthesisSession::stats() const {
   SessionStats s = stats_;
   s.forks_taken = forks_taken_->load(std::memory_order_relaxed);
   s.anchor_rows_shared = products_.analysis.rows_shared();
+  if (wal_ != nullptr) {
+    s.wal_records = wal_->appended_records();
+    s.wal_fsyncs = wal_->fsyncs();
+  }
   return s;
 }
 
@@ -132,6 +141,24 @@ const Products& SynthesisSession::resolve() {
     return products_;
   }
 
+  // Write-ahead commit point: the resolve marker -- and transitively
+  // every buffered edit record before it -- reaches the log (durably,
+  // per the sync policy) before any product is recomputed, so recovery
+  // can never observe products the log has not heard of.
+  if (wal_ != nullptr) {
+    persist::WalRecord marker;
+    marker.op = persist::WalRecord::Op::kResolve;
+    marker.revision = graph_.revision();
+    wal_->append(marker);
+    wal_->sync_for_commit();
+  }
+
+  // One watchdog per resolve: the relaxation loops below charge their
+  // work to it and the resolve degrades to kCancelled products when it
+  // trips (deadline, cancel token, or step budget).
+  watchdog_ =
+      base::Watchdog(options_.cancel, options_.deadline, options_.step_limit);
+
   // Fold the journal suffix into one dirty description: the union of
   // the edits' seed vertices, deduped, floods a single merged cone in
   // try_incremental() no matter how many edits the suffix holds.
@@ -174,10 +201,20 @@ const Products& SynthesisSession::resolve() {
   }
   consumed_edits_ = graph_.revision();
 
+  // A watchdog-stopped resolve leaves kCancelled products (set by the
+  // path that observed the stop); those are never certified -- "stopped
+  // early" is not a verdict a cold cross-check could agree with -- and
+  // the next resolve recomputes cold (kCancelled products are not ok()).
   if (structural || !try_incremental(seeds, forward_changed)) {
     cold_resolve();
-    ++stats_.cold_resolves;
-    certify_cold_products();
+    if (watchdog_.stopped()) {
+      ++stats_.cancelled_resolves;
+    } else {
+      ++stats_.cold_resolves;
+      certify_cold_products();
+    }
+  } else if (watchdog_.stopped()) {
+    ++stats_.cancelled_resolves;
   } else {
     ++stats_.warm_resolves;
     if (const certify::Diag caught = certify_warm_products(); !caught.ok()) {
@@ -187,13 +224,21 @@ const Products& SynthesisSession::resolve() {
       // restores correct products; `certificate` records the catch.
       ++stats_.certificate_failures;
       cold_resolve();
-      ++stats_.cold_resolves;
-      products_.certificate = caught;
-      certify_cold_products();
+      if (watchdog_.stopped()) {
+        ++stats_.cancelled_resolves;
+      } else {
+        ++stats_.cold_resolves;
+        products_.certificate = caught;
+        certify_cold_products();
+      }
     }
   }
   resolved_once_ = true;
-  force_cold_ = false;
+  // A stopped resolve keeps force_cold_ set: its kCancelled products
+  // are stamped current (so checkpoints capture them as pending-cold),
+  // but the next resolve must recompute instead of early-returning the
+  // stale verdict.
+  force_cold_ = watchdog_.stopped();
   products_.revision = graph_.revision();
   return products_;
 }
@@ -215,7 +260,12 @@ void SynthesisSession::cold_resolve() {
   }
   // AnchorAnalysis::compute requires feasibility, so check() cannot be
   // deferred past it.
-  if (!wellposed::is_feasible(graph_)) {
+  if (!wellposed::is_feasible(graph_, &watchdog_)) {
+    if (watchdog_.stopped()) {
+      // Aborted, not infeasible: feasibility is undecided.
+      cancelled_products();
+      return;
+    }
     out.status = sched::ScheduleStatus::kInfeasible;
     out.message = "positive cycle with unbounded delays set to 0";
     out.diag = certify::find_positive_cycle(graph_);
@@ -314,8 +364,14 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
                               1000);
     fault_.kind = FaultInjector::Kind::kNone;
   }
-  if (!wellposed::is_feasible_incremental(graph_, potentials, seeds)) {
+  if (!wellposed::is_feasible_incremental(graph_, potentials, seeds,
+                                          &watchdog_)) {
     stats_.warm_spfa_us += us_between(t_topo, Clock::now());
+    if (watchdog_.stopped()) {
+      // Aborted, not infeasible: feasibility is undecided.
+      cancelled_products();
+      return true;
+    }
     // Equivalent to the cold path's is_feasible() == false verdict
     // (the SPFA cycle detector is exact); produce the same products.
     products_ = Products{};
@@ -437,6 +493,344 @@ void SynthesisSession::certify_cold_products() {
   RELSCHED_CHECK(caught.ok(),
                  cat("cold products failed certification: ", caught.message));
   ++stats_.certified_resolves;
+}
+
+void SynthesisSession::cancelled_products() {
+  products_ = Products{};
+  sched::ScheduleResult& out = products_.schedule;
+  out.status = sched::ScheduleStatus::kCancelled;
+  out.message = cat("resolve stopped early: ", watchdog_.reason());
+  out.diag.code = certify::Code::kTimeout;
+  out.diag.message = out.message;
+}
+
+// ---- Crash safety ----------------------------------------------------------
+
+persist::Error SynthesisSession::attach_wal(const std::string& path,
+                                            persist::WalOptions options) {
+  RELSCHED_CHECK(wal_ == nullptr, "a write-ahead log is already attached");
+  persist::Error error;
+  wal_ = persist::Wal::open(path, graph_.revision(), options, &error);
+  return error;
+}
+
+persist::Error SynthesisSession::checkpoint(const std::string& dir) {
+  RELSCHED_CHECK(!in_txn_, "checkpoint() inside an open transaction");
+  if (persist::Error e = persist::ensure_dir(dir); !e.ok()) return e;
+
+  persist::Writer w;
+  persist::save_graph(w, graph_);
+  w.u8(static_cast<std::uint8_t>(options_.schedule_mode));
+  w.b(resolved_once_);
+  // Pending state (unresolved edits or a forced-cold marker) cannot be
+  // warm-resumed: the restored session recomputes cold on its first
+  // resolve, which yields bit-identical products (warm == cold).
+  w.b(force_cold_ || products_.revision != graph_.revision());
+  save_products(w, products_);
+  w.b(topo_.valid());
+  static const std::vector<int> kNoOrder;
+  w.vec_i32(topo_.valid() ? topo_.order() : kNoOrder);
+  w.vec_i64(potentials_);
+  save_stats(w, stats_);
+
+  if (persist::Error e =
+          persist::write_framed_file(persist::snapshot_path(dir),
+                                     kSnapshotMagic, kSnapshotVersion,
+                                     w.buffer());
+      !e.ok()) {
+    return e;
+  }
+  ++stats_.checkpoints;
+  // The snapshot subsumes every record at or before this revision, so
+  // the log restarts empty: replay time and disk growth stay bounded by
+  // the checkpoint cadence. A crash between the snapshot rename and
+  // this reset is benign -- replay skips records the snapshot covers.
+  if (wal_ != nullptr) return wal_->reset(graph_.revision());
+  return {};
+}
+
+std::optional<SynthesisSession> SynthesisSession::restore(
+    const std::string& dir, SessionOptions options, RestoreReport* report) {
+  RestoreReport local;
+  RestoreReport& rep = report != nullptr ? *report : local;
+  rep = RestoreReport{};
+  const std::string snap = persist::snapshot_path(dir);
+
+  std::string payload;
+  rep.error =
+      persist::read_framed_file(snap, kSnapshotMagic, kSnapshotVersion,
+                                &payload);
+  if (!rep.error.ok()) return std::nullopt;
+  persist::Reader r(payload);
+
+  auto reject = [&](std::string why) {
+    rep.error = persist::Error::make(persist::ErrorCode::kFormat,
+                                     std::move(why), snap);
+    return std::nullopt;
+  };
+
+  cg::ConstraintGraph g;
+  if (!persist::load_graph(r, &g)) {
+    return reject("snapshot graph payload is invalid");
+  }
+  const std::uint8_t mode = r.u8();
+  if (!r.ok() ||
+      mode > static_cast<std::uint8_t>(anchors::AnchorMode::kIrredundant)) {
+    return reject("snapshot schedule_mode is out of range");
+  }
+  if (static_cast<anchors::AnchorMode>(mode) != options.schedule_mode) {
+    rep.error = persist::Error::make(
+        persist::ErrorCode::kStateMismatch,
+        "snapshot was taken under a different schedule_mode", snap);
+    return std::nullopt;
+  }
+
+  SynthesisSession s(std::move(g), options);
+  const bool resolved_once = r.b();
+  const bool pending_cold = r.b();
+  if (!load_products(r, &s.products_)) {
+    return reject("snapshot products payload is invalid");
+  }
+  const bool topo_valid = r.b();
+  std::vector<int> topo_order = r.vec_i32();
+  std::vector<graph::Weight> potentials = r.vec_i64();
+  if (!load_stats(r, &s.stats_) || !r.at_end()) {
+    return reject("snapshot payload is truncated or oversized");
+  }
+  if (s.products_.revision > s.graph_.revision()) {
+    return reject("snapshot products are newer than the snapshot graph");
+  }
+  if (topo_valid &&
+      !s.topo_.restore(s.graph_.project_forward(), std::move(topo_order))) {
+    return reject("snapshot topological order is inconsistent with the graph");
+  }
+  if (!potentials.empty() &&
+      potentials.size() != static_cast<std::size_t>(s.graph_.vertex_count())) {
+    return reject("snapshot potentials have the wrong cardinality");
+  }
+
+  s.resolved_once_ = resolved_once;
+  s.force_cold_ = pending_cold || !topo_valid;
+  if (resolved_once && !s.force_cold_ && s.products_.ok()) {
+    // Recomputed, not trusted: the potentials seed future warm SPFA
+    // repairs, and recomputing them from the certified schedule is as
+    // cheap as validating the serialized copy.
+    s.potentials_ =
+        s.products_.schedule.schedule.start_times(s.graph_, {},
+                                                  s.topo_.order());
+  } else {
+    s.potentials_ = std::move(potentials);
+  }
+  s.consumed_edits_ = s.graph_.revision();
+  ++s.stats_.restores;
+
+  const std::string wal = persist::wal_path(dir);
+  if (::access(wal.c_str(), F_OK) == 0) {
+    if (persist::Error e = s.replay_wal(wal, &rep); !e.ok()) {
+      rep.error = std::move(e);
+      return std::nullopt;
+    }
+  }
+
+  s.verify_restored(rep);
+  return s;
+}
+
+persist::Error SynthesisSession::replay_wal(const std::string& path,
+                                            RestoreReport* report) {
+  RELSCHED_CHECK(wal_ == nullptr, "replay_wal() must run before attach_wal()");
+  RELSCHED_CHECK(!in_txn_, "replay_wal() inside an open transaction");
+  persist::Wal::ReadResult rr = persist::Wal::read(path);
+  if (!rr.ok()) return rr.error;
+  if (report != nullptr) {
+    report->wal_torn_tail = rr.torn_tail;
+    report->wal_torn_detail = rr.torn_detail;
+  }
+
+  using Op = persist::WalRecord::Op;
+  for (const persist::WalRecord& rec : rr.records) {
+    if (rec.op == Op::kResolve) {
+      // A marker the snapshot's products already cover is a no-op.
+      if (resolved_once_ && products_.revision >= rec.revision) continue;
+      resolve();
+      if (report != nullptr) ++report->replayed_resolves;
+      continue;
+    }
+    if (rec.revision <= graph_.revision()) continue;  // snapshot covers it
+    if (rec.revision != graph_.revision() + 1) {
+      return persist::Error::make(
+          persist::ErrorCode::kStateMismatch,
+          cat("WAL record at revision ", rec.revision,
+              " does not follow the session's revision ", graph_.revision()),
+          path);
+    }
+    const std::int32_t vertices = graph_.vertex_count();
+    const std::int32_t edges = graph_.edge_count();
+    auto bad = [&](const char* what) {
+      return persist::Error::make(persist::ErrorCode::kFormat,
+                                  cat("WAL record carries ", what), path);
+    };
+    // The edit API double-checks semantic invariants the id-range checks
+    // here cannot see (polarity, edge kinds); its rejection of a record
+    // means the log does not describe this graph's history.
+    try {
+      switch (rec.op) {
+        case Op::kAddMin:
+        case Op::kAddMax:
+          if (rec.a < 0 || rec.a >= vertices || rec.b < 0 ||
+              rec.b >= vertices) {
+            return bad("an out-of-range vertex id");
+          }
+          if (rec.op == Op::kAddMin) {
+            graph_.add_min_constraint(VertexId(rec.a), VertexId(rec.b),
+                                      static_cast<int>(rec.value));
+          } else {
+            graph_.add_max_constraint(VertexId(rec.a), VertexId(rec.b),
+                                      static_cast<int>(rec.value));
+          }
+          break;
+        case Op::kRemoveConstraint:
+          if (rec.a < 0 || rec.a >= edges) return bad("an out-of-range edge id");
+          graph_.remove_constraint(EdgeId(rec.a));
+          break;
+        case Op::kSetBound:
+          if (rec.a < 0 || rec.a >= edges) return bad("an out-of-range edge id");
+          graph_.set_constraint_bound(EdgeId(rec.a),
+                                      static_cast<int>(rec.value));
+          break;
+        case Op::kSetDelay:
+          if (rec.a < 0 || rec.a >= vertices) {
+            return bad("an out-of-range vertex id");
+          }
+          graph_.set_delay(VertexId(rec.a),
+                           rec.value < 0 ? cg::Delay::unbounded()
+                                         : cg::Delay::bounded(
+                                               static_cast<int>(rec.value)));
+          break;
+        case Op::kResolve:
+          break;  // handled above
+      }
+    } catch (const ApiError& e) {
+      return persist::Error::make(
+          persist::ErrorCode::kFormat,
+          cat("WAL record rejected by the edit API: ", e.what()), path);
+    }
+    if (report != nullptr) ++report->replayed_edits;
+  }
+  return {};
+}
+
+void SynthesisSession::verify_restored(RestoreReport& report) {
+  if (!resolved_once_ || force_cold_ ||
+      products_.revision != graph_.revision()) {
+    // Nothing current to trust; the first resolve recomputes cold.
+    force_cold_ = true;
+    return;
+  }
+  bool trusted = true;
+  if (products_.ok()) {
+    if (options_.schedule_mode == anchors::AnchorMode::kFull) {
+      const certify::Diag caught = certify::check_products(
+          graph_, products_.analysis, products_.schedule.schedule);
+      trusted = caught.ok();
+    }
+    // Restricted modes have no sound product certificate; the framed
+    // checksum plus the load-time structural validation is the bar.
+  } else {
+    // Failure verdicts (and any restored kCancelled placeholder) are
+    // cross-checked against an independent cold check, mirroring
+    // certify_warm_products().
+    const wellposed::CheckResult wp = wellposed::check(graph_);
+    sched::ScheduleStatus expect = sched::ScheduleStatus::kScheduled;
+    if (wp.status == wellposed::Status::kInfeasible) {
+      expect = sched::ScheduleStatus::kInfeasible;
+    } else if (wp.status == wellposed::Status::kIllPosed) {
+      expect = sched::ScheduleStatus::kIllPosed;
+    }
+    trusted = products_.schedule.status == expect;
+  }
+  if (!trusted) {
+    ++stats_.restore_cold_fallbacks;
+    report.cold_fallback = true;
+    force_cold_ = true;
+    resolve();
+  }
+}
+
+// ---- Checkpoint payload helpers --------------------------------------------
+
+void save_products(persist::Writer& w, const Products& products) {
+  w.u64(products.revision);
+  persist::save_analysis(w, products.analysis);
+  persist::save_schedule_result(w, products.schedule);
+  w.vec_i32(products.topo);
+  persist::save_diag(w, products.certificate);
+}
+
+bool load_products(persist::Reader& r, Products* out) {
+  out->revision = r.u64();
+  if (!persist::load_analysis(r, &out->analysis)) return false;
+  if (!persist::load_schedule_result(r, &out->schedule)) return false;
+  out->topo = r.vec_i32();
+  if (!persist::load_diag(r, &out->certificate)) return false;
+  return r.ok();
+}
+
+void save_stats(persist::Writer& w, const SessionStats& stats) {
+  w.i32(stats.cold_resolves);
+  w.i32(stats.warm_resolves);
+  w.i64(stats.anchor_rows_recomputed);
+  w.i64(stats.anchor_rows_cold_equivalent);
+  w.i32(stats.last_affected_vertices);
+  w.i32(stats.transactions);
+  w.i64(stats.edits_coalesced);
+  w.i32(stats.last_txn_edits);
+  w.i32(stats.last_merged_cone_vertices);
+  w.i64(stats.last_cone_vertices_sum);
+  w.i64(stats.forks_taken);
+  w.i32(stats.anchor_rows_shared);
+  w.i32(stats.cancelled_resolves);
+  w.i32(stats.checkpoints);
+  w.i32(stats.restores);
+  w.i32(stats.restore_cold_fallbacks);
+  w.i64(stats.wal_records);
+  w.i64(stats.wal_fsyncs);
+  w.i64(stats.certified_resolves);
+  w.i32(stats.certificate_failures);
+  w.f64(stats.certify_us);
+  w.f64(stats.warm_topo_us);
+  w.f64(stats.warm_spfa_us);
+  w.f64(stats.warm_anchor_us);
+  w.f64(stats.warm_resched_us);
+}
+
+bool load_stats(persist::Reader& r, SessionStats* out) {
+  out->cold_resolves = r.i32();
+  out->warm_resolves = r.i32();
+  out->anchor_rows_recomputed = r.i64();
+  out->anchor_rows_cold_equivalent = r.i64();
+  out->last_affected_vertices = r.i32();
+  out->transactions = r.i32();
+  out->edits_coalesced = r.i64();
+  out->last_txn_edits = r.i32();
+  out->last_merged_cone_vertices = r.i32();
+  out->last_cone_vertices_sum = r.i64();
+  out->forks_taken = r.i64();
+  out->anchor_rows_shared = r.i32();
+  out->cancelled_resolves = r.i32();
+  out->checkpoints = r.i32();
+  out->restores = r.i32();
+  out->restore_cold_fallbacks = r.i32();
+  out->wal_records = r.i64();
+  out->wal_fsyncs = r.i64();
+  out->certified_resolves = r.i64();
+  out->certificate_failures = r.i32();
+  out->certify_us = r.f64();
+  out->warm_topo_us = r.f64();
+  out->warm_spfa_us = r.f64();
+  out->warm_anchor_us = r.f64();
+  out->warm_resched_us = r.f64();
+  return r.ok();
 }
 
 }  // namespace relsched::engine

@@ -42,23 +42,29 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "base/watchdog.hpp"
 #include "cg/constraint_graph.hpp"
 #include "graph/dynamic_topo.hpp"
+#include "persist/serialize.hpp"
+#include "persist/wal.hpp"
 #include "sched/scheduler.hpp"
 #include "wellposed/wellposed.hpp"
 
 namespace relsched::engine {
 
-/// True when the RELSCHED_CERTIFY environment variable is set to a
-/// value starting with '1' (read once per process). The default for
-/// SessionOptions::certify, so CI can certify every session of an
-/// existing test binary without touching its code.
+/// True when the RELSCHED_CERTIFY environment variable parses as a
+/// true boolean (read once per process, via the hardened base::env
+/// parser: unrecognized values warn once on stderr and fall back to
+/// off). The default for SessionOptions::certify, so CI can certify
+/// every session of an existing test binary without touching its code.
 [[nodiscard]] bool certify_default();
 
 struct SessionOptions {
@@ -75,6 +81,23 @@ struct SessionOptions {
   /// schedule_mode (the per-anchor inequalities are only sound there);
   /// restricted modes certify failure verdicts only.
   bool certify = certify_default();
+
+  // ---- Cooperative cancellation ------------------------------------------
+  // Each resolve runs under a base::Watchdog built from these three
+  // knobs; the SPFA/Bellman-Ford inner loops poll it once per quantum.
+  // A stopped resolve yields products with ScheduleStatus::kCancelled
+  // and a certify::Code::kTimeout diag (undecided, not a verdict), and
+  // the next resolve recomputes cold.
+
+  /// Shared cancel flag (e.g. flipped by the driver's signal handler).
+  base::CancelToken cancel;
+  /// Absolute wall-clock deadline for each resolve; kNoDeadline = none.
+  std::chrono::steady_clock::time_point deadline =
+      base::Watchdog::kNoDeadline;
+  /// Iteration budget per resolve for the relaxation loops (0 = none):
+  /// the safety net against a pathological graph whose O(V*E) feasibility
+  /// check would outlive any wall-clock budget between polls.
+  std::uint64_t step_limit = 0;
 };
 
 /// Deterministic fault-injection hook (tests/fuzz_certify.cpp). One
@@ -155,6 +178,22 @@ struct SessionStats {
   /// was called.
   int anchor_rows_shared = 0;
 
+  // ---- Crash safety ------------------------------------------------------
+  /// Resolves stopped by the cancellation watchdog (deadline, cancel
+  /// token, or step limit). Counted separately from cold/warm: a
+  /// cancelled resolve produces no usable products.
+  int cancelled_resolves = 0;
+  /// checkpoint() calls that wrote a snapshot.
+  int checkpoints = 0;
+  /// Sessions recovered through restore() into this session (0 or 1).
+  int restores = 0;
+  /// Restores whose recovered products failed certification and were
+  /// discarded in favor of a cold re-resolve.
+  int restore_cold_fallbacks = 0;
+  /// Write-ahead-log traffic since the WAL was attached or last reset.
+  long long wal_records = 0;
+  long long wal_fsyncs = 0;
+
   // ---- Certification -----------------------------------------------------
   /// Resolves whose products (or failure verdicts) passed independent
   /// certification.
@@ -189,25 +228,48 @@ class SynthesisSession {
   [[nodiscard]] const cg::ConstraintGraph& graph() const { return graph_; }
 
   /// Escape hatch for mutations outside the journaled edit API below;
-  /// the next resolve() is forced cold.
+  /// the next resolve() is forced cold. Incompatible with an attached
+  /// WAL: out-of-band mutations would not be logged, so recovery would
+  /// replay onto a graph the log has never seen.
   cg::ConstraintGraph& mutable_graph() {
+    RELSCHED_CHECK(wal_ == nullptr,
+                   "mutable_graph() bypasses the write-ahead log; detach or "
+                   "avoid it on journaled sessions");
     force_cold_ = true;
     return graph_;
   }
 
   // ---- Edits (forwarded to the graph's journaled edit API) ---------------
+  // Each wrapper appends a WAL record after the graph mutation succeeds
+  // (no-op without an attached WAL), carrying the post-edit revision so
+  // recovery can line records up against a snapshot.
 
   EdgeId add_min_constraint(VertexId from, VertexId to, int min_cycles) {
-    return graph_.add_min_constraint(from, to, min_cycles);
+    const EdgeId e = graph_.add_min_constraint(from, to, min_cycles);
+    wal_edit(persist::WalRecord::Op::kAddMin, from.value(), to.value(),
+             min_cycles);
+    return e;
   }
   EdgeId add_max_constraint(VertexId from, VertexId to, int max_cycles) {
-    return graph_.add_max_constraint(from, to, max_cycles);
+    const EdgeId e = graph_.add_max_constraint(from, to, max_cycles);
+    wal_edit(persist::WalRecord::Op::kAddMax, from.value(), to.value(),
+             max_cycles);
+    return e;
   }
-  void remove_constraint(EdgeId e) { graph_.remove_constraint(e); }
+  void remove_constraint(EdgeId e) {
+    graph_.remove_constraint(e);
+    wal_edit(persist::WalRecord::Op::kRemoveConstraint, e.value(), 0, 0);
+  }
   void set_constraint_bound(EdgeId e, int cycles) {
     graph_.set_constraint_bound(e, cycles);
+    wal_edit(persist::WalRecord::Op::kSetBound, e.value(), 0, cycles);
   }
-  void set_delay(VertexId v, cg::Delay delay) { graph_.set_delay(v, delay); }
+  void set_delay(VertexId v, cg::Delay delay) {
+    graph_.set_delay(v, delay);
+    wal_edit(persist::WalRecord::Op::kSetDelay, v.value(), 0,
+             delay.is_bounded() ? static_cast<std::int64_t>(delay.cycles())
+                                : std::int64_t{-1});
+  }
 
   // ---- Transactions ------------------------------------------------------
 
@@ -253,6 +315,78 @@ class SynthesisSession {
   /// shared-row count is sampled at call time.
   [[nodiscard]] SessionStats stats() const;
 
+  /// Replaces the cancellation knobs (cancel token, deadline, step
+  /// limit) for subsequent resolves; the other options are untouched.
+  void set_cancellation(base::CancelToken cancel,
+                        std::chrono::steady_clock::time_point deadline =
+                            base::Watchdog::kNoDeadline,
+                        std::uint64_t step_limit = 0) {
+    options_.cancel = std::move(cancel);
+    options_.deadline = deadline;
+    options_.step_limit = step_limit;
+  }
+
+  // ---- Crash safety ------------------------------------------------------
+
+  /// Attaches a write-ahead log at `path` (created empty at the current
+  /// revision if absent, appended to otherwise). From then on every
+  /// journaled edit is appended to the log, and each resolve()/commit()
+  /// writes a commit marker and makes the log durable (per the sync
+  /// policy) *before* products are recomputed. Precondition: any
+  /// existing log at `path` has already been replayed into this session
+  /// (replay_wal()), so its tail lines up with the current revision.
+  /// Returns a non-ok Error (and attaches nothing) on I/O failure.
+  [[nodiscard]] persist::Error attach_wal(
+      const std::string& path,
+      persist::WalOptions options = persist::WalOptions::from_env());
+
+  [[nodiscard]] bool wal_attached() const { return wal_ != nullptr; }
+
+  /// Writes a crash-consistent snapshot of the whole session (graph,
+  /// products, stats, topological order) into `dir` via
+  /// write-temp-then-rename, then truncates the attached WAL (if any):
+  /// a snapshot subsumes every record before it. Must not be called
+  /// inside an open transaction. Pending unresolved edits are captured;
+  /// the restored session recomputes them cold on its first resolve.
+  [[nodiscard]] persist::Error checkpoint(const std::string& dir);
+
+  /// What restore()/replay_wal() found. `error` is the fatal verdict;
+  /// the rest is forensic detail for logs and tests.
+  struct RestoreReport {
+    persist::Error error;
+    /// The WAL ended in an incomplete record (interrupted append). The
+    /// tail was dropped -- that edit never committed -- and the log was
+    /// truncated back to its last durable record.
+    bool wal_torn_tail = false;
+    std::string wal_torn_detail;
+    int replayed_edits = 0;
+    int replayed_resolves = 0;
+    /// Restored products failed re-certification; they were discarded
+    /// and recomputed cold (counted in SessionStats too).
+    bool cold_fallback = false;
+
+    [[nodiscard]] bool ok() const { return error.ok(); }
+  };
+
+  /// Recovers a session from checkpoint directory `dir`: loads the
+  /// snapshot, replays the WAL tail (if a WAL file exists), and runs
+  /// certify::check_products on the recovered products before trusting
+  /// them -- on certificate failure the products are recomputed cold
+  /// and the fallback is counted. Returns nullopt (with report->error
+  /// set) when the snapshot or WAL is missing, torn mid-file, corrupt,
+  /// or inconsistent with `options`. Does not attach the WAL; call
+  /// attach_wal() afterwards to keep journaling.
+  [[nodiscard]] static std::optional<SynthesisSession> restore(
+      const std::string& dir, SessionOptions options, RestoreReport* report);
+
+  /// Replays a WAL's records on top of this session's current state:
+  /// edits with revisions the session has not seen are re-applied
+  /// through the edit API, and each commit marker past the resolved
+  /// revision triggers a resolve(). A torn tail is reported, not fatal;
+  /// mid-file corruption is. Precondition: no WAL attached yet.
+  [[nodiscard]] persist::Error replay_wal(const std::string& path,
+                                          RestoreReport* report = nullptr);
+
  private:
   void cold_resolve();
   /// Warm path; returns false when it must defer to cold_resolve()
@@ -272,6 +406,24 @@ class SynthesisSession {
   /// |reachable set| from `seeds` over the current full graph; the
   /// cone-accounting primitive behind commit()'s statistics.
   [[nodiscard]] int flood_count(const std::vector<VertexId>& seeds) const;
+  /// Replaces products_ with a kCancelled/kTimeout verdict carrying the
+  /// watchdog's stop reason; the next resolve recomputes cold.
+  void cancelled_products();
+  /// Appends one edit record to the attached WAL (no-op without one).
+  void wal_edit(persist::WalRecord::Op op, std::int32_t a, std::int32_t b,
+                std::int64_t value) {
+    if (wal_ == nullptr) return;
+    persist::WalRecord rec;
+    rec.op = op;
+    rec.revision = graph_.revision();
+    rec.a = a;
+    rec.b = b;
+    rec.value = value;
+    wal_->append(rec);
+  }
+  /// Re-certifies just-restored products; discards them (cold
+  /// re-resolve) when the certificate fails.
+  void verify_restored(RestoreReport& report);
 
   cg::ConstraintGraph graph_;
   SessionOptions options_;
@@ -295,6 +447,19 @@ class SynthesisSession {
   bool in_txn_ = false;
   /// Pending injected fault (tests); disarmed at its injection point.
   FaultInjector fault_;
+  /// Attached write-ahead log (crash safety); null when not journaling.
+  std::unique_ptr<persist::Wal> wal_;
+  /// Watchdog of the resolve in flight, rebuilt from options_ at the
+  /// top of each resolve() and threaded into the relaxation loops.
+  base::Watchdog watchdog_;
 };
+
+// ---- Checkpoint payload helpers -------------------------------------------
+// Shared with the exploration layer's own checkpoint format.
+
+void save_products(persist::Writer& w, const Products& products);
+[[nodiscard]] bool load_products(persist::Reader& r, Products* out);
+void save_stats(persist::Writer& w, const SessionStats& stats);
+[[nodiscard]] bool load_stats(persist::Reader& r, SessionStats* out);
 
 }  // namespace relsched::engine

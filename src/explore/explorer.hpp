@@ -18,14 +18,18 @@
 // (tested in tests/test_explore.cpp).
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "base/watchdog.hpp"
 #include "certify/certify.hpp"
 #include "cg/constraint_graph.hpp"
 #include "engine/session.hpp"
 #include "explore/thread_pool.hpp"
+#include "persist/serialize.hpp"
 
 namespace relsched::explore {
 
@@ -81,6 +85,13 @@ struct CandidateResult {
   /// Why the candidate failed (schedule status message, or an edit API
   /// error); empty when feasible.
   std::string error;
+  /// The candidate's resolve was stopped by the deadline, a cancel
+  /// request, or its per-candidate budget (after the one retry);
+  /// `diag.code` is certify::Code::kTimeout and `feasible` is false.
+  bool cancelled = false;
+  /// A per-candidate budget trip triggered the retry-as-cold pass
+  /// (whatever its outcome).
+  bool retried = false;
   /// Witness-carrying diagnostic for an infeasible/ill-posed candidate
   /// (copied from products.schedule.diag; kNone when feasible or when
   /// the failure was an exception with no witness). Replayable against
@@ -95,13 +106,29 @@ struct CandidateResult {
 
 struct ExplorationResult {
   /// Index of the best feasible candidate: smallest score, ties broken
-  /// by smallest index. -1 when every candidate is infeasible.
+  /// by smallest index. -1 when every candidate is infeasible (in
+  /// particular, for an empty candidate list).
   int winner = -1;
   std::vector<CandidateResult> candidates;
   /// Tasks that ran on a worker other than the one they were assigned
   /// to (work-stealing effectiveness; nondeterministic, diagnostics
   /// only -- everything else in this struct is thread-count-invariant).
   long long steals = 0;
+  /// Candidates whose resolve was stopped (kTimeout diags).
+  int cancelled = 0;
+  /// Timed-out candidates that went through the retry-as-cold pass.
+  int retried = 0;
+  /// Candidates loaded from a resume checkpoint instead of recomputed.
+  int resumed = 0;
+  /// The batch stopped before every candidate resolved (deadline or
+  /// cancellation): unstarted candidates hold kTimeout placeholders.
+  bool stopped_early = false;
+  /// Problem encountered while loading a resume checkpoint (the batch
+  /// then recomputed from scratch; corrupt state is never loaded).
+  persist::Error resume_error;
+  /// Problem encountered while writing a periodic checkpoint (the
+  /// exploration itself continued).
+  persist::Error checkpoint_error;
 
   [[nodiscard]] const CandidateResult& best() const;
 };
@@ -109,6 +136,37 @@ struct ExplorationResult {
 struct ExplorerOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   int threads = 0;
+
+  // ---- Cancellation and deadlines ----------------------------------------
+
+  /// Shared cancel flag observed between candidates and inside each
+  /// candidate's relaxation loops (one watchdog quantum of latency).
+  base::CancelToken cancel;
+  /// Absolute wall-clock deadline for the whole batch.
+  std::chrono::steady_clock::time_point deadline = base::Watchdog::kNoDeadline;
+  /// Wall-clock budget per candidate resolve (0 = none). A candidate
+  /// that trips it is retried once as a cold resolve with a fresh
+  /// budget (a warm start is not always the fastest path); a second
+  /// trip reports the candidate cancelled with a kTimeout witness.
+  std::chrono::milliseconds candidate_timeout{0};
+  /// Iteration budget per candidate resolve (0 = none); same retry
+  /// semantics as candidate_timeout.
+  std::uint64_t candidate_step_limit = 0;
+
+  // ---- Checkpoint / resume ------------------------------------------------
+
+  /// When set, completed candidate results are checkpointed into this
+  /// directory (atomically, every checkpoint_every completions and at
+  /// the end), keyed by a hash of the base graph and the candidate
+  /// list. Cancelled candidates are never persisted as done.
+  std::string checkpoint_dir;
+  int checkpoint_every = 16;
+  /// Load a matching checkpoint from checkpoint_dir before exploring
+  /// and skip the candidates it already covers. A checkpoint whose
+  /// config hash, candidate count, or payload does not match is
+  /// rejected with a structured error (ExplorationResult::resume_error)
+  /// and everything is recomputed.
+  bool resume = false;
 };
 
 class Explorer {
@@ -122,12 +180,30 @@ class Explorer {
 
   /// Resolves every candidate on its own fork of the base session, in
   /// parallel, and reduces to the best feasible candidate under
-  /// `objective`. Deterministic for any thread count.
+  /// `objective`. Deterministic for any thread count when no deadline,
+  /// cancel request, or per-candidate budget intervenes (resumed
+  /// results are bit-identical to recomputation, so checkpointing does
+  /// not affect determinism).
   ExplorationResult explore(const std::vector<Candidate>& candidates,
                             const Objective& objective);
 
  private:
+  /// True once the batch-level deadline or cancel token has tripped.
+  [[nodiscard]] bool stop_requested() const;
+  /// Identity of (base graph, candidate list) for checkpoint matching.
+  [[nodiscard]] std::uint64_t config_hash(
+      const std::vector<Candidate>& candidates) const;
+  void run_candidate(const Candidate& candidate, int index,
+                     CandidateResult& slot, const Objective& objective);
+  [[nodiscard]] persist::Error load_checkpoint(
+      std::uint64_t config, std::vector<CandidateResult>& slots,
+      std::vector<bool>& done) const;
+  [[nodiscard]] persist::Error write_checkpoint(
+      std::uint64_t config, const std::vector<CandidateResult>& slots,
+      const std::vector<bool>& done) const;
+
   engine::SynthesisSession base_;
+  ExplorerOptions options_;
   WorkStealingPool pool_;
 };
 

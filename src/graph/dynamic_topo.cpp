@@ -26,6 +26,36 @@ bool DynamicTopoOrder::reset(const Digraph& g) {
   return true;
 }
 
+bool DynamicTopoOrder::restore(const Digraph& g, std::vector<int> order) {
+  valid_ = false;
+  const std::size_t n = static_cast<std::size_t>(g.node_count());
+  if (order.size() != n) return false;
+  std::vector<int> pos(n, -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int v = order[i];
+    if (v < 0 || static_cast<std::size_t>(v) >= n || pos[static_cast<std::size_t>(v)] != -1) {
+      return false;  // not a permutation
+    }
+    pos[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+  for (const Arc& arc : g.arcs()) {
+    if (pos[static_cast<std::size_t>(arc.from)] >=
+        pos[static_cast<std::size_t>(arc.to)]) {
+      return false;  // not a topological order of g
+    }
+  }
+  out_.assign(n, {});
+  in_.assign(n, {});
+  for (const Arc& arc : g.arcs()) {
+    out_[static_cast<std::size_t>(arc.from)].push_back(arc.to);
+    in_[static_cast<std::size_t>(arc.to)].push_back(arc.from);
+  }
+  order_ = std::move(order);
+  pos_ = std::move(pos);
+  valid_ = true;
+  return true;
+}
+
 void DynamicTopoOrder::add_node() {
   out_.emplace_back();
   in_.emplace_back();

@@ -26,6 +26,14 @@ class DynamicTopoOrder {
   /// object invalid) when `g` is cyclic.
   bool reset(const Digraph& g);
 
+  /// (Re)initializes from `g`'s arcs adopting `order` verbatim instead
+  /// of recomputing one. Pearce–Kelly orders are path-dependent (they
+  /// record the history of insertions), so restoring a checkpointed
+  /// session bit-identically requires restoring the exact order, not an
+  /// equivalent one. Returns false (object invalid) unless `order` is a
+  /// permutation of g's nodes under which every arc points forward.
+  bool restore(const Digraph& g, std::vector<int> order);
+
   [[nodiscard]] bool valid() const { return valid_; }
   [[nodiscard]] int node_count() const { return static_cast<int>(out_.size()); }
 

@@ -22,6 +22,8 @@ const char* to_string(ScheduleStatus status) {
       return "inconsistent";
     case ScheduleStatus::kInvalidGraph:
       return "invalid-graph";
+    case ScheduleStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }

@@ -29,6 +29,10 @@ enum class ScheduleStatus {
   kInfeasible,    // positive cycle (feasibility precheck failed)
   kInconsistent,  // no convergence within |Eb|+1 iterations
   kInvalidGraph,  // structural validation failed (Gf cyclic / not polar)
+  kCancelled,     // cooperative cancellation (deadline / cancel request /
+                  // iteration budget) stopped the resolve before a
+                  // verdict; the products are undecided, not a failure
+                  // of the constraints (appended value: never reorder)
 };
 
 [[nodiscard]] const char* to_string(ScheduleStatus status);

@@ -18,14 +18,17 @@ const char* to_string(Status status) {
   return "?";
 }
 
-bool is_feasible(const cg::ConstraintGraph& g) {
+bool is_feasible(const cg::ConstraintGraph& g, base::Watchdog* watchdog) {
   const graph::Digraph full = g.project_full();
-  return !graph::longest_paths_from(full, g.source().value()).positive_cycle;
+  const graph::LongestPaths lp =
+      graph::longest_paths_from(full, g.source().value(), watchdog);
+  return !lp.aborted && !lp.positive_cycle;
 }
 
 bool is_feasible_incremental(const cg::ConstraintGraph& g,
                              std::vector<graph::Weight>& potentials,
-                             std::span<const VertexId> dirty) {
+                             std::span<const VertexId> dirty,
+                             base::Watchdog* watchdog) {
   const int n = g.vertex_count();
   RELSCHED_CHECK(static_cast<int>(potentials.size()) == n,
                  "potentials out of sync with the graph");
@@ -43,6 +46,7 @@ bool is_feasible_incremental(const cg::ConstraintGraph& g,
     enqueued[v.index()] = 1;
   }
   for (std::size_t head = 0; head < queue.size(); ++head) {
+    if (watchdog != nullptr && watchdog->charge()) return false;
     const VertexId v = queue[head];
     in_queue[v.index()] = false;
     for (EdgeId eid : g.out_edges(v)) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "base/watchdog.hpp"
 #include "certify/certify.hpp"
 #include "cg/constraint_graph.hpp"
 
@@ -42,7 +43,11 @@ struct CheckResult {
 };
 
 /// Theorem 1: feasibility via positive-cycle detection on G0.
-[[nodiscard]] bool is_feasible(const cg::ConstraintGraph& g);
+/// A non-null `watchdog` budgets the Bellman–Ford relaxation; when it
+/// trips the function returns false with watchdog->stopped() set --
+/// callers must treat that as "undecided", not "infeasible".
+[[nodiscard]] bool is_feasible(const cg::ConstraintGraph& g,
+                               base::Watchdog* watchdog = nullptr);
 
 /// Incremental feasibility after an edit. `potentials` must satisfy
 /// every G0 edge of the *pre-edit* graph (sigma(head) >= sigma(tail) +
@@ -53,9 +58,14 @@ struct CheckResult {
 /// place when the edited graph is feasible; returns false (leaving
 /// `potentials` unusable) when a positive cycle is detected -- callers
 /// fall back to the cold path.
+/// A non-null `watchdog` is charged per relaxed vertex; when it trips
+/// the function returns false with watchdog->stopped() set (undecided,
+/// `potentials` unusable) -- distinguish via the watchdog before
+/// concluding a positive cycle.
 [[nodiscard]] bool is_feasible_incremental(const cg::ConstraintGraph& g,
                                            std::vector<graph::Weight>& potentials,
-                                           std::span<const VertexId> dirty);
+                                           std::span<const VertexId> dirty,
+                                           base::Watchdog* watchdog = nullptr);
 
 /// checkWellposed (paper §IV-B). Checks feasibility, then anchor-set
 /// containment A(tail) subset-of A(head) on every backward edge

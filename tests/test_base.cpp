@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 
 #include "base/error.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
+#include "base/watchdog.hpp"
 
 namespace relsched {
 namespace {
@@ -77,6 +79,59 @@ TEST(Check, ThrowsApiErrorWithContext) {
     EXPECT_NE(what.find("the message"), std::string::npos);
     EXPECT_NE(what.find("test_base.cpp"), std::string::npos);
   }
+}
+
+TEST(Watchdog, InertByDefault) {
+  base::CancelToken token;  // default: can never be cancelled
+  token.request_cancel();
+  EXPECT_FALSE(token.cancelled());
+
+  base::Watchdog dog;
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(dog.charge());
+  EXPECT_FALSE(dog.stopped());
+}
+
+TEST(Watchdog, CancellationHonouredWithinOneQuantum) {
+  base::CancelToken token = base::CancelToken::make();
+  base::Watchdog dog(token, base::Watchdog::kNoDeadline, 0);
+  for (int i = 0; i < 100; ++i) ASSERT_FALSE(dog.charge());
+  token.request_cancel();
+  // The contract: a stop request is honoured within kPollQuantum more
+  // charged steps, never later.
+  std::uint64_t extra = 0;
+  while (!dog.charge()) {
+    ASSERT_LE(++extra, base::Watchdog::kPollQuantum);
+  }
+  EXPECT_TRUE(dog.stopped());
+  EXPECT_EQ(dog.why(), base::Watchdog::Stop::kCancelled);
+  EXPECT_STREQ(dog.reason(), "cancellation requested");
+  EXPECT_TRUE(dog.charge());  // sticky once tripped
+}
+
+TEST(Watchdog, ExpiredDeadlineTripsAtConstruction) {
+  // A pre-existing stop condition must not wait out the first poll
+  // quantum: a tiny computation that never charges kPollQuantum steps
+  // still has to honour --deadline-ms 0.
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  base::Watchdog dog(base::CancelToken{}, past, 0);
+  EXPECT_TRUE(dog.stopped());
+  EXPECT_EQ(dog.why(), base::Watchdog::Stop::kDeadline);
+  EXPECT_STREQ(dog.reason(), "deadline exceeded");
+
+  base::CancelToken cancelled = base::CancelToken::make();
+  cancelled.request_cancel();
+  base::Watchdog dog2(cancelled, base::Watchdog::kNoDeadline, 0);
+  EXPECT_TRUE(dog2.stopped());
+  EXPECT_EQ(dog2.why(), base::Watchdog::Stop::kCancelled);
+}
+
+TEST(Watchdog, StepLimitIsExact) {
+  base::Watchdog dog(base::CancelToken{}, base::Watchdog::kNoDeadline, 5);
+  EXPECT_FALSE(dog.charge(5));  // exactly at the limit: still fine
+  EXPECT_TRUE(dog.charge());    // one past: tripped
+  EXPECT_EQ(dog.why(), base::Watchdog::Stop::kStepLimit);
+  EXPECT_STREQ(dog.reason(), "iteration budget exhausted");
 }
 
 }  // namespace

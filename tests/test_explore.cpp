@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <random>
 #include <string>
@@ -225,6 +227,132 @@ TEST(ExplorerTest, InfeasibleCandidatesCarryReplayableWitnesses) {
 TEST(ExplorerTest, BestThrowsWhenEverythingIsInfeasible) {
   ExplorationResult empty;
   EXPECT_THROW((void)empty.best(), ApiError);
+}
+
+TEST(ExplorerTest, EmptyCandidateListIsWellDefined) {
+  relsched::testing::Fig2Graph fig;
+  Explorer explorer(engine::SynthesisSession(std::move(fig.g), {}), {});
+  const ExplorationResult result = explorer.explore({}, min_latency());
+  EXPECT_EQ(result.winner, -1);
+  EXPECT_TRUE(result.candidates.empty());
+  EXPECT_FALSE(result.stopped_early);
+  EXPECT_EQ(result.cancelled, 0);
+}
+
+TEST(ExplorerTest, DuplicateCandidatesTieBreakOnSmallestIndex) {
+  relsched::testing::Fig2Graph fig;
+  EdgeId max_edge = EdgeId::invalid();
+  for (const cg::Edge& e : fig.g.edges()) {
+    if (e.kind == cg::EdgeKind::kMaxConstraint) max_edge = e.id;
+  }
+  ASSERT_TRUE(max_edge.is_valid());
+  // Three byte-identical candidates: identical scores, so the reduction
+  // must pick index 0 -- and report identical products for all three.
+  const Candidate dup{"dup", {EditOp::set_bound(max_edge, 3)}};
+  Explorer explorer(engine::SynthesisSession(std::move(fig.g), {}), {});
+  const ExplorationResult result =
+      explorer.explore({dup, dup, dup}, min_latency());
+  ASSERT_EQ(result.candidates.size(), 3u);
+  EXPECT_EQ(result.winner, 0);
+  for (const CandidateResult& c : result.candidates) {
+    ASSERT_TRUE(c.feasible) << c.error;
+    EXPECT_EQ(c.score, result.best().score);
+  }
+}
+
+TEST(ExplorerTest, ExpiredDeadlineStopsBatchWithTimeoutPlaceholders) {
+  const cg::ConstraintGraph g = exploration_graph(77);
+  const std::vector<Candidate> candidates = sweep_candidates(g);
+  ExplorerOptions opts;
+  opts.threads = 2;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  Explorer explorer(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult result = explorer.explore(candidates, min_latency());
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_EQ(result.winner, -1);
+  ASSERT_EQ(result.candidates.size(), candidates.size());
+  for (const CandidateResult& c : result.candidates) {
+    EXPECT_FALSE(c.feasible);
+    EXPECT_EQ(c.diag.code, certify::Code::kTimeout) << c.label;
+  }
+}
+
+TEST(ExplorerTest, StepLimitTripsRetryAsColdThenReportsCancelled) {
+  const cg::ConstraintGraph g = exploration_graph(78);
+  const std::vector<Candidate> candidates = sweep_candidates(g);
+  ExplorerOptions opts;
+  opts.threads = 2;
+  // A one-step budget cannot resolve anything: every candidate with
+  // edits trips it warm, goes through the retry-as-cold pass, trips
+  // again, and is reported cancelled (never silently mis-scored). The
+  // zero-edit baseline needs no computation, so it survives and wins.
+  opts.candidate_step_limit = 1;
+  Explorer explorer(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult result = explorer.explore(candidates, min_latency());
+  const int edited = static_cast<int>(candidates.size()) - 1;
+  EXPECT_EQ(result.winner, 0);  // the baseline
+  EXPECT_EQ(result.cancelled, edited);
+  EXPECT_EQ(result.retried, edited);
+  for (const CandidateResult& c : result.candidates) {
+    if (c.index == 0) {
+      EXPECT_TRUE(c.feasible) << c.error;
+      continue;
+    }
+    EXPECT_TRUE(c.cancelled) << c.label;
+    EXPECT_TRUE(c.retried) << c.label;
+    EXPECT_EQ(c.diag.code, certify::Code::kTimeout) << c.label;
+  }
+}
+
+TEST(ExplorerTest, CheckpointResumeSkipsCompletedCandidates) {
+  const std::string dir = ::testing::TempDir() + "relsched_explore_resume";
+  std::remove(persist::explore_path(dir).c_str());
+  ASSERT_TRUE(persist::ensure_dir(dir).ok());
+  const cg::ConstraintGraph g = exploration_graph(79);
+  const std::vector<Candidate> candidates = sweep_candidates(g);
+
+  ExplorerOptions opts;
+  opts.threads = 2;
+  opts.checkpoint_dir = dir;
+  opts.checkpoint_every = 4;
+  Explorer first(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult full = first.explore(candidates, min_latency());
+  ASSERT_TRUE(full.checkpoint_error.ok()) << full.checkpoint_error.render();
+  ASSERT_GE(full.winner, 0);
+
+  // Same config, resume: every candidate loads from the checkpoint,
+  // nothing recomputes, and the results are bit-identical.
+  opts.resume = true;
+  Explorer second(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult resumed = second.explore(candidates, min_latency());
+  ASSERT_TRUE(resumed.resume_error.ok()) << resumed.resume_error.render();
+  EXPECT_EQ(resumed.resumed, static_cast<int>(candidates.size()));
+  expect_identical_results(full, resumed, g);
+
+  // A different candidate list must NOT match the stored checkpoint:
+  // structured rejection, then full recomputation.
+  std::vector<Candidate> other = candidates;
+  other.pop_back();
+  Explorer third(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult rejected = third.explore(other, min_latency());
+  EXPECT_EQ(rejected.resume_error.code, persist::ErrorCode::kStateMismatch);
+  EXPECT_EQ(rejected.resumed, 0);
+  ASSERT_EQ(rejected.candidates.size(), other.size());
+  EXPECT_GE(rejected.winner, 0);
+
+  // A corrupt checkpoint is rejected with a structured error, never
+  // half-loaded.
+  std::string bytes;
+  ASSERT_TRUE(persist::read_file(persist::explore_path(dir), &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x20;
+  ASSERT_TRUE(
+      persist::atomic_write_file(persist::explore_path(dir), bytes, false)
+          .ok());
+  Explorer fourth(engine::SynthesisSession(g, {}), opts);
+  const ExplorationResult corrupt = fourth.explore(candidates, min_latency());
+  EXPECT_FALSE(corrupt.resume_error.ok());
+  EXPECT_EQ(corrupt.resumed, 0);
+  expect_identical_results(full, corrupt, g);
 }
 
 TEST(WorkStealingPoolTest, RunsEveryTaskExactlyOnceAndIsReusable) {

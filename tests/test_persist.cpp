@@ -1,0 +1,501 @@
+// Crash-safe persistence: serialization primitives, framed-file
+// envelope, write-ahead log torn-tail vs. corruption semantics, and
+// the engine's checkpoint/restore cycle (including WAL tail replay,
+// structured rejection of damaged state, and cancellation verdicts).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/env.hpp"
+#include "certify/certify.hpp"
+#include "engine/session.hpp"
+#include "persist/serialize.hpp"
+#include "persist/wal.hpp"
+#include "testutil.hpp"
+
+namespace relsched::persist {
+namespace {
+
+/// A fresh empty directory under the test temp root.
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "relsched_" + name;
+  std::remove((dir + "/snapshot.bin").c_str());
+  std::remove((dir + "/wal.bin").c_str());
+  std::remove((dir + "/explore.bin").c_str());
+  EXPECT_TRUE(ensure_dir(dir).ok());
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::string data;
+  EXPECT_TRUE(read_file(path, &data).ok()) << path;
+  return data;
+}
+
+void dump(const std::string& path, const std::string& data) {
+  ASSERT_TRUE(atomic_write_file(path, data, /*durable=*/false).ok()) << path;
+}
+
+TEST(Serialize, WriterReaderRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i32(-7);
+  w.i64(-1234567890123LL);
+  w.f64(3.5);
+  w.b(true);
+  w.str("hello");
+  w.vec_i32({1, -2, 3});
+  w.vec_i64({});
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_EQ(r.f64(), 3.5);
+  EXPECT_TRUE(r.b());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.vec_i32(), (std::vector<std::int32_t>{1, -2, 3}));
+  EXPECT_TRUE(r.vec_i64().empty());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, ReaderRejectsOversizedLength) {
+  // A length field larger than the bytes present must fail the stream,
+  // not allocate: readers never trust a length further than the data.
+  Writer w;
+  w.u32(1u << 30);  // claims a gigabyte of payload
+  Reader r(w.buffer());
+  const std::string s = r.str();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ReaderUnderrunIsStickyAndZero) {
+  Reader r(std::string_view("\x01", 1));
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.u64(), 0u);  // under-run
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u32(), 0u);  // sticky: everything after is zero
+}
+
+TEST(FramedFile, RoundTripAndTamperRejection) {
+  const std::string dir = temp_dir("framed");
+  const std::string path = dir + "/frame.bin";
+  const std::string payload = "framed payload bytes";
+  ASSERT_TRUE(write_framed_file(path, "RSTEST01", 3, payload, false).ok());
+
+  std::string out;
+  ASSERT_TRUE(read_framed_file(path, "RSTEST01", 3, &out).ok());
+  EXPECT_EQ(out, payload);
+
+  // Wrong kind of file.
+  EXPECT_EQ(read_framed_file(path, "RSOTHER1", 3, &out).code,
+            ErrorCode::kBadMagic);
+  // Incompatible version.
+  EXPECT_EQ(read_framed_file(path, "RSTEST01", 4, &out).code,
+            ErrorCode::kBadVersion);
+
+  // A flipped payload bit fails the checksum.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() - 3] ^= 0x40;
+  dump(path, bytes);
+  EXPECT_EQ(read_framed_file(path, "RSTEST01", 3, &out).code,
+            ErrorCode::kChecksum);
+
+  // A torn (short) file is reported as truncated, not parsed.
+  dump(path, slurp(path).substr(0, 10));
+  EXPECT_EQ(read_framed_file(path, "RSTEST01", 3, &out).code,
+            ErrorCode::kTruncated);
+}
+
+TEST(FramedFile, AtomicWriteLeavesNoTempBehind) {
+  const std::string dir = temp_dir("atomic");
+  const std::string path = dir + "/data.bin";
+  ASSERT_TRUE(atomic_write_file(path, "v1", false).ok());
+  ASSERT_TRUE(atomic_write_file(path, "v2", false).ok());
+  EXPECT_EQ(slurp(path), "v2");
+  std::string tmp;
+  EXPECT_EQ(read_file(path + ".tmp", &tmp).code, ErrorCode::kIo);
+}
+
+WalOptions always_sync() {
+  WalOptions o;
+  o.sync = WalOptions::Sync::kAlways;
+  return o;
+}
+
+TEST(WalTest, AppendReadRoundTrip) {
+  const std::string dir = temp_dir("wal_roundtrip");
+  const std::string path = wal_path(dir);
+  Error error;
+  auto wal = Wal::open(path, /*base_revision_if_new=*/7, always_sync(), &error);
+  ASSERT_NE(wal, nullptr) << error.render();
+
+  WalRecord edit;
+  edit.op = WalRecord::Op::kSetBound;
+  edit.revision = 8;
+  edit.a = 3;
+  edit.value = 42;
+  wal->append(edit);
+  WalRecord marker;
+  marker.op = WalRecord::Op::kResolve;
+  marker.revision = 8;
+  wal->append(marker);
+  wal->sync_for_commit();
+  EXPECT_EQ(wal->appended_records(), 2);
+  EXPECT_GE(wal->fsyncs(), 1);
+  wal.reset();
+
+  const Wal::ReadResult read = Wal::read(path);
+  ASSERT_TRUE(read.ok()) << read.error.render();
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.base_revision, 7u);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[0].op, WalRecord::Op::kSetBound);
+  EXPECT_EQ(read.records[0].revision, 8u);
+  EXPECT_EQ(read.records[0].a, 3);
+  EXPECT_EQ(read.records[0].value, 42);
+  EXPECT_EQ(read.records[1].op, WalRecord::Op::kResolve);
+}
+
+TEST(WalTest, TornTailDroppedMidFileCorruptionFatal) {
+  const std::string dir = temp_dir("wal_torn");
+  const std::string path = wal_path(dir);
+  Error error;
+  auto wal = Wal::open(path, 0, always_sync(), &error);
+  ASSERT_NE(wal, nullptr) << error.render();
+  for (std::uint64_t rev = 1; rev <= 3; ++rev) {
+    WalRecord rec;
+    rec.op = WalRecord::Op::kSetBound;
+    rec.revision = rev;
+    rec.a = 0;
+    rec.value = static_cast<std::int64_t>(rev);
+    wal->append(rec);
+  }
+  wal->sync_now();
+  wal.reset();
+  const std::string intact = slurp(path);
+
+  // Crash mid-append: an incomplete final record is a torn tail. The
+  // intact prefix survives; the tail is dropped and reported.
+  dump(path, intact.substr(0, intact.size() - 5));
+  Wal::ReadResult read = Wal::read(path);
+  ASSERT_TRUE(read.ok()) << read.error.render();
+  EXPECT_TRUE(read.torn_tail);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records.back().revision, 2u);
+
+  // Re-opening for append truncates the torn tail away.
+  wal = Wal::open(path, 0, always_sync(), &error);
+  ASSERT_NE(wal, nullptr) << error.render();
+  wal.reset();
+  read = Wal::read(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read.torn_tail);
+  EXPECT_EQ(read.records.size(), 2u);
+
+  // A bit flip in acknowledged history (records follow it) is
+  // corruption, not a torn tail: fatal, structured rejection.
+  std::string corrupt = intact;
+  corrupt[intact.size() / 2] ^= 0x01;
+  dump(path, corrupt);
+  read = Wal::read(path);
+  EXPECT_FALSE(read.ok());
+  EXPECT_TRUE(read.records.empty());
+}
+
+TEST(WalTest, ResetTruncatesToNewBase) {
+  const std::string dir = temp_dir("wal_reset");
+  Error error;
+  auto wal = Wal::open(wal_path(dir), 1, always_sync(), &error);
+  ASSERT_NE(wal, nullptr);
+  WalRecord rec;
+  rec.op = WalRecord::Op::kResolve;
+  rec.revision = 2;
+  wal->append(rec);
+  wal->sync_now();
+  ASSERT_TRUE(wal->reset(9).ok());
+  EXPECT_EQ(wal->base_revision(), 9u);
+  wal.reset();
+
+  const Wal::ReadResult read = Wal::read(wal_path(dir));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.base_revision, 9u);
+  EXPECT_TRUE(read.records.empty());
+}
+
+}  // namespace
+}  // namespace relsched::persist
+
+namespace relsched::engine {
+namespace {
+
+using persist::ErrorCode;
+using persist::snapshot_path;
+using persist::wal_path;
+
+EdgeId find_max_edge(const cg::ConstraintGraph& g) {
+  for (const cg::Edge& e : g.edges()) {
+    if (e.kind == cg::EdgeKind::kMaxConstraint) return e.id;
+  }
+  ADD_FAILURE() << "graph has no max constraint";
+  return EdgeId::invalid();
+}
+
+void expect_same_products(const SynthesisSession& a,
+                          const SynthesisSession& b) {
+  const Products& pa = a.products();
+  const Products& pb = b.products();
+  EXPECT_EQ(pa.revision, pb.revision);
+  EXPECT_EQ(pa.schedule.status, pb.schedule.status);
+  EXPECT_EQ(pa.topo, pb.topo);
+  ASSERT_EQ(a.graph().vertex_count(), b.graph().vertex_count());
+  for (int vi = 0; vi < a.graph().vertex_count(); ++vi) {
+    EXPECT_EQ(pa.schedule.schedule.offsets(VertexId(vi)),
+              pb.schedule.schedule.offsets(VertexId(vi)))
+        << "v" << vi;
+  }
+}
+
+persist::WalOptions always_sync() {
+  persist::WalOptions o;
+  o.sync = persist::WalOptions::Sync::kAlways;
+  return o;
+}
+
+TEST(SessionCheckpoint, RoundTripRestoresBitIdenticalProducts) {
+  const std::string dir = persist::temp_dir("ckpt_roundtrip");
+  testing::Fig2Graph fig;
+  SynthesisSession session(std::move(fig.g), {});
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.attach_wal(wal_path(dir), always_sync()).ok());
+  EXPECT_TRUE(session.wal_attached());
+
+  session.set_constraint_bound(find_max_edge(session.graph()), 3);
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+  EXPECT_EQ(session.stats().checkpoints, 1);
+
+  SynthesisSession::RestoreReport report;
+  auto restored = SynthesisSession::restore(dir, {}, &report);
+  ASSERT_TRUE(restored.has_value()) << report.error.render();
+  EXPECT_EQ(report.replayed_edits, 0);  // checkpoint truncated the WAL
+  EXPECT_FALSE(report.cold_fallback);
+  EXPECT_EQ(restored->stats().restores, 1);
+  expect_same_products(session, *restored);
+
+  // The recovered session keeps working: same edit stream, same result.
+  session.set_constraint_bound(find_max_edge(session.graph()), 4);
+  restored->set_constraint_bound(find_max_edge(restored->graph()), 4);
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(restored->resolve().ok());
+  expect_same_products(session, *restored);
+}
+
+TEST(SessionCheckpoint, WalTailReplaysEditsPastSnapshot) {
+  const std::string dir = persist::temp_dir("ckpt_tail");
+  testing::Fig2Graph fig;
+  const VertexId v0 = fig.v0, v4 = fig.v4;
+  SynthesisSession session(std::move(fig.g), {});
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.attach_wal(wal_path(dir), always_sync()).ok());
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+
+  // Two journaled edits and a resolve after the snapshot: they exist
+  // only in the WAL when the "crash" happens.
+  session.add_min_constraint(v0, v4, 4);
+  session.set_constraint_bound(find_max_edge(session.graph()), 3);
+  ASSERT_TRUE(session.resolve().ok());
+
+  SynthesisSession::RestoreReport report;
+  auto restored = SynthesisSession::restore(dir, {}, &report);
+  ASSERT_TRUE(restored.has_value()) << report.error.render();
+  EXPECT_EQ(report.replayed_edits, 2);
+  EXPECT_EQ(report.replayed_resolves, 1);
+  EXPECT_FALSE(report.wal_torn_tail);
+  expect_same_products(session, *restored);
+}
+
+TEST(SessionCheckpoint, TornWalTailDroppedAndReported) {
+  const std::string dir = persist::temp_dir("ckpt_torn");
+  testing::Fig2Graph fig;
+  const VertexId v0 = fig.v0, v4 = fig.v4;
+  SynthesisSession session(std::move(fig.g), {});
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.attach_wal(wal_path(dir), always_sync()).ok());
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+  const std::uint64_t checkpoint_revision = session.graph().revision();
+  session.add_min_constraint(v0, v4, 4);
+  ASSERT_TRUE(session.resolve().ok());
+
+  // Crash mid-append of the trailing record: recovery drops the torn
+  // tail (that edit never committed) and reports it.
+  std::string bytes;
+  ASSERT_TRUE(persist::read_file(wal_path(dir), &bytes).ok());
+  ASSERT_TRUE(persist::atomic_write_file(
+                  wal_path(dir), bytes.substr(0, bytes.size() - 3), false)
+                  .ok());
+  SynthesisSession::RestoreReport report;
+  auto restored = SynthesisSession::restore(dir, {}, &report);
+  ASSERT_TRUE(restored.has_value()) << report.error.render();
+  EXPECT_TRUE(report.wal_torn_tail);
+  EXPECT_FALSE(report.wal_torn_detail.empty());
+
+  // Re-applying the lost edit converges with the uninterrupted run.
+  EXPECT_LE(restored->graph().revision(), checkpoint_revision + 1);
+  if (restored->graph().revision() == checkpoint_revision) {
+    restored->add_min_constraint(v0, v4, 4);
+  }
+  ASSERT_TRUE(restored->resolve().ok());
+  expect_same_products(session, *restored);
+}
+
+TEST(SessionCheckpoint, PendingUnresolvedEditsRecomputeColdOnRestore) {
+  const std::string dir = persist::temp_dir("ckpt_pending");
+  testing::Fig2Graph fig;
+  SynthesisSession session(std::move(fig.g), {});
+  ASSERT_TRUE(session.resolve().ok());
+  // Edit journaled but NOT resolved when the checkpoint lands.
+  session.set_constraint_bound(find_max_edge(session.graph()), 3);
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+
+  SynthesisSession::RestoreReport report;
+  auto restored = SynthesisSession::restore(dir, {}, &report);
+  ASSERT_TRUE(restored.has_value()) << report.error.render();
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(restored->resolve().ok());
+  EXPECT_GE(restored->stats().cold_resolves, 1);
+  expect_same_products(session, *restored);
+}
+
+TEST(SessionCheckpoint, CorruptSnapshotRejectedStructurally) {
+  const std::string dir = persist::temp_dir("ckpt_corrupt");
+  testing::Fig2Graph fig;
+  SynthesisSession session(std::move(fig.g), {});
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+
+  std::string bytes;
+  ASSERT_TRUE(persist::read_file(snapshot_path(dir), &bytes).ok());
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x10;
+  ASSERT_TRUE(persist::atomic_write_file(snapshot_path(dir), flipped, false)
+                  .ok());
+  SynthesisSession::RestoreReport report;
+  EXPECT_FALSE(SynthesisSession::restore(dir, {}, &report).has_value());
+  EXPECT_EQ(report.error.code, ErrorCode::kChecksum);
+
+  // Torn short file: truncated, never parsed.
+  ASSERT_TRUE(persist::atomic_write_file(snapshot_path(dir),
+                                         bytes.substr(0, 12), false)
+                  .ok());
+  EXPECT_FALSE(SynthesisSession::restore(dir, {}, &report).has_value());
+  EXPECT_EQ(report.error.code, ErrorCode::kTruncated);
+
+  // Missing snapshot: a clean io rejection, not a crash.
+  std::remove(snapshot_path(dir).c_str());
+  EXPECT_FALSE(SynthesisSession::restore(dir, {}, &report).has_value());
+  EXPECT_EQ(report.error.code, ErrorCode::kIo);
+}
+
+TEST(SessionCheckpoint, ScheduleModeMismatchRejected) {
+  const std::string dir = persist::temp_dir("ckpt_mode");
+  testing::Fig2Graph fig;
+  SynthesisSession session(std::move(fig.g), {});
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+
+  SessionOptions other;
+  other.schedule_mode = anchors::AnchorMode::kIrredundant;
+  SynthesisSession::RestoreReport report;
+  EXPECT_FALSE(SynthesisSession::restore(dir, other, &report).has_value());
+  EXPECT_EQ(report.error.code, ErrorCode::kStateMismatch);
+}
+
+TEST(SessionCancellation, ExpiredDeadlineYieldsCancelledVerdict) {
+  testing::Fig2Graph fig;
+  SessionOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  SynthesisSession session(std::move(fig.g), opts);
+
+  const Products& p = session.resolve();
+  EXPECT_EQ(p.schedule.status, sched::ScheduleStatus::kCancelled);
+  EXPECT_EQ(p.schedule.diag.code, certify::Code::kTimeout);
+  EXPECT_NE(p.schedule.message.find("deadline exceeded"), std::string::npos)
+      << p.schedule.message;
+  EXPECT_EQ(session.stats().cancelled_resolves, 1);
+
+  // Lifting the deadline lets the next resolve recompute cold.
+  session.set_cancellation(base::CancelToken{});
+  EXPECT_TRUE(session.resolve().ok());
+  EXPECT_EQ(session.stats().cancelled_resolves, 1);
+}
+
+TEST(SessionCancellation, CancelTokenStopsResolve) {
+  testing::Fig2Graph fig;
+  SessionOptions opts;
+  base::CancelToken token = base::CancelToken::make();
+  token.request_cancel();
+  opts.cancel = token;
+  SynthesisSession session(std::move(fig.g), opts);
+  const Products& p = session.resolve();
+  EXPECT_EQ(p.schedule.status, sched::ScheduleStatus::kCancelled);
+  EXPECT_NE(p.schedule.message.find("cancellation requested"),
+            std::string::npos)
+      << p.schedule.message;
+}
+
+TEST(SessionEnv, CertifyFlagParsersAreStrict) {
+  // certify_default() caches its first read, so the parser itself is
+  // exercised through the pure base::parse_* functions it delegates to.
+  EXPECT_EQ(base::parse_env_flag("1"), true);
+  EXPECT_EQ(base::parse_env_flag("TRUE"), true);
+  EXPECT_EQ(base::parse_env_flag("on"), true);
+  EXPECT_EQ(base::parse_env_flag("Yes"), true);
+  EXPECT_EQ(base::parse_env_flag("0"), false);
+  EXPECT_EQ(base::parse_env_flag("off"), false);
+  EXPECT_EQ(base::parse_env_flag(""), std::nullopt);
+  EXPECT_EQ(base::parse_env_flag("yse"), std::nullopt);
+  EXPECT_EQ(base::parse_env_flag("1 "), std::nullopt);
+  EXPECT_EQ(base::parse_env_flag("2"), std::nullopt);
+
+  EXPECT_EQ(base::parse_env_int("50"), 50);
+  EXPECT_EQ(base::parse_env_int("-3"), -3);
+  EXPECT_EQ(base::parse_env_int("50ms"), std::nullopt);
+  EXPECT_EQ(base::parse_env_int(""), std::nullopt);
+
+  EXPECT_EQ(base::parse_env_choice("ALWAYS", {"interval", "always", "none"}),
+            1);
+  EXPECT_EQ(base::parse_env_choice("sometimes",
+                                   {"interval", "always", "none"}),
+            std::nullopt);
+}
+
+TEST(SessionEnv, CheckpointSyncEnvSelectsPolicy) {
+  ::setenv("RELSCHED_CHECKPOINT_SYNC", "always", 1);
+  ::setenv("RELSCHED_CHECKPOINT_SYNC_INTERVAL_MS", "125", 1);
+  persist::WalOptions o = persist::WalOptions::from_env();
+  EXPECT_EQ(o.sync, persist::WalOptions::Sync::kAlways);
+  EXPECT_EQ(o.sync_interval.count(), 125);
+
+  // Unrecognized values warn once and keep the documented defaults.
+  ::setenv("RELSCHED_CHECKPOINT_SYNC", "sometimes", 1);
+  ::setenv("RELSCHED_CHECKPOINT_SYNC_INTERVAL_MS", "50ms", 1);
+  o = persist::WalOptions::from_env();
+  EXPECT_EQ(o.sync, persist::WalOptions::Sync::kInterval);
+  EXPECT_EQ(o.sync_interval.count(), 50);
+
+  ::unsetenv("RELSCHED_CHECKPOINT_SYNC");
+  ::unsetenv("RELSCHED_CHECKPOINT_SYNC_INTERVAL_MS");
+}
+
+}  // namespace
+}  // namespace relsched::engine
