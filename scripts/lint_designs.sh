@@ -1,0 +1,76 @@
+#!/bin/sh
+# Design-lint gate for CI (and local use).
+#
+# Runs `relsched_cli lint` over the built-in benchmark suite and every
+# checked-in design fixture, collecting the JSON reports into one
+# artifact. Gating is severity-based and direction-aware:
+#
+#   - the benchmark suite and the known-good fixtures must produce NO
+#     error findings (exit 0 under --fail-on error);
+#   - the known-bad fixtures (infeasible.cg, illposed.cg) must KEEP
+#     producing error findings -- a lint that goes silent on a broken
+#     design is as much a regression as one that cries wolf.
+#
+# Usage: scripts/lint_designs.sh [build_dir] [artifact.json]
+set -u
+
+BUILD_DIR="${1:-build}"
+ARTIFACT="${2:-$BUILD_DIR/LINT_designs.json}"
+CLI="$BUILD_DIR/src/driver/relsched_cli"
+DATA="$(dirname "$0")/../tests/data"
+
+if [ ! -x "$CLI" ]; then
+  echo "lint_designs: $CLI not built" >&2
+  exit 2
+fi
+
+fail=0
+: > "$ARTIFACT.tmp"
+
+# 1. Benchmark suite: every paper design must lint without errors.
+echo "== lint: benchmark suite =="
+if ! "$CLI" lint --suite --fail-on error --lint-json >> "$ARTIFACT.tmp"; then
+  echo "FAIL: benchmark suite has lint errors" >&2
+  "$CLI" lint --suite >&2 || true
+  fail=1
+fi
+
+# 2. Known-good fixtures: no errors allowed (warnings/info are fine and
+#    land in the artifact for inspection).
+for f in fig2.cg redundant.cg handshake.hwc; do
+  echo "== lint: $f (must be error-free) =="
+  if ! "$CLI" lint --fail-on error --lint-json "$DATA/$f" \
+       >> "$ARTIFACT.tmp"; then
+    echo "FAIL: $f has lint errors" >&2
+    "$CLI" lint "$DATA/$f" >&2 || true
+    fail=1
+  fi
+done
+
+# 3. Known-bad fixtures: the analyzer must still catch them (exit 3 =
+#    error-severity findings).
+for f in infeasible.cg illposed.cg; do
+  echo "== lint: $f (must report errors) =="
+  "$CLI" lint --lint-json "$DATA/$f" >> "$ARTIFACT.tmp"
+  status=$?
+  if [ "$status" -ne 3 ]; then
+    echo "FAIL: $f expected lint exit 3, got $status" >&2
+    fail=1
+  fi
+done
+
+# Stitch the per-run JSON arrays (one single-line "[...]" per run)
+# into one top-level array.
+{
+  printf '['
+  sed -e 's/^\[//' -e 's/\]$//' "$ARTIFACT.tmp" | grep -v '^ *$' | \
+    paste -sd, -
+  printf ']\n'
+} > "$ARTIFACT"
+rm -f "$ARTIFACT.tmp"
+
+if [ "$fail" -ne 0 ]; then
+  echo "== design lint gate FAILED (reports: $ARTIFACT) ==" >&2
+  exit 1
+fi
+echo "== design lint gate passed (reports: $ARTIFACT) =="

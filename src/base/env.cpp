@@ -1,0 +1,38 @@
+#include "base/env.hpp"
+
+#include <cstdio>
+#include <set>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace relsched::base::detail {
+
+namespace {
+
+// Warn-once state for the whole process. Lives in this TU (not as a
+// function-local static in the header) so there is exactly one cache no
+// matter how many TUs inline the env_* helpers.
+Mutex g_warned_mutex;
+std::set<std::string>& warned_names() RELSCHED_REQUIRES(g_warned_mutex) {
+  static std::set<std::string> names;
+  return names;
+}
+
+}  // namespace
+
+bool first_warning_for(const std::string& name) {
+  const MutexLock lock(g_warned_mutex);
+  return warned_names().insert(name).second;
+}
+
+void warn_bad_value(const char* name, const char* value, const char* expected,
+                    const char* fallback) {
+  if (!first_warning_for(name)) return;
+  std::fputs(cat("relsched: ignoring ", name, "=\"", value, "\" (expected ",
+                 expected, "); using default ", fallback, "\n")
+                 .c_str(),
+             stderr);
+}
+
+}  // namespace relsched::base::detail

@@ -8,13 +8,10 @@
 #pragma once
 
 #include <cerrno>
-#include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
 #include <iterator>
-#include <mutex>
 #include <optional>
-#include <set>
 #include <string>
 #include <string_view>
 
@@ -38,22 +35,17 @@ inline bool iequals(std::string_view a, std::string_view b) {
 
 /// True the first time a given variable warns, false afterwards: each
 /// misspelt variable produces one stderr line per process, not one per
-/// resolve.
-inline bool first_warning_for(const std::string& name) {
-  static std::mutex mutex;
-  static std::set<std::string>* warned = new std::set<std::string>();
-  const std::lock_guard<std::mutex> lock(mutex);
-  return warned->insert(name).second;
-}
+/// resolve. Defined out of line (env.cpp) so the warned-name cache and
+/// its mutex are one object in one TU -- a header-local static would
+/// rely on the linker deduplicating an inline function's local across
+/// every inlined copy, and an LTO/ODR hiccup there would silently turn
+/// "warn once" into "warn once per TU".
+bool first_warning_for(const std::string& name);
 
-inline void warn_bad_value(const char* name, const char* value,
-                           const char* expected, const char* fallback) {
-  if (!first_warning_for(name)) return;
-  std::fputs(cat("relsched: ignoring ", name, "=\"", value, "\" (expected ",
-                 expected, "); using default ", fallback, "\n")
-                 .c_str(),
-             stderr);
-}
+/// One stderr line naming the variable, the rejected value, and the
+/// fallback used instead; rate-limited by first_warning_for().
+void warn_bad_value(const char* name, const char* value, const char* expected,
+                    const char* fallback);
 
 }  // namespace detail
 

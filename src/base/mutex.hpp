@@ -1,0 +1,84 @@
+// Annotated mutex wrappers for Clang thread-safety analysis.
+//
+// libstdc++ ships std::mutex without capability attributes, so code
+// locking a raw std::mutex is invisible to -Wthread-safety and every
+// RELSCHED_GUARDED_BY access would be flagged. These thin wrappers
+// (zero overhead beyond the std types they delegate to) carry the
+// attributes the analysis needs:
+//
+//   base::Mutex           - std::mutex as a RELSCHED_CAPABILITY
+//   base::MutexLock       - std::lock_guard equivalent (scoped)
+//   base::UniqueMutexLock - std::unique_lock equivalent (scoped, with
+//                           mid-scope unlock()/lock() for condition
+//                           waits)
+//
+// Condition variables: use std::condition_variable_any, whose wait()
+// accepts any BasicLockable -- pass the UniqueMutexLock itself. The
+// analysis treats wait() as a plain call (the lock is held on entry and
+// on return, which is exactly the capability state), so waiting code
+// checks out without annotations of its own.
+#pragma once
+
+#include <mutex>
+
+#include "base/thread_annotations.hpp"
+
+namespace relsched::base {
+
+class RELSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RELSCHED_ACQUIRE() { m_.lock(); }
+  void unlock() RELSCHED_RELEASE() { m_.unlock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over base::Mutex, visible to the analysis.
+class RELSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) RELSCHED_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() RELSCHED_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// std::unique_lock over base::Mutex: locked on construction, may be
+/// dropped and re-taken mid-scope (condition waits, handing the lock
+/// across a blocking call). Also satisfies BasicLockable, so it can be
+/// passed to std::condition_variable_any::wait directly.
+class RELSCHED_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& m) RELSCHED_ACQUIRE(m) : m_(m), held_(true) {
+    m_.lock();
+  }
+  ~UniqueMutexLock() RELSCHED_RELEASE() {
+    if (held_) m_.unlock();
+  }
+
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  void lock() RELSCHED_ACQUIRE() {
+    m_.lock();
+    held_ = true;
+  }
+  void unlock() RELSCHED_RELEASE() {
+    held_ = false;
+    m_.unlock();
+  }
+
+ private:
+  Mutex& m_;
+  bool held_;
+};
+
+}  // namespace relsched::base

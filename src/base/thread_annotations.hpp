@@ -1,0 +1,61 @@
+// Clang thread-safety annotations (no-ops on other compilers).
+//
+// Annotating which mutex guards which field turns data races on that
+// state into *compile-time* errors under Clang's -Wthread-safety
+// analysis: a read or write of a RELSCHED_GUARDED_BY(m) member outside
+// a scope that holds `m` fails the build. The CI thread-safety leg
+// compiles the tree with clang++ -Wthread-safety -Werror=thread-safety,
+// so the annotations are enforced, not decorative; GCC builds compile
+// the macros away.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability
+// attributes, so the analysis cannot see their acquire/release.
+// base/mutex.hpp provides annotated wrappers (base::Mutex,
+// base::MutexLock, base::UniqueMutexLock) that every annotated
+// subsystem uses instead of the raw std types.
+#pragma once
+
+#if defined(__clang__)
+#define RELSCHED_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RELSCHED_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define RELSCHED_CAPABILITY(x) RELSCHED_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define RELSCHED_SCOPED_CAPABILITY RELSCHED_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define RELSCHED_GUARDED_BY(x) RELSCHED_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define RELSCHED_PT_GUARDED_BY(x) RELSCHED_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the listed capabilities and does not release them.
+#define RELSCHED_ACQUIRE(...) \
+  RELSCHED_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define RELSCHED_RELEASE(...) \
+  RELSCHED_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function must be called with the listed capabilities held.
+#define RELSCHED_REQUIRES(...) \
+  RELSCHED_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the listed capabilities NOT held
+/// (deadlock prevention for self-locking methods).
+#define RELSCHED_EXCLUDES(...) \
+  RELSCHED_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to a capability-guarded object.
+#define RELSCHED_RETURN_CAPABILITY(x) \
+  RELSCHED_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with
+/// a comment explaining why the code is safe.
+#define RELSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  RELSCHED_THREAD_ANNOTATION_(no_thread_safety_analysis)

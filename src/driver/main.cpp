@@ -1,5 +1,16 @@
 // relsched_cli: command-line front door to the synthesis pipeline.
 //
+//   relsched_cli lint [--lint-json] [--strip-redundant]
+//                     [--fail-on error|warning|info|never]
+//                     (--suite | <design.hwc | graph.cg>)
+//     Static design analysis without scheduling: feasibility (with an
+//     irreducible unsat core), well-posedness per backward edge,
+//     redundant constraints, never-binding max constraints, dead
+//     anchors. Exit 0 when no finding reaches the --fail-on gate
+//     (default: error), else 3/4/5 for a worst severity of
+//     error/warning/info. --strip-redundant (.cg inputs) writes the
+//     graph with redundant constraints removed to stdout.
+//
 //   relsched_cli [options] <design.hwc | graph.cg>
 //     --report     per-graph synthesis summary (default)
 //     --schedule   anchor sets + minimum offsets per graph (Table II style)
@@ -41,11 +52,13 @@
 #include "cg/graph_io.hpp"
 #include "ctrl/control.hpp"
 #include "ctrl/design_control.hpp"
+#include "designs/designs.hpp"
 #include "driver/report.hpp"
 #include "driver/stats.hpp"
 #include "driver/synthesis.hpp"
 #include "engine/session.hpp"
 #include "hdl/lower.hpp"
+#include "lint/lint.hpp"
 #include "persist/serialize.hpp"
 #include "rtl/datapath.hpp"
 #include "sched/scheduler.hpp"
@@ -59,8 +72,176 @@ int usage() {
   std::cerr << "usage: relsched_cli [--report] [--schedule] [--stats] "
                "[--verilog] [--dot] [--counter] [--graph] [--diag-json] "
                "[--diag-json-out <path>] [--checkpoint-dir <dir>] [--resume] "
-               "[--deadline-ms <n>] <design.hwc | graph.cg>\n";
+               "[--deadline-ms <n>] <design.hwc | graph.cg>\n"
+               "       relsched_cli lint [--lint-json] [--strip-redundant] "
+               "[--fail-on error|warning|info|never] "
+               "(--suite | <design.hwc | graph.cg>)\n";
   return 2;
+}
+
+/// Severity-aware combination of lint exit codes (0 clean, 3 errors,
+/// 4 warnings, 5 infos): the more severe verdict wins. Plain max()
+/// would rank info (5) above warning (4).
+int combine_lint_exit(int a, int b) {
+  const auto rank = [](int c) {
+    switch (c) {
+      case 3:
+        return 3;
+      case 4:
+        return 2;
+      case 5:
+        return 1;
+      default:
+        return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+/// Lints every graph of one compiled design through the synthesis
+/// pipeline (binding + make_wellposed first, so the analyzer sees the
+/// graphs the scheduler would). Returns the combined lint exit code;
+/// JSON reports are appended to `jsons` instead of printed when set.
+int lint_synthesized(seq::Design& design, lint::FailOn fail_on,
+                     std::vector<std::string>* jsons) {
+  driver::SynthesisOptions sopts;
+  sopts.lint = true;
+  const auto result = driver::synthesize(design, sopts);
+  int code = 0;
+  for (const auto& gs : result.graphs) {
+    if (jsons != nullptr) {
+      jsons->push_back(lint::to_json(gs.lint_report, gs.constraint_graph));
+    } else {
+      std::cout << lint::render_text(gs.lint_report, gs.constraint_graph);
+    }
+    code = combine_lint_exit(code,
+                             lint::exit_code(gs.lint_report, fail_on));
+  }
+  if (!result.ok()) {
+    std::cerr << "process '" << design.name()
+              << "': " << driver::to_string(result.status) << ": "
+              << result.message << "\n";
+    code = combine_lint_exit(code, 3);
+  }
+  return code;
+}
+
+int lint_main(int argc, char** argv) {
+  bool json = false, strip = false, suite = false;
+  lint::FailOn fail_on = lint::FailOn::kError;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lint-json") {
+      json = true;
+    } else if (arg == "--strip-redundant") {
+      strip = true;
+    } else if (arg == "--suite") {
+      suite = true;
+    } else if (arg == "--fail-on") {
+      if (++i >= argc) return usage();
+      const std::string v = argv[i];
+      if (v == "error") {
+        fail_on = lint::FailOn::kError;
+      } else if (v == "warning") {
+        fail_on = lint::FailOn::kWarning;
+      } else if (v == "info") {
+        fail_on = lint::FailOn::kInfo;
+      } else if (v == "never") {
+        fail_on = lint::FailOn::kNever;
+      } else {
+        return usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (suite ? !path.empty() : path.empty()) return usage();
+
+  const auto flush_json = [&](std::vector<std::string>& jsons) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < jsons.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << jsons[i];
+    }
+    std::cout << "]\n";
+  };
+
+  if (suite) {
+    if (strip) {
+      std::cerr << "--strip-redundant applies to .cg inputs only\n";
+      return 2;
+    }
+    int code = 0;
+    std::vector<std::string> jsons;
+    for (const auto& bd : designs::benchmark_suite()) {
+      seq::Design design = designs::build(bd.name);
+      code = combine_lint_exit(
+          code, lint_synthesized(design, fail_on, json ? &jsons : nullptr));
+    }
+    if (json) flush_json(jsons);
+    return code;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const bool is_cg =
+      path.size() > 3 && path.substr(path.size() - 3) == ".cg";
+  if (!is_cg) {
+    if (strip) {
+      std::cerr << "--strip-redundant applies to .cg inputs only\n";
+      return 2;
+    }
+    auto compiled = hdl::compile(buffer.str());
+    if (!compiled.ok()) {
+      std::cerr << path << ":\n" << compiled.diagnostics.to_string();
+      return 1;
+    }
+    int code = 0;
+    std::vector<std::string> jsons;
+    for (seq::Design& design : compiled.designs) {
+      code = combine_lint_exit(
+          code, lint_synthesized(design, fail_on, json ? &jsons : nullptr));
+    }
+    if (json) flush_json(jsons);
+    return code;
+  }
+
+  // Raw constraint graph: lint exactly what was written, with no
+  // make_wellposed repair in between -- reporting ill-posedness (and
+  // how to fix it) is the analyzer's job here.
+  auto parsed = cg::from_text(buffer.str());
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    return 1;
+  }
+  cg::ConstraintGraph& g = *parsed.graph;
+  const lint::Report report = lint::analyze(g);
+  if (strip) {
+    if (report.count(lint::Severity::kError) > 0) {
+      std::cerr << lint::render_text(report, g);
+      return lint::exit_code(report, lint::FailOn::kError);
+    }
+    const auto stripped = lint::strip_redundant(g);
+    std::cerr << "stripped " << stripped.size()
+              << " redundant constraint(s)\n";
+    std::cout << cg::to_text(g);
+    return 0;
+  }
+  if (json) {
+    std::cout << lint::to_json(report, g) << "\n";
+  } else {
+    std::cout << lint::render_text(report, g);
+  }
+  return lint::exit_code(report, fail_on);
 }
 
 }  // namespace
@@ -293,6 +474,9 @@ int run_graph_mode(const std::string& text, const RunOptions& run,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "lint") {
+    return lint_main(argc, argv);
+  }
   bool report = false, schedule = false, stats = false, verilog = false,
        dot = false, counter = false, graph_mode = false, rtl = false,
        diag_json = false;

@@ -123,6 +123,15 @@ AttemptStatus attempt_graph(seq::SeqGraph& sg, GraphSynthesis& gs,
     }
   }
 
+  // Lint before scheduling: the analyzer sees exactly the graph the
+  // session is about to own (post-binding, post-make_wellposed), so a
+  // reported unsat core or ill-posed edge explains the failure the
+  // scheduler would hit. Advisory only -- findings never change the
+  // synthesis outcome.
+  if (options.lint) {
+    gs.lint_report = lint::analyze(gs.constraint_graph, options.lint_options);
+  }
+
   // From here the synthesis session owns the graph and every derived
   // product; driver-level retries build a fresh session, while
   // interactive callers (examples/design_explorer) keep editing one

@@ -26,6 +26,7 @@
 #include "anchors/anchor_analysis.hpp"
 #include "bind/binder.hpp"
 #include "cg/constraint_graph.hpp"
+#include "lint/lint.hpp"
 #include "sched/scheduler.hpp"
 #include "seq/design.hpp"
 #include "wellposed/wellposed.hpp"
@@ -44,6 +45,12 @@ struct SynthesisOptions {
   /// retry with up to this many perturbed serialization orders before
   /// giving up.
   int conflict_resolution_retries = 4;
+  /// Run the static analyzer (lint::analyze) on each graph's constraint
+  /// graph before scheduling it; findings land in
+  /// GraphSynthesis::lint_report. Off by default: synthesis outcomes
+  /// never depend on lint (the report is advisory).
+  bool lint = false;
+  lint::Options lint_options;
 };
 
 enum class SynthesisStatus {
@@ -64,6 +71,10 @@ struct GraphSynthesis {
   sched::ScheduleResult schedule;
   bind::BindingResult binding;
   wellposed::MakeWellposedResult wellposed_fix;
+  /// Static-analysis findings for `constraint_graph` (after the
+  /// make_wellposed step, before scheduling); empty unless
+  /// SynthesisOptions::lint is set.
+  lint::Report lint_report;
   /// Latency of one activation: bounded iff the graph has no internal
   /// anchors (then it equals sigma_v0(sink)).
   cg::Delay latency = cg::Delay::unbounded();

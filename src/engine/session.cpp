@@ -140,6 +140,7 @@ const Products& SynthesisSession::resolve() {
       products_.revision == graph_.revision()) {
     return products_;
   }
+  last_resolve_was_warm_ = false;
 
   // Write-ahead commit point: the resolve marker -- and transitively
   // every buffered edit record before it -- reaches the log (durably,
@@ -231,6 +232,8 @@ const Products& SynthesisSession::resolve() {
         products_.certificate = caught;
         certify_cold_products();
       }
+    } else {
+      last_resolve_was_warm_ = true;
     }
   }
   resolved_once_ = true;
@@ -250,6 +253,8 @@ void SynthesisSession::adopt_schedule() {
 }
 
 void SynthesisSession::cold_resolve() {
+  last_resolve_was_warm_ = false;
+  last_dirty_cone_.clear();
   products_ = Products{};
   sched::ScheduleResult& out = products_.schedule;
 
@@ -342,6 +347,10 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
     }
   }
   stats_.last_affected_vertices = static_cast<int>(worklist.size());
+  // Published for incremental consumers (lint::IncrementalLinter): the
+  // flood is closed under reachability, so products of any vertex
+  // outside it are untouched by this resolve.
+  last_dirty_cone_ = worklist;
   // Fault injection (tests): clear one dirty bit, so the anchor patch
   // and containment recheck below skip a vertex whose products may
   // have changed.

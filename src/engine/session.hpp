@@ -306,6 +306,23 @@ class SynthesisSession {
   /// Last resolved products (resolve() must have run at least once).
   [[nodiscard]] const Products& products() const { return products_; }
 
+  /// True when the most recent resolve()/commit() was served by the
+  /// warm path and its products survived certification (no cold
+  /// fallback, no cancellation). When true, last_dirty_cone() bounds
+  /// what changed since the previous products.
+  [[nodiscard]] bool last_resolve_was_warm() const {
+    return last_resolve_was_warm_;
+  }
+
+  /// Dirty cone of the most recent warm resolve: every vertex whose
+  /// derived products (anchor sets, path rows, offsets) may differ from
+  /// the previous resolve. Vertices outside the cone are guaranteed
+  /// unchanged. Meaningful only while last_resolve_was_warm() is true;
+  /// consumed by lint::IncrementalLinter to re-lint only the cone.
+  [[nodiscard]] const std::vector<VertexId>& last_dirty_cone() const {
+    return last_dirty_cone_;
+  }
+
   /// Arms one fault to fire during the next resolve()/commit()
   /// (tests only; see FaultInjector). Overwrites any pending fault.
   void arm_fault(FaultInjector fault) { fault_ = fault; }
@@ -439,6 +456,9 @@ class SynthesisSession {
   /// function satisfying every G0 edge, re-used as the starting point
   /// for incremental feasibility.
   std::vector<graph::Weight> potentials_;
+  /// Dirty cone of the last warm resolve (see last_dirty_cone()).
+  std::vector<VertexId> last_dirty_cone_;
+  bool last_resolve_was_warm_ = false;
   /// Journal entries already folded into `products_`, as an absolute
   /// revision (survives the graph's journal rebases).
   std::uint64_t consumed_edits_ = 0;

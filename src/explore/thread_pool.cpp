@@ -18,7 +18,7 @@ WorkStealingPool::WorkStealingPool(int threads) {
 
 WorkStealingPool::~WorkStealingPool() {
   {
-    std::lock_guard<std::mutex> lk(job_mutex_);
+    const base::MutexLock lk(job_mutex_);
     stopping_ = true;
   }
   job_cv_.notify_all();
@@ -27,7 +27,7 @@ WorkStealingPool::~WorkStealingPool() {
 
 int WorkStealingPool::pop_own(int id) {
   Worker& w = *workers_[static_cast<std::size_t>(id)];
-  std::lock_guard<std::mutex> lk(w.mutex);
+  const base::MutexLock lk(w.mutex);
   if (w.queue.empty()) return -1;
   const int task = w.queue.front();
   w.queue.pop_front();
@@ -38,7 +38,7 @@ int WorkStealingPool::steal(int thief) {
   const int n = thread_count();
   for (int k = 1; k < n; ++k) {
     Worker& victim = *workers_[static_cast<std::size_t>((thief + k) % n)];
-    std::lock_guard<std::mutex> lk(victim.mutex);
+    const base::MutexLock lk(victim.mutex);
     if (victim.queue.empty()) continue;
     const int task = victim.queue.back();
     victim.queue.pop_back();
@@ -58,7 +58,7 @@ void WorkStealingPool::drain(int id, const std::function<void(int)>& fn) {
     if (task < 0) return;
     fn(task);
     {
-      std::lock_guard<std::mutex> lk(job_mutex_);
+      const base::MutexLock lk(job_mutex_);
       if (stolen) ++steals_;
       if (--tasks_remaining_ == 0) done_cv_.notify_all();
     }
@@ -66,16 +66,18 @@ void WorkStealingPool::drain(int id, const std::function<void(int)>& fn) {
 }
 
 void WorkStealingPool::worker_loop(int id) {
-  std::unique_lock<std::mutex> lk(job_mutex_);
+  base::UniqueMutexLock lk(job_mutex_);
   std::uint64_t seen = 0;
   for (;;) {
-    // The predicate requires a live job, not just a new generation: a
-    // worker descheduled long enough to miss a generation entirely must
-    // not wake into the gap after run() retired it (job_fn_ == nullptr)
-    // -- it sleeps through and joins the next published job instead.
-    job_cv_.wait(lk, [&] {
-      return stopping_ || (job_generation_ != seen && job_fn_ != nullptr);
-    });
+    // Wait for a live job, not just a new generation: a worker
+    // descheduled long enough to miss a generation entirely must not
+    // wake into the gap after run() retired it (job_fn_ == nullptr) --
+    // it sleeps through and joins the next published job instead.
+    // (Spelled as an explicit loop rather than a wait-with-predicate so
+    // the thread-safety analysis sees the guarded reads under the lock.)
+    while (!stopping_ && !(job_generation_ != seen && job_fn_ != nullptr)) {
+      job_cv_.wait(lk);
+    }
     if (stopping_) return;
     seen = job_generation_;
     const std::function<void(int)>* fn = job_fn_;
@@ -89,7 +91,7 @@ void WorkStealingPool::worker_loop(int id) {
 
 void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
-  std::unique_lock<std::mutex> lk(job_mutex_);
+  base::UniqueMutexLock lk(job_mutex_);
   RELSCHED_CHECK(job_fn_ == nullptr, "run() calls must not overlap");
   // Seed while holding job_mutex_: every parked worker's wait predicate
   // requires a live job_fn_, so no worker -- including one that slept
@@ -97,20 +99,21 @@ void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
   // before this job is published below.
   for (int i = 0; i < count; ++i) {
     Worker& w = *workers_[static_cast<std::size_t>(i) % workers_.size()];
-    std::lock_guard<std::mutex> qlk(w.mutex);
+    const base::MutexLock qlk(w.mutex);
     w.queue.push_back(i);
   }
   job_fn_ = &fn;
   tasks_remaining_ = count;
   ++job_generation_;
   job_cv_.notify_all();
-  done_cv_.wait(lk,
-                [&] { return tasks_remaining_ == 0 && workers_active_ == 0; });
+  while (!(tasks_remaining_ == 0 && workers_active_ == 0)) {
+    done_cv_.wait(lk);
+  }
   job_fn_ = nullptr;
 }
 
 long long WorkStealingPool::steals() const {
-  std::lock_guard<std::mutex> lk(job_mutex_);
+  const base::MutexLock lk(job_mutex_);
   return steals_;
 }
 

@@ -8,7 +8,9 @@
 // front, and a worker that drains its own deque steals from the back
 // of a victim's. Queues are mutex-guarded (the per-task cost here --
 // a warm resolve -- dwarfs any lock-free gain, and plain locking keeps
-// the pool trivially ThreadSanitizer-clean).
+// the pool trivially ThreadSanitizer-clean). All shared state carries
+// RELSCHED_GUARDED_BY annotations, so unlocked access is a compile
+// error under the clang -Wthread-safety CI leg.
 //
 // run() is synchronous and the pool is reusable: workers persist
 // across run() calls, parked on a condition variable between jobs.
@@ -18,9 +20,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace relsched::explore {
 
@@ -41,21 +46,23 @@ class WorkStealingPool {
   /// every call has returned. fn must not throw. Tasks are distributed
   /// round-robin; any imbalance is evened out by stealing. Calls must
   /// not be nested or concurrent.
-  void run(int count, const std::function<void(int)>& fn);
+  void run(int count, const std::function<void(int)>& fn)
+      RELSCHED_EXCLUDES(job_mutex_);
 
   /// Tasks executed by a worker other than the one they were assigned
   /// to, across all run() calls. Diagnostics only.
-  [[nodiscard]] long long steals() const;
+  [[nodiscard]] long long steals() const RELSCHED_EXCLUDES(job_mutex_);
 
  private:
   struct Worker {
-    std::deque<int> queue;
-    std::mutex mutex;
+    base::Mutex mutex;
+    std::deque<int> queue RELSCHED_GUARDED_BY(mutex);
   };
 
-  void worker_loop(int id);
+  void worker_loop(int id) RELSCHED_EXCLUDES(job_mutex_);
   /// Executes tasks until neither the own queue nor any victim has one.
-  void drain(int id, const std::function<void(int)>& fn);
+  void drain(int id, const std::function<void(int)>& fn)
+      RELSCHED_EXCLUDES(job_mutex_);
   /// Pops the front of worker `id`'s own queue; -1 when empty.
   int pop_own(int id);
   /// Steals from the back of some other worker's queue; -1 when all are
@@ -67,15 +74,16 @@ class WorkStealingPool {
 
   // Job hand-off: run() publishes (fn, generation) under job_mutex_;
   // workers wake on job_cv_, drain, and report back on done_cv_.
-  mutable std::mutex job_mutex_;
-  std::condition_variable job_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_fn_ = nullptr;
-  std::uint64_t job_generation_ = 0;
-  int tasks_remaining_ = 0;
-  int workers_active_ = 0;
-  long long steals_ = 0;
-  bool stopping_ = false;
+  mutable base::Mutex job_mutex_;
+  std::condition_variable_any job_cv_;
+  std::condition_variable_any done_cv_;
+  const std::function<void(int)>* job_fn_ RELSCHED_GUARDED_BY(job_mutex_) =
+      nullptr;
+  std::uint64_t job_generation_ RELSCHED_GUARDED_BY(job_mutex_) = 0;
+  int tasks_remaining_ RELSCHED_GUARDED_BY(job_mutex_) = 0;
+  int workers_active_ RELSCHED_GUARDED_BY(job_mutex_) = 0;
+  long long steals_ RELSCHED_GUARDED_BY(job_mutex_) = 0;
+  bool stopping_ RELSCHED_GUARDED_BY(job_mutex_) = false;
 };
 
 }  // namespace relsched::explore

@@ -1,0 +1,37 @@
+// Single-edge rule evaluators shared between lint::analyze() and
+// lint::IncrementalLinter. One implementation per rule, so the
+// cone-scoped incremental path cannot drift from the full pass (their
+// equality is property-tested in tests/property_lint.cpp).
+//
+// Internal to src/lint; not installed, not part of the lint API.
+#pragma once
+
+#include "anchors/anchor_analysis.hpp"
+#include "cg/constraint_graph.hpp"
+#include "lint/lint.hpp"
+
+namespace relsched::lint::detail {
+
+/// Is removing constraint edge `eid` provably schedule-preserving?
+/// On true, *implied is the strongest implying-path weight. See the
+/// soundness argument at the definition (lint.cpp).
+[[nodiscard]] bool edge_redundant(const cg::ConstraintGraph& g,
+                                  const anchors::AnchorAnalysis& analysis,
+                                  EdgeId eid, graph::Weight* implied);
+
+/// Never-binding verdict for backward edge `eid` (precondition:
+/// well-posed graph). On true, *separation is the start-time
+/// separation bound shown in the finding.
+[[nodiscard]] bool never_binding(const cg::ConstraintGraph& g,
+                                 const anchors::AnchorAnalysis& analysis,
+                                 EdgeId eid, graph::Weight* separation);
+
+[[nodiscard]] Finding redundant_finding(const cg::ConstraintGraph& g,
+                                        const RedundantEdge& r);
+[[nodiscard]] Finding never_binding_finding(const cg::ConstraintGraph& g,
+                                            EdgeId eid,
+                                            graph::Weight separation);
+[[nodiscard]] Finding dead_anchor_finding(const cg::ConstraintGraph& g,
+                                          VertexId anchor);
+
+}  // namespace relsched::lint::detail
