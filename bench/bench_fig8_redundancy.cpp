@@ -16,9 +16,9 @@ using namespace relsched;
 namespace {
 
 std::string set_names(const cg::ConstraintGraph& g,
-                      const anchors::AnchorSet& set) {
+                      const anchors::AnchorSetView& set) {
   std::vector<std::string> names;
-  for (VertexId a : set) names.push_back(g.vertex(a).name);
+  for (VertexId a : set) names.emplace_back(g.vertex(a).name);
   return cat("{", join(names, ","), "}");
 }
 

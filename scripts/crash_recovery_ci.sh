@@ -1,15 +1,21 @@
 #!/bin/sh
 # Crash-recovery soak for the synthesis driver.
 #
-# Protocol: record a reference run of relsched_cli on a generated
-# constraint graph (uninterrupted, checkpointing enabled), then
-# repeatedly start the same run, SIGKILL it at a randomized point
-# mid-flight, and finish the job with --resume. The resumed output must
-# be bit-identical to the uninterrupted reference -- anything else
-# (lost edits, a replayed-but-stale verdict, a half-applied WAL record)
-# is a hard failure. RELSCHED_CERTIFY=1 keeps the independent schedule
-# certifier live across every recovery, so a recovered session that
-# "works" but produces an invalid schedule also fails.
+# Protocol: record a reference run of relsched_cli on a constraint
+# graph (uninterrupted, checkpointing enabled), then repeatedly start
+# the same run, SIGKILL it at a randomized point mid-flight, and finish
+# the job with --resume. The resumed output must be bit-identical to
+# the uninterrupted reference -- anything else (lost edits, a
+# replayed-but-stale verdict, a half-applied WAL record) is a hard
+# failure. RELSCHED_CERTIFY=1 keeps the independent schedule certifier
+# live across every recovery, so a recovered session that "works" but
+# produces an invalid schedule also fails.
+#
+# Two graph shapes are soaked: a synthetic wide chain with periodic
+# timing constraints (built inline), and a committed seed-stamped
+# design from the generated corpus (tests/data/gen_s33_v1000.cg --
+# dense min/max webs over parallel blocks, exercising the v2 snapshot's
+# anchor bitset rows through kill/recover).
 #
 # Usage: scripts/crash_recovery_ci.sh [build_dir] [iterations]
 set -u
@@ -17,6 +23,7 @@ set -u
 BUILD_DIR="${1:-build}"
 ITERATIONS="${2:-12}"
 CLI="$BUILD_DIR/src/driver/relsched_cli"
+REPO_DIR="$(dirname "$0")/.."
 
 if [ ! -x "$CLI" ]; then
   echo "crash_recovery_ci: $CLI not built" >&2
@@ -34,7 +41,7 @@ export RELSCHED_CHECKPOINT_SYNC=always
 # A wide chain graph with periodic timing constraints: big enough that
 # parse + resolve + journaling spans a killable window, small enough to
 # finish in well under a second when left alone.
-GRAPH="$WORK/soak.cg"
+CHAIN_GRAPH="$WORK/soak_chain.cg"
 awk 'BEGIN {
   n = 2500
   print "graph crash_soak"
@@ -45,66 +52,89 @@ awk 'BEGIN {
   # Max windows start past v0: a window containing the source anchor
   # would make the graph ill-posed by construction.
   for (i = 200; i < n; i += 100) print "max v" (i - 100), "v" i, 160
-}' > "$GRAPH"
+}' > "$CHAIN_GRAPH"
 
-run_cli() {
-  # $1 = checkpoint dir, remaining args pass through.
-  dir="$1"; shift
-  "$CLI" --graph --schedule --checkpoint-dir "$dir" "$@" "$GRAPH"
+# soak GRAPH LABEL ITERS: reference run plus ITERS kill/recover cycles.
+soak() {
+  graph="$1"
+  label="$2"
+  iters="$3"
+
+  run_cli() {
+    # $1 = checkpoint dir, remaining args pass through.
+    dir="$1"; shift
+    "$CLI" --graph --schedule --checkpoint-dir "$dir" "$@" "$graph"
+  }
+
+  echo "== $label: reference run (uninterrupted) =="
+  run_cli "$WORK/${label}_ref_ckpt" > "$WORK/${label}_reference.out"
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "crash_recovery_ci: $label reference run failed (exit $status)" >&2
+    exit 1
+  fi
+
+  i=0
+  while [ "$i" -lt "$iters" ]; do
+    i=$((i + 1))
+    seed=$(( (seed * 1103515245 + 12345) % 2147483648 ))
+    # 0..59 ms in 3 ms steps, as a fractional-seconds string for sleep.
+    ms=$(( (seed / 65536) % 20 * 3 ))
+    ckpt="$WORK/${label}_ckpt_$i"
+    rm -rf "$ckpt"
+
+    run_cli "$ckpt" > "$WORK/victim_$i.out" 2> "$WORK/victim_$i.err" &
+    victim=$!
+    sleep "0.0$(printf '%02d' "$ms")"
+    if kill -KILL "$victim" 2> /dev/null; then
+      killed=$((killed + 1))
+    fi
+    wait "$victim" 2> /dev/null
+
+    # Recovery: resume from whatever survived the kill. A kill that
+    # landed before the first checkpoint leaves no snapshot -- the
+    # driver then runs fresh, which must still match the reference.
+    if [ -e "$ckpt/snapshot.bin" ] || [ -e "$ckpt/wal.bin" ]; then
+      run_cli "$ckpt" --resume > "$WORK/resumed_$i.out"
+    else
+      run_cli "$ckpt" > "$WORK/resumed_$i.out"
+    fi
+    status=$?
+    if [ "$status" -ne 0 ]; then
+      echo "FAIL: $label iteration $i: resume exited $status" \
+           "(killed at ${ms}ms)" >&2
+      cat "$WORK/victim_$i.err" >&2
+      exit 1
+    fi
+    if ! cmp -s "$WORK/${label}_reference.out" "$WORK/resumed_$i.out"; then
+      echo "FAIL: $label iteration $i: resumed output differs from" \
+           "reference (killed at ${ms}ms)" >&2
+      diff "$WORK/${label}_reference.out" "$WORK/resumed_$i.out" \
+        | head -20 >&2
+      exit 1
+    fi
+    echo "$label iteration $i: kill at ${ms}ms -> resumed bit-identical"
+  done
 }
-
-echo "== reference run (uninterrupted) =="
-run_cli "$WORK/ref_ckpt" > "$WORK/reference.out"
-status=$?
-if [ "$status" -ne 0 ]; then
-  echo "crash_recovery_ci: reference run failed (exit $status)" >&2
-  exit 1
-fi
 
 # Deterministic-per-run randomized kill points: derive delays from the
 # PID so reruns explore different offsets without needing $RANDOM
 # (absent in POSIX sh).
 seed=$$
 killed=0
-i=0
-while [ "$i" -lt "$ITERATIONS" ]; do
-  i=$((i + 1))
-  seed=$(( (seed * 1103515245 + 12345) % 2147483648 ))
-  # 0..59 ms in 3 ms steps, as a fractional-seconds string for sleep.
-  ms=$(( (seed / 65536) % 20 * 3 ))
-  ckpt="$WORK/ckpt_$i"
-  rm -rf "$ckpt"
+total=0
 
-  run_cli "$ckpt" > "$WORK/victim_$i.out" 2> "$WORK/victim_$i.err" &
-  victim=$!
-  sleep "0.0$(printf '%02d' "$ms")"
-  if kill -KILL "$victim" 2> /dev/null; then
-    killed=$((killed + 1))
-  fi
-  wait "$victim" 2> /dev/null
+soak "$CHAIN_GRAPH" chain "$ITERATIONS"
+total=$((total + ITERATIONS))
 
-  # Recovery: resume from whatever survived the kill. A kill that
-  # landed before the first checkpoint leaves no snapshot -- the driver
-  # then runs fresh, which must still match the reference.
-  if [ -e "$ckpt/snapshot.bin" ] || [ -e "$ckpt/wal.bin" ]; then
-    run_cli "$ckpt" --resume > "$WORK/resumed_$i.out"
-  else
-    run_cli "$ckpt" > "$WORK/resumed_$i.out"
-  fi
-  status=$?
-  if [ "$status" -ne 0 ]; then
-    echo "FAIL: iteration $i: resume exited $status (killed at ${ms}ms)" >&2
-    cat "$WORK/victim_$i.err" >&2
-    exit 1
-  fi
-  if ! cmp -s "$WORK/reference.out" "$WORK/resumed_$i.out"; then
-    echo "FAIL: iteration $i: resumed output differs from reference" \
-         "(killed at ${ms}ms)" >&2
-    diff "$WORK/reference.out" "$WORK/resumed_$i.out" | head -20 >&2
-    exit 1
-  fi
-  echo "iteration $i: kill at ${ms}ms -> resumed bit-identical"
-done
+GEN_FIXTURE="$REPO_DIR/tests/data/gen_s33_v1000.cg"
+if [ -f "$GEN_FIXTURE" ]; then
+  GEN_ITERS=$(( (ITERATIONS + 1) / 2 ))
+  soak "$GEN_FIXTURE" gen "$GEN_ITERS"
+  total=$((total + GEN_ITERS))
+else
+  echo "crash_recovery_ci: $GEN_FIXTURE missing, skipping corpus soak" >&2
+fi
 
-echo "== crash recovery soak passed: $ITERATIONS iterations," \
+echo "== crash recovery soak passed: $total iterations," \
      "$killed mid-flight kills, all resumes bit-identical =="

@@ -1,38 +1,54 @@
 #include "anchors/anchor_analysis.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 #include "base/error.hpp"
 
 namespace relsched::anchors {
 
-std::vector<AnchorSet> find_anchor_sets(const cg::ConstraintGraph& g) {
+std::ostream& operator<<(std::ostream& os, const AnchorSetView& view) {
+  os << '{';
+  bool first = true;
+  for (VertexId a : view) {
+    if (!first) os << ", ";
+    os << a;
+    first = false;
+  }
+  return os << '}';
+}
+
+AnchorSets find_anchor_sets(const cg::ConstraintGraph& g) {
   const graph::Digraph forward = g.project_forward();
   const auto topo = graph::topological_order(forward);
   RELSCHED_CHECK(topo.has_value(), "find_anchor_sets requires an acyclic Gf");
 
-  std::vector<AnchorSet> sets(static_cast<std::size_t>(g.vertex_count()));
+  AnchorSets sets;
+  sets.domain.anchors = g.anchors();
+  sets.domain.index.assign(static_cast<std::size_t>(g.vertex_count()), -1);
+  for (std::size_t i = 0; i < sets.domain.anchors.size(); ++i) {
+    sets.domain.index[sets.domain.anchors[i].index()] = static_cast<int>(i);
+  }
+  sets.matrix.reset(g.vertex_count(), sets.domain.count());
   // Dataflow in topological order: A(v) is the union over forward
   // in-edges (u, v) of A(u), plus {u} when the edge carries the
   // unbounded weight delta(u). Equivalent to the paper's counter-based
-  // findAnchorSet traversal.
+  // findAnchorSet traversal, one word-parallel row merge per edge.
   for (int node : *topo) {
     const VertexId v(node);
     for (EdgeId eid : g.in_edges(v)) {
       const cg::Edge& e = g.edge(eid);
       if (!cg::is_forward(e.kind)) continue;
-      sets[v.index()].merge(sets[e.from.index()]);
-      if (g.weight(eid).unbounded) sets[v.index()].insert(e.from);
+      sets.matrix.merge_row(v.index(), e.from.index());
+      if (g.weight(eid).unbounded) {
+        sets.matrix.set(v.index(), sets.domain.index[e.from.index()]);
+      }
     }
   }
   return sets;
 }
 
-bool AnchorAnalysis::is_anchor(VertexId v) const {
-  return anchor_index_[v.index()] >= 0;
-}
-
-const AnchorSet& AnchorAnalysis::set(VertexId v, AnchorMode mode) const {
+AnchorSetView AnchorAnalysis::set(VertexId v, AnchorMode mode) const {
   switch (mode) {
     case AnchorMode::kFull:
       return anchor_set(v);
@@ -42,11 +58,11 @@ const AnchorSet& AnchorAnalysis::set(VertexId v, AnchorMode mode) const {
       return irredundant_set(v);
   }
   RELSCHED_CHECK(false, "unknown anchor mode");
-  return anchor_sets_.front();  // unreachable
+  return anchor_set(v);  // unreachable
 }
 
 graph::Weight AnchorAnalysis::length(VertexId anchor, VertexId v) const {
-  const int pos = anchor_index_[anchor.index()];
+  const int pos = sets_.domain.index[anchor.index()];
   RELSCHED_CHECK(pos >= 0, "length() queried for a non-anchor");
   if (length_from_.empty()) return graph::kNegInf;
   return length_from_[static_cast<std::size_t>(pos)].read()[v.index()];
@@ -54,7 +70,7 @@ graph::Weight AnchorAnalysis::length(VertexId anchor, VertexId v) const {
 
 const std::vector<graph::Weight>& AnchorAnalysis::length_row(
     VertexId anchor) const {
-  const int pos = anchor_index_[anchor.index()];
+  const int pos = sets_.domain.index[anchor.index()];
   RELSCHED_CHECK(pos >= 0 && !length_from_.empty(),
                  "length_row() queried for a non-anchor");
   return length_from_[static_cast<std::size_t>(pos)].read();
@@ -62,7 +78,7 @@ const std::vector<graph::Weight>& AnchorAnalysis::length_row(
 
 void AnchorAnalysis::corrupt_length_row_for_testing(VertexId anchor,
                                                     int keep_prefix) {
-  const int pos = anchor_index_[anchor.index()];
+  const int pos = sets_.domain.index[anchor.index()];
   if (pos < 0 || length_from_.empty()) return;
   std::vector<graph::Weight>& row =
       length_from_[static_cast<std::size_t>(pos)].write();
@@ -80,9 +96,12 @@ int AnchorAnalysis::rows_shared() const {
 }
 
 std::size_t AnchorAnalysis::total_anchor_set_size(AnchorMode mode) const {
+  const base::BitMatrix* m = &sets_.matrix;
+  if (mode == AnchorMode::kRelevant) m = &relevant_;
+  if (mode == AnchorMode::kIrredundant) m = &irredundant_;
   std::size_t total = 0;
-  for (std::size_t v = 0; v < anchor_sets_.size(); ++v) {
-    total += set(VertexId(static_cast<int>(v)), mode).size();
+  for (int r = 0; r < m->rows(); ++r) {
+    total += static_cast<std::size_t>(m->row_popcount(r));
   }
   return total;
 }
@@ -91,9 +110,9 @@ namespace {
 
 /// relevantAnchor (paper §IV-D): from `anchor`, follow its unbounded
 /// out-edges once, then propagate along bounded-weight edges of the full
-/// graph, adding `anchor` to R(v) of every vertex visited.
+/// graph, setting `anchor`'s column in R(v) of every vertex visited.
 void propagate_relevant(const cg::ConstraintGraph& g, VertexId anchor,
-                        std::vector<AnchorSet>& relevant) {
+                        int anchor_col, base::BitMatrix& relevant) {
   std::vector<bool> traversed(static_cast<std::size_t>(g.vertex_count()), false);
   std::vector<VertexId> stack;
 
@@ -108,7 +127,7 @@ void propagate_relevant(const cg::ConstraintGraph& g, VertexId anchor,
     stack.pop_back();
     if (traversed[v.index()]) continue;
     traversed[v.index()] = true;
-    relevant[v.index()].insert(anchor);
+    relevant.set(v.index(), anchor_col);
     // Propagate only across bounded-weight edges: a defining path has
     // exactly one unbounded edge (the first).
     for (EdgeId eid : g.out_edges(v)) {
@@ -123,20 +142,15 @@ void propagate_relevant(const cg::ConstraintGraph& g, VertexId anchor,
 AnchorAnalysis AnchorAnalysis::compute_anchor_sets_only(
     const cg::ConstraintGraph& g) {
   AnchorAnalysis a;
-  a.anchors_ = g.anchors();
-  a.anchor_index_.assign(static_cast<std::size_t>(g.vertex_count()), -1);
-  for (std::size_t i = 0; i < a.anchors_.size(); ++i) {
-    a.anchor_index_[a.anchors_[i].index()] = static_cast<int>(i);
-  }
-  a.anchor_sets_ = find_anchor_sets(g);
-  a.relevant_.assign(static_cast<std::size_t>(g.vertex_count()), AnchorSet{});
-  a.irredundant_.assign(static_cast<std::size_t>(g.vertex_count()), AnchorSet{});
+  a.sets_ = find_anchor_sets(g);
+  a.relevant_.reset(g.vertex_count(), a.sets_.domain.count());
+  a.irredundant_.reset(g.vertex_count(), a.sets_.domain.count());
   return a;
 }
 
 graph::Weight AnchorAnalysis::maximal_defining_path_length(VertexId anchor,
                                                            VertexId v) const {
-  const int pos = anchor_index_[anchor.index()];
+  const int pos = sets_.domain.index[anchor.index()];
   RELSCHED_CHECK(pos >= 0, "defining path queried for a non-anchor");
   if (defining_from_.empty()) return graph::kNegInf;
   return defining_from_[static_cast<std::size_t>(pos)].read()[v.index()];
@@ -192,15 +206,15 @@ std::vector<graph::Weight> defining_path_lengths(const cg::ConstraintGraph& g,
 /// matters: a backward edge leaving the cone (whose tail's anchor set
 /// does not carry `anchor`) would otherwise inflate the value beyond
 /// the offset the schedule actually realizes.
-std::vector<graph::Weight> cone_longest_paths(
-    const cg::ConstraintGraph& g, VertexId anchor,
-    const std::vector<AnchorSet>& anchor_sets) {
+std::vector<graph::Weight> cone_longest_paths(const cg::ConstraintGraph& g,
+                                              VertexId anchor,
+                                              const AnchorSets& anchor_sets) {
   const int n = g.vertex_count();
   std::vector<int> cone_index(static_cast<std::size_t>(n), -1);
   std::vector<VertexId> cone_vertices;
   for (int vi = 0; vi < n; ++vi) {
     const VertexId v(vi);
-    if (v == anchor || anchor_sets[v.index()].contains(anchor)) {
+    if (v == anchor || anchor_sets.view(v).contains(anchor)) {
       cone_index[v.index()] = static_cast<int>(cone_vertices.size());
       cone_vertices.push_back(v);
     }
@@ -229,31 +243,38 @@ std::vector<graph::Weight> cone_longest_paths(
 /// endpoint is reachable from a seed, i.e. affected), so only affected
 /// entries are re-derived, with unaffected in-neighbours acting as
 /// fixed boundary values. Once a path enters the affected cone it
-/// stays inside (the cone is closed under out-edges), so the
-/// relaxation converges in at most |affected| passes.
+/// stays inside (the cone is closed under out-edges), so sweeping the
+/// affected vertices in topological order converges in one pass per
+/// backward-edge hop on the longest defining path -- never more than
+/// |affected| passes. Only the affected sublist is walked: the cost is
+/// proportional to the dirty cone, not to |V| or |E|.
 void patch_defining_path_lengths(const cg::ConstraintGraph& g, VertexId anchor,
-                                 const std::vector<bool>& affected,
+                                 const UpdatePlan& plan,
                                  std::vector<graph::Weight>& dist) {
-  for (std::size_t vi = 0; vi < dist.size(); ++vi) {
-    if (affected[vi]) dist[vi] = graph::kNegInf;
-  }
+  for (VertexId v : plan.affected_topo) dist[v.index()] = graph::kNegInf;
   for (EdgeId eid : g.out_edges(anchor)) {
     if (!g.weight(eid).unbounded) continue;
     const VertexId head = g.edge(eid).to;
-    if (affected[head.index()]) {
+    if (plan.affected->contains(head)) {
       dist[head.index()] = std::max<graph::Weight>(dist[head.index()], 0);
     }
   }
-  for (int pass = 0; pass < g.vertex_count(); ++pass) {
+  const int max_passes = static_cast<int>(plan.affected_topo.size()) + 1;
+  for (int pass = 0; pass < max_passes; ++pass) {
     bool changed = false;
-    for (const cg::Edge& e : g.edges()) {
-      if (e.from == anchor || !affected[e.to.index()]) continue;
-      const cg::EdgeWeight w = g.weight(e.id);
-      if (w.unbounded) continue;
-      const graph::Weight candidate =
-          graph::saturating_add(dist[e.from.index()], w.value);
-      if (candidate > dist[e.to.index()]) {
-        dist[e.to.index()] = candidate;
+    for (VertexId v : plan.affected_topo) {
+      graph::Weight best = dist[v.index()];
+      for (EdgeId eid : g.in_edges(v)) {
+        const cg::Edge& e = g.edge(eid);
+        if (e.from == anchor) continue;
+        const cg::EdgeWeight w = g.weight(eid);
+        if (w.unbounded) continue;
+        const graph::Weight candidate =
+            graph::saturating_add(dist[e.from.index()], w.value);
+        if (candidate > best) best = candidate;
+      }
+      if (best > dist[v.index()]) {
+        dist[v.index()] = best;
         changed = true;
       }
     }
@@ -268,27 +289,30 @@ void patch_defining_path_lengths(const cg::ConstraintGraph& g, VertexId anchor,
 /// vertices is re-evaluated against them, and unaffected membership is
 /// unchanged by construction.
 void patch_cone_longest_paths(const cg::ConstraintGraph& g, VertexId anchor,
-                              const std::vector<AnchorSet>& anchor_sets,
-                              const std::vector<bool>& affected,
+                              const AnchorSets& anchor_sets,
+                              const UpdatePlan& plan,
                               std::vector<graph::Weight>& dist) {
   const auto in_cone = [&](VertexId v) {
-    return v == anchor || anchor_sets[v.index()].contains(anchor);
+    return v == anchor || anchor_sets.view(v).contains(anchor);
   };
-  for (std::size_t vi = 0; vi < dist.size(); ++vi) {
-    if (affected[vi]) dist[vi] = graph::kNegInf;
-  }
-  if (affected[anchor.index()]) dist[anchor.index()] = 0;
+  for (VertexId v : plan.affected_topo) dist[v.index()] = graph::kNegInf;
+  if (plan.affected->contains(anchor)) dist[anchor.index()] = 0;
+  const int max_passes = static_cast<int>(plan.affected_topo.size()) + 1;
   bool changed = true;
-  for (int pass = 0; pass <= g.vertex_count() && changed; ++pass) {
+  for (int pass = 0; pass <= max_passes && changed; ++pass) {
     changed = false;
-    for (const cg::Edge& e : g.edges()) {
-      if (!affected[e.to.index()] || !in_cone(e.to) || !in_cone(e.from)) {
-        continue;
+    for (VertexId v : plan.affected_topo) {
+      if (!in_cone(v)) continue;
+      graph::Weight best = dist[v.index()];
+      for (EdgeId eid : g.in_edges(v)) {
+        const cg::Edge& e = g.edge(eid);
+        if (!in_cone(e.from)) continue;
+        const graph::Weight candidate =
+            graph::saturating_add(dist[e.from.index()], g.weight(eid).value);
+        if (candidate > best) best = candidate;
       }
-      const graph::Weight candidate =
-          graph::saturating_add(dist[e.from.index()], g.weight(e.id).value);
-      if (candidate > dist[e.to.index()]) {
-        dist[e.to.index()] = candidate;
+      if (best > dist[v.index()]) {
+        dist[v.index()] = best;
         changed = true;
       }
     }
@@ -302,14 +326,13 @@ void patch_cone_longest_paths(const cg::ConstraintGraph& g, VertexId anchor,
 /// some relevant anchor r in R(v) with x in A(r) satisfies
 ///   length(x, v) <= length(x, r) + length(r, v).
 void AnchorAnalysis::compute_irredundant_at(VertexId v) {
-  const AnchorSet& rel = relevant_[v.index()];
-  AnchorSet& irr = irredundant_[v.index()];
-  irr.clear();
+  const AnchorSetView rel = relevant_set(v);
+  irredundant_.clear_row(v.index());
   for (VertexId x : rel) {
     bool redundant = false;
     for (VertexId r : rel) {
       if (r == x) continue;
-      if (!anchor_sets_[r.index()].contains(x)) continue;
+      if (!anchor_set(r).contains(x)) continue;
       if (length(x, r) == graph::kNegInf || length(r, v) == graph::kNegInf) {
         continue;
       }
@@ -318,31 +341,34 @@ void AnchorAnalysis::compute_irredundant_at(VertexId v) {
         break;
       }
     }
-    if (!redundant) irr.insert(x);
+    if (!redundant) {
+      irredundant_.set(v.index(), sets_.domain.index[x.index()]);
+    }
   }
 }
 
 AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
   AnchorAnalysis a = compute_anchor_sets_only(g);
+  const std::vector<VertexId>& anchors = a.sets_.domain.anchors;
 
   // R(v): relevant anchors over the full graph.
-  for (VertexId anchor : a.anchors_) {
-    propagate_relevant(g, anchor, a.relevant_);
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    propagate_relevant(g, anchors[i], static_cast<int>(i), a.relevant_);
   }
 
   // Maximal defining path lengths (Definition 10).
-  a.defining_from_.reserve(a.anchors_.size());
-  for (VertexId anchor : a.anchors_) {
+  a.defining_from_.reserve(anchors.size());
+  for (VertexId anchor : anchors) {
     a.defining_from_.emplace_back(defining_path_lengths(g, anchor));
   }
 
   // Cone-restricted longest paths (see cone_longest_paths): equals the
   // minimum offset sigma_a^min(v) by Theorem 3.
-  a.length_from_.reserve(a.anchors_.size());
-  for (VertexId anchor : a.anchors_) {
-    a.length_from_.emplace_back(cone_longest_paths(g, anchor, a.anchor_sets_));
+  a.length_from_.reserve(anchors.size());
+  for (VertexId anchor : anchors) {
+    a.length_from_.emplace_back(cone_longest_paths(g, anchor, a.sets_));
   }
-  a.rows_recomputed_ = static_cast<int>(a.anchors_.size());
+  a.rows_recomputed_ = static_cast<int>(anchors.size());
 
   for (int vi = 0; vi < g.vertex_count(); ++vi) {
     a.compute_irredundant_at(VertexId(vi));
@@ -352,39 +378,38 @@ AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
 
 void AnchorAnalysis::update(const cg::ConstraintGraph& g,
                             const UpdatePlan& plan) {
-  RELSCHED_CHECK(plan.topo != nullptr, "update() needs a topological order");
+  RELSCHED_CHECK(plan.affected != nullptr, "update() needs the affected mask");
   const int n = g.vertex_count();
-  RELSCHED_CHECK(static_cast<int>(plan.affected.size()) == n &&
-                     static_cast<int>(anchor_sets_.size()) == n,
-                 "update() vertex sets out of sync");
+  RELSCHED_CHECK(sets_.matrix.rows() == n, "update() vertex sets out of sync");
   // The anchor population is fixed: structural edits (vertex additions,
   // bounded<->unbounded flips) force a cold compute() upstream.
-  const std::size_t num_anchors = anchors_.size();
+  const std::vector<VertexId>& anchors = sets_.domain.anchors;
+  const std::size_t num_anchors = anchors.size();
+  const std::size_t words = sets_.domain.word_count();
   rows_recomputed_ = 0;
 
   // A(v): only a changed Gf edge set can change anchor sets, and every
   // changed value lies in the affected cone (any new/dead forward path
   // through an edit reaches v only if v is reachable from a seed).
   // Re-derive affected vertices in topological order over the edited
-  // graph; unaffected in-neighbours contribute their kept sets. The
+  // graph; unaffected in-neighbours contribute their kept rows. The
   // row-reuse criterion below needs the *pre-edit* sets at the seeds,
-  // so save those first.
-  std::vector<AnchorSet> prev_seed_sets;
-  prev_seed_sets.reserve(plan.seeds.size());
-  for (VertexId s : plan.seeds) {
-    prev_seed_sets.push_back(anchor_sets_[s.index()]);
+  // so save those rows first.
+  std::vector<std::uint64_t> prev_seed_rows(plan.seeds.size() * words);
+  for (std::size_t si = 0; si < plan.seeds.size(); ++si) {
+    const std::uint64_t* row = sets_.matrix.row(plan.seeds[si].index());
+    std::copy(row, row + words, prev_seed_rows.data() + si * words);
   }
   if (plan.forward_changed) {
-    for (int node : *plan.topo) {
-      const VertexId v(node);
-      if (!plan.affected[v.index()]) continue;
-      AnchorSet& set = anchor_sets_[v.index()];
-      set.clear();
+    for (VertexId v : plan.affected_topo) {
+      sets_.matrix.clear_row(v.index());
       for (EdgeId eid : g.in_edges(v)) {
         const cg::Edge& e = g.edge(eid);
         if (!cg::is_forward(e.kind)) continue;
-        set.merge(anchor_sets_[e.from.index()]);
-        if (g.weight(eid).unbounded) set.insert(e.from);
+        sets_.matrix.merge_row(v.index(), e.from.index());
+        if (g.weight(eid).unbounded) {
+          sets_.matrix.set(v.index(), sets_.domain.index[e.from.index()]);
+        }
       }
     }
   }
@@ -397,17 +422,23 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
   // itself being affected covers cone growth through x (s upstream of
   // x), and s == x covers edits incident to the anchor. Evaluated
   // before any row is overwritten.
+  const auto seed_bit = [&](std::size_t si, int col) {
+    return ((prev_seed_rows[si * words +
+                            static_cast<std::size_t>(col) / base::kBitsPerWord] >>
+             (static_cast<unsigned>(col) % base::kBitsPerWord)) &
+            1u) != 0;
+  };
   std::vector<bool> touched(num_anchors, false);
   for (std::size_t i = 0; i < num_anchors; ++i) {
-    const VertexId x = anchors_[i];
-    if (plan.affected[x.index()]) {
+    const VertexId x = anchors[i];
+    if (plan.affected->contains(x)) {
       touched[i] = true;
       continue;
     }
     for (std::size_t si = 0; si < plan.seeds.size(); ++si) {
       const VertexId s = plan.seeds[si];
-      if (s == x || anchor_sets_[s.index()].contains(x) ||
-          prev_seed_sets[si].contains(x) ||
+      if (s == x || anchor_set(s).contains(x) ||
+          seed_bit(si, static_cast<int>(i)) ||
           defining_from_[i].read()[s.index()] != graph::kNegInf ||
           length_from_[i].read()[s.index()] != graph::kNegInf) {
         touched[i] = true;
@@ -420,9 +451,8 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
   // untouched rows stay physically shared.
   for (std::size_t i = 0; i < num_anchors; ++i) {
     if (!touched[i]) continue;
-    patch_defining_path_lengths(g, anchors_[i], plan.affected,
-                                defining_from_[i].write());
-    patch_cone_longest_paths(g, anchors_[i], anchor_sets_, plan.affected,
+    patch_defining_path_lengths(g, anchors[i], plan, defining_from_[i].write());
+    patch_cone_longest_paths(g, anchors[i], sets_, plan,
                              length_from_[i].write());
     ++rows_recomputed_;
   }
@@ -432,14 +462,13 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
   // defining_path_lengths traverse the same bounded-edge region). Patch
   // membership from the fresh rows; only touched anchors' membership at
   // affected vertices can differ.
-  for (int vi = 0; vi < n; ++vi) {
-    if (!plan.affected[vi]) continue;
+  for (VertexId v : plan.affected_topo) {
     for (std::size_t i = 0; i < num_anchors; ++i) {
       if (!touched[i]) continue;
-      if (defining_from_[i].read()[vi] != graph::kNegInf) {
-        relevant_[vi].insert(anchors_[i]);
+      if (defining_from_[i].read()[v.index()] != graph::kNegInf) {
+        relevant_.set(v.index(), static_cast<int>(i));
       } else {
-        relevant_[vi].erase(anchors_[i]);
+        relevant_.clear(v.index(), static_cast<int>(i));
       }
     }
   }
@@ -447,19 +476,31 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
   // IR(v): the redundancy test at v reads length(x, v), length(x, r)
   // and length(r, v) for x, r in R(v). Beyond affected vertices, the
   // via-anchor term length(x, r) can flip the verdict at an *unaffected*
-  // v when the anchor-vertex r itself is affected -- recompute those too.
-  for (int vi = 0; vi < n; ++vi) {
-    const VertexId v(vi);
-    bool recompute = plan.affected[vi];
-    if (!recompute) {
-      for (VertexId r : relevant_[vi]) {
-        if (plan.affected[r.index()]) {
-          recompute = true;
-          break;
-        }
-      }
+  // v when the anchor-vertex r itself is affected -- recompute those
+  // too. Build a column mask of affected anchors first: when it is
+  // empty (the common warm case) the full-vertex scan is skipped
+  // entirely, otherwise one word-AND per unaffected vertex decides.
+  for (VertexId v : plan.affected_topo) compute_irredundant_at(v);
+  std::vector<std::uint64_t> affected_anchor_mask(words, 0);
+  bool any_affected_anchor = false;
+  for (std::size_t i = 0; i < num_anchors; ++i) {
+    if (plan.affected->contains(anchors[i])) {
+      affected_anchor_mask[i / base::kBitsPerWord] |=
+          std::uint64_t{1} << (i % base::kBitsPerWord);
+      any_affected_anchor = true;
     }
-    if (recompute) compute_irredundant_at(v);
+  }
+  if (any_affected_anchor) {
+    for (int vi = 0; vi < n; ++vi) {
+      const VertexId v(vi);
+      if (plan.affected->contains(v)) continue;  // already recomputed
+      const std::uint64_t* rel = relevant_.row(vi);
+      bool hit = false;
+      for (std::size_t w = 0; w < words && !hit; ++w) {
+        hit = (rel[w] & affected_anchor_mask[w]) != 0;
+      }
+      if (hit) compute_irredundant_at(v);
+    }
   }
 }
 

@@ -13,13 +13,26 @@
 //
 // Theorem 6: IR(v) is the minimum set of anchors needed to compute the
 // start time T(v) under well-posed constraints and minimum offsets.
+//
+// Storage is word-parallel: the three per-vertex anchor sets live in
+// base::BitMatrix slabs (vertices as rows, anchors as columns over a
+// shared AnchorDomain). Set union / subset / equality are a few word
+// operations per vertex, and there is no per-vertex heap node --
+// essential at 10^5 vertices, where the former sorted-vector SmallSets
+// dominated both warm-update time and memory traffic. AnchorSetView is
+// the non-owning read handle; it iterates members in ascending VertexId
+// order, exactly like the SmallSet representation it replaced.
 #pragma once
 
+#include <iosfwd>
+#include <span>
 #include <vector>
 
+#include "base/bitset.hpp"
 #include "base/cow.hpp"
 #include "base/ids.hpp"
 #include "base/small_set.hpp"
+#include "base/vertex_mask.hpp"
 #include "cg/constraint_graph.hpp"
 #include "graph/algorithms.hpp"
 
@@ -29,29 +42,178 @@ struct AnchorAnalysisAccess;  // checkpoint serialization (persist layer)
 
 namespace relsched::anchors {
 
+/// Materialized anchor set (sorted vector). Still the construction /
+/// expected-value type in tests and lint; the analysis itself stores
+/// bit rows and hands out AnchorSetView.
 using AnchorSet = SmallSet<VertexId>;
 
 /// Which anchor sets to use when computing offsets / start times.
 enum class AnchorMode { kFull, kRelevant, kIrredundant };
 
+/// The anchor population: column c of every anchor bit-row is
+/// `anchors[c]`; `index[v]` maps a vertex to its column (or -1).
+/// Anchors are listed in ascending VertexId order, so ascending-column
+/// iteration yields ascending ids.
+struct AnchorDomain {
+  std::vector<VertexId> anchors;
+  std::vector<int> index;  // vertex -> column, or -1
+
+  [[nodiscard]] int count() const { return static_cast<int>(anchors.size()); }
+  [[nodiscard]] std::size_t word_count() const {
+    return (anchors.size() + base::kBitsPerWord - 1) / base::kBitsPerWord;
+  }
+};
+
+/// Non-owning view of one anchor set bit-row. Valid while the owning
+/// AnchorSets / AnchorAnalysis is alive and un-mutated.
+class AnchorSetView {
+ public:
+  AnchorSetView(const std::uint64_t* words, const AnchorDomain* domain)
+      : words_(words), domain_(domain) {}
+
+  [[nodiscard]] bool contains(VertexId a) const {
+    const int c = domain_->index[a.index()];
+    return c >= 0 &&
+           ((words_[static_cast<std::size_t>(c) / base::kBitsPerWord] >>
+             (static_cast<unsigned>(c) % base::kBitsPerWord)) &
+            1u) != 0;
+  }
+  [[nodiscard]] int size() const {
+    return base::words_popcount(words_, domain_->word_count());
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] bool is_subset_of(const AnchorSetView& other) const {
+    return base::words_subset(words_, other.words_, domain_->word_count());
+  }
+  /// First member (ascending id) not contained in `other`;
+  /// VertexId::invalid() when *this is a subset of `other`.
+  [[nodiscard]] VertexId first_missing_in(const AnchorSetView& other) const {
+    const int c =
+        base::words_first_missing(words_, other.words_, domain_->word_count());
+    return c < 0 ? VertexId::invalid() : domain_->anchors[c];
+  }
+
+  /// Iterates members in ascending VertexId order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = VertexId;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;
+    iterator(const AnchorSetView* view, std::size_t word)
+        : view_(view), word_(word) {
+      if (view_ != nullptr && word_ < view_->domain_->word_count()) {
+        bits_ = view_->words_[word_];
+        skip_zero_words();
+      }
+    }
+    VertexId operator*() const {
+      return view_->domain_->anchors[word_ * base::kBitsPerWord +
+                                     static_cast<std::size_t>(
+                                         std::countr_zero(bits_))];
+    }
+    iterator& operator++() {
+      bits_ &= bits_ - 1;
+      skip_zero_words();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.word_ == b.word_ && a.bits_ == b.bits_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    void skip_zero_words() {
+      const std::size_t words = view_->domain_->word_count();
+      while (bits_ == 0 && ++word_ < words) bits_ = view_->words_[word_];
+      if (bits_ == 0) word_ = words;
+    }
+    const AnchorSetView* view_ = nullptr;
+    std::size_t word_ = 0;
+    std::uint64_t bits_ = 0;
+  };
+  [[nodiscard]] iterator begin() const { return iterator(this, 0); }
+  [[nodiscard]] iterator end() const {
+    return iterator(nullptr, domain_->word_count());
+  }
+
+  [[nodiscard]] AnchorSet materialize() const {
+    AnchorSet s;
+    for (VertexId a : *this) s.insert(a);
+    return s;
+  }
+
+  [[nodiscard]] const std::uint64_t* words() const { return words_; }
+  [[nodiscard]] const AnchorDomain& domain() const { return *domain_; }
+
+  friend bool operator==(const AnchorSetView& a, const AnchorSetView& b) {
+    return base::words_equal(a.words_, b.words_, a.domain_->word_count());
+  }
+  friend bool operator==(const AnchorSetView& a, const AnchorSet& b) {
+    if (a.size() != static_cast<int>(b.size())) return false;
+    for (VertexId m : b) {
+      if (!a.contains(m)) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const AnchorSet& a, const AnchorSetView& b) {
+    return b == a;
+  }
+
+ private:
+  const std::uint64_t* words_;
+  const AnchorDomain* domain_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AnchorSetView& view);
+
+/// All anchor sets of one kind, indexed by vertex: a bit matrix plus
+/// the column domain it is defined over.
+struct AnchorSets {
+  AnchorDomain domain;
+  base::BitMatrix matrix;
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(matrix.rows());
+  }
+  [[nodiscard]] AnchorSetView view(VertexId v) const {
+    return AnchorSetView(matrix.row(v.index()), &domain);
+  }
+  [[nodiscard]] AnchorSetView operator[](std::size_t v) const {
+    return AnchorSetView(matrix.row(static_cast<int>(v)), &domain);
+  }
+};
+
 /// findAnchorSet (paper §IV-A): anchor sets A(v) over the forward
-/// constraint graph. Worst case O(|Ef| * |A|).
+/// constraint graph. Worst case O(|Ef| * |A| / 64) words merged.
 /// Precondition: Gf acyclic.
-std::vector<AnchorSet> find_anchor_sets(const cg::ConstraintGraph& g);
+AnchorSets find_anchor_sets(const cg::ConstraintGraph& g);
 
 /// Dirty-region description for AnchorAnalysis::update(). Produced by
 /// the engine layer from the constraint graph's edit journal.
 struct UpdatePlan {
-  /// Vertex -> reachable (in the full graph) from an edit's seed
-  /// vertices; only these vertices' products may have changed.
-  std::vector<bool> affected;
-  /// The edits' seed vertices (a subset of `affected`).
-  std::vector<VertexId> seeds;
+  /// Membership test: vertex -> reachable (in the full graph) from an
+  /// edit's seed vertices; only these vertices' products may have
+  /// changed. The set is closed under out-edges.
+  const base::VertexMask* affected = nullptr;
+  /// The same affected vertices as an explicit list, sorted in forward
+  /// topological order of the edited graph. update() walks this list
+  /// instead of scanning all of V.
+  std::span<const VertexId> affected_topo;
+  /// The edits' seed vertices (a subset of the affected set).
+  std::span<const VertexId> seeds;
   /// The edge set of Gf changed (min-constraint insertion/removal):
-  /// anchor sets A(v) must be re-derived over `affected`.
+  /// anchor sets A(v) must be re-derived over the affected cone.
   bool forward_changed = false;
-  /// Forward topological order of the edited graph. Required.
-  const std::vector<int>* topo = nullptr;
 };
 
 class AnchorAnalysis {
@@ -87,23 +249,25 @@ class AnchorAnalysis {
   /// cone, not the design. For engine statistics.
   [[nodiscard]] int rows_shared() const;
 
-  [[nodiscard]] const std::vector<VertexId>& anchors() const { return anchors_; }
-  [[nodiscard]] bool is_anchor(VertexId v) const;
+  [[nodiscard]] const std::vector<VertexId>& anchors() const {
+    return sets_.domain.anchors;
+  }
+  [[nodiscard]] bool is_anchor(VertexId v) const {
+    return sets_.domain.index[v.index()] >= 0;
+  }
 
-  [[nodiscard]] const AnchorSet& anchor_set(VertexId v) const {
-    return anchor_sets_[v.index()];
+  [[nodiscard]] AnchorSetView anchor_set(VertexId v) const {
+    return sets_.view(v);
   }
   /// All A(v) indexed by vertex (reused by wellposed::check).
-  [[nodiscard]] const std::vector<AnchorSet>& anchor_sets() const {
-    return anchor_sets_;
+  [[nodiscard]] const AnchorSets& anchor_sets() const { return sets_; }
+  [[nodiscard]] AnchorSetView relevant_set(VertexId v) const {
+    return AnchorSetView(relevant_.row(v.index()), &sets_.domain);
   }
-  [[nodiscard]] const AnchorSet& relevant_set(VertexId v) const {
-    return relevant_[v.index()];
+  [[nodiscard]] AnchorSetView irredundant_set(VertexId v) const {
+    return AnchorSetView(irredundant_.row(v.index()), &sets_.domain);
   }
-  [[nodiscard]] const AnchorSet& irredundant_set(VertexId v) const {
-    return irredundant_[v.index()];
-  }
-  [[nodiscard]] const AnchorSet& set(VertexId v, AnchorMode mode) const;
+  [[nodiscard]] AnchorSetView set(VertexId v, AnchorMode mode) const;
 
   /// length(a, v): longest weighted path from anchor `a` to `v` within
   /// the anchor's cone -- the subgraph induced by {a} union
@@ -140,18 +304,19 @@ class AnchorAnalysis {
                                                            VertexId v) const;
 
  private:
-  /// Snapshot (de)serialization: the path rows have no mutating public
-  /// API, and persist sits above this library in the build graph.
+  /// Snapshot (de)serialization: the bit rows and path rows have no
+  /// mutating public API, and persist sits above this library in the
+  /// build graph.
   friend struct relsched::persist::AnchorAnalysisAccess;
 
   void compute_irredundant_at(VertexId v);
 
   int rows_recomputed_ = 0;
-  std::vector<VertexId> anchors_;
-  std::vector<int> anchor_index_;  // vertex -> position in anchors_, or -1
-  std::vector<AnchorSet> anchor_sets_;
-  std::vector<AnchorSet> relevant_;
-  std::vector<AnchorSet> irredundant_;
+  /// A(v) plus the anchor domain shared by all three matrices.
+  AnchorSets sets_;
+  /// R(v) and IR(v), over sets_.domain's columns.
+  base::BitMatrix relevant_;
+  base::BitMatrix irredundant_;
   /// One length row per anchor, copy-on-write so copies of the analysis
   /// (session forks) share unpatched rows with their parent.
   using Row = base::Cow<std::vector<graph::Weight>>;

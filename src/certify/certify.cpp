@@ -42,8 +42,8 @@ bool valid_vertex(const cg::ConstraintGraph& g, VertexId v) {
   return v.is_valid() && v.index() < static_cast<std::size_t>(g.vertex_count());
 }
 
-const char* vname(const cg::ConstraintGraph& g, VertexId v) {
-  return g.vertex(v).name.c_str();
+std::string_view vname(const cg::ConstraintGraph& g, VertexId v) {
+  return g.vertex(v).name;
 }
 
 /// Walks `path` checking forward-edge chaining from `from` to `to`;
@@ -538,9 +538,9 @@ Diag check_products(const cg::ConstraintGraph& g,
   // (stale offsets that stay feasible, truncated analysis rows).
   for (int vi = 0; vi < g.vertex_count(); ++vi) {
     const VertexId v(vi);
-    const anchors::AnchorSet& tracked = analysis.anchor_set(v);
+    const auto tracked = analysis.anchor_set(v);
     const auto& entries = schedule.offsets(v).entries();
-    if (entries.size() != tracked.size()) {
+    if (static_cast<int>(entries.size()) != tracked.size()) {
       return schedule_violation(
           g, EdgeId::invalid(), v, static_cast<graph::Weight>(entries.size()),
           static_cast<graph::Weight>(tracked.size()), "anchor-set",
@@ -618,8 +618,8 @@ Diag check_products(const cg::ConstraintGraph& g,
     for (std::size_t w = 0; w < words; ++w) {
       popcount += std::popcount(row[w]);
     }
-    const anchors::AnchorSet& claimed = analysis.anchor_set(v);
-    bool match = static_cast<std::size_t>(popcount) == claimed.size();
+    const auto claimed = analysis.anchor_set(v);
+    bool match = popcount == claimed.size();
     for (VertexId a : claimed) {
       const int pos = anchor_pos[a.index()];
       match = match && pos >= 0 &&
@@ -705,7 +705,7 @@ Diag check_products(const cg::ConstraintGraph& g,
 
 namespace {
 
-void append_json_escaped(std::string& out, const std::string& s) {
+void append_json_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"':
@@ -725,7 +725,7 @@ void append_json_escaped(std::string& out, const std::string& s) {
 }
 
 void append_json_field(std::string& out, const char* key,
-                       const std::string& value, bool quote = true) {
+                       std::string_view value, bool quote = true) {
   out += '"';
   out += key;
   out += "\":";
@@ -768,7 +768,7 @@ std::string path_json(const cg::ConstraintGraph& g,
 
 std::string path_text(const cg::ConstraintGraph& g,
                       const std::vector<EdgeId>& path, VertexId start) {
-  std::string out = g.vertex(start).name;
+  std::string out(g.vertex(start).name);
   for (EdgeId eid : path) {
     const cg::EdgeWeight w = g.weight(eid);
     out += cat(" -(", w.unbounded ? std::string("delta") : cat(w.value),

@@ -1,5 +1,6 @@
 #include "cg/constraint_graph.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/strings.hpp"
@@ -8,9 +9,14 @@ namespace relsched::cg {
 
 VertexId ConstraintGraph::add_vertex(std::string name, Delay delay) {
   const VertexId id(static_cast<int>(vertices_.size()));
-  vertices_.push_back(Vertex{id, std::move(name), delay});
-  out_.emplace_back();
-  in_.emplace_back();
+  vertices_.push_back(Vertex{id, names_.intern(name), delay});
+  delay_code_.push_back(delay.is_unbounded() ? -1 : delay.cycles());
+  forward_out_count_.push_back(0);
+  forward_in_count_.push_back(0);
+  out_head_.push_back(EdgeId::invalid());
+  out_tail_.push_back(EdgeId::invalid());
+  in_head_.push_back(EdgeId::invalid());
+  in_tail_.push_back(EdgeId::invalid());
   edits_.push_back(Edit{Edit::Kind::kAddVertex, /*structural=*/true,
                         /*forward=*/true, id, id, {id}});
   return id;
@@ -25,9 +31,83 @@ EdgeId ConstraintGraph::add_edge(VertexId from, VertexId to, EdgeKind kind,
   RELSCHED_CHECK(from != to, "self loops are not allowed");
   const EdgeId id(static_cast<int>(edges_.size()));
   edges_.push_back(Edge{id, from, to, kind, fixed_weight});
-  out_[from.index()].push_back(id);
-  in_[to.index()].push_back(id);
+  links_.push_back(EdgeLinks{EdgeId::invalid(), EdgeId::invalid(),
+                             EdgeId::invalid(), EdgeId::invalid()});
+  // Tail-append keeps the chains in insertion order.
+  EdgeLinks& l = links_.back();
+  if (out_tail_[from.index()].is_valid()) {
+    links_[out_tail_[from.index()].index()].next_out = id;
+    l.prev_out = out_tail_[from.index()];
+  } else {
+    out_head_[from.index()] = id;
+  }
+  out_tail_[from.index()] = id;
+  if (in_tail_[to.index()].is_valid()) {
+    links_[in_tail_[to.index()].index()].next_in = id;
+    l.prev_in = in_tail_[to.index()];
+  } else {
+    in_head_[to.index()] = id;
+  }
+  in_tail_[to.index()] = id;
+  if (is_forward(kind)) {
+    ++forward_out_count_[from.index()];
+    ++forward_in_count_[to.index()];
+  } else {
+    // New ids are maximal, so appending keeps the index ascending.
+    backward_ids_.push_back(id);
+  }
   return id;
+}
+
+void ConstraintGraph::unlink_edge(EdgeId e) {
+  const Edge& ed = edges_[e.index()];
+  const EdgeLinks l = links_[e.index()];
+  if (l.prev_out.is_valid()) {
+    links_[l.prev_out.index()].next_out = l.next_out;
+  } else {
+    out_head_[ed.from.index()] = l.next_out;
+  }
+  if (l.next_out.is_valid()) {
+    links_[l.next_out.index()].prev_out = l.prev_out;
+  } else {
+    out_tail_[ed.from.index()] = l.prev_out;
+  }
+  if (l.prev_in.is_valid()) {
+    links_[l.prev_in.index()].next_in = l.next_in;
+  } else {
+    in_head_[ed.to.index()] = l.next_in;
+  }
+  if (l.next_in.is_valid()) {
+    links_[l.next_in.index()].prev_in = l.prev_in;
+  } else {
+    in_tail_[ed.to.index()] = l.prev_in;
+  }
+}
+
+void ConstraintGraph::relabel_edge(EdgeId from_id, EdgeId to_id) {
+  const Edge& ed = edges_[from_id.index()];
+  const EdgeLinks l = links_[from_id.index()];
+  if (l.prev_out.is_valid()) {
+    links_[l.prev_out.index()].next_out = to_id;
+  } else {
+    out_head_[ed.from.index()] = to_id;
+  }
+  if (l.next_out.is_valid()) {
+    links_[l.next_out.index()].prev_out = to_id;
+  } else {
+    out_tail_[ed.from.index()] = to_id;
+  }
+  if (l.prev_in.is_valid()) {
+    links_[l.prev_in.index()].next_in = to_id;
+  } else {
+    in_head_[ed.to.index()] = to_id;
+  }
+  if (l.next_in.is_valid()) {
+    links_[l.next_in.index()].prev_in = to_id;
+  } else {
+    in_tail_[ed.to.index()] = to_id;
+  }
+  links_[to_id.index()] = l;
 }
 
 EdgeId ConstraintGraph::add_sequencing_edge(VertexId from, VertexId to) {
@@ -63,6 +143,7 @@ void ConstraintGraph::set_delay(VertexId v, Delay delay) {
   const bool flips =
       vertices_[v.index()].delay.is_bounded() != delay.is_bounded();
   vertices_[v.index()].delay = delay;
+  delay_code_[v.index()] = delay.is_unbounded() ? -1 : delay.cycles();
   edits_.push_back(Edit{Edit::Kind::kSetDelay, /*structural=*/flips,
                         /*forward=*/false, v, v, {v}});
 }
@@ -76,15 +157,10 @@ void ConstraintGraph::remove_constraint(EdgeId e) {
   if (removed.kind == EdgeKind::kMinConstraint) {
     // Keep the graph polar: the tail must retain a forward out-edge and
     // the head a forward in-edge.
-    int tail_out = 0, head_in = 0;
-    for (EdgeId eid : out_edges(removed.from)) {
-      if (is_forward(edge(eid).kind)) ++tail_out;
-    }
-    for (EdgeId eid : in_edges(removed.to)) {
-      if (is_forward(edge(eid).kind)) ++head_in;
-    }
-    RELSCHED_CHECK(tail_out > 1, "removal would leave the tail sinkless");
-    RELSCHED_CHECK(head_in > 1, "removal would leave the head unreachable");
+    RELSCHED_CHECK(forward_out_count_[removed.from.index()] > 1,
+                   "removal would leave the tail sinkless");
+    RELSCHED_CHECK(forward_in_count_[removed.to.index()] > 1,
+                   "removal would leave the head unreachable");
   }
   // Endpoint seeds suffice for the dirty cone (see Edit::seeds): any
   // path the removal kills passes through the head, and consumers flood
@@ -96,28 +172,36 @@ void ConstraintGraph::remove_constraint(EdgeId e) {
             removed.kind == EdgeKind::kMinConstraint, removed.from, removed.to,
             {removed.to, removed.from}};
 
-  const auto unlink = [this](std::vector<EdgeId>& list, EdgeId id) {
-    const auto it = std::find(list.begin(), list.end(), id);
-    RELSCHED_CHECK(it != list.end(), "adjacency lists out of sync");
-    list.erase(it);
-  };
-  unlink(out_[removed.from.index()], e);
-  unlink(in_[removed.to.index()], e);
+  unlink_edge(e);
+  if (is_forward(removed.kind)) {
+    --forward_out_count_[removed.from.index()];
+    --forward_in_count_[removed.to.index()];
+  } else {
+    const auto it =
+        std::lower_bound(backward_ids_.begin(), backward_ids_.end(), e);
+    RELSCHED_CHECK(it != backward_ids_.end() && *it == e,
+                   "backward-edge index out of sync");
+    backward_ids_.erase(it);
+  }
   const EdgeId last(edge_count() - 1);
   if (e != last) {
     // Swap-pop: the previously-last edge takes the freed id.
+    relabel_edge(last, e);
     Edge moved = edges_.back();
-    const auto relabel = [last, e](std::vector<EdgeId>& list) {
-      const auto it = std::find(list.begin(), list.end(), last);
-      RELSCHED_CHECK(it != list.end(), "adjacency lists out of sync");
-      *it = e;
-    };
-    relabel(out_[moved.from.index()]);
-    relabel(in_[moved.to.index()]);
     moved.id = e;
     edges_[e.index()] = moved;
+    if (!is_forward(moved.kind)) {
+      // `last` is the maximal id, so it sits at the back of the index;
+      // re-insert it under its new, smaller id.
+      RELSCHED_CHECK(!backward_ids_.empty() && backward_ids_.back() == last,
+                     "backward-edge index out of sync");
+      backward_ids_.pop_back();
+      backward_ids_.insert(
+          std::lower_bound(backward_ids_.begin(), backward_ids_.end(), e), e);
+    }
   }
   edges_.pop_back();
+  links_.pop_back();
   edits_.push_back(std::move(edit));
 }
 
@@ -138,23 +222,11 @@ void ConstraintGraph::set_constraint_bound(EdgeId e, int cycles) {
 VertexId ConstraintGraph::sink() const {
   VertexId found = VertexId::invalid();
   for (const Vertex& v : vertices_) {
-    bool has_forward_out = false;
-    for (EdgeId e : out_edges(v.id)) {
-      if (is_forward(edge(e).kind)) {
-        has_forward_out = true;
-        break;
-      }
-    }
-    if (!has_forward_out) {
-      if (found.is_valid()) return VertexId::invalid();  // not polar
-      found = v.id;
-    }
+    if (forward_out_count_[v.id.index()] != 0) continue;
+    if (found.is_valid()) return VertexId::invalid();  // not polar
+    found = v.id;
   }
   return found;
-}
-
-bool ConstraintGraph::is_anchor(VertexId v) const {
-  return v == source() || vertex(v).delay.is_unbounded();
 }
 
 std::vector<VertexId> ConstraintGraph::anchors() const {
@@ -163,23 +235,6 @@ std::vector<VertexId> ConstraintGraph::anchors() const {
     if (is_anchor(v.id)) result.push_back(v.id);
   }
   return result;
-}
-
-EdgeWeight ConstraintGraph::weight(EdgeId e) const {
-  const Edge& ed = edge(e);
-  if (ed.kind == EdgeKind::kSequencing) {
-    if (is_anchor(ed.from)) return EdgeWeight{0, /*unbounded=*/true};
-    return EdgeWeight{vertex(ed.from).delay.cycles(), /*unbounded=*/false};
-  }
-  return EdgeWeight{ed.fixed_weight, /*unbounded=*/false};
-}
-
-int ConstraintGraph::backward_edge_count() const {
-  int count = 0;
-  for (const Edge& e : edges_) {
-    if (!is_forward(e.kind)) ++count;
-  }
-  return count;
 }
 
 graph::Digraph ConstraintGraph::project_full() const {

@@ -16,14 +16,31 @@
 // always an anchor (its activation time is not known statically), so its
 // outgoing sequencing edges carry unbounded weight delta(v0) regardless of
 // the delay it was declared with.
+//
+// Storage is data-oriented for 10^4-10^6 vertex designs:
+//   - Edges live in one id-stable slab (std::vector<Edge>); removal
+//     swap-pops, so ids stay dense.
+//   - Adjacency is intrusive: per-edge next/prev links threaded through
+//     flat arrays, per-vertex head/tail cursors. Insertion-order
+//     traversal is preserved exactly (bit-identical products with the
+//     former vector-of-vectors layout) with O(1) append/unlink and zero
+//     per-vertex heap blocks.
+//   - Vertex names are interned in a shared append-only arena
+//     (base::NameArena); Vertex carries a string_view.
+//   - Derived hot-path state -- resolved delay codes, forward-degree
+//     counters, the sorted backward-edge index -- is maintained
+//     incrementally per edit, never rebuilt per query.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "base/error.hpp"
 #include "base/ids.hpp"
+#include "base/name_arena.hpp"
 #include "cg/delay.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/digraph.hpp"
@@ -42,7 +59,9 @@ enum class EdgeKind {
 
 struct Vertex {
   VertexId id;
-  std::string name;
+  /// Interned in the graph's name arena; valid for the lifetime of the
+  /// graph and of every copy of it.
+  std::string_view name;
   Delay delay;
 };
 
@@ -216,11 +235,69 @@ class ConstraintGraph {
   [[nodiscard]] const std::vector<Vertex>& vertices() const { return vertices_; }
   [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
 
-  [[nodiscard]] std::span<const EdgeId> out_edges(VertexId v) const {
-    return out_[v.index()];
+  /// Intrusive adjacency links of one edge (see EdgeChain).
+  struct EdgeLinks {
+    EdgeId next_out, prev_out, next_in, prev_in;
+  };
+
+  /// Iterable adjacency chain of one vertex, in edge insertion order
+  /// (identical traversal order to the former per-vertex vectors).
+  class EdgeChain {
+   public:
+    class iterator {
+     public:
+      using iterator_category = std::forward_iterator_tag;
+      using value_type = EdgeId;
+      using difference_type = std::ptrdiff_t;
+
+      iterator() = default;
+      iterator(const std::vector<EdgeLinks>* links, EdgeId cur, bool out)
+          : links_(links), cur_(cur), out_(out) {}
+      EdgeId operator*() const { return cur_; }
+      iterator& operator++() {
+        const EdgeLinks& l = (*links_)[cur_.index()];
+        cur_ = out_ ? l.next_out : l.next_in;
+        return *this;
+      }
+      iterator operator++(int) {
+        iterator t = *this;
+        ++*this;
+        return t;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.cur_ == b.cur_;
+      }
+      friend bool operator!=(const iterator& a, const iterator& b) {
+        return !(a == b);
+      }
+
+     private:
+      const std::vector<EdgeLinks>* links_ = nullptr;
+      EdgeId cur_;
+      bool out_ = false;
+    };
+
+    EdgeChain(const std::vector<EdgeLinks>* links, EdgeId head, bool out)
+        : links_(links), head_(head), out_(out) {}
+    [[nodiscard]] iterator begin() const {
+      return iterator(links_, head_, out_);
+    }
+    [[nodiscard]] iterator end() const {
+      return iterator(links_, EdgeId::invalid(), out_);
+    }
+    [[nodiscard]] bool empty() const { return !head_.is_valid(); }
+
+   private:
+    const std::vector<EdgeLinks>* links_;
+    EdgeId head_;
+    bool out_;
+  };
+
+  [[nodiscard]] EdgeChain out_edges(VertexId v) const {
+    return EdgeChain(&links_, out_head_[v.index()], /*out=*/true);
   }
-  [[nodiscard]] std::span<const EdgeId> in_edges(VertexId v) const {
-    return in_[v.index()];
+  [[nodiscard]] EdgeChain in_edges(VertexId v) const {
+    return EdgeChain(&links_, in_head_[v.index()], /*out=*/false);
   }
 
   /// The source vertex v0 (first vertex added).
@@ -233,15 +310,34 @@ class ConstraintGraph {
   // ---- Semantic queries ---------------------------------------------------
 
   /// Anchors (Definition 2): the source plus all unbounded-delay vertices.
-  [[nodiscard]] bool is_anchor(VertexId v) const;
+  [[nodiscard]] bool is_anchor(VertexId v) const {
+    return v.value() == 0 || delay_code_[v.index()] < 0;
+  }
   [[nodiscard]] std::vector<VertexId> anchors() const;
 
   /// Resolved weight of an edge. Sequencing edges out of anchors are
   /// unbounded (value 0); all other weights are fixed.
-  [[nodiscard]] EdgeWeight weight(EdgeId e) const;
+  [[nodiscard]] EdgeWeight weight(EdgeId e) const {
+    const Edge& ed = edges_[e.index()];
+    if (ed.kind == EdgeKind::kSequencing) {
+      const int code = delay_code_[ed.from.index()];
+      if (ed.from.value() == 0 || code < 0) return EdgeWeight{0, true};
+      return EdgeWeight{code, false};
+    }
+    return EdgeWeight{ed.fixed_weight, false};
+  }
 
   /// Number of backward (max-constraint) edges |Eb|.
-  [[nodiscard]] int backward_edge_count() const;
+  [[nodiscard]] int backward_edge_count() const {
+    return static_cast<int>(backward_ids_.size());
+  }
+
+  /// Ids of all backward (max-constraint) edges, ascending -- the same
+  /// visit order as filtering edges() by kind, without touching the
+  /// forward majority. Maintained incrementally across edits.
+  [[nodiscard]] std::span<const EdgeId> backward_edges() const {
+    return backward_ids_;
+  }
 
   // ---- Projections ---------------------------------------------------------
 
@@ -264,12 +360,28 @@ class ConstraintGraph {
 
  private:
   EdgeId add_edge(VertexId from, VertexId to, EdgeKind kind, int fixed_weight);
+  /// Detaches `e` from its tail's out-chain and head's in-chain.
+  void unlink_edge(EdgeId e);
+  /// Rewires the chains so the edge currently labelled `from_id` is
+  /// addressed as `to_id` (swap-pop relabel).
+  void relabel_edge(EdgeId from_id, EdgeId to_id);
 
   std::string name_;
+  base::NameArena names_;
   std::vector<Vertex> vertices_;
+  /// Resolved delay per vertex: -1 for unbounded, else the cycle count.
+  /// Keeps weight()/is_anchor() off the wider Vertex records.
+  std::vector<int> delay_code_;
+  /// Forward in/out degree per vertex: O(1) polarity checks on removal,
+  /// O(V) sink() without touching edges.
+  std::vector<int> forward_out_count_;
+  std::vector<int> forward_in_count_;
+  /// Id-stable edge slab plus the intrusive adjacency chained through it.
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> out_;
-  std::vector<std::vector<EdgeId>> in_;
+  std::vector<EdgeLinks> links_;
+  std::vector<EdgeId> out_head_, out_tail_, in_head_, in_tail_;
+  /// Backward (max-constraint) edge ids, ascending.
+  std::vector<EdgeId> backward_ids_;
   std::vector<Edit> edits_;
   std::uint64_t journal_base_ = 0;
 };

@@ -1,0 +1,67 @@
+// Synthetic mega-design generator.
+//
+// The paper's eight-design suite tops out at a few hundred operations;
+// the engine's hot paths (anchor bit-rows, dirty-cone floods, warm
+// reschedules) only show their asymptotics at 10^4-10^5 vertices.
+// generate() builds seeded synthetic constraint graphs at that scale:
+// deep series chains (the constraint-graph shadow of nested
+// data-dependent loops -- anchors strung along a chain), wide parallel
+// blocks forked off earlier vertices, a dense forward min-constraint
+// web, and max-constraint windows spanning anchor-free regions.
+//
+// Every generated graph is valid (polar, acyclic Gf), feasible, and
+// well-posed *by construction*:
+//   - all forward edges point from a lower to a higher vertex id, so
+//     Gf is acyclic and ids are a topological order;
+//   - each max constraint h => t gets a bound u >= dist(t) - dist(h),
+//     where dist is the longest path from the source in G0; dist is
+//     then a potential function satisfying every edge, so no positive
+//     cycle exists (Theorem 1);
+//   - a max constraint is only placed where A(t) subset-of A(h)
+//     (Theorem 2), i.e. across windows no anchor feeds into.
+// A resolve over a generated design therefore always reaches a
+// minimum schedule, which is what benches and sanitizer CI need.
+//
+// Determinism: the only entropy source is a splitmix64 stream seeded
+// from `seed`; all arithmetic is integer. The same parameters produce
+// a bit-identical graph (and graph_io text) on every platform --
+// property-tested, and relied on by the committed corpus fixtures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cg/constraint_graph.hpp"
+
+namespace relsched::designs {
+
+struct GeneratorParams {
+  /// Seed of the splitmix64 stream; the whole design is a pure
+  /// function of this struct.
+  std::uint64_t seed = 0;
+  /// Total vertex count, source and sink included (clamped to >= 3).
+  int vertices = 1000;
+  /// Branching shape: a new vertex continues the previous chain with
+  /// probability (width-1)/width, else forks off a random earlier
+  /// vertex. 1 = a single serial chain; larger = wider, shallower.
+  int width = 4;
+  /// Per-10000 probability that a vertex's delay is unbounded, i.e.
+  /// an anchor (a data-dependent loop / external synchronization).
+  int anchor_density = 30;
+  /// Extra forward min-constraint edges, per-10000 per vertex
+  /// (2500 = one extra edge per four vertices).
+  int min_density = 2500;
+  /// Max-constraint placement attempts, per-10000 per vertex; each
+  /// attempt lands only where well-posedness allows.
+  int max_density = 1500;
+  /// Bounded vertex delays are drawn uniformly from [1, max_delay].
+  int max_delay = 8;
+  /// Graph name; the seed is appended (e.g. "gen_s42").
+  std::string name = "gen";
+};
+
+/// Builds the synthetic design described by `params`. Postconditions:
+/// validate() clean, feasible, well-posed (see file comment).
+[[nodiscard]] cg::ConstraintGraph generate(const GeneratorParams& params);
+
+}  // namespace relsched::designs

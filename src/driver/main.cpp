@@ -11,6 +11,15 @@
 //     error/warning/info. --strip-redundant (.cg inputs) writes the
 //     graph with redundant constraints removed to stdout.
 //
+//   relsched_cli gen [--seed <n>] [--vertices <n>] [--width <n>]
+//                    [--anchor-density <per10k>] [--min-density <per10k>]
+//                    [--max-density <per10k>] [--max-delay <n>]
+//                    [--name <s>] [--out <path>]
+//     Emit a seeded synthetic constraint graph (designs::generate) in
+//     the graph_io text format -- deterministic: the same flags always
+//     produce byte-identical output. Feeds --graph mode, benches, and
+//     the scale CI jobs.
+//
 //   relsched_cli [options] <design.hwc | graph.cg>
 //     --report     per-graph synthesis summary (default)
 //     --schedule   anchor sets + minimum offsets per graph (Table II style)
@@ -37,6 +46,7 @@
 //   SIGINT/SIGTERM request cooperative cancellation: the run stops at
 //   the next watchdog poll, writes a final checkpoint, and exits 6.
 #include <csignal>
+#include <limits>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -53,6 +63,7 @@
 #include "ctrl/control.hpp"
 #include "ctrl/design_control.hpp"
 #include "designs/designs.hpp"
+#include "designs/generator.hpp"
 #include "driver/report.hpp"
 #include "driver/stats.hpp"
 #include "driver/synthesis.hpp"
@@ -75,7 +86,11 @@ int usage() {
                "[--deadline-ms <n>] <design.hwc | graph.cg>\n"
                "       relsched_cli lint [--lint-json] [--strip-redundant] "
                "[--fail-on error|warning|info|never] "
-               "(--suite | <design.hwc | graph.cg>)\n";
+               "(--suite | <design.hwc | graph.cg>)\n"
+               "       relsched_cli gen [--seed <n>] [--vertices <n>] "
+               "[--width <n>] [--anchor-density <per10k>] "
+               "[--min-density <per10k>] [--max-density <per10k>] "
+               "[--max-delay <n>] [--name <s>] [--out <path>]\n";
   return 2;
 }
 
@@ -124,6 +139,71 @@ int lint_synthesized(seq::Design& design, lint::FailOn fail_on,
     code = combine_lint_exit(code, 3);
   }
   return code;
+}
+
+int gen_main(int argc, char** argv) {
+  designs::GeneratorParams params;
+  std::string out_path;
+  const auto int_flag = [&](int& i, int argc_, char** argv_, long long lo,
+                            long long hi, long long* out) {
+    if (++i >= argc_) return false;
+    char* end = nullptr;
+    const long long v = std::strtoll(argv_[i], &end, 10);
+    if (end == argv_[i] || *end != '\0' || v < lo || v > hi) return false;
+    *out = v;
+    return true;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long v = 0;
+    if (arg == "--seed") {
+      if (!int_flag(i, argc, argv, 0, std::numeric_limits<long long>::max(),
+                    &v)) {
+        return usage();
+      }
+      params.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--vertices") {
+      if (!int_flag(i, argc, argv, 3, 10'000'000, &v)) return usage();
+      params.vertices = static_cast<int>(v);
+    } else if (arg == "--width") {
+      if (!int_flag(i, argc, argv, 1, 1'000'000, &v)) return usage();
+      params.width = static_cast<int>(v);
+    } else if (arg == "--anchor-density") {
+      if (!int_flag(i, argc, argv, 0, 10000, &v)) return usage();
+      params.anchor_density = static_cast<int>(v);
+    } else if (arg == "--min-density") {
+      if (!int_flag(i, argc, argv, 0, 100000, &v)) return usage();
+      params.min_density = static_cast<int>(v);
+    } else if (arg == "--max-density") {
+      if (!int_flag(i, argc, argv, 0, 100000, &v)) return usage();
+      params.max_density = static_cast<int>(v);
+    } else if (arg == "--max-delay") {
+      if (!int_flag(i, argc, argv, 1, 1'000'000, &v)) return usage();
+      params.max_delay = static_cast<int>(v);
+    } else if (arg == "--name") {
+      if (++i >= argc) return usage();
+      params.name = argv[i];
+    } else if (arg == "--out") {
+      if (++i >= argc) return usage();
+      out_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  const cg::ConstraintGraph g = designs::generate(params);
+  const std::string text = cg::to_text(g);
+  if (out_path.empty()) {
+    std::cout << text;
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "failed to write '" << out_path << "'\n";
+    return 1;
+  }
+  return 0;
 }
 
 int lint_main(int argc, char** argv) {
@@ -476,6 +556,9 @@ int run_graph_mode(const std::string& text, const RunOptions& run,
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "lint") {
     return lint_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "gen") {
+    return gen_main(argc, argv);
   }
   bool report = false, schedule = false, stats = false, verilog = false,
        dot = false, counter = false, graph_mode = false, rtl = false,

@@ -31,13 +31,15 @@ void print_schedule_table(std::ostream& os, const cg::ConstraintGraph& g,
   }
   table.set_header(std::move(header));
   for (const cg::Vertex& v : g.vertices()) {
-    std::vector<std::string> row{v.name};
+    std::vector<std::string> row{std::string(v.name)};
     std::vector<std::string> names;
-    for (VertexId a : analysis.anchor_set(v.id)) names.push_back(g.vertex(a).name);
+    for (VertexId a : analysis.anchor_set(v.id)) {
+      names.emplace_back(g.vertex(a).name);
+    }
     row.push_back(names.empty() ? "{}" : cat("{", join(names, ","), "}"));
     names.clear();
     for (VertexId a : analysis.irredundant_set(v.id)) {
-      names.push_back(g.vertex(a).name);
+      names.emplace_back(g.vertex(a).name);
     }
     row.push_back(names.empty() ? "{}" : cat("{", join(names, ","), "}"));
     for (VertexId a : analysis.anchors()) {
@@ -62,7 +64,7 @@ void print_iteration_trace(std::ostream& os, const cg::ConstraintGraph& g,
   }
   table.set_header(std::move(header));
   for (const cg::Vertex& v : g.vertices()) {
-    std::vector<std::string> row{v.name};
+    std::vector<std::string> row{std::string(v.name)};
     for (const auto& it : result.trace) {
       row.push_back(offsets_cell(g, anchors, it.after_compute, v.id));
       if (it.violated_backward_edges > 0) {

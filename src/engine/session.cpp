@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <utility>
@@ -20,7 +21,9 @@ using Clock = std::chrono::steady_clock;
 
 /// Framed-file identity of session snapshots (see persist/serialize.hpp).
 constexpr std::string_view kSnapshotMagic = "RSNAP001";
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2: anchor analysis serialized as anchor-domain + bitset rows (the
+// struct-of-arrays core refactor); v1 snapshots are not readable.
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
@@ -94,25 +97,24 @@ const Products& SynthesisSession::commit() {
 }
 
 int SynthesisSession::flood_count(const std::vector<VertexId>& seeds) const {
-  std::vector<bool> seen(static_cast<std::size_t>(graph_.vertex_count()),
-                         false);
-  std::vector<VertexId> worklist;
+  flood_mask_.reset(graph_.vertex_count());
+  flood_worklist_.clear();
   for (VertexId s : seeds) {
-    if (!seen[s.index()]) {
-      seen[s.index()] = true;
-      worklist.push_back(s);
+    if (!flood_mask_.contains(s)) {
+      flood_mask_.insert(s);
+      flood_worklist_.push_back(s);
     }
   }
-  for (std::size_t i = 0; i < worklist.size(); ++i) {
-    for (EdgeId eid : graph_.out_edges(worklist[i])) {
+  for (std::size_t i = 0; i < flood_worklist_.size(); ++i) {
+    for (EdgeId eid : graph_.out_edges(flood_worklist_[i])) {
       const VertexId next = graph_.edge(eid).to;
-      if (!seen[next.index()]) {
-        seen[next.index()] = true;
-        worklist.push_back(next);
+      if (!flood_mask_.contains(next)) {
+        flood_mask_.insert(next);
+        flood_worklist_.push_back(next);
       }
     }
   }
-  return static_cast<int>(worklist.size());
+  return static_cast<int>(flood_worklist_.size());
 }
 
 SynthesisSession SynthesisSession::fork() const {
@@ -169,8 +171,7 @@ const Products& SynthesisSession::resolve() {
   bool structural = force_cold_ || !resolved_once_ || !products_.ok();
   bool forward_changed = false;
   std::vector<VertexId> seeds;
-  std::vector<bool> seen(static_cast<std::size_t>(graph_.vertex_count()),
-                         false);
+  fold_seen_.reset(graph_.vertex_count());
   const std::size_t fold_begin =
       static_cast<std::size_t>(consumed_edits_ - base);
   // Fault injection (tests): pretend one suffix entry was never
@@ -191,11 +192,11 @@ const Products& SynthesisSession::resolve() {
       forward_changed = true;
     }
     for (VertexId s : e.seeds) {
-      // A structural edit may have grown the vertex set past `seen`;
+      // A structural edit may have grown the vertex set past the mask;
       // irrelevant, since structural forces the cold path anyway.
       if (structural) break;
-      if (!seen[s.index()]) {
-        seen[s.index()] = true;
+      if (!fold_seen_.contains(s)) {
+        fold_seen_.insert(s);
         seeds.push_back(s);
       }
     }
@@ -332,48 +333,67 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   // graph. One flood covers the whole journal suffix -- k edits, one
   // merged cone. (Removal edits seed their endpoints: the surviving
   // suffix of any killed path hangs off some removal's head, so shrunk
-  // paths are covered too; see cg::Edit::seeds.)
-  std::vector<bool> affected(static_cast<std::size_t>(graph_.vertex_count()),
-                             false);
-  std::vector<VertexId> worklist = seeds;
-  for (VertexId s : seeds) affected[s.index()] = true;
-  for (std::size_t i = 0; i < worklist.size(); ++i) {
-    for (EdgeId eid : graph_.out_edges(worklist[i])) {
+  // paths are covered too; see cg::Edit::seeds.) The mask is pooled and
+  // the worklist doubles as the published cone: the flood costs
+  // O(|cone|), not O(V).
+  affected_mask_.reset(graph_.vertex_count());
+  last_dirty_cone_.clear();
+  for (VertexId s : seeds) {
+    if (!affected_mask_.contains(s)) {
+      affected_mask_.insert(s);
+      last_dirty_cone_.push_back(s);
+    }
+  }
+  for (std::size_t i = 0; i < last_dirty_cone_.size(); ++i) {
+    for (EdgeId eid : graph_.out_edges(last_dirty_cone_[i])) {
       const VertexId next = graph_.edge(eid).to;
-      if (!affected[next.index()]) {
-        affected[next.index()] = true;
-        worklist.push_back(next);
+      if (!affected_mask_.contains(next)) {
+        affected_mask_.insert(next);
+        last_dirty_cone_.push_back(next);
       }
     }
   }
-  stats_.last_affected_vertices = static_cast<int>(worklist.size());
-  // Published for incremental consumers (lint::IncrementalLinter): the
-  // flood is closed under reachability, so products of any vertex
-  // outside it are untouched by this resolve.
-  last_dirty_cone_ = worklist;
+  stats_.last_affected_vertices = static_cast<int>(last_dirty_cone_.size());
   // Fault injection (tests): clear one dirty bit, so the anchor patch
   // and containment recheck below skip a vertex whose products may
   // have changed.
-  if (fault_.kind == FaultInjector::Kind::kFlipDirtyBit && !worklist.empty()) {
-    affected[worklist[fault_.seed % worklist.size()].index()] = false;
+  if (fault_.kind == FaultInjector::Kind::kFlipDirtyBit &&
+      !last_dirty_cone_.empty()) {
+    affected_mask_.erase(
+        last_dirty_cone_[fault_.seed % last_dirty_cone_.size()]);
     fault_.kind = FaultInjector::Kind::kNone;
   }
+  // The cone in forward topological order: the anchor patch's
+  // relaxation sweeps and the restricted reschedule both walk it
+  // front-to-back instead of scanning all V positions for dirty bits.
+  // (Filtered through the mask so an injected kFlipDirtyBit victim is
+  // skipped by every downstream consumer, like the old bit-scan was.)
+  affected_topo_.clear();
+  for (VertexId v : last_dirty_cone_) {
+    if (affected_mask_.contains(v)) affected_topo_.push_back(v);
+  }
+  std::sort(affected_topo_.begin(), affected_topo_.end(),
+            [this](VertexId a, VertexId b) {
+              return topo_.position(a.value()) < topo_.position(b.value());
+            });
   const Clock::time_point t_topo = Clock::now();
   stats_.warm_topo_us += us_between(t_begin, t_topo);
 
-  // Feasibility: repair the previous potentials from the seeds.
-  std::vector<graph::Weight> potentials = potentials_;
+  // Feasibility: repair the previous potentials from the seeds, in
+  // place. On any failure path below, products_ is not ok(), so the
+  // next resolve goes cold and recomputes potentials_ before the warm
+  // path can read them again.
   // Fault injection (tests): raise one cached potential, absorbing
   // relaxations the SPFA repair should have propagated through it
   // (can mask a positive cycle behind the victim).
   if (fault_.kind == FaultInjector::Kind::kCorruptPotential &&
-      !potentials.empty()) {
-    potentials[fault_.seed % potentials.size()] =
-        graph::saturating_add(potentials[fault_.seed % potentials.size()],
+      !potentials_.empty()) {
+    potentials_[fault_.seed % potentials_.size()] =
+        graph::saturating_add(potentials_[fault_.seed % potentials_.size()],
                               1000);
     fault_.kind = FaultInjector::Kind::kNone;
   }
-  if (!wellposed::is_feasible_incremental(graph_, potentials, seeds,
+  if (!wellposed::is_feasible_incremental(graph_, potentials_, seeds, spfa_ws_,
                                           &watchdog_)) {
     stats_.warm_spfa_us += us_between(t_topo, Clock::now());
     if (watchdog_.stopped()) {
@@ -393,11 +413,11 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   stats_.warm_spfa_us += us_between(t_topo, t_spfa);
 
   anchors::UpdatePlan plan;
-  plan.affected = affected;
+  plan.affected = &affected_mask_;
+  plan.affected_topo = affected_topo_;
   plan.seeds = seeds;
   plan.forward_changed = forward_changed;
   const std::vector<int>& topo = topo_.order();
-  plan.topo = &topo;
   // In place: the cached analysis holds valid pre-edit products (the
   // incremental path is only taken when the last resolve succeeded).
   anchors::AnchorAnalysis& analysis = products_.analysis;
@@ -416,7 +436,7 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   }
 
   const wellposed::CheckResult wp =
-      wellposed::recheck(graph_, analysis.anchor_sets(), affected);
+      wellposed::recheck(graph_, analysis.anchor_sets(), affected_mask_);
   const Clock::time_point t_anchor = Clock::now();
   stats_.warm_anchor_us += us_between(t_spfa, t_anchor);
   if (wp.status == wellposed::Status::kIllPosed) {
@@ -433,9 +453,9 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   sopts.mode = options_.schedule_mode;
   sopts.prechecks = false;
   sched::ScheduleResult rescheduled = sched::reschedule(
-      graph_, analysis, topo, products_.schedule.schedule, affected, sopts);
+      graph_, analysis, topo, std::move(products_.schedule.schedule),
+      affected_mask_, affected_topo_, sopts);
   products_.schedule = std::move(rescheduled);
-  potentials_ = std::move(potentials);
   if (products_.ok()) adopt_schedule();
   stats_.warm_resched_us += us_between(t_anchor, Clock::now());
   return true;

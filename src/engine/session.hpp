@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "base/vertex_mask.hpp"
 #include "base/watchdog.hpp"
 #include "cg/constraint_graph.hpp"
 #include "graph/dynamic_topo.hpp"
@@ -458,6 +459,22 @@ class SynthesisSession {
   std::vector<graph::Weight> potentials_;
   /// Dirty cone of the last warm resolve (see last_dirty_cone()).
   std::vector<VertexId> last_dirty_cone_;
+  // ---- Pooled warm-path scratch ------------------------------------------
+  // Reset per resolve, never shrunk: a warm resolve at 10^5 vertices
+  // must not pay O(V) allocations before touching its (small) cone.
+  /// Membership mask of the merged dirty cone in flight.
+  base::VertexMask affected_mask_;
+  /// The cone listed in forward topological order (UpdatePlan /
+  /// restricted reschedule input).
+  std::vector<VertexId> affected_topo_;
+  /// Seed dedup for the journal-suffix fold.
+  base::VertexMask fold_seen_;
+  /// SPFA feasibility scratch, scrubbed incrementally across resolves.
+  wellposed::SpfaWorkspace spfa_ws_;
+  /// flood_count() scratch; mutable because cone accounting runs from
+  /// the const statistics helper.
+  mutable base::VertexMask flood_mask_;
+  mutable std::vector<VertexId> flood_worklist_;
   bool last_resolve_was_warm_ = false;
   /// Journal entries already folded into `products_`, as an absolute
   /// revision (survives the graph's journal rebases).

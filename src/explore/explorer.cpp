@@ -80,7 +80,9 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::string_view kExploreMagic = "RSEXP001";
-constexpr std::uint32_t kExploreVersion = 1;
+// v2: embedded session products carry the bit-matrix anchor payload
+// (see engine's kSnapshotVersion); v1 checkpoints are not readable.
+constexpr std::uint32_t kExploreVersion = 2;
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;

@@ -123,7 +123,7 @@ Report cone_relint(const cg::ConstraintGraph& g,
   if (options.check_liveness) {
     const VertexId sink = g.sink();
     if (in_cone[sink.index()]) {
-      const anchors::AnchorSet& relevant = analysis.relevant_set(sink);
+      const auto relevant = analysis.relevant_set(sink);
       for (const VertexId a : analysis.anchors()) {
         if (a == g.source() || relevant.contains(a)) continue;
         report.findings.push_back(detail::dead_anchor_finding(g, a));

@@ -157,7 +157,7 @@ bool never_binding(const cg::ConstraintGraph& g,
                    Weight* separation) {
   const cg::Edge& e = g.edge(eid);
   const int u = -e.fixed_weight;
-  const anchors::AnchorSet& tail = analysis.anchor_set(e.from);
+  const auto tail = analysis.anchor_set(e.from);
   if (tail.empty()) {
     // Only the source has an empty anchor set; its start time is 0 and
     // every other start time is >= 0, so slack is at least u.
@@ -251,7 +251,7 @@ Finding dead_anchor_finding(const cg::ConstraintGraph& g, VertexId anchor) {
 
 namespace {
 
-void append_json_escaped(std::string& out, const std::string& s) {
+void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"':
@@ -278,7 +278,7 @@ void append_json_escaped(std::string& out, const std::string& s) {
   }
 }
 
-void append_json_string(std::string& out, const std::string& s) {
+void append_json_string(std::string& out, std::string_view s) {
   out += '"';
   append_json_escaped(out, s);
   out += '"';
@@ -400,7 +400,9 @@ UnsatCore unsat_core(const cg::ConstraintGraph& g) {
 cg::ConstraintGraph core_graph(const cg::ConstraintGraph& g,
                                const std::vector<EdgeId>& core) {
   cg::ConstraintGraph out(cat(g.name(), ".core"));
-  for (const cg::Vertex& v : g.vertices()) out.add_vertex(v.name, v.delay);
+  for (const cg::Vertex& v : g.vertices()) {
+    out.add_vertex(std::string(v.name), v.delay);
+  }
   std::vector<bool> in_core(static_cast<std::size_t>(g.edge_count()), false);
   for (const EdgeId e : core) in_core[e.index()] = true;
   for (const cg::Edge& e : g.edges()) {
@@ -539,11 +541,11 @@ Report analyze(const cg::ConstraintGraph& g,
   bool ill_posed = false;
   for (const cg::Edge& e : g.edges()) {
     if (e.kind != cg::EdgeKind::kMaxConstraint) continue;
-    const anchors::AnchorSet& tail = analysis->anchor_set(e.from);
-    const anchors::AnchorSet& head = analysis->anchor_set(e.to);
+    const auto tail = analysis->anchor_set(e.from);
+    const auto head = analysis->anchor_set(e.to);
     if (tail.is_subset_of(head)) continue;
     ill_posed = true;
-    const VertexId a = *tail.difference(head).begin();
+    const VertexId a = tail.first_missing_in(head);
     Finding f;
     f.rule = Rule::kIllPosedConstraint;
     f.severity = severity(f.rule);
@@ -590,7 +592,7 @@ Report analyze(const cg::ConstraintGraph& g,
   // sink never delays completion (R(sink), Definitions 8-9).
   if (options.check_liveness) {
     const VertexId sink = g.sink();
-    const anchors::AnchorSet& relevant = analysis->relevant_set(sink);
+    const auto relevant = analysis->relevant_set(sink);
     for (const VertexId a : analysis->anchors()) {
       if (a == g.source() || relevant.contains(a)) continue;
       report.findings.push_back(detail::dead_anchor_finding(g, a));

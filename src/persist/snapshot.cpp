@@ -50,26 +50,47 @@ bool load_edge_ids(Reader& r, std::vector<EdgeId>* out) {
   return r.ok();
 }
 
-void save_anchor_set(Writer& w, const anchors::AnchorSet& set) {
-  save_ids(w, set.items());
+void save_bit_matrix(Writer& w, const base::BitMatrix& m) {
+  w.u32(static_cast<std::uint32_t>(m.rows()));
+  w.u32(static_cast<std::uint32_t>(m.cols()));
+  for (int row = 0; row < m.rows(); ++row) {
+    const std::uint64_t* words = m.row(row);
+    for (std::size_t i = 0; i < m.words_per_row(); ++i) w.u64(words[i]);
+  }
 }
 
-bool load_anchor_set(Reader& r, anchors::AnchorSet* out, int vertex_count) {
-  std::vector<VertexId> items;
-  if (!load_ids(r, &items, vertex_count)) return false;
-  out->clear();
-  VertexId previous = VertexId::invalid();
-  for (const VertexId v : items) {
-    // items() is sorted and unique by construction; reject payloads
-    // that would silently break SmallSet's merge-walk invariants.
-    if (previous.is_valid() && v <= previous) {
+bool load_bit_matrix(Reader& r, base::BitMatrix* out, int expect_rows,
+                     int expect_cols) {
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t cols = r.u32();
+  if (!r.ok() || rows != static_cast<std::uint32_t>(expect_rows) ||
+      cols != static_cast<std::uint32_t>(expect_cols)) {
+    r.fail();
+    return false;
+  }
+  out->reset(expect_rows, expect_cols);
+  const std::size_t words_per_row = out->words_per_row();
+  if (r.remaining() / 8 <
+      static_cast<std::size_t>(rows) * words_per_row) {
+    r.fail();
+    return false;
+  }
+  // Bits past `cols` in a row's last word must be zero: every BitMatrix
+  // mutator preserves that invariant, and whole-word subset/equality
+  // tests silently rely on it.
+  const std::uint64_t tail_mask =
+      cols % base::kBitsPerWord == 0
+          ? 0
+          : ~std::uint64_t{0} << (cols % base::kBitsPerWord);
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    std::uint64_t* words = out->row(static_cast<int>(row));
+    for (std::size_t i = 0; i < words_per_row; ++i) words[i] = r.u64();
+    if (words_per_row > 0 && (words[words_per_row - 1] & tail_mask) != 0) {
       r.fail();
       return false;
     }
-    out->insert(v);
-    previous = v;
   }
-  return true;
+  return r.ok();
 }
 
 }  // namespace
@@ -161,15 +182,11 @@ void AnchorAnalysisAccess::save(Writer& w,
                                 const anchors::AnchorAnalysis& analysis) {
   const auto& a = analysis;
   w.i32(a.rows_recomputed_);
-  save_ids(w, a.anchors_);
-  w.vec_i32(a.anchor_index_);
-  const auto save_sets = [&w](const std::vector<anchors::AnchorSet>& sets) {
-    w.u32(static_cast<std::uint32_t>(sets.size()));
-    for (const anchors::AnchorSet& set : sets) save_anchor_set(w, set);
-  };
-  save_sets(a.anchor_sets_);
-  save_sets(a.relevant_);
-  save_sets(a.irredundant_);
+  save_ids(w, a.sets_.domain.anchors);
+  w.vec_i32(a.sets_.domain.index);
+  save_bit_matrix(w, a.sets_.matrix);
+  save_bit_matrix(w, a.relevant_);
+  save_bit_matrix(w, a.irredundant_);
   const auto save_rows =
       [&w](const std::vector<anchors::AnchorAnalysis::Row>& rows) {
         w.u32(static_cast<std::uint32_t>(rows.size()));
@@ -182,39 +199,35 @@ void AnchorAnalysisAccess::save(Writer& w,
 bool AnchorAnalysisAccess::load(Reader& r, anchors::AnchorAnalysis* out) {
   anchors::AnchorAnalysis a;
   a.rows_recomputed_ = r.i32();
-  a.anchor_index_.clear();
-  // anchor_index_ is vertex-indexed: its size is the vertex count every
+  // domain.index is vertex-indexed: its size is the vertex count every
   // other container must agree with.
   std::vector<VertexId> anchors;
   if (!load_ids(r, &anchors, std::numeric_limits<std::int32_t>::max())) {
     return false;
   }
-  a.anchor_index_ = r.vec_i32();
+  std::vector<int> index = r.vec_i32();
   if (!r.ok()) return false;
-  const int vertex_count = static_cast<int>(a.anchor_index_.size());
+  const int vertex_count = static_cast<int>(index.size());
   const int anchor_count = static_cast<int>(anchors.size());
   for (const VertexId v : anchors) {
     if (v.value() >= vertex_count) return false;
   }
-  for (const int idx : a.anchor_index_) {
+  for (const int idx : index) {
     if (idx < -1 || idx >= anchor_count) return false;
   }
-  a.anchors_ = std::move(anchors);
-  const auto load_sets = [&r, vertex_count](
-                             std::vector<anchors::AnchorSet>* sets) {
-    const std::uint32_t count = r.u32();
-    if (!r.ok() || count != static_cast<std::uint32_t>(vertex_count)) {
-      r.fail();
-      return false;
-    }
-    sets->assign(count, {});
-    for (std::uint32_t i = 0; i < count; ++i) {
-      if (!load_anchor_set(r, &(*sets)[i], vertex_count)) return false;
-    }
-    return true;
-  };
-  if (!load_sets(&a.anchor_sets_) || !load_sets(&a.relevant_) ||
-      !load_sets(&a.irredundant_)) {
+  // The two halves of the domain must describe each other: column c's
+  // anchor maps back to column c. (This also forces ascending anchor
+  // ids to occupy ascending columns only if saved that way; views
+  // iterate whatever order the domain records, so round-trips are
+  // faithful either way.)
+  for (int c = 0; c < anchor_count; ++c) {
+    if (index[anchors[static_cast<std::size_t>(c)].index()] != c) return false;
+  }
+  a.sets_.domain.anchors = std::move(anchors);
+  a.sets_.domain.index = std::move(index);
+  if (!load_bit_matrix(r, &a.sets_.matrix, vertex_count, anchor_count) ||
+      !load_bit_matrix(r, &a.relevant_, vertex_count, anchor_count) ||
+      !load_bit_matrix(r, &a.irredundant_, vertex_count, anchor_count)) {
     return false;
   }
   const auto load_rows =

@@ -35,6 +35,9 @@ class OffsetMap {
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Drops all entries, keeping the capacity (warm reschedules reseed a
+  /// vertex's offsets in place).
+  void clear() { entries_.clear(); }
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 
   friend bool operator==(const OffsetMap& a, const OffsetMap& b) {

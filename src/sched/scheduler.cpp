@@ -34,29 +34,33 @@ namespace {
 /// order, raising offsets monotonically from their current values. The
 /// span may be a suffix of the full order (warm restarts skip the
 /// settled prefix).
+void offset_step(const cg::ConstraintGraph& g,
+                 const anchors::AnchorAnalysis& analysis,
+                 anchors::AnchorMode mode, VertexId v,
+                 RelativeSchedule& sched) {
+  const auto tracked = analysis.set(v, mode);
+  if (tracked.empty()) return;
+  for (EdgeId eid : g.in_edges(v)) {
+    const cg::Edge& e = g.edge(eid);
+    if (!cg::is_forward(e.kind)) continue;
+    const VertexId p = e.from;
+    const graph::Weight w = g.weight(eid).value;
+    // The tail itself may be an anchor: sigma_p(p) = 0 by
+    // normalization, so v inherits sigma_p(v) >= w.
+    if (g.is_anchor(p) && tracked.contains(p)) {
+      sched.offsets(v).raise(p, w);
+    }
+    for (const auto& [a, sigma_p] : sched.offsets(p).entries()) {
+      if (tracked.contains(a)) sched.offsets(v).raise(a, sigma_p + w);
+    }
+  }
+}
+
 void incremental_offset(const cg::ConstraintGraph& g,
                         const anchors::AnchorAnalysis& analysis,
                         anchors::AnchorMode mode, std::span<const int> topo,
                         RelativeSchedule& sched) {
-  for (int node : topo) {
-    const VertexId v(node);
-    const anchors::AnchorSet& tracked = analysis.set(v, mode);
-    if (tracked.empty()) continue;
-    for (EdgeId eid : g.in_edges(v)) {
-      const cg::Edge& e = g.edge(eid);
-      if (!cg::is_forward(e.kind)) continue;
-      const VertexId p = e.from;
-      const graph::Weight w = g.weight(eid).value;
-      // The tail itself may be an anchor: sigma_p(p) = 0 by
-      // normalization, so v inherits sigma_p(v) >= w.
-      if (g.is_anchor(p) && tracked.contains(p)) {
-        sched.offsets(v).raise(p, w);
-      }
-      for (const auto& [a, sigma_p] : sched.offsets(p).entries()) {
-        if (tracked.contains(a)) sched.offsets(v).raise(a, sigma_p + w);
-      }
-    }
-  }
+  for (int node : topo) offset_step(g, analysis, mode, VertexId(node), sched);
 }
 
 /// One sweep over the backward edges, returning the number of violated
@@ -70,10 +74,11 @@ void incremental_offset(const cg::ConstraintGraph& g,
 /// graphs, which the prechecks reject anyway).
 int backward_edge_sweep(const cg::ConstraintGraph& g,
                         const RelativeSchedule& sched,
-                        RelativeSchedule* repair) {
+                        RelativeSchedule* repair,
+                        std::span<const EdgeId> backward) {
   int violated = 0;
-  for (const cg::Edge& e : g.edges()) {
-    if (cg::is_forward(e.kind)) continue;
+  for (EdgeId eid : backward) {
+    const cg::Edge& e = g.edge(eid);
     const VertexId t = e.from;
     const VertexId h = e.to;
     const graph::Weight w = e.fixed_weight;  // <= 0
@@ -106,6 +111,7 @@ void run_rounds(const cg::ConstraintGraph& g,
                 const ScheduleOptions& options, std::span<const int> topo,
                 std::span<const int> first_sweep, RelativeSchedule sched,
                 ScheduleResult& result) {
+  const std::span<const EdgeId> backward = g.backward_edges();
   const int max_rounds = g.backward_edge_count() + 1;
   for (int round = 1; round <= max_rounds; ++round) {
     incremental_offset(g, analysis, options.mode,
@@ -118,13 +124,14 @@ void run_rounds(const cg::ConstraintGraph& g,
       trace.after_compute = sched;
     }
 
-    if (backward_edge_sweep(g, sched, nullptr) == 0) {
+    if (backward_edge_sweep(g, sched, nullptr, backward) == 0) {
       if (options.record_trace) result.trace.push_back(std::move(trace));
       result.status = ScheduleStatus::kScheduled;
       result.schedule = std::move(sched);
       return;
     }
-    trace.violated_backward_edges = backward_edge_sweep(g, sched, &sched);
+    trace.violated_backward_edges =
+        backward_edge_sweep(g, sched, &sched, backward);
     if (options.record_trace) {
       trace.after_readjust = sched;
       result.trace.push_back(std::move(trace));
@@ -183,28 +190,96 @@ ScheduleResult schedule(const cg::ConstraintGraph& g,
   return result;
 }
 
+namespace {
+
+/// Cone-restricted iteration for AnchorMode::kFull (see the header's
+/// contract): every forward sweep walks `affected_topo` only, every
+/// backward sweep walks the backward edges with an affected head only
+/// (the cone is out-closed, so an affected tail implies an affected
+/// head, and an edge with both endpoints unaffected joins two vertices
+/// whose offsets never move off the previous fixpoint). The schedule is
+/// patched in place; the untouched majority is never copied or
+/// re-derived.
+void run_rounds_restricted(const cg::ConstraintGraph& g,
+                           const anchors::AnchorAnalysis& analysis,
+                           const ScheduleOptions& options,
+                           std::span<const VertexId> affected_topo,
+                           std::span<const EdgeId> candidates,
+                           RelativeSchedule sched, ScheduleResult& result) {
+  const int max_rounds = g.backward_edge_count() + 1;
+  for (int round = 1; round <= max_rounds; ++round) {
+    for (VertexId v : affected_topo) {
+      offset_step(g, analysis, options.mode, v, sched);
+    }
+    result.iterations = round;
+
+    IterationTrace trace;
+    if (options.record_trace) {
+      trace.iteration = round;
+      trace.after_compute = sched;
+    }
+
+    if (backward_edge_sweep(g, sched, nullptr, candidates) == 0) {
+      if (options.record_trace) result.trace.push_back(std::move(trace));
+      result.status = ScheduleStatus::kScheduled;
+      result.schedule = std::move(sched);
+      return;
+    }
+    trace.violated_backward_edges =
+        backward_edge_sweep(g, sched, &sched, candidates);
+    if (options.record_trace) {
+      trace.after_readjust = sched;
+      result.trace.push_back(std::move(trace));
+    }
+  }
+
+  result.status = ScheduleStatus::kInconsistent;
+  result.message = "no convergence within |Eb|+1 iterations";
+}
+
+}  // namespace
+
 ScheduleResult reschedule(const cg::ConstraintGraph& g,
                           const anchors::AnchorAnalysis& analysis,
                           const std::vector<int>& topo,
-                          const RelativeSchedule& previous,
-                          const std::vector<bool>& affected,
+                          RelativeSchedule&& previous,
+                          const base::VertexMask& affected,
+                          std::span<const VertexId> affected_topo,
                           const ScheduleOptions& options) {
   ScheduleResult result;
   // Warm seed: a vertex outside the affected cone keeps its previous
   // offsets (any path whose length changed runs through an edit seed,
   // so its endpoints are affected -- unaffected minima are unchanged);
-  // affected vertices restart from the paper's r = 0 state. Anchors
-  // newly tracked at a vertex (IR(v) can grow at an unaffected vertex
-  // when a via-anchor moved) also start at 0. Every seed is therefore
-  // <= the minimum schedule, and the monotone-raise iteration converges
-  // to exactly the offsets a cold schedule() of `g` would produce, in
-  // at most as many rounds.
+  // affected vertices restart from the paper's r = 0 state. Every seed
+  // is therefore <= the minimum schedule, and the monotone-raise
+  // iteration converges to exactly the offsets a cold schedule() of `g`
+  // would produce, in at most as many rounds.
+  if (options.mode == anchors::AnchorMode::kFull) {
+    // Reseed only the affected vertices, in place.
+    for (VertexId v : affected_topo) {
+      OffsetMap& offsets = previous.offsets(v);
+      offsets.clear();
+      for (VertexId a : analysis.set(v, options.mode)) offsets.set(a, 0);
+    }
+    std::vector<EdgeId> candidates;
+    for (EdgeId eid : g.backward_edges()) {
+      if (affected.contains(g.edge(eid).to)) candidates.push_back(eid);
+    }
+    run_rounds_restricted(g, analysis, options, affected_topo, candidates,
+                          std::move(previous), result);
+    return result;
+  }
+
+  // Restricted anchor modes: IR(v) can change at an unaffected vertex
+  // (a via-anchor moved), so rebuild every tracked set's seeds and run
+  // full-order sweeps. Anchors newly tracked at an unaffected vertex
+  // start at 0 like any other lower bound.
   RelativeSchedule sched(g.vertex_count());
   for (int vi = 0; vi < g.vertex_count(); ++vi) {
     const VertexId v(vi);
     for (VertexId a : analysis.set(v, options.mode)) {
       const graph::Weight seed =
-          affected[v.index()] ? 0 : previous.offsets(v).get(a).value_or(0);
+          affected.contains(v) ? 0 : previous.offsets(v).get(a).value_or(0);
       sched.offsets(v).set(a, seed);
     }
   }
@@ -214,7 +289,7 @@ ScheduleResult reschedule(const cg::ConstraintGraph& g,
   // first sweep starts at the frontier.
   std::size_t frontier = 0;
   while (frontier < topo.size() &&
-         !affected[static_cast<std::size_t>(topo[frontier])]) {
+         !affected.contains(VertexId(topo[frontier]))) {
     ++frontier;
   }
   run_rounds(g, analysis, options, topo,
@@ -265,7 +340,7 @@ RelativeSchedule restrict_schedule(const RelativeSchedule& schedule,
   RelativeSchedule out(schedule.vertex_count());
   for (int vi = 0; vi < schedule.vertex_count(); ++vi) {
     const VertexId v(vi);
-    const anchors::AnchorSet& keep = analysis.set(v, mode);
+    const auto keep = analysis.set(v, mode);
     for (const auto& [a, sigma] : schedule.offsets(v).entries()) {
       if (keep.contains(a)) out.offsets(v).set(a, sigma);
     }

@@ -13,10 +13,12 @@
 // constraints are detected after |Eb|+1 iterations.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "base/vertex_mask.hpp"
 #include "certify/certify.hpp"
 #include "cg/constraint_graph.hpp"
 #include "sched/relative_schedule.hpp"
@@ -81,19 +83,28 @@ ScheduleResult schedule(const cg::ConstraintGraph& g,
                         const ScheduleOptions& options = {});
 
 /// Warm-start rescheduling after an edit (engine layer). `previous`
-/// must be a valid minimum schedule of the pre-edit graph and
-/// `affected` the dirty cone of the edits; unaffected vertices seed
-/// their previous offsets, affected ones restart from 0, and the first
-/// sweep begins at the first affected position of `topo` (the forward
-/// topological order of the edited graph). Produces offsets identical
-/// to a cold schedule() of `g` -- property-tested bit-for-bit. Skips
-/// prechecks: callers have already re-established validity,
-/// feasibility, and well-posedness.
+/// must be a valid minimum schedule of the pre-edit graph, `affected`
+/// the dirty cone of the edits (closed under out-edges in the full
+/// graph) and `affected_topo` the same set listed in forward
+/// topological order of the edited graph. `previous` is consumed:
+/// unaffected vertices keep their offsets in place (no O(V) rebuild),
+/// affected ones restart from the paper's r = 0 state. Produces offsets
+/// identical to a cold schedule() of `g` -- property-tested
+/// bit-for-bit. Skips prechecks: callers have already re-established
+/// validity, feasibility, and well-posedness.
+///
+/// Under AnchorMode::kFull every sweep -- forward and backward -- is
+/// restricted to the affected cone: an unaffected vertex's in-neighbours
+/// are all unaffected (the cone is out-closed), its tracked set A(v) is
+/// unchanged, and its previous offsets are already the cold minima, so
+/// no sweep could change it. Restricted modes fall back to full-order
+/// sweeps (IR(v) may change at unaffected vertices via a moved anchor).
 ScheduleResult reschedule(const cg::ConstraintGraph& g,
                           const anchors::AnchorAnalysis& analysis,
                           const std::vector<int>& topo,
-                          const RelativeSchedule& previous,
-                          const std::vector<bool>& affected,
+                          RelativeSchedule&& previous,
+                          const base::VertexMask& affected,
+                          std::span<const VertexId> affected_topo,
                           const ScheduleOptions& options = {});
 
 /// Projects a schedule computed over full anchor sets down to the

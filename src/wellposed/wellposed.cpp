@@ -28,61 +28,78 @@ bool is_feasible(const cg::ConstraintGraph& g, base::Watchdog* watchdog) {
 bool is_feasible_incremental(const cg::ConstraintGraph& g,
                              std::vector<graph::Weight>& potentials,
                              std::span<const VertexId> dirty,
-                             base::Watchdog* watchdog) {
+                             SpfaWorkspace& ws, base::Watchdog* watchdog) {
   const int n = g.vertex_count();
   RELSCHED_CHECK(static_cast<int>(potentials.size()) == n,
                  "potentials out of sync with the graph");
+  // Scrub only what the previous run touched: every entry it modified
+  // belongs to a vertex it enqueued, and those are exactly the queue's
+  // contents (the queue is never shrunk mid-run).
+  if (static_cast<int>(ws.enqueued.size()) < n) {
+    ws.enqueued.resize(static_cast<std::size_t>(n), 0);
+    ws.in_queue.resize(static_cast<std::size_t>(n), 0);
+  }
+  for (const VertexId v : ws.queue) {
+    ws.enqueued[v.index()] = 0;
+    ws.in_queue[v.index()] = 0;
+  }
+  ws.queue.assign(dirty.begin(), dirty.end());
   // SPFA-style label correction with a FIFO queue. Old edges are
   // satisfied by `potentials`, so only edges out of dirty vertices can
   // be violated initially; every later violation has a tail we raised.
   // With FIFO order, a vertex enqueued more than n times lies on a
   // positive cycle (and any positive cycle keeps raising its vertices
   // forever), so the counter is an exact detector.
-  std::vector<int> enqueued(static_cast<std::size_t>(n), 0);
-  std::vector<bool> in_queue(static_cast<std::size_t>(n), false);
-  std::vector<VertexId> queue(dirty.begin(), dirty.end());
   for (const VertexId v : dirty) {
-    in_queue[v.index()] = true;
-    enqueued[v.index()] = 1;
+    ws.in_queue[v.index()] = 1;
+    ws.enqueued[v.index()] = 1;
   }
-  for (std::size_t head = 0; head < queue.size(); ++head) {
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
     if (watchdog != nullptr && watchdog->charge()) return false;
-    const VertexId v = queue[head];
-    in_queue[v.index()] = false;
+    const VertexId v = ws.queue[head];
+    ws.in_queue[v.index()] = 0;
     for (EdgeId eid : g.out_edges(v)) {
       const cg::Edge& e = g.edge(eid);
       const graph::Weight candidate =
           graph::saturating_add(potentials[v.index()], g.weight(eid).value);
       if (candidate <= potentials[e.to.index()]) continue;
       potentials[e.to.index()] = candidate;
-      if (in_queue[e.to.index()]) continue;
-      if (++enqueued[e.to.index()] > n) return false;
-      in_queue[e.to.index()] = true;
-      queue.push_back(e.to);
+      if (ws.in_queue[e.to.index()] != 0) continue;
+      if (++ws.enqueued[e.to.index()] > n) return false;
+      ws.in_queue[e.to.index()] = 1;
+      ws.queue.push_back(e.to);
     }
   }
   return true;
 }
 
+bool is_feasible_incremental(const cg::ConstraintGraph& g,
+                             std::vector<graph::Weight>& potentials,
+                             std::span<const VertexId> dirty,
+                             base::Watchdog* watchdog) {
+  SpfaWorkspace ws;
+  return is_feasible_incremental(g, potentials, dirty, ws, watchdog);
+}
+
 namespace {
 
 CheckResult ill_posed_at(const cg::ConstraintGraph& g, const cg::Edge& e,
-                         const std::vector<anchors::AnchorSet>& anchor_sets) {
+                         const anchors::AnchorSets& anchor_sets) {
   CheckResult result{
       Status::kIllPosed, e.id,
       cat("max constraint between '", g.vertex(e.to).name, "' and '",
           g.vertex(e.from).name, "': A(", g.vertex(e.from).name,
           ") not contained in A(", g.vertex(e.to).name, ")"),
       certify::Diag{}};
-  // Witness: a concrete counterexample anchor a in A(tail) \ A(head)
-  // with its defining path. The anchor sets handed in may be stale or
-  // corrupted (the engine feeds incrementally patched ones); a wrong
-  // claim produces a witness certify::verify_witness rejects, which is
-  // exactly the signal the engine's certification path needs.
-  const anchors::AnchorSet missing =
-      anchor_sets[e.from.index()].difference(anchor_sets[e.to.index()]);
-  if (missing.size() > 0) {
-    result.diag = certify::make_containment_diag(g, e.id, *missing.begin());
+  // Witness: the smallest-id counterexample anchor a in A(tail) \
+  // A(head) with its defining path. The anchor sets handed in may be
+  // stale or corrupted (the engine feeds incrementally patched ones); a
+  // wrong claim produces a witness certify::verify_witness rejects,
+  // which is exactly the signal the engine's certification path needs.
+  const VertexId missing =
+      anchor_sets.view(e.from).first_missing_in(anchor_sets.view(e.to));
+  if (missing.is_valid()) {
+    result.diag = certify::make_containment_diag(g, e.id, missing);
   } else {
     result.diag.code = certify::Code::kContainment;
     result.diag.message = result.message;
@@ -105,30 +122,32 @@ CheckResult check(const cg::ConstraintGraph& g) {
 }
 
 CheckResult check(const cg::ConstraintGraph& g,
-                  const std::vector<anchors::AnchorSet>& anchor_sets) {
+                  const anchors::AnchorSets& anchor_sets) {
   if (!is_feasible(g)) return infeasible_result(g);
   // Theorem 2 requires A(tail) subset-of A(head) for every edge; forward
   // edges satisfy it by the definition of anchor sets, so only backward
-  // edges need checking (paper's checkWellposed).
-  for (const cg::Edge& e : g.edges()) {
-    if (cg::is_forward(e.kind)) continue;
-    const anchors::AnchorSet& tail_set = anchor_sets[e.from.index()];
-    const anchors::AnchorSet& head_set = anchor_sets[e.to.index()];
-    if (!tail_set.is_subset_of(head_set)) return ill_posed_at(g, e, anchor_sets);
+  // edges need checking (paper's checkWellposed). The backward index is
+  // ascending, so the first violation found matches an id-order scan of
+  // all edges.
+  for (EdgeId eid : g.backward_edges()) {
+    const cg::Edge& e = g.edge(eid);
+    if (!anchor_sets.view(e.from).is_subset_of(anchor_sets.view(e.to))) {
+      return ill_posed_at(g, e, anchor_sets);
+    }
   }
   return CheckResult{Status::kWellPosed, EdgeId::invalid(), "", certify::Diag{}};
 }
 
 CheckResult recheck(const cg::ConstraintGraph& g,
-                    const std::vector<anchors::AnchorSet>& anchor_sets,
-                    const std::vector<bool>& affected) {
-  for (const cg::Edge& e : g.edges()) {
-    if (cg::is_forward(e.kind)) continue;
+                    const anchors::AnchorSets& anchor_sets,
+                    const base::VertexMask& affected) {
+  for (EdgeId eid : g.backward_edges()) {
+    const cg::Edge& e = g.edge(eid);
     // A(v) only changes for affected vertices, and the pre-edit graph
     // was well-posed, so containment can only break where an endpoint
     // is affected.
-    if (!affected[e.from.index()] && !affected[e.to.index()]) continue;
-    if (!anchor_sets[e.from.index()].is_subset_of(anchor_sets[e.to.index()])) {
+    if (!affected.contains(e.from) && !affected.contains(e.to)) continue;
+    if (!anchor_sets.view(e.from).is_subset_of(anchor_sets.view(e.to))) {
       return ill_posed_at(g, e, anchor_sets);
     }
   }
@@ -182,8 +201,11 @@ MakeWellposedResult make_wellposed(cg::ConstraintGraph& g) {
       const VertexId head = e.to;
       // Anchors present at the tail but missing at the head must be
       // serialized before the head (paper's addEdge).
-      const anchors::AnchorSet missing =
-          anchor_sets[tail.index()].difference(anchor_sets[head.index()]);
+      anchors::AnchorSet missing;
+      const auto head_set = anchor_sets.view(head);
+      for (VertexId a : anchor_sets.view(tail)) {
+        if (!head_set.contains(a)) missing.insert(a);
+      }
       for (VertexId a : missing) {
         if (a == head) {
           // The head itself is an unbounded anchor feeding the tail

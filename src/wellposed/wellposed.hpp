@@ -49,6 +49,16 @@ struct CheckResult {
 [[nodiscard]] bool is_feasible(const cg::ConstraintGraph& g,
                                base::Watchdog* watchdog = nullptr);
 
+/// Pooled scratch state for is_feasible_incremental. A warm resolve at
+/// 10^5 vertices must not pay three O(V) allocations before relaxing a
+/// handful of edges: the arrays are sized once and only the entries the
+/// previous run actually touched (its queue contents) are scrubbed.
+struct SpfaWorkspace {
+  std::vector<int> enqueued;
+  std::vector<std::uint8_t> in_queue;
+  std::vector<VertexId> queue;
+};
+
 /// Incremental feasibility after an edit. `potentials` must satisfy
 /// every G0 edge of the *pre-edit* graph (sigma(head) >= sigma(tail) +
 /// w); the zero-profile start times of a valid schedule are such a
@@ -65,6 +75,14 @@ struct CheckResult {
 [[nodiscard]] bool is_feasible_incremental(const cg::ConstraintGraph& g,
                                            std::vector<graph::Weight>& potentials,
                                            std::span<const VertexId> dirty,
+                                           SpfaWorkspace& workspace,
+                                           base::Watchdog* watchdog = nullptr);
+
+/// Convenience overload with a throwaway workspace (cold callers,
+/// tests). Hot paths keep a workspace alive across resolves.
+[[nodiscard]] bool is_feasible_incremental(const cg::ConstraintGraph& g,
+                                           std::vector<graph::Weight>& potentials,
+                                           std::span<const VertexId> dirty,
                                            base::Watchdog* watchdog = nullptr);
 
 /// checkWellposed (paper §IV-B). Checks feasibility, then anchor-set
@@ -72,17 +90,19 @@ struct CheckResult {
 /// (forward edges satisfy containment by construction).
 CheckResult check(const cg::ConstraintGraph& g);
 CheckResult check(const cg::ConstraintGraph& g,
-                  const std::vector<anchors::AnchorSet>& anchor_sets);
+                  const anchors::AnchorSets& anchor_sets);
 
 /// Containment re-check after an edit, assuming the pre-edit graph was
 /// well-posed and feasibility has already been re-established. A
 /// backward edge can only become violating if an endpoint's anchor set
 /// changed, i.e. the endpoint is in `affected`; all other edges are
-/// skipped. Scans in edge-id order like check(), so the reported edge
-/// and message are identical to a cold check of the edited graph.
+/// skipped -- the scan walks the graph's backward-edge index, never the
+/// forward majority. Candidates are visited in edge-id order like
+/// check(), so the reported edge and message are identical to a cold
+/// check of the edited graph.
 CheckResult recheck(const cg::ConstraintGraph& g,
-                    const std::vector<anchors::AnchorSet>& anchor_sets,
-                    const std::vector<bool>& affected);
+                    const anchors::AnchorSets& anchor_sets,
+                    const base::VertexMask& affected);
 
 struct MakeWellposedResult {
   Status status = Status::kWellPosed;

@@ -8,6 +8,7 @@
 #include <random>
 #include <tuple>
 
+#include "base/strings.hpp"
 #include "ctrl/control.hpp"
 #include "designs/designs.hpp"
 #include "driver/synthesis.hpp"
@@ -99,7 +100,7 @@ TEST_P(ControlEquivalence, VerilogEmissionIsWellFormed) {
   // Every enable output appears exactly once as an assign.
   for (const auto& enable : unit.enables) {
     const std::string needle =
-        "assign en_" + g.vertex(enable.vertex).name + " =";
+        cat("assign en_", g.vertex(enable.vertex).name, " =");
     EXPECT_NE(v.find(needle), std::string::npos) << needle;
   }
   // Balanced structure: no dangling reg declarations without always

@@ -29,7 +29,7 @@ TEST(ConstraintGraph, SourceIsFirstVertexAndAlwaysAnchor) {
   EXPECT_TRUE(g.is_anchor(v0));
   EXPECT_FALSE(g.is_anchor(v1));
   // Outgoing sequencing edges of the source carry unbounded weight.
-  EXPECT_TRUE(g.weight(g.out_edges(v0)[0]).unbounded);
+  EXPECT_TRUE(g.weight(*g.out_edges(v0).begin()).unbounded);
 }
 
 TEST(ConstraintGraph, SequencingWeightIsTailDelay) {

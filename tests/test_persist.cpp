@@ -6,11 +6,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "base/env.hpp"
 #include "certify/certify.hpp"
+#include "cg/graph_io.hpp"
 #include "engine/session.hpp"
 #include "persist/serialize.hpp"
 #include "persist/wal.hpp"
@@ -269,6 +271,55 @@ persist::WalOptions always_sync() {
   persist::WalOptions o;
   o.sync = persist::WalOptions::Sync::kAlways;
   return o;
+}
+
+/// The committed generated corpus (seed-stamped fixtures from
+/// `relsched_cli gen`) must survive the full persistence cycle: parse,
+/// certified resolve, checkpoint (v2 snapshot: anchor-domain + bitset
+/// rows), restore, bit-identical products, and a post-restore edit.
+TEST(SessionCheckpoint, GeneratedFixturesRoundTripThroughSnapshotV2) {
+  const std::string fixtures[] = {"gen_s11_v200.cg", "gen_s22_v500.cg",
+                                  "gen_s33_v1000.cg"};
+  for (const std::string& name : fixtures) {
+    const std::string text =
+        persist::slurp(std::string(RELSCHED_TEST_DATA_DIR) + "/" + name);
+    cg::ParseResult parsed = cg::from_text(text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.error;
+    // The corpus must actually exercise the anchor machinery the v2
+    // snapshot serializes; a fixture without anchors pins nothing.
+    ASSERT_GT(parsed.graph->anchors().size(), 1u) << name;
+
+    engine::SessionOptions opts;
+    opts.certify = true;
+    engine::SynthesisSession session(std::move(*parsed.graph), opts);
+    ASSERT_TRUE(session.resolve().ok()) << name;
+
+    const std::string dir = persist::temp_dir("gen_fixture");
+    ASSERT_TRUE(session.checkpoint(dir).ok()) << name;
+    engine::SynthesisSession::RestoreReport report;
+    auto restored = engine::SynthesisSession::restore(dir, opts, &report);
+    ASSERT_TRUE(restored.has_value()) << name << ": " << report.error.render();
+    EXPECT_FALSE(report.cold_fallback) << name;
+    expect_same_products(session, *restored);
+
+    // The recovered session keeps working warm: loosen one max bound
+    // on both and re-resolve to the same products.
+    EdgeId max_edge = EdgeId::invalid();
+    for (const cg::Edge& e : session.graph().edges()) {
+      if (e.kind == cg::EdgeKind::kMaxConstraint) {
+        max_edge = e.id;
+        break;
+      }
+    }
+    ASSERT_TRUE(max_edge.is_valid()) << name;
+    const int bound = std::abs(session.graph().edge(max_edge).fixed_weight);
+    session.set_constraint_bound(max_edge, bound + 1);
+    restored->set_constraint_bound(max_edge, bound + 1);
+    ASSERT_TRUE(session.resolve().ok()) << name;
+    ASSERT_TRUE(restored->resolve().ok()) << name;
+    expect_same_products(session, *restored);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 TEST(SessionCheckpoint, RoundTripRestoresBitIdenticalProducts) {
