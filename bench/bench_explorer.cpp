@@ -1,11 +1,14 @@
 // E13: parallel design-space exploration throughput.
 //
-// Takes the largest constraint graph in the benchmark suite, builds a
-// batch of bound-perturbation candidates around one resolved base
-// session, and runs the same batch through explore::Explorer twice:
-// sequentially (1 worker) and in parallel (4 workers). Every candidate
-// is an independent copy-on-write fork resolving one transaction, so
-// the parallel run must return bit-identical per-candidate products and
+// Takes a generated 10^4-vertex corpus design (designs::generate, the
+// same parameters as bench_scale's 10^4 tier -- the paper suite's
+// largest graph is 26 vertices, far too small for per-candidate
+// resolve costs to dominate the fork overhead), builds a batch of
+// bound-perturbation candidates around one resolved base session, and
+// runs the same batch through explore::Explorer twice: sequentially
+// (1 worker) and in parallel (4 workers). Every candidate is an
+// independent copy-on-write fork resolving one transaction, so the
+// parallel run must return bit-identical per-candidate products and
 // the same winner -- that equivalence is checked unconditionally and is
 // a hard failure.
 //
@@ -23,8 +26,7 @@
 
 #include "base/table.hpp"
 #include "bench_json.hpp"
-#include "designs/designs.hpp"
-#include "driver/synthesis.hpp"
+#include "designs/generator.hpp"
 #include "engine/session.hpp"
 #include "explore/explorer.hpp"
 
@@ -75,43 +77,24 @@ int main(int argc, char** argv) {
   constexpr int kParallelThreads = 4;
   constexpr double kRequiredSpeedup = 3.0;
 
-  // The suite's largest graph: the design whose resolves are expensive
-  // enough for parallelism to matter.
-  cg::ConstraintGraph graph;
-  anchors::AnchorAnalysis analysis;
-  std::string design_name;
-  for (const designs::BenchmarkDesign& bench : designs::benchmark_suite()) {
-    seq::Design design = designs::build(bench.name);
-    const auto result = driver::synthesize(design);
-    if (!result.ok()) {
-      std::cerr << bench.name << ": " << result.message << "\n";
-      return EXIT_FAILURE;
-    }
-    for (const auto& gs : result.graphs) {
-      if (gs.constraint_graph.vertex_count() > graph.vertex_count()) {
-        graph = gs.constraint_graph;
-        analysis = gs.analysis;
-        design_name = bench.name;
-      }
-    }
-  }
+  // The corpus design: a generated 10^4-vertex graph, the same shape
+  // parameters as bench_scale's 10^4 tier. Candidate resolves on it
+  // are dirty-cone-sized warm patches expensive enough for the pool to
+  // matter; the paper suite's graphs resolve in microseconds and only
+  // measure fork overhead.
+  designs::GeneratorParams corpus;
+  corpus.seed = 90;
+  corpus.vertices = 10000;
+  corpus.anchor_density = 32;  // ~32 anchors, matching the scale ladder
+  corpus.name = "explorer";
+  cg::ConstraintGraph graph = designs::generate(corpus);
+  const std::string design_name = graph.name();
 
-  // Editable max constraints; install one with generous slack when the
-  // design has none (same recipe as bench_incremental).
+  // Editable max constraints: generated designs place a dense web of
+  // them by construction.
   std::vector<EdgeId> max_edges;
   for (const cg::Edge& e : graph.edges()) {
     if (e.kind == cg::EdgeKind::kMaxConstraint) max_edges.push_back(e.id);
-  }
-  if (max_edges.empty()) {
-    for (const cg::Edge& e : graph.edges()) {
-      if (!cg::is_forward(e.kind)) continue;
-      if (analysis.anchor_set(e.from) != analysis.anchor_set(e.to)) continue;
-      const auto lp = graph::longest_paths_from(graph.project_forward(),
-                                                e.from.value());
-      max_edges.push_back(graph.add_max_constraint(
-          e.from, e.to, static_cast<int>(lp.dist[e.to.index()]) + 8));
-      break;
-    }
   }
   if (max_edges.empty()) {
     std::cerr << design_name << ": no editable max constraint found\n";
@@ -239,6 +222,12 @@ int main(int argc, char** argv) {
   benchio::Json::object()
       .field("bench", "explorer")
       .field("design", design_name)
+      .field("corpus",
+             benchio::Json::object()
+                 .field("generator", "designs::generate")
+                 .field("seed", static_cast<long long>(corpus.seed))
+                 .field("vertices", corpus.vertices)
+                 .field("anchor_density", corpus.anchor_density))
       .field("vertices", graph.vertex_count())
       .field("edges", graph.edge_count())
       .field("candidates", static_cast<int>(candidates.size()))

@@ -1,9 +1,11 @@
 #include "anchors/anchor_analysis.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <ostream>
 
 #include "base/error.hpp"
+#include "base/thread_pool.hpp"
 
 namespace relsched::anchors {
 
@@ -108,33 +110,31 @@ std::size_t AnchorAnalysis::total_anchor_set_size(AnchorMode mode) const {
 
 namespace {
 
-/// relevantAnchor (paper §IV-D): from `anchor`, follow its unbounded
-/// out-edges once, then propagate along bounded-weight edges of the full
-/// graph, setting `anchor`'s column in R(v) of every vertex visited.
-void propagate_relevant(const cg::ConstraintGraph& g, VertexId anchor,
-                        int anchor_col, base::BitMatrix& relevant) {
-  std::vector<bool> traversed(static_cast<std::size_t>(g.vertex_count()), false);
-  std::vector<VertexId> stack;
-
-  // Start: outgoing edges of the anchor carrying weight delta(anchor).
-  for (EdgeId eid : g.out_edges(anchor)) {
-    if (g.weight(eid).unbounded) stack.push_back(g.edge(eid).to);
+/// Deterministic parallel-for over [0, count). The body runs for every
+/// index exactly once; contiguous index chunks are sharded across the
+/// pool's workers (several chunks per worker, so stealing can even out
+/// cost imbalance between e.g. a whole-graph anchor cone and a leaf).
+/// Ownership is the determinism argument: every output slot is written
+/// by the one task that owns its index, as a pure function of inputs
+/// that no task mutates, so the result is bit-identical to the
+/// sequential loop at any thread count. Falls back to the inline loop
+/// when there is no pool, the pool has one worker, or the pool is busy
+/// with a job further up this call stack (an explorer candidate's
+/// in-resolve analysis, say) -- try_run() declines instead of nesting.
+void parallel_for(base::WorkStealingPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && count > 1 && pool->thread_count() > 1) {
+    const std::size_t chunks =
+        std::min(count, static_cast<std::size_t>(pool->thread_count()) * 8);
+    const std::function<void(int)> run_chunk = [&](int c) {
+      const std::size_t begin = count * static_cast<std::size_t>(c) / chunks;
+      const std::size_t end =
+          count * (static_cast<std::size_t>(c) + 1) / chunks;
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    };
+    if (pool->try_run(static_cast<int>(chunks), run_chunk)) return;
   }
-  traversed[anchor.index()] = true;
-
-  while (!stack.empty()) {
-    const VertexId v = stack.back();
-    stack.pop_back();
-    if (traversed[v.index()]) continue;
-    traversed[v.index()] = true;
-    relevant.set(v.index(), anchor_col);
-    // Propagate only across bounded-weight edges: a defining path has
-    // exactly one unbounded edge (the first).
-    for (EdgeId eid : g.out_edges(v)) {
-      if (g.weight(eid).unbounded) continue;
-      stack.push_back(g.edge(eid).to);
-    }
-  }
+  for (std::size_t i = 0; i < count; ++i) body(i);
 }
 
 }  // namespace
@@ -347,37 +347,55 @@ void AnchorAnalysis::compute_irredundant_at(VertexId v) {
   }
 }
 
-AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g) {
+AnchorAnalysis AnchorAnalysis::compute(const cg::ConstraintGraph& g,
+                                       base::WorkStealingPool* pool) {
   AnchorAnalysis a = compute_anchor_sets_only(g);
   const std::vector<VertexId>& anchors = a.sets_.domain.anchors;
+  const std::size_t num_anchors = anchors.size();
+  const int n = g.vertex_count();
 
-  // R(v): relevant anchors over the full graph.
-  for (std::size_t i = 0; i < anchors.size(); ++i) {
-    propagate_relevant(g, anchors[i], static_cast<int>(i), a.relevant_);
-  }
+  // Maximal defining path lengths (Definition 10). Each anchor's row
+  // is a pure function of (g, anchor), written to the slot that anchor
+  // owns.
+  a.defining_from_.resize(num_anchors);
+  parallel_for(pool, num_anchors, [&](std::size_t i) {
+    a.defining_from_[i] = Row(defining_path_lengths(g, anchors[i]));
+  });
 
-  // Maximal defining path lengths (Definition 10).
-  a.defining_from_.reserve(anchors.size());
-  for (VertexId anchor : anchors) {
-    a.defining_from_.emplace_back(defining_path_lengths(g, anchor));
-  }
+  // R(v): x in R(v) iff a defining path from x reaches v, i.e.
+  // defining_from_[x][v] is finite (Definition 9 -- the same
+  // equivalence update() patches membership from; the paper's
+  // relevantAnchor traversal in §IV-D visits exactly the vertices with
+  // a finite entry). Derived per *vertex* so each task owns one bit
+  // row: BitMatrix rows occupy disjoint word ranges, so no two tasks
+  // ever touch the same word.
+  parallel_for(pool, static_cast<std::size_t>(n), [&](std::size_t vi) {
+    for (std::size_t i = 0; i < num_anchors; ++i) {
+      if (a.defining_from_[i].read()[vi] != graph::kNegInf) {
+        a.relevant_.set(static_cast<int>(vi), static_cast<int>(i));
+      }
+    }
+  });
 
   // Cone-restricted longest paths (see cone_longest_paths): equals the
   // minimum offset sigma_a^min(v) by Theorem 3.
-  a.length_from_.reserve(anchors.size());
-  for (VertexId anchor : anchors) {
-    a.length_from_.emplace_back(cone_longest_paths(g, anchor, a.sets_));
-  }
-  a.rows_recomputed_ = static_cast<int>(anchors.size());
+  a.length_from_.resize(num_anchors);
+  parallel_for(pool, num_anchors, [&](std::size_t i) {
+    a.length_from_[i] = Row(cone_longest_paths(g, anchors[i], a.sets_));
+  });
+  a.rows_recomputed_ = static_cast<int>(num_anchors);
 
-  for (int vi = 0; vi < g.vertex_count(); ++vi) {
-    a.compute_irredundant_at(VertexId(vi));
-  }
+  // IR(v) writes only vertex v's bit row and reads state that is
+  // immutable from here on.
+  parallel_for(pool, static_cast<std::size_t>(n), [&](std::size_t vi) {
+    a.compute_irredundant_at(VertexId(static_cast<int>(vi)));
+  });
   return a;
 }
 
 void AnchorAnalysis::update(const cg::ConstraintGraph& g,
-                            const UpdatePlan& plan) {
+                            const UpdatePlan& plan,
+                            base::WorkStealingPool* pool) {
   RELSCHED_CHECK(plan.affected != nullptr, "update() needs the affected mask");
   const int n = g.vertex_count();
   RELSCHED_CHECK(sets_.matrix.rows() == n, "update() vertex sets out of sync");
@@ -448,21 +466,29 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
   }
 
   // write() unshares a row from any fork parent before patching it;
-  // untouched rows stay physically shared.
+  // untouched rows stay physically shared. Each touched anchor's pair
+  // of rows is patched by exactly one task (disjoint copy-on-write
+  // cells, per the cow.hpp contract), so sharding the loop is
+  // bit-identical to running it sequentially.
+  std::vector<std::size_t> touched_rows;
   for (std::size_t i = 0; i < num_anchors; ++i) {
-    if (!touched[i]) continue;
+    if (touched[i]) touched_rows.push_back(i);
+  }
+  rows_recomputed_ = static_cast<int>(touched_rows.size());
+  parallel_for(pool, touched_rows.size(), [&](std::size_t k) {
+    const std::size_t i = touched_rows[k];
     patch_defining_path_lengths(g, anchors[i], plan, defining_from_[i].write());
     patch_cone_longest_paths(g, anchors[i], sets_, plan,
                              length_from_[i].write());
-    ++rows_recomputed_;
-  }
+  });
 
   // R(v): by construction x in R(v) iff a defining path from x reaches
-  // v, i.e. defining_from_[x][v] is finite (propagate_relevant and
-  // defining_path_lengths traverse the same bounded-edge region). Patch
-  // membership from the fresh rows; only touched anchors' membership at
-  // affected vertices can differ.
-  for (VertexId v : plan.affected_topo) {
+  // v, i.e. defining_from_[x][v] is finite (the same equivalence
+  // compute() derives R from). Patch membership from the fresh rows;
+  // only touched anchors' membership at affected vertices can differ.
+  // Per-vertex tasks own disjoint bit rows.
+  parallel_for(pool, plan.affected_topo.size(), [&](std::size_t k) {
+    const VertexId v = plan.affected_topo[k];
     for (std::size_t i = 0; i < num_anchors; ++i) {
       if (!touched[i]) continue;
       if (defining_from_[i].read()[v.index()] != graph::kNegInf) {
@@ -471,7 +497,7 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
         relevant_.clear(v.index(), static_cast<int>(i));
       }
     }
-  }
+  });
 
   // IR(v): the redundancy test at v reads length(x, v), length(x, r)
   // and length(r, v) for x, r in R(v). Beyond affected vertices, the
@@ -480,7 +506,9 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
   // too. Build a column mask of affected anchors first: when it is
   // empty (the common warm case) the full-vertex scan is skipped
   // entirely, otherwise one word-AND per unaffected vertex decides.
-  for (VertexId v : plan.affected_topo) compute_irredundant_at(v);
+  parallel_for(pool, plan.affected_topo.size(), [&](std::size_t k) {
+    compute_irredundant_at(plan.affected_topo[k]);
+  });
   std::vector<std::uint64_t> affected_anchor_mask(words, 0);
   bool any_affected_anchor = false;
   for (std::size_t i = 0; i < num_anchors; ++i) {
@@ -491,16 +519,17 @@ void AnchorAnalysis::update(const cg::ConstraintGraph& g,
     }
   }
   if (any_affected_anchor) {
-    for (int vi = 0; vi < n; ++vi) {
+    parallel_for(pool, static_cast<std::size_t>(n), [&](std::size_t vs) {
+      const int vi = static_cast<int>(vs);
       const VertexId v(vi);
-      if (plan.affected->contains(v)) continue;  // already recomputed
+      if (plan.affected->contains(v)) return;  // already recomputed
       const std::uint64_t* rel = relevant_.row(vi);
       bool hit = false;
       for (std::size_t w = 0; w < words && !hit; ++w) {
         hit = (rel[w] & affected_anchor_mask[w]) != 0;
       }
       if (hit) compute_irredundant_at(v);
-    }
+    });
   }
 }
 

@@ -40,6 +40,10 @@ namespace relsched::persist {
 struct AnchorAnalysisAccess;  // checkpoint serialization (persist layer)
 }  // namespace relsched::persist
 
+namespace relsched::base {
+class WorkStealingPool;  // base/thread_pool.hpp
+}  // namespace relsched::base
+
 namespace relsched::anchors {
 
 /// Materialized anchor set (sorted vector). Still the construction /
@@ -221,7 +225,15 @@ class AnchorAnalysis {
   /// Runs the full pipeline: A(v), R(v), IR(v) and anchor-to-vertex
   /// longest paths (unbounded weights 0). Preconditions: Gf acyclic and
   /// the graph feasible (no positive cycles) -- callers check first.
-  static AnchorAnalysis compute(const cg::ConstraintGraph& g);
+  ///
+  /// With a pool, the per-anchor path rows and the per-vertex R/IR bit
+  /// rows are sharded across its workers. Every output slot (a row, a
+  /// bit row) is written by exactly one task as a pure function of the
+  /// immutable inputs, so the result is bit-identical to the
+  /// sequential path at any thread count; a busy pool (this resolve is
+  /// itself running on a worker) degrades to the sequential loop.
+  static AnchorAnalysis compute(const cg::ConstraintGraph& g,
+                                base::WorkStealingPool* pool = nullptr);
 
   /// Anchor sets A(v) only (cheaper; enough for well-posedness checks).
   static AnchorAnalysis compute_anchor_sets_only(const cg::ConstraintGraph& g);
@@ -235,7 +247,13 @@ class AnchorAnalysis {
   /// compute() for the pre-edit graph, and `g` has the same vertices
   /// and anchors, is feasible, with Gf acyclic. The result is
   /// equivalent to compute(g) -- property-tested bit-for-bit.
-  void update(const cg::ConstraintGraph& g, const UpdatePlan& plan);
+  ///
+  /// With a pool, touched per-anchor rows are patched in parallel
+  /// (deterministic per-anchor ownership, disjoint copy-on-write
+  /// cells) and the affected IR rows recomputed in parallel;
+  /// bit-identical to the sequential path at any thread count.
+  void update(const cg::ConstraintGraph& g, const UpdatePlan& plan,
+              base::WorkStealingPool* pool = nullptr);
 
   /// Number of per-anchor path rows the last update() recomputed (the
   /// dominant cost; compute() recomputes all of them). For engine

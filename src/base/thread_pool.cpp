@@ -1,10 +1,13 @@
-#include "explore/thread_pool.hpp"
+#include "base/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "base/env.hpp"
 #include "base/error.hpp"
+#include "base/strings.hpp"
 
-namespace relsched::explore {
+namespace relsched::base {
 
 WorkStealingPool::WorkStealingPool(int threads) {
   const int n = std::max(1, threads);
@@ -89,10 +92,12 @@ void WorkStealingPool::worker_loop(int id) {
   }
 }
 
-void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
-  if (count <= 0) return;
+bool WorkStealingPool::try_run(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return true;
   base::UniqueMutexLock lk(job_mutex_);
-  RELSCHED_CHECK(job_fn_ == nullptr, "run() calls must not overlap");
+  // A job is in flight (possibly ours, further up this very call
+  // stack): decline, and the caller stays sequential.
+  if (job_fn_ != nullptr) return false;
   // Seed while holding job_mutex_: every parked worker's wait predicate
   // requires a live job_fn_, so no worker -- including one that slept
   // through an entire previous generation -- can touch the queues
@@ -110,6 +115,7 @@ void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
     done_cv_.wait(lk);
   }
   job_fn_ = nullptr;
+  return true;
 }
 
 long long WorkStealingPool::steals() const {
@@ -117,4 +123,30 @@ long long WorkStealingPool::steals() const {
   return steals_;
 }
 
-}  // namespace relsched::explore
+void WorkStealingPool::run(int count, const std::function<void(int)>& fn) {
+  RELSCHED_CHECK(try_run(count, fn), "run() calls must not overlap");
+}
+
+int WorkStealingPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hardware = hw == 0 ? 1 : static_cast<int>(hw);
+  constexpr long long kMaxThreads = 512;
+  const long long requested = env_int("RELSCHED_THREADS", hardware);
+  if (requested >= 1 && requested <= kMaxThreads) {
+    return static_cast<int>(requested);
+  }
+  // Parsed fine but out of range (env_int already warned otherwise).
+  const char* raw = std::getenv("RELSCHED_THREADS");
+  detail::warn_bad_value("RELSCHED_THREADS", raw == nullptr ? "" : raw,
+                         "an integer in [1, 512]", cat(hardware).c_str());
+  return hardware;
+}
+
+const std::shared_ptr<WorkStealingPool>& shared_pool() {
+  static const std::shared_ptr<WorkStealingPool> pool =
+      std::make_shared<WorkStealingPool>(
+          WorkStealingPool::default_thread_count());
+  return pool;
+}
+
+}  // namespace relsched::base

@@ -46,10 +46,17 @@ cg::ConstraintGraph generate(const GeneratorParams& params) {
   // ---- Vertices. Ids 0..n-1; id order doubles as a topological order
   // because every forward edge below points id-upward.
   g.add_vertex("src", cg::Delay::bounded(0));
+  int anchors_placed = 0;
   for (int v = 1; v < n - 1; ++v) {
+    // The max_anchors cap is checked before the density draw, so a
+    // capped-out build consumes no anchor draws for the remaining
+    // vertices; with the cap disabled (0) the draw sequence is
+    // byte-identical to builds that predate the knob.
     const bool anchor =
         params.anchor_density > 0 &&
+        (params.max_anchors <= 0 || anchors_placed < params.max_anchors) &&
         rng.below(10000) < static_cast<std::uint64_t>(params.anchor_density);
+    if (anchor) ++anchors_placed;
     g.add_vertex(cat("v", v),
                  anchor ? cg::Delay::unbounded()
                         : cg::Delay::bounded(1 + static_cast<int>(

@@ -48,6 +48,13 @@ struct GeneratorParams {
   /// Per-10000 probability that a vertex's delay is unbounded, i.e.
   /// an anchor (a data-dependent loop / external synchronization).
   int anchor_density = 30;
+  /// Hard cap on the number of anchors placed; once reached, every
+  /// later vertex draws a bounded delay. 0 = no cap (and a stream of
+  /// draws byte-identical to builds that predate this knob -- the
+  /// committed corpus fixtures rely on that). The 10^6-vertex tier
+  /// uses it to keep the per-anchor row footprint (two Weight rows per
+  /// anchor, 8 bytes per vertex each) inside the memory ceiling.
+  int max_anchors = 0;
   /// Extra forward min-constraint edges, per-10000 per vertex
   /// (2500 = one extra edge per four vertices).
   int min_density = 2500;

@@ -89,8 +89,13 @@ int usage() {
                "(--suite | <design.hwc | graph.cg>)\n"
                "       relsched_cli gen [--seed <n>] [--vertices <n>] "
                "[--width <n>] [--anchor-density <per10k>] "
+               "[--max-anchors <n>] "
                "[--min-density <per10k>] [--max-density <per10k>] "
-               "[--max-delay <n>] [--name <s>] [--out <path>]\n";
+               "[--max-delay <n>] [--name <s>] [--binary] "
+               "[--out <path>]\n"
+               "(gen emits the streamed binary graph format when --binary "
+               "is set or --out ends in .cgb; the main command loads "
+               "either format)\n";
   return 2;
 }
 
@@ -144,6 +149,7 @@ int lint_synthesized(seq::Design& design, lint::FailOn fail_on,
 int gen_main(int argc, char** argv) {
   designs::GeneratorParams params;
   std::string out_path;
+  bool binary = false;
   const auto int_flag = [&](int& i, int argc_, char** argv_, long long lo,
                             long long hi, long long* out) {
     if (++i >= argc_) return false;
@@ -171,6 +177,9 @@ int gen_main(int argc, char** argv) {
     } else if (arg == "--anchor-density") {
       if (!int_flag(i, argc, argv, 0, 10000, &v)) return usage();
       params.anchor_density = static_cast<int>(v);
+    } else if (arg == "--max-anchors") {
+      if (!int_flag(i, argc, argv, 0, 10'000'000, &v)) return usage();
+      params.max_anchors = static_cast<int>(v);
     } else if (arg == "--min-density") {
       if (!int_flag(i, argc, argv, 0, 100000, &v)) return usage();
       params.min_density = static_cast<int>(v);
@@ -186,11 +195,30 @@ int gen_main(int argc, char** argv) {
     } else if (arg == "--out") {
       if (++i >= argc) return usage();
       out_path = argv[i];
+    } else if (arg == "--binary") {
+      binary = true;
     } else {
       return usage();
     }
   }
   const cg::ConstraintGraph g = designs::generate(params);
+  const bool cgb_suffix = out_path.size() >= 4 &&
+                          out_path.compare(out_path.size() - 4, 4, ".cgb") == 0;
+  if (binary || cgb_suffix) {
+    // The binary writer streams; a 10^6-vertex design never exists as
+    // one text blob in memory on this path.
+    if (out_path.empty()) {
+      std::cerr << "gen --binary requires --out (refusing to write the "
+                   "binary format to a terminal)\n";
+      return 2;
+    }
+    if (const std::string err = cg::write_binary_file(g, out_path);
+        !err.empty()) {
+      std::cerr << err << "\n";
+      return 1;
+    }
+    return 0;
+  }
   const std::string text = cg::to_text(g);
   if (out_path.empty()) {
     std::cout << text;
@@ -506,16 +534,12 @@ int run_graph_session(cg::ConstraintGraph g, const RunOptions& run,
   return 0;
 }
 
-/// --graph mode: schedule one raw constraint graph and print results.
-int run_graph_mode(const std::string& text, const RunOptions& run,
-                   bool schedule_table, bool verilog, bool dot, bool counter,
-                   bool diag_json) {
-  auto parsed = cg::from_text(text);
-  if (!parsed.ok()) {
-    std::cerr << parsed.error << "\n";
-    return 1;
-  }
-  cg::ConstraintGraph& g = *parsed.graph;
+/// Shared tail of --graph mode once a graph is in hand (parsed from
+/// either the text or the streamed binary format): validate, make
+/// well-posed, then schedule once or run the incremental session.
+int run_parsed_graph(cg::ConstraintGraph g, const RunOptions& run,
+                     bool schedule_table, bool verilog, bool dot, bool counter,
+                     bool diag_json) {
   if (const auto issues = g.validate(); !issues.empty()) {
     std::cerr << "invalid graph: " << issues.front().message << "\n";
     return 1;
@@ -549,6 +573,19 @@ int run_graph_mode(const std::string& text, const RunOptions& run,
   print_graph_products(g, analysis, result, schedule_table, verilog, dot,
                        counter);
   return 0;
+}
+
+/// --graph mode entry for the text format.
+int run_graph_mode(const std::string& text, const RunOptions& run,
+                   bool schedule_table, bool verilog, bool dot, bool counter,
+                   bool diag_json) {
+  auto parsed = cg::from_text(text);
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n";
+    return 1;
+  }
+  return run_parsed_graph(std::move(*parsed.graph), run, schedule_table,
+                          verilog, dot, counter, diag_json);
 }
 
 }  // namespace
@@ -623,6 +660,21 @@ int main(int argc, char** argv) {
     g_cancel = base::CancelToken::make();
     std::signal(SIGINT, request_cancel_handler);
     std::signal(SIGTERM, request_cancel_handler);
+  }
+
+  // Binary graphs are loaded streamed -- never slurped into a string
+  // like the text formats below -- so a 10^6-vertex design stays
+  // inside the memory ceiling. The suffix check catches files the
+  // sniff cannot open (read_binary_file then reports the I/O error).
+  if ((path.size() > 4 && path.substr(path.size() - 4) == ".cgb") ||
+      cg::is_binary_graph_file(path)) {
+    auto parsed = cg::read_binary_file(path);
+    if (!parsed.ok()) {
+      std::cerr << parsed.error << "\n";
+      return 1;
+    }
+    return run_parsed_graph(std::move(*parsed.graph), run, schedule, verilog,
+                            dot, counter, diag_json);
   }
 
   std::ifstream in(path);

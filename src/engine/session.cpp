@@ -253,6 +253,19 @@ void SynthesisSession::adopt_schedule() {
       products_.schedule.schedule.start_times(graph_, {}, topo_.order());
 }
 
+base::WorkStealingPool* SynthesisSession::analysis_pool() {
+  if (options_.pool != nullptr) return options_.pool.get();
+  if (options_.threads == 1) return nullptr;
+  if (options_.threads > 1) {
+    // Dedicated pool, created once and then pinned via options_.pool so
+    // forks of this session share it rather than spawning their own.
+    options_.pool =
+        std::make_shared<base::WorkStealingPool>(options_.threads);
+    return options_.pool.get();
+  }
+  return base::shared_pool().get();
+}
+
 void SynthesisSession::cold_resolve() {
   last_resolve_was_warm_ = false;
   last_dirty_cone_.clear();
@@ -277,7 +290,7 @@ void SynthesisSession::cold_resolve() {
     out.diag = certify::find_positive_cycle(graph_);
     return;
   }
-  products_.analysis = anchors::AnchorAnalysis::compute(graph_);
+  products_.analysis = anchors::AnchorAnalysis::compute(graph_, analysis_pool());
   const wellposed::CheckResult wp =
       wellposed::check(graph_, products_.analysis.anchor_sets());
   if (wp.status == wellposed::Status::kIllPosed) {
@@ -421,7 +434,7 @@ bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
   // In place: the cached analysis holds valid pre-edit products (the
   // incremental path is only taken when the last resolve succeeded).
   anchors::AnchorAnalysis& analysis = products_.analysis;
-  analysis.update(graph_, plan);
+  analysis.update(graph_, plan, analysis_pool());
   stats_.anchor_rows_recomputed += analysis.rows_recomputed();
   stats_.anchor_rows_cold_equivalent +=
       static_cast<long long>(analysis.anchors().size());

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "anchors/anchor_analysis.hpp"
+#include "base/thread_pool.hpp"
 #include "base/vertex_mask.hpp"
 #include "base/watchdog.hpp"
 #include "cg/constraint_graph.hpp"
@@ -99,6 +100,23 @@ struct SessionOptions {
   /// the safety net against a pathological graph whose O(V*E) feasibility
   /// check would outlive any wall-clock budget between polls.
   std::uint64_t step_limit = 0;
+
+  // ---- In-resolve parallelism --------------------------------------------
+  // The anchor-analysis phases (per-anchor path rows, per-vertex R/IR
+  // bit rows) shard across a work-stealing pool, bit-identical to the
+  // sequential path at any thread count (see AnchorAnalysis::compute).
+
+  /// nullptr: pick by `threads`. Non-null: run the anchor phases on
+  /// this pool. An Explorer installs its own pool here so candidate
+  /// parallelism and in-resolve parallelism share one set of workers
+  /// -- the pool declines nested jobs (base::WorkStealingPool::try_run)
+  /// and the inner resolve stays sequential, never oversubscribing.
+  std::shared_ptr<base::WorkStealingPool> pool;
+  /// Used when `pool` is null. 0: the process-wide base::shared_pool()
+  /// (sized from hardware_concurrency / RELSCHED_THREADS). 1: fully
+  /// sequential, no pool touched. N > 1: a dedicated pool of N
+  /// workers, created lazily at first resolve.
+  int threads = 0;
 };
 
 /// Deterministic fault-injection hook (tests/fuzz_certify.cpp). One
@@ -344,6 +362,14 @@ class SynthesisSession {
     options_.step_limit = step_limit;
   }
 
+  /// Replaces the pool the anchor-analysis phases run on (the
+  /// Explorer installs its candidate pool here so in-resolve and
+  /// candidate parallelism share one set of workers); nullptr reverts
+  /// to the SessionOptions::threads policy. Forks inherit it.
+  void set_thread_pool(std::shared_ptr<base::WorkStealingPool> pool) {
+    options_.pool = std::move(pool);
+  }
+
   // ---- Crash safety ------------------------------------------------------
 
   /// Attaches a write-ahead log at `path` (created empty at the current
@@ -442,6 +468,10 @@ class SynthesisSession {
   /// Re-certifies just-restored products; discards them (cold
   /// re-resolve) when the certificate fails.
   void verify_restored(RestoreReport& report);
+  /// The pool the anchor-analysis phases of this resolve run on, per
+  /// the SessionOptions policy (explicit pool > threads); nullptr
+  /// means sequential.
+  [[nodiscard]] base::WorkStealingPool* analysis_pool();
 
   cg::ConstraintGraph graph_;
   SessionOptions options_;

@@ -84,10 +84,9 @@ constexpr std::string_view kExploreMagic = "RSEXP001";
 // (see engine's kSnapshotVersion); v1 checkpoints are not readable.
 constexpr std::uint32_t kExploreVersion = 2;
 
-int resolve_threads(int requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+std::shared_ptr<base::WorkStealingPool> resolve_pool(int requested) {
+  if (requested > 0) return std::make_shared<base::WorkStealingPool>(requested);
+  return base::shared_pool();
 }
 
 void save_slot(persist::Writer& w, const CandidateResult& slot) {
@@ -120,7 +119,13 @@ void save_slot(persist::Writer& w, const CandidateResult& slot) {
 Explorer::Explorer(engine::SynthesisSession base, ExplorerOptions options)
     : base_(std::move(base)),
       options_(std::move(options)),
-      pool_(resolve_threads(options_.threads)) {
+      pool_(resolve_pool(options_.threads)) {
+  // One pool for everything under this explorer: the base session's
+  // resolves shard their anchor phases across it, and forks inherit it,
+  // so a candidate resolving on a pool worker falls back to its
+  // sequential path (try_run declines while the batch job is live)
+  // instead of nesting or spawning more threads.
+  base_.set_thread_pool(pool_);
   const engine::Products& products = base_.resolve();
   RELSCHED_CHECK(products.ok(),
                  "explorer base session must resolve to a schedule");
@@ -317,7 +322,7 @@ ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
                                     const Objective& objective) {
   ExplorationResult result;
   result.candidates.resize(candidates.size());
-  const long long steals_before = pool_.steals();
+  const long long steals_before = pool_->steals();
   // Empty batch: a well-defined "no winner", not a degenerate pool run.
   if (candidates.empty()) return result;
 
@@ -353,7 +358,7 @@ ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
     const int base_offset = static_cast<int>(next);
     // Result slots are disjoint per task; the pool's completion barrier
     // publishes them to this thread.
-    pool_.run(static_cast<int>(end - next), [&](int k) {
+    pool_->run(static_cast<int>(end - next), [&](int k) {
       const int i = pending[static_cast<std::size_t>(base_offset + k)];
       run_candidate(candidates[static_cast<std::size_t>(i)], i,
                     result.candidates[static_cast<std::size_t>(i)], objective);
@@ -398,7 +403,7 @@ ExplorationResult Explorer::explore(const std::vector<Candidate>& candidates,
       result.winner = candidate.index;
     }
   }
-  result.steals = pool_.steals() - steals_before;
+  result.steals = pool_->steals() - steals_before;
   return result;
 }
 

@@ -134,7 +134,9 @@ struct ExplorationResult {
 };
 
 struct ExplorerOptions {
-  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  /// Worker threads; 0 shares the process-wide base::shared_pool()
+  /// (sized from hardware_concurrency / RELSCHED_THREADS), > 0 spawns
+  /// a dedicated pool of that many workers.
   int threads = 0;
 
   // ---- Cancellation and deadlines ----------------------------------------
@@ -176,7 +178,7 @@ class Explorer {
   explicit Explorer(engine::SynthesisSession base, ExplorerOptions options = {});
 
   [[nodiscard]] const engine::SynthesisSession& base() const { return base_; }
-  [[nodiscard]] int threads() const { return pool_.thread_count(); }
+  [[nodiscard]] int threads() const { return pool_->thread_count(); }
 
   /// Resolves every candidate on its own fork of the base session, in
   /// parallel, and reduces to the best feasible candidate under
@@ -204,7 +206,13 @@ class Explorer {
 
   engine::SynthesisSession base_;
   ExplorerOptions options_;
-  WorkStealingPool pool_;
+  /// Candidate batches and the anchor analysis inside every fork's
+  /// resolve share these workers: the pool is installed into the base
+  /// session (inherited by forks), and a fork resolving *on* a worker
+  /// sees the pool busy and stays sequential (try_run declines), so
+  /// the two layers of parallelism never oversubscribe. threads == 0
+  /// shares the process-wide base::shared_pool().
+  std::shared_ptr<base::WorkStealingPool> pool_;
 };
 
 }  // namespace relsched::explore

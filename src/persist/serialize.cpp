@@ -11,6 +11,7 @@
 #include <fstream>
 
 #include "base/error.hpp"
+#include "base/hash.hpp"
 #include "base/strings.hpp"
 
 namespace relsched::persist {
@@ -93,13 +94,7 @@ Error Error::make(ErrorCode code, std::string message, std::string path) {
 }
 
 std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  std::uint64_t hash = seed;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x00000100000001b3ULL;
-  }
-  return hash;
+  return base::fnv1a64(data, size, seed);
 }
 
 std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {

@@ -63,7 +63,10 @@ struct Error {
 
 inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 
-/// FNV-1a 64-bit over `data`; chainable via `seed`.
+/// FNV-1a 64-bit over `data`; chainable via `seed`. (Implemented in
+/// base/hash.hpp so layers below persist -- the binary graph format in
+/// cg -- share the exact checksum; kept here as the persist-facing
+/// name.)
 [[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size,
                                     std::uint64_t seed = kFnvOffset);
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view data,

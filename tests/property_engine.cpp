@@ -8,10 +8,12 @@
 // agree with the cold pipeline at every step.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
 #include <random>
 #include <vector>
 
+#include "base/thread_pool.hpp"
 #include "engine/session.hpp"
 #include "graph/algorithms.hpp"
 #include "testutil.hpp"
@@ -372,6 +374,88 @@ TEST_P(EngineProperties, TransactionsMatchPerEditResolves) {
   EXPECT_GT(corpora, 3) << "corpus too thin for seed " << GetParam();
   EXPECT_GT(commits, 18) << "too few transactions committed";
   EXPECT_GT(overlapping, 0) << "no batch ever coalesced overlapping cones";
+}
+
+// Parallel anchor analysis must be bit-identical to sequential at any
+// thread count -- including when an armed fault corrupts the warm
+// state mid-resolve and certification rejects it. Three sessions (1
+// thread, a 2-worker pool, an 8-worker pool) receive identical edit
+// sequences and identical armed faults drawn from the whole
+// FaultInjector matrix; their products must match after every resolve,
+// and the certifier must catch the same faults on every path.
+TEST_P(EngineProperties, ParallelResolveMatchesSequentialUnderFaults) {
+  std::mt19937 rng(GetParam() * 2654435761u + 9u);
+  const FaultInjector::Kind kinds[] = {
+      FaultInjector::Kind::kNone,
+      FaultInjector::Kind::kCorruptPotential,
+      FaultInjector::Kind::kFlipDirtyBit,
+      FaultInjector::Kind::kDropJournalEntry,
+      FaultInjector::Kind::kTruncateAnchorRow,
+  };
+  const auto pool2 = std::make_shared<base::WorkStealingPool>(2);
+  const auto pool8 = std::make_shared<base::WorkStealingPool>(8);
+
+  int corpora = 0;
+  long long caught = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    relsched::testing::RandomGraphParams params;
+    params.vertex_count = 10 + static_cast<int>(rng() % 14);
+    params.unbounded_fraction = 0.15 + 0.2 * (rng() % 3);
+    params.max_constraints = 1 + static_cast<int>(rng() % 3);
+    auto g = relsched::testing::random_constraint_graph(rng, params);
+    if (!g.validate().empty()) continue;
+    if (wellposed::make_wellposed(g).status != wellposed::Status::kWellPosed) {
+      continue;
+    }
+
+    SessionOptions opts;
+    opts.certify = true;  // a fired fault must be caught, not propagated
+    opts.threads = 1;
+    cg::ConstraintGraph copy2 = g, copy8 = g;
+    SynthesisSession seq(std::move(g), opts);
+    opts.threads = 0;
+    opts.pool = pool2;
+    SynthesisSession par2(std::move(copy2), opts);
+    opts.pool = pool8;
+    SynthesisSession par8(std::move(copy8), opts);
+    if (!seq.resolve().ok()) continue;
+    par2.resolve();
+    par8.resolve();
+    ++corpora;
+
+    for (int step = 0; step < 12; ++step) {
+      const auto spec = pick_random_edit(seq.graph(), rng);
+      if (!spec.has_value()) continue;
+      apply_edit(seq, *spec);
+      apply_edit(par2, *spec);
+      apply_edit(par8, *spec);
+
+      FaultInjector fault;
+      fault.kind = kinds[rng() % (sizeof kinds / sizeof kinds[0])];
+      fault.seed = rng();
+      seq.arm_fault(fault);
+      par2.arm_fault(fault);
+      par8.arm_fault(fault);
+
+      seq.resolve();
+      par2.resolve();
+      par8.resolve();
+      expect_sessions_match(seq.products(), par2.products(), seq.graph(),
+                            step);
+      expect_sessions_match(seq.products(), par8.products(), seq.graph(),
+                            step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    // The certifier's verdicts are part of the determinism contract:
+    // every thread count catches exactly the same injected faults.
+    EXPECT_EQ(seq.stats().certificate_failures,
+              par2.stats().certificate_failures);
+    EXPECT_EQ(seq.stats().certificate_failures,
+              par8.stats().certificate_failures);
+    caught += seq.stats().certificate_failures;
+  }
+  EXPECT_GT(corpora, 3) << "corpus too thin for seed " << GetParam();
+  EXPECT_GT(caught, 0) << "no injected fault was ever caught";
 }
 
 // Deterministic excursions: a transaction may pass through an

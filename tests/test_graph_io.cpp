@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "designs/generator.hpp"
 #include "sched/scheduler.hpp"
 #include "testutil.hpp"
 
@@ -9,6 +14,27 @@ namespace relsched::cg {
 namespace {
 
 using relsched::testing::Fig2Graph;
+
+/// Unique scratch path for one binary-format test; removed on
+/// destruction.
+struct TempBinaryFile {
+  std::string path;
+
+  explicit TempBinaryFile(const std::string& name)
+      : path(::testing::TempDir() + "relsched_graph_io_" + name + ".cgb") {}
+  ~TempBinaryFile() { std::remove(path.c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
 
 TEST(GraphIo, RoundTripPreservesStructure) {
   Fig2Graph f;
@@ -87,6 +113,93 @@ TEST(GraphIo, CommentsAndBlankLinesIgnored)
       "graph g   # name\n\n# full-line comment\nvertex v0 0\n");
   ASSERT_TRUE(parsed.ok()) << parsed.error;
   EXPECT_EQ(parsed.graph->vertex_count(), 1);
+}
+
+// Property: for generated designs across seeds and shapes, writing the
+// binary format and loading it back yields a graph whose text
+// rendering is byte-identical to the original's -- the binary format
+// preserves edge order and user orientation exactly.
+TEST(GraphIoBinary, RoundTripMatchesTextOnGeneratedDesigns) {
+  const std::uint64_t seeds[] = {1, 7, 42, 90};
+  for (const std::uint64_t seed : seeds) {
+    designs::GeneratorParams params;
+    params.seed = seed;
+    params.vertices = 300 + static_cast<int>(seed % 3) * 150;
+    params.anchor_density = 150;
+    auto g = designs::generate(params);
+
+    TempBinaryFile file("roundtrip_" + std::to_string(seed));
+    ASSERT_EQ(write_binary_file(g, file.path), "") << "seed " << seed;
+    EXPECT_TRUE(is_binary_graph_file(file.path));
+    const auto loaded = read_binary_file(file.path);
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": " << loaded.error;
+    EXPECT_EQ(to_text(*loaded.graph), to_text(g)) << "seed " << seed;
+  }
+}
+
+TEST(GraphIoBinary, RoundTripPreservesSchedule) {
+  Fig2Graph f;
+  TempBinaryFile file("fig2");
+  ASSERT_EQ(write_binary_file(f.g, file.path), "");
+  const auto loaded = read_binary_file(file.path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  const auto original = sched::schedule(f.g);
+  const auto reparsed = sched::schedule(*loaded.graph);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reparsed.ok());
+  for (int i = 0; i < f.g.vertex_count(); ++i) {
+    EXPECT_EQ(original.schedule.offsets(VertexId(i)),
+              reparsed.schedule.offsets(VertexId(i)));
+  }
+}
+
+// Corruption is reported through ParseResult::error, never loaded: a
+// flipped payload byte trips the checksum, truncation and trailing
+// garbage are length errors, and a bad magic or version never reaches
+// the payload.
+TEST(GraphIoBinary, RejectsCorruption) {
+  Fig2Graph f;
+  TempBinaryFile file("corrupt");
+  ASSERT_EQ(write_binary_file(f.g, file.path), "");
+  const std::string pristine = slurp(file.path);
+  ASSERT_GT(pristine.size(), 16u);
+
+  // Sanity: the pristine bytes load.
+  ASSERT_TRUE(read_binary_file(file.path).ok());
+
+  // One flipped payload byte: checksum mismatch.
+  std::string bytes = pristine;
+  bytes[bytes.size() / 2] ^= 0x01;
+  spill(file.path, bytes);
+  EXPECT_FALSE(read_binary_file(file.path).ok());
+
+  // Truncation anywhere: never loads.
+  spill(file.path, pristine.substr(0, pristine.size() - 3));
+  EXPECT_FALSE(read_binary_file(file.path).ok());
+  spill(file.path, pristine.substr(0, 10));
+  EXPECT_FALSE(read_binary_file(file.path).ok());
+
+  // Trailing garbage after the checksum: rejected, not ignored.
+  spill(file.path, pristine + "xx");
+  EXPECT_FALSE(read_binary_file(file.path).ok());
+
+  // Bad magic / unknown version.
+  bytes = pristine;
+  bytes[0] ^= 0x01;
+  spill(file.path, bytes);
+  EXPECT_FALSE(read_binary_file(file.path).ok());
+  EXPECT_FALSE(is_binary_graph_file(file.path));
+  bytes = pristine;
+  bytes[8] ^= 0x01;  // version word follows the 8-byte magic
+  spill(file.path, bytes);
+  EXPECT_FALSE(read_binary_file(file.path).ok());
+
+  // Missing file and a text-format file: sniff says no, reader errors.
+  EXPECT_FALSE(is_binary_graph_file(file.path + ".does-not-exist"));
+  EXPECT_FALSE(read_binary_file(file.path + ".does-not-exist").ok());
+  spill(file.path, to_text(f.g));
+  EXPECT_FALSE(is_binary_graph_file(file.path));
+  EXPECT_FALSE(read_binary_file(file.path).ok());
 }
 
 }  // namespace
