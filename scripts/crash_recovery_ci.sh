@@ -136,5 +136,23 @@ else
   echo "crash_recovery_ci: $GEN_FIXTURE missing, skipping corpus soak" >&2
 fi
 
+# Serve-mode kill/restore soak: the chaos bench drives concurrent
+# sessions against the relsched_serve daemon under injected filesystem
+# faults, SIGKILLs the server mid-stream, restarts it, and hard-fails
+# unless every post-restart reply digest is bit-identical to a serial
+# oracle (see bench/bench_serve.cpp). Runs when the harness is built;
+# the cli-only CI job skips it.
+BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
+if [ -x "$BENCH_SERVE" ]; then
+  echo "== serve: chaos kill/restore soak =="
+  if ! "$BENCH_SERVE" --check-only --out "$WORK/BENCH_serve_ci.json"; then
+    echo "FAIL: serve-mode chaos soak (kill/restore or digest gate)" >&2
+    exit 1
+  fi
+  total=$((total + 1))
+else
+  echo "crash_recovery_ci: $BENCH_SERVE not built, skipping serve soak" >&2
+fi
+
 echo "== crash recovery soak passed: $total iterations," \
      "$killed mid-flight kills, all resumes bit-identical =="

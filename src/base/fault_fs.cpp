@@ -1,0 +1,175 @@
+#include "base/fault_fs.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "base/env.hpp"
+
+namespace relsched::base {
+
+namespace {
+
+/// splitmix64: the repo-wide seeded stream (matches the generator's).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultFsConfig FaultFsConfig::from_env() {
+  FaultFsConfig config;
+  const char* raw = std::getenv("RELSCHED_FAULTFS");
+  if (raw == nullptr || std::string_view(raw).empty() ||
+      std::string_view(raw) == "off") {
+    return config;
+  }
+  // "seed[,write10k[,fsync10k[,rename10k[,enospc10k]]]]", all decimal.
+  long long fields[5] = {0, 0, 0, 0, 0};
+  int parsed = 0;
+  std::string_view rest(raw);
+  while (parsed < 5 && !rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string token(rest.substr(0, comma));
+    char* end = nullptr;
+    errno = 0;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (errno != 0 || end == token.c_str() || *end != '\0' || value < 0) {
+      if (base::detail::first_warning_for("RELSCHED_FAULTFS")) {
+        std::fprintf(stderr,
+                     "relsched: ignoring RELSCHED_FAULTFS=\"%s\" "
+                     "(expected \"seed[,write10k[,fsync10k[,rename10k"
+                     "[,enospc10k]]]]\" or \"off\"); faults disabled\n",
+                     raw);
+      }
+      return FaultFsConfig{};
+    }
+    fields[parsed++] = value;
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  config.seed = static_cast<std::uint64_t>(fields[0]);
+  config.write_per10k = static_cast<int>(fields[1]);
+  config.fsync_per10k = static_cast<int>(fields[2]);
+  config.rename_per10k = static_cast<int>(fields[3]);
+  config.write_enospc_per10k = static_cast<int>(fields[4]);
+  return config;
+}
+
+void FaultFs::arm(const FaultFsConfig& config) {
+  armed_.store(false, std::memory_order_release);
+  config_ = config;
+  calls_.store(0, std::memory_order_relaxed);
+  short_writes_.store(0, std::memory_order_relaxed);
+  eintr_.store(0, std::memory_order_relaxed);
+  eagain_.store(0, std::memory_order_relaxed);
+  enospc_.store(0, std::memory_order_relaxed);
+  fsync_failures_.store(0, std::memory_order_relaxed);
+  rename_failures_.store(0, std::memory_order_relaxed);
+  const bool any = config.write_per10k > 0 || config.fsync_per10k > 0 ||
+                   config.rename_per10k > 0;
+  armed_.store(any, std::memory_order_release);
+}
+
+void FaultFs::disarm() { armed_.store(false, std::memory_order_release); }
+
+std::uint64_t FaultFs::draw(int per10k) {
+  // One global call counter across classes: the k-th wrapped call's
+  // fate is mix64(seed ^ k), deterministic per (seed, call order).
+  const std::uint64_t k = calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t r = mix64(config_.seed ^ (k * 0x632be59bd9b4e019ULL));
+  if (per10k <= 0 || r % 10000 >= static_cast<std::uint64_t>(per10k)) {
+    return 0;
+  }
+  // Nonzero selector, independent of the fire/no-fire bits.
+  return mix64(r) | 1;
+}
+
+ssize_t FaultFs::write(int fd, const void* buf, std::size_t count) {
+  if (armed_.load(std::memory_order_acquire)) {
+    if (const std::uint64_t sel = draw(config_.write_per10k); sel != 0) {
+      if (sel % 10000 < static_cast<std::uint64_t>(config_.write_enospc_per10k)) {
+        enospc_.fetch_add(1, std::memory_order_relaxed);
+        errno = ENOSPC;
+        return -1;
+      }
+      switch ((sel >> 16) % 3) {
+        case 0:
+          eintr_.fetch_add(1, std::memory_order_relaxed);
+          errno = EINTR;
+          return -1;
+        case 1:
+          eagain_.fetch_add(1, std::memory_order_relaxed);
+          errno = EAGAIN;
+          return -1;
+        default:
+          if (count > 1) {
+            // Short write: the kernel accepted a prefix. Write it for
+            // real so a retrying caller ends with the correct bytes.
+            short_writes_.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t partial = 1 + (sel >> 32) % (count - 1);
+            return ::write(fd, buf, partial);
+          }
+          eintr_.fetch_add(1, std::memory_order_relaxed);
+          errno = EINTR;
+          return -1;
+      }
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+int FaultFs::fsync(int fd) {
+  if (armed_.load(std::memory_order_acquire)) {
+    if (const std::uint64_t sel = draw(config_.fsync_per10k); sel != 0) {
+      if ((sel >> 16) % 2 == 0) {
+        eintr_.fetch_add(1, std::memory_order_relaxed);
+        errno = EINTR;
+        return -1;
+      }
+      fsync_failures_.fetch_add(1, std::memory_order_relaxed);
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::fsync(fd);
+}
+
+int FaultFs::rename(const char* from, const char* to) {
+  if (armed_.load(std::memory_order_acquire)) {
+    if (draw(config_.rename_per10k) != 0) {
+      rename_failures_.fetch_add(1, std::memory_order_relaxed);
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::rename(from, to);
+}
+
+FaultFsCounters FaultFs::counters() const {
+  FaultFsCounters c;
+  c.short_writes = short_writes_.load(std::memory_order_relaxed);
+  c.eintr = eintr_.load(std::memory_order_relaxed);
+  c.eagain = eagain_.load(std::memory_order_relaxed);
+  c.enospc = enospc_.load(std::memory_order_relaxed);
+  c.fsync_failures = fsync_failures_.load(std::memory_order_relaxed);
+  c.rename_failures = rename_failures_.load(std::memory_order_relaxed);
+  return c;
+}
+
+FaultFs& fault_fs() {
+  static FaultFs* instance = [] {
+    auto* ff = new FaultFs();
+    ff->arm(FaultFsConfig::from_env());
+    return ff;
+  }();
+  return *instance;
+}
+
+}  // namespace relsched::base

@@ -1,0 +1,112 @@
+// Deterministic I/O fault injection for the persistence layer.
+//
+// Every file operation the persist layer performs (WAL appends,
+// snapshot writes, fsyncs, temp->final renames) routes through the
+// process-wide FaultFs wrappers below. By default they forward
+// straight to the raw syscalls with zero overhead beyond one relaxed
+// atomic load. When a fault schedule is armed -- programmatically via
+// FaultFs::arm(), or through the RELSCHED_FAULTFS environment variable
+// -- each call draws from a seeded splitmix64 stream and may instead:
+//
+//   write:  return a short count (partial write), or fail with EINTR,
+//           EAGAIN (transient: a retry succeeds), or ENOSPC (hard).
+//   fsync:  fail with EINTR (transient) or EIO (hard: the barrier is
+//           lost and the caller must treat the file as suspect).
+//   rename: fail with EIO, leaving the temp file in place -- the
+//           "torn rename" a crashed or full filesystem produces.
+//
+// Determinism: the decision for the k-th wrapped call is a pure
+// function of (seed, k, op class), so a failing chaos run replays
+// exactly from its seed. Faults are counted per class; the chaos
+// harness asserts the schedule actually fired.
+//
+// RELSCHED_FAULTFS syntax:
+// "seed[,write10k[,fsync10k[,rename10k[,enospc10k]]]]" where the *10k
+// values are per-10000 fault probabilities (default 0; e.g.
+// "7,200,100,100" injects faults on ~2% of writes and ~1% of fsyncs
+// and renames, with no hard ENOSPC). Unset or "off" disables
+// injection entirely.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace relsched::base {
+
+struct FaultFsConfig {
+  std::uint64_t seed = 0;
+  /// Per-10000 probability that one write()/fsync()/rename() call is
+  /// faulted. 0 disables that class.
+  int write_per10k = 0;
+  int fsync_per10k = 0;
+  int rename_per10k = 0;
+  /// Among faulted writes, per-10000 share that is the hard ENOSPC
+  /// (the rest split between short writes, EINTR and EAGAIN, which a
+  /// correct caller survives by retrying).
+  int write_enospc_per10k = 0;
+
+  /// Parses RELSCHED_FAULTFS (see file comment); all-zero when unset,
+  /// "off", or malformed (malformed values warn once via base::env).
+  [[nodiscard]] static FaultFsConfig from_env();
+};
+
+struct FaultFsCounters {
+  long long short_writes = 0;
+  long long eintr = 0;
+  long long eagain = 0;
+  long long enospc = 0;
+  long long fsync_failures = 0;
+  long long rename_failures = 0;
+
+  [[nodiscard]] long long total() const {
+    return short_writes + eintr + eagain + enospc + fsync_failures +
+           rename_failures;
+  }
+};
+
+class FaultFs {
+ public:
+  /// Installs `config` (replacing any previous schedule) and resets the
+  /// call counter and fault counters. Thread-safe; a config with all
+  /// probabilities zero is equivalent to disarm().
+  void arm(const FaultFsConfig& config);
+  void disarm();
+
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Syscall wrappers: identical contracts to the raw calls (including
+  /// errno on failure), except that an armed schedule may fault them.
+  ssize_t write(int fd, const void* buf, std::size_t count);
+  int fsync(int fd);
+  int rename(const char* from, const char* to);
+
+  /// Snapshot of the injected-fault counters (zeroed by arm()).
+  [[nodiscard]] FaultFsCounters counters() const;
+
+ private:
+  /// Draws the deterministic decision for the next call of one class;
+  /// returns 0 when the call must pass through, else a nonzero selector
+  /// the caller maps onto its fault kinds.
+  std::uint64_t draw(int per10k);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> calls_{0};
+  FaultFsConfig config_;
+  std::atomic<long long> short_writes_{0};
+  std::atomic<long long> eintr_{0};
+  std::atomic<long long> eagain_{0};
+  std::atomic<long long> enospc_{0};
+  std::atomic<long long> fsync_failures_{0};
+  std::atomic<long long> rename_failures_{0};
+};
+
+/// The process-wide instance every persist file op consults. Armed from
+/// RELSCHED_FAULTFS at first use; tests arm it directly.
+[[nodiscard]] FaultFs& fault_fs();
+
+}  // namespace relsched::base

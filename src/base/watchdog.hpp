@@ -112,6 +112,21 @@ class Watchdog {
   [[nodiscard]] bool stopped() const { return stop_ != Stop::kNone; }
   [[nodiscard]] Stop why() const { return stop_; }
   [[nodiscard]] std::uint64_t steps() const { return steps_; }
+  [[nodiscard]] Clock::time_point deadline() const { return deadline_; }
+
+  /// Wall-clock budget left before the deadline trips: zero once the
+  /// deadline has passed (or the watchdog already stopped for any
+  /// reason), Clock::duration::max() when no deadline is set. Lets a
+  /// caller holding a request-level watchdog hand the *shrinking*
+  /// budget down into nested computations (e.g. a serve request
+  /// spending part of its deadline on admission and the rest on the
+  /// resolve) instead of re-deriving it from the original budget.
+  [[nodiscard]] Clock::duration remaining() const {
+    if (stop_ != Stop::kNone) return Clock::duration::zero();
+    if (deadline_ == kNoDeadline) return Clock::duration::max();
+    const auto now = Clock::now();
+    return now >= deadline_ ? Clock::duration::zero() : deadline_ - now;
+  }
 
   /// Human rendering of why(), for messages and diagnostics.
   [[nodiscard]] const char* reason() const {

@@ -22,8 +22,10 @@ using Clock = std::chrono::steady_clock;
 /// Framed-file identity of session snapshots (see persist/serialize.hpp).
 constexpr std::string_view kSnapshotMagic = "RSNAP001";
 // v2: anchor analysis serialized as anchor-domain + bitset rows (the
-// struct-of-arrays core refactor); v1 snapshots are not readable.
-constexpr std::uint32_t kSnapshotVersion = 2;
+// struct-of-arrays core refactor). v3: SessionStats grew wal_retries
+// (the serving layer's flaky-filesystem counter). Older snapshots are
+// not readable.
+constexpr std::uint32_t kSnapshotVersion = 3;
 
 double us_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::micro>(b - a).count();
@@ -50,6 +52,7 @@ SessionStats SynthesisSession::stats() const {
   if (wal_ != nullptr) {
     s.wal_records = wal_->appended_records();
     s.wal_fsyncs = wal_->fsyncs();
+    s.wal_retries = wal_->retries();
   }
   return s;
 }
@@ -275,8 +278,20 @@ void SynthesisSession::cold_resolve() {
   if (const auto issues = graph_.validate(); !issues.empty()) {
     out.status = sched::ScheduleStatus::kInvalidGraph;
     out.message = issues.front().message;
+    // The order predates whatever made the graph invalid; reset (which
+    // fails on a forward cycle, flagging the order invalid) rather than
+    // keep serving -- and checkpointing -- a stale permutation.
+    (void)topo_.reset(graph_.project_forward());
     return;
   }
+  // Every later exit keeps the order coherent with the graph: failed
+  // resolves (infeasible, ill-posed, cancelled) do not patch the order
+  // edge-by-edge the way the warm path does, so without this reset a
+  // checkpoint taken after edit -> failed-resolve would persist an
+  // order the edited graph no longer satisfies, and restore would
+  // reject its own snapshot.
+  RELSCHED_CHECK(topo_.reset(graph_.project_forward()),
+                 "validated graph must have an acyclic Gf");
   // AnchorAnalysis::compute requires feasibility, so check() cannot be
   // deferred past it.
   if (!wellposed::is_feasible(graph_, &watchdog_)) {
@@ -306,11 +321,7 @@ void SynthesisSession::cold_resolve() {
   out = sched::schedule(graph_, products_.analysis, sopts);
   stats_.anchor_rows_recomputed += products_.analysis.rows_recomputed();
   stats_.anchor_rows_cold_equivalent += products_.analysis.rows_recomputed();
-  if (out.ok()) {
-    RELSCHED_CHECK(topo_.reset(graph_.project_forward()),
-                   "validated graph must have an acyclic Gf");
-    adopt_schedule();
-  }
+  if (out.ok()) adopt_schedule();
 }
 
 bool SynthesisSession::try_incremental(const std::vector<VertexId>& seeds,
@@ -572,7 +583,13 @@ persist::Error SynthesisSession::checkpoint(const std::string& dir) {
   w.b(topo_.valid());
   static const std::vector<int> kNoOrder;
   w.vec_i32(topo_.valid() ? topo_.order() : kNoOrder);
-  w.vec_i64(potentials_);
+  // Potentials are only a warm-start seed; after a structural edit they
+  // can be stale at the old cardinality, and restore would reject them.
+  static const std::vector<graph::Weight> kNoPotentials;
+  w.vec_i64(potentials_.size() ==
+                    static_cast<std::size_t>(graph_.vertex_count())
+                ? potentials_
+                : kNoPotentials);
   save_stats(w, stats_);
 
   if (persist::Error e =
@@ -837,6 +854,7 @@ void save_stats(persist::Writer& w, const SessionStats& stats) {
   w.i32(stats.restore_cold_fallbacks);
   w.i64(stats.wal_records);
   w.i64(stats.wal_fsyncs);
+  w.i64(stats.wal_retries);
   w.i64(stats.certified_resolves);
   w.i32(stats.certificate_failures);
   w.f64(stats.certify_us);
@@ -865,6 +883,7 @@ bool load_stats(persist::Reader& r, SessionStats* out) {
   out->restore_cold_fallbacks = r.i32();
   out->wal_records = r.i64();
   out->wal_fsyncs = r.i64();
+  out->wal_retries = r.i64();
   out->certified_resolves = r.i64();
   out->certificate_failures = r.i32();
   out->certify_us = r.f64();

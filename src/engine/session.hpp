@@ -212,6 +212,10 @@ struct SessionStats {
   /// Write-ahead-log traffic since the WAL was attached or last reset.
   long long wal_records = 0;
   long long wal_fsyncs = 0;
+  /// Transient WAL write failures (EINTR/EAGAIN/partial writes)
+  /// absorbed by the bounded-backoff retry loop. Nonzero without a WAL
+  /// error means appends survived a flaky filesystem.
+  long long wal_retries = 0;
 
   // ---- Certification -----------------------------------------------------
   /// Resolves whose products (or failure verdicts) passed independent
@@ -362,6 +366,20 @@ class SynthesisSession {
     options_.step_limit = step_limit;
   }
 
+  /// Forces the next resolve() to recompute everything from scratch
+  /// instead of patching cached products. Unlike mutable_graph() the
+  /// graph itself is untouched, so this is safe on journaled sessions;
+  /// the serving layer uses it to run quarantined (suspect) sessions
+  /// in certified-cold mode.
+  void force_cold() { force_cold_ = true; }
+
+  /// Toggles independent certification for subsequent resolves (see
+  /// SessionOptions::certify). The serving layer switches it on when a
+  /// poison request marks a session suspect.
+  void set_certify(bool on) { options_.certify = on; }
+
+  [[nodiscard]] bool certify_enabled() const { return options_.certify; }
+
   /// Replaces the pool the anchor-analysis phases run on (the
   /// Explorer installs its candidate pool here so in-resolve and
   /// candidate parallelism share one set of workers); nullptr reverts
@@ -385,6 +403,21 @@ class SynthesisSession {
       persist::WalOptions options = persist::WalOptions::from_env());
 
   [[nodiscard]] bool wal_attached() const { return wal_ != nullptr; }
+
+  /// Error state of the attached WAL (ok() when healthy or when no WAL
+  /// is attached). A dead log keeps the session serving -- appends
+  /// become no-ops -- but recovery would lose the un-logged suffix, so
+  /// callers that promise durability must watch this and rebuild.
+  [[nodiscard]] persist::Error wal_error() const {
+    return wal_ != nullptr ? wal_->error() : persist::Error{};
+  }
+
+  /// Drops the attached WAL (closing its file) without touching the
+  /// graph or products. Subsequent edits are no longer journaled. The
+  /// serving layer uses this to rebuild durability after a WAL hard
+  /// error: detach the dead log, snapshot the live state, re-attach a
+  /// fresh log.
+  void detach_wal() { wal_.reset(); }
 
   /// Writes a crash-consistent snapshot of the whole session (graph,
   /// products, stats, topological order) into `dir` via

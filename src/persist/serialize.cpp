@@ -3,14 +3,17 @@
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 
 #include "base/error.hpp"
+#include "base/fault_fs.hpp"
 #include "base/hash.hpp"
 #include "base/strings.hpp"
 
@@ -229,17 +232,49 @@ void fsync_parent_dir(const std::string& path) {
 
 }  // namespace
 
+void io_backoff(int attempt) {
+  // 50us << attempt: 50us, 100us, ..., ~6.4ms; ~13ms worst-case total
+  // over kMaxIoBackoffs attempts. Long enough for a genuinely
+  // transient condition to clear, short enough that a doomed write
+  // fails within one request deadline.
+  timespec ts{};
+  const long usec = 50L << (attempt < 0 ? 0 : attempt);
+  ts.tv_sec = usec / 1000000;
+  ts.tv_nsec = (usec % 1000000) * 1000;
+  ::nanosleep(&ts, nullptr);
+}
+
 Error atomic_write_file(const std::string& path, std::string_view data,
                         bool durable) {
-  const std::string tmp = cat(path, ".tmp");
+  // Unique temp name per (process, call): two sessions checkpointing
+  // into one shared directory must never scribble over each other's
+  // in-flight temp file -- a fixed "<path>.tmp" would let one writer's
+  // rename publish the *other* writer's half-written bytes as a
+  // complete checkpoint. With unique temps, whichever rename lands
+  // last wins atomically and both published states are internally
+  // consistent.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string tmp =
+      cat(path, ".tmp.", static_cast<long long>(::getpid()), ".",
+          static_cast<long long>(
+              sequence.fetch_add(1, std::memory_order_relaxed)));
+  base::FaultFs& fs = base::fault_fs();
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return errno_error("open", tmp);
+  // Transient write faults (EINTR/EAGAIN/short writes) are retried
+  // with bounded exponential backoff; anything that survives the
+  // retries (ENOSPC, EIO) aborts the write, and every abort path
+  // unlinks the temp file so a failed checkpoint can never leak one.
   std::size_t written = 0;
+  int backoffs = 0;
   while (written < data.size()) {
     const ssize_t n =
-        ::write(fd, data.data() + written, data.size() - written);
+        fs.write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if ((errno == EINTR || errno == EAGAIN) && backoffs < kMaxIoBackoffs) {
+        io_backoff(backoffs++);
+        continue;
+      }
       const Error e = errno_error("write", tmp);
       ::close(fd);
       ::unlink(tmp.c_str());
@@ -247,18 +282,29 @@ Error atomic_write_file(const std::string& path, std::string_view data,
     }
     written += static_cast<std::size_t>(n);
   }
-  if (durable && ::fsync(fd) != 0) {
-    const Error e = errno_error("fsync", tmp);
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return e;
+  if (durable) {
+    backoffs = 0;
+    while (fs.fsync(fd) != 0) {
+      if (errno == EINTR && backoffs < kMaxIoBackoffs) {
+        io_backoff(backoffs++);
+        continue;
+      }
+      const Error e = errno_error("fsync", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return e;
+    }
   }
   if (::close(fd) != 0) {
     const Error e = errno_error("close", tmp);
     ::unlink(tmp.c_str());
     return e;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (fs.rename(tmp.c_str(), path.c_str()) != 0) {
+    // The rename is the publish point; when it fails the target still
+    // holds its previous (complete) contents. Clean up the orphaned
+    // temp and surface a structured diag -- callers must see this as a
+    // failed checkpoint, not a silent partial one.
     const Error e = errno_error("rename", path);
     ::unlink(tmp.c_str());
     return e;

@@ -128,9 +128,23 @@ class Reader {
   bool fail_ = false;
 };
 
-/// Writes `path` atomically: the bytes land in `path + ".tmp"`, are
-/// fsync'd (when `durable`), and rename into place; the containing
-/// directory is fsync'd so the rename itself survives a power cut.
+// ---- Transient-fault policy ------------------------------------------------
+// Shared by every persist write path (atomic_write_file, the WAL):
+// EINTR/EAGAIN/short writes are retried up to kMaxIoBackoffs times
+// with exponential backoff (50us doubling, ~13ms worst-case total)
+// before the operation is declared fatal. Hard errors (ENOSPC, EIO)
+// are never retried.
+inline constexpr int kMaxIoBackoffs = 8;
+/// Sleeps for the `attempt`-th backoff interval (0-based).
+void io_backoff(int attempt);
+
+/// Writes `path` atomically: the bytes land in a uniquely-named
+/// "<path>.tmp.<pid>.<seq>" sibling (so concurrent writers sharing a
+/// directory cannot publish each other's partial bytes), are fsync'd
+/// (when `durable`), and rename into place; the containing directory
+/// is fsync'd so the rename itself survives a power cut. Every
+/// failure path -- including a failed temp->final rename -- unlinks
+/// the temp file and returns a structured Error.
 [[nodiscard]] Error atomic_write_file(const std::string& path,
                                       std::string_view data,
                                       bool durable = true);

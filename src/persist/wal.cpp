@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "base/env.hpp"
+#include "base/fault_fs.hpp"
 #include "base/strings.hpp"
 
 namespace relsched::persist {
@@ -56,15 +57,35 @@ Error errno_error(const char* op, const std::string& path) {
                      path);
 }
 
-bool write_all(int fd, std::string_view data) {
+/// Writes all of `data`, retrying transient failures (EINTR, EAGAIN,
+/// short writes) with bounded exponential backoff before giving up.
+/// Each retry (including the resume after a short write) increments
+/// *retries, so callers can surface how hard the log is fighting the
+/// filesystem. Hard errors (ENOSPC, EIO, ...) fail immediately: a log
+/// that cannot grow is fatal, not worth stalling a commit point for.
+bool write_all(int fd, std::string_view data, long long* retries = nullptr) {
   std::size_t written = 0;
+  int backoffs = 0;
   while (written < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    const ssize_t n = base::fault_fs().write(fd, data.data() + written,
+                                             data.size() - written);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if ((errno == EINTR || errno == EAGAIN) && backoffs < kMaxIoBackoffs) {
+        io_backoff(backoffs++);
+        if (retries != nullptr) ++*retries;
+        continue;
+      }
       return false;
     }
+    if (static_cast<std::size_t>(n) < data.size() - written &&
+        retries != nullptr) {
+      // Partial write: not an error from write(2)'s point of view, but
+      // the append is only durable once the tail lands; count the
+      // resume as a retry so SessionStats shows the churn.
+      ++*retries;
+    }
     written += static_cast<std::size_t>(n);
+    if (n > 0) backoffs = 0;  // forward progress resets the budget
   }
   return true;
 }
@@ -214,7 +235,7 @@ std::unique_ptr<Wal> Wal::open(const std::string& path,
   if (data.empty()) {
     wal->base_revision_ = base_revision_if_new;
     const std::string header = encode_header(base_revision_if_new);
-    if (!write_all(fd, header) || ::fsync(fd) != 0) {
+    if (!write_all(fd, header, &wal->retries_) || ::fsync(fd) != 0) {
       *error = errno_error("write header", path);
       return nullptr;
     }
@@ -261,7 +282,7 @@ void Wal::append(const WalRecord& record) {
 
 bool Wal::flush() {
   if (buffer_.empty()) return true;
-  if (!write_all(fd_, buffer_)) {
+  if (!write_all(fd_, buffer_, &retries_)) {
     error_ = errno_error("append", path_);
     return false;
   }
@@ -288,7 +309,13 @@ void Wal::sync_for_commit() {
 void Wal::sync_now() {
   if (!error_.ok()) return;
   if (!flush()) return;
-  if (::fsync(fd_) != 0) {
+  int backoffs = 0;
+  while (base::fault_fs().fsync(fd_) != 0) {
+    if (errno == EINTR && backoffs < kMaxIoBackoffs) {
+      io_backoff(backoffs++);
+      ++retries_;
+      continue;
+    }
     error_ = errno_error("fsync", path_);
     return;
   }
@@ -306,7 +333,7 @@ Error Wal::reset(std::uint64_t new_base_revision) {
     return error_;
   }
   const std::string header = encode_header(new_base_revision);
-  if (!write_all(fd_, header) || ::fsync(fd_) != 0) {
+  if (!write_all(fd_, header, &retries_) || ::fsync(fd_) != 0) {
     error_ = errno_error("rewrite header", path_);
     return error_;
   }

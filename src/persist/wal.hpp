@@ -118,6 +118,11 @@ class Wal {
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] long long appended_records() const { return appended_; }
   [[nodiscard]] long long fsyncs() const { return fsyncs_; }
+  /// Transient write failures (EINTR/EAGAIN/partial writes) absorbed by
+  /// the bounded-backoff retry loop before the append succeeded. A
+  /// nonzero count with error().ok() means the log fought the
+  /// filesystem and won; surfaced as SessionStats::wal_retries.
+  [[nodiscard]] long long retries() const { return retries_; }
 
   struct ReadResult {
     /// Fatal problem (file unusable); records empty.
@@ -150,6 +155,7 @@ class Wal {
   Error error_;
   long long appended_ = 0;
   long long fsyncs_ = 0;
+  long long retries_ = 0;
   std::chrono::steady_clock::time_point last_sync_{};
 };
 

@@ -1,0 +1,112 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "base/strings.hpp"
+
+namespace relsched::serve {
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(const std::string& path,
+                     std::chrono::milliseconds timeout, std::string* error) {
+  close();
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    *error = cat("socket path too long: ", path);
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  int last_errno = 0;
+  do {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = cat("socket: ", std::strerror(errno));
+      return false;
+    }
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      fd_ = fd;
+      return true;
+    }
+    last_errno = errno;
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (std::chrono::steady_clock::now() < give_up);
+  *error = cat("connect ", path, ": ", std::strerror(last_errno));
+  return false;
+}
+
+bool Client::call(const Json& request, Json* reply, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!write_frame(fd_, request.render())) {
+    *error = cat("send: ", std::strerror(errno));
+    close();
+    return false;
+  }
+  std::string payload;
+  std::string frame_error;
+  if (!read_frame(fd_, &payload, &frame_error)) {
+    *error = frame_error.empty() ? "connection closed by server"
+                                 : frame_error;
+    close();
+    return false;
+  }
+  std::string parse_error;
+  std::optional<Json> parsed = Json::parse(payload, &parse_error);
+  if (!parsed.has_value() || !parsed->is_object()) {
+    *error = cat("malformed reply: ", parse_error);
+    close();
+    return false;
+  }
+  *reply = std::move(*parsed);
+  return true;
+}
+
+bool Client::call_with_backoff(const Json& request, Json* reply,
+                               std::chrono::milliseconds budget,
+                               std::string* error) {
+  const auto give_up = std::chrono::steady_clock::now() + budget;
+  while (true) {
+    if (!call(request, reply, error)) return false;
+    const Json* ok = reply->get("ok");
+    const Json* code = reply->get("code");
+    if ((ok != nullptr && ok->as_bool()) || code == nullptr ||
+        code->as_string() != kCodeRetryAfter) {
+      return true;
+    }
+    long long backoff_ms = 20;
+    if (const Json* suggested = reply->get("retry_after_ms");
+        suggested != nullptr && suggested->as_int() > 0) {
+      backoff_ms = suggested->as_int();
+    }
+    if (std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(backoff_ms) >
+        give_up) {
+      return true;  // out of budget: hand the RETRY_AFTER to the caller
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+}
+
+}  // namespace relsched::serve

@@ -1,0 +1,54 @@
+// Blocking client for the relsched_serve wire protocol: connect (with
+// retry while the server is still binding or restarting), one
+// request/reply exchange per call, and a retry helper that honors
+// RETRY_AFTER backpressure. Used by bench_serve's load generator and
+// the serve tests; thin enough that its failure modes are the
+// transport's, not its own.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace relsched::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the unix socket at `path`, retrying (10ms cadence)
+  /// until `timeout` elapses -- the server may still be binding, or a
+  /// chaos harness may be restarting it. False with *error on failure.
+  [[nodiscard]] bool connect(const std::string& path,
+                             std::chrono::milliseconds timeout,
+                             std::string* error);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One exchange: send `request`, block for the reply. False (with
+  /// *error, and the connection closed) on any transport failure --
+  /// the caller reconnects and re-synchronizes; with a SIGKILL-happy
+  /// server there is no way to know whether the request landed.
+  [[nodiscard]] bool call(const Json& request, Json* reply,
+                          std::string* error);
+
+  /// call(), retrying RETRY_AFTER replies with the server-suggested
+  /// backoff until `budget` elapses. Transport failures still return
+  /// false immediately (reconnection is the caller's policy decision);
+  /// a RETRY_AFTER that outlives the budget is returned as-is.
+  [[nodiscard]] bool call_with_backoff(const Json& request, Json* reply,
+                                       std::chrono::milliseconds budget,
+                                       std::string* error);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace relsched::serve

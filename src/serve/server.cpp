@@ -1,0 +1,1127 @@
+#include "serve/server.hpp"
+
+#include <dirent.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/strings.hpp"
+#include "cg/graph_io.hpp"
+#include "persist/serialize.hpp"
+#include "persist/snapshot.hpp"
+#include "sched/scheduler.hpp"
+
+namespace relsched::serve {
+
+namespace {
+
+constexpr int kShardCount = 16;
+
+std::string hex16(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex16(const std::string& s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+Json error_reply(const char* code, std::string detail) {
+  Json reply = Json::object();
+  reply.set("ok", Json::boolean(false));
+  reply.set("code", Json::string(code));
+  reply.set("error", Json::string(std::move(detail)));
+  return reply;
+}
+
+Json retry_reply(int retry_after_ms, const char* what) {
+  Json reply = error_reply(kCodeRetryAfter, what);
+  reply.set("retry_after_ms",
+            Json::number(static_cast<long long>(retry_after_ms)));
+  return reply;
+}
+
+/// mkdir -p: every missing component of `dir`, parents first.
+bool make_dirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) return false;
+  }
+  return true;
+}
+
+/// One session slot. The entry persists in its shard for as long as the
+/// design is known, whether the session object itself is live or
+/// evicted to disk; `mutex` is the single-writer serialization point
+/// for everything behind it.
+struct SessionEntry {
+  std::mutex mutex;
+  /// Requests admitted for this session and not yet finished. An
+  /// atomic, not guarded by `mutex`: admission control must shed load
+  /// without queueing on the very lock it protects.
+  std::atomic<int> pending{0};
+
+  std::uint64_t hash = 0;
+  std::string dir;  // state_dir/s-<hex16>
+
+  // ---- Guarded by `mutex` from here on ------------------------------------
+  std::unique_ptr<engine::SynthesisSession> session;  // null when evicted
+  /// Revision of the freshly-parsed design graph, before any client
+  /// edit. Stable across cold rebuilds (graph construction is
+  /// deterministic from the design text), so clients recompute
+  /// applied-edit counts as revision - base_revision after a crash.
+  std::uint64_t base_revision = 0;
+  bool quarantined = false;
+  bool durability_lost = false;
+  std::string quarantine_reason;
+  /// LRU clock: monotonically increasing touch stamp.
+  std::uint64_t last_touch = 0;
+};
+
+struct Shard {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions;
+};
+
+/// Removes "<name>.tmp.<pid>.<seq>" leftovers a SIGKILL mid-
+/// atomic_write_file can strand in `dir`. Run per session directory at
+/// startup: a temp from a dead process is garbage by definition (its
+/// rename never happened, the target still holds the previous complete
+/// contents).
+void sweep_stale_temps(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.find(".tmp.") != std::string::npos) {
+      ::unlink(cat(dir, "/", name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+}  // namespace
+
+std::uint64_t products_digest(const engine::Products& products) {
+  persist::Writer w;
+  w.u8(static_cast<std::uint8_t>(products.schedule.status));
+  persist::save_schedule(w, products.schedule.schedule);
+  return persist::fnv1a64(w.buffer());
+}
+
+struct Server::Impl {
+  explicit Impl(const ServerOptions& opts) : options(opts) {}
+
+  ServerOptions options;
+
+  int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};
+  std::atomic<bool> shutting_down{false};
+  /// Shared cancel flag threaded into every resolve, so shutdown stops
+  /// long-running work within one watchdog quantum.
+  base::CancelToken shutdown_cancel = base::CancelToken::make();
+
+  Shard shards[kShardCount];
+  std::atomic<int> live_sessions{0};
+  std::atomic<int> pending_total{0};
+  std::atomic<int> active_connections{0};
+  std::atomic<std::uint64_t> touch_clock{0};
+
+  std::mutex stats_mutex;
+  ServerStats stats;
+
+  // ---- Admission -----------------------------------------------------------
+
+  /// Counts one request against both bounded queues for its lifetime.
+  class Admission {
+   public:
+    Admission(Impl& impl, SessionEntry& entry) : impl_(impl), entry_(entry) {
+      impl_.pending_total.fetch_add(1, std::memory_order_relaxed);
+      entry_.pending.fetch_add(1, std::memory_order_relaxed);
+    }
+    Admission(const Admission&) = delete;
+    Admission& operator=(const Admission&) = delete;
+    ~Admission() {
+      impl_.pending_total.fetch_sub(1, std::memory_order_relaxed);
+      entry_.pending.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /// Null when admitted; a RETRY_AFTER reply when a queue is full.
+    Json shed_reply() const {
+      if (impl_.pending_total.load(std::memory_order_relaxed) >
+          impl_.options.max_pending_total) {
+        impl_.bump(&ServerStats::shed_server_busy);
+        return retry_reply(impl_.options.retry_after_ms, "server queue full");
+      }
+      if (entry_.pending.load(std::memory_order_relaxed) >
+          impl_.options.max_pending_per_session) {
+        impl_.bump(&ServerStats::shed_session_busy);
+        return retry_reply(impl_.options.retry_after_ms, "session queue full");
+      }
+      return Json::null();
+    }
+
+   private:
+    Impl& impl_;
+    SessionEntry& entry_;
+  };
+
+  // ---- Small helpers -------------------------------------------------------
+
+  Shard& shard_for(std::uint64_t hash) { return shards[hash % kShardCount]; }
+
+  std::shared_ptr<SessionEntry> find_entry(std::uint64_t hash) {
+    Shard& shard = shard_for(hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.sessions.find(hash);
+    return it == shard.sessions.end() ? nullptr : it->second;
+  }
+
+  void remove_entry(std::uint64_t hash) {
+    Shard& shard = shard_for(hash);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.sessions.erase(hash);
+  }
+
+  void bump(long long ServerStats::* counter, long long by = 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.*counter += by;
+  }
+
+  [[nodiscard]] engine::SessionOptions session_options() const {
+    engine::SessionOptions so;
+    so.certify = options.certify;
+    so.threads = options.threads;
+    return so;
+  }
+
+  [[nodiscard]] static std::string design_path(const SessionEntry& entry) {
+    return cat(entry.dir, "/design.cg");
+  }
+
+  /// Marks `entry` (whose mutex the caller holds) suspect: pinned live,
+  /// certified-cold from now on.
+  void quarantine(SessionEntry& entry, std::string reason) {
+    if (!entry.quarantined) {
+      entry.quarantined = true;
+      bump(&ServerStats::quarantines);
+    }
+    entry.quarantine_reason = std::move(reason);
+    if (entry.session != nullptr) {
+      entry.session->set_certify(true);
+      entry.session->force_cold();
+    }
+  }
+
+  // ---- Session lifecycle ---------------------------------------------------
+
+  /// Ensures `entry` (mutex held) has a live session, restoring from
+  /// its checkpoint or cold-rebuilding from the design text stashed at
+  /// open. Returns a non-empty error only when even the cold rebuild is
+  /// impossible (state dir destroyed). `*restored`, when non-null, is
+  /// set when the snapshot restore path succeeded.
+  std::string ensure_live(SessionEntry& entry, bool* restored = nullptr) {
+    if (entry.session != nullptr) return {};
+
+    const std::string snap = persist::snapshot_path(entry.dir);
+    if (!entry.quarantined && ::access(snap.c_str(), F_OK) == 0) {
+      engine::SynthesisSession::RestoreReport report;
+      std::optional<engine::SynthesisSession> recovered =
+          engine::SynthesisSession::restore(entry.dir, session_options(),
+                                            &report);
+      if (recovered.has_value()) {
+        entry.session =
+            std::make_unique<engine::SynthesisSession>(std::move(*recovered));
+        live_sessions.fetch_add(1, std::memory_order_relaxed);
+        bump(&ServerStats::restores);
+        if (restored != nullptr) *restored = true;
+        attach_wal(entry);
+        if (entry.base_revision == 0) {
+          entry.base_revision = base_revision_of(entry);
+        }
+        return {};
+      }
+      // The snapshot (or its WAL) is unusable; fall back to the cold
+      // rebuild below. Counted and logged -- silent fallbacks hide rot.
+      bump(&ServerStats::restore_cold_rebuilds);
+      std::fprintf(stderr,
+                   "relsched_serve: restore of %s failed (%s); rebuilding "
+                   "cold from the design\n",
+                   entry.dir.c_str(), report.error.render().c_str());
+    }
+
+    std::string design;
+    if (persist::Error e = persist::read_file(design_path(entry), &design);
+        !e.ok()) {
+      return cat("cold rebuild impossible: ", e.render());
+    }
+    cg::ParseResult parsed = cg::from_text(design);
+    if (!parsed.ok()) {
+      return cat("cold rebuild impossible: stashed design unparsable: ",
+                 parsed.error);
+    }
+    // The old snapshot/WAL describe a state line this rebuild abandons;
+    // drop them so a later restore cannot resurrect it.
+    ::unlink(snap.c_str());
+    ::unlink(persist::wal_path(entry.dir).c_str());
+    entry.session = std::make_unique<engine::SynthesisSession>(
+        std::move(*parsed.graph), session_options());
+    entry.base_revision = entry.session->graph().revision();
+    live_sessions.fetch_add(1, std::memory_order_relaxed);
+    attach_wal(entry);
+    return {};
+  }
+
+  /// Attaches the per-session WAL. Failure is not fatal to serving --
+  /// the session stays live -- but flags durability_lost until a later
+  /// heal_wal succeeds.
+  void attach_wal(SessionEntry& entry) {
+    if (entry.session == nullptr || entry.session->wal_attached()) return;
+    if (persist::Error e = entry.session->attach_wal(
+            persist::wal_path(entry.dir), options.wal);
+        !e.ok()) {
+      entry.durability_lost = true;
+      return;
+    }
+    entry.durability_lost = false;
+  }
+
+  /// After a request that appended to the WAL: if the log died, rebuild
+  /// durability from live state (detach the dead log, snapshot, attach
+  /// a fresh log). Entry mutex held.
+  void heal_wal(SessionEntry& entry) {
+    if (entry.session == nullptr || entry.session->wal_error().ok()) return;
+    entry.durability_lost = true;
+    entry.session->detach_wal();
+    ::unlink(persist::wal_path(entry.dir).c_str());
+    if (entry.session->in_txn()) return;  // heal at the next quiet point
+    if (persist::Error e = entry.session->checkpoint(entry.dir); !e.ok()) {
+      bump(&ServerStats::checkpoint_failures);
+      return;  // still serving, still flagged; retried on the next edit
+    }
+    attach_wal(entry);
+    if (!entry.durability_lost) bump(&ServerStats::wal_rebuilds);
+  }
+
+  /// The design graph's revision before any client edit, recovered by
+  /// re-parsing the stashed text (graph construction is deterministic).
+  std::uint64_t base_revision_of(const SessionEntry& entry) {
+    std::string design;
+    if (!persist::read_file(design_path(entry), &design).ok()) return 0;
+    cg::ParseResult parsed = cg::from_text(design);
+    return parsed.ok() ? parsed.graph->revision() : 0;
+  }
+
+  /// Checkpoints and destroys the session object (entry mutex held).
+  /// False when the checkpoint failed -- the session then stays live,
+  /// because dropping state that never reached disk would lose
+  /// acknowledged edits.
+  bool evict_locked(SessionEntry& entry) {
+    if (entry.session == nullptr) return true;
+    if (entry.session->in_txn()) return false;
+    if (persist::Error e = entry.session->checkpoint(entry.dir); !e.ok()) {
+      bump(&ServerStats::checkpoint_failures);
+      return false;
+    }
+    entry.session.reset();
+    live_sessions.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Evicts least-recently-touched idle sessions until the live count
+  /// is back under the cap. Skips busy (pending > 0), quarantined
+  /// (pinned: their snapshots are never trusted), and lock-contended
+  /// entries; best-effort by design.
+  void evict_lru(std::uint64_t keep_hash) {
+    for (int rounds = 0;
+         live_sessions.load(std::memory_order_relaxed) >
+             options.max_live_sessions &&
+         rounds < options.max_live_sessions + 1;
+         ++rounds) {
+      std::shared_ptr<SessionEntry> victim;
+      std::uint64_t oldest = ~std::uint64_t{0};
+      for (Shard& shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        for (auto& [hash, entry] : shard.sessions) {
+          if (hash == keep_hash || entry->quarantined) continue;
+          if (entry->pending.load(std::memory_order_relaxed) > 0) continue;
+          std::unique_lock<std::mutex> entry_lock(entry->mutex,
+                                                  std::try_to_lock);
+          if (!entry_lock.owns_lock() || entry->session == nullptr) continue;
+          if (entry->last_touch < oldest) {
+            oldest = entry->last_touch;
+            victim = entry;
+          }
+        }
+      }
+      if (victim == nullptr) return;  // everything is busy or pinned
+      std::unique_lock<std::mutex> lock(victim->mutex, std::try_to_lock);
+      if (!lock.owns_lock() || victim->session == nullptr ||
+          victim->pending.load(std::memory_order_relaxed) > 0) {
+        continue;  // raced with a request; rescan
+      }
+      if (!evict_locked(*victim)) return;
+      bump(&ServerStats::evictions);
+    }
+  }
+
+  void maybe_evict_after(std::uint64_t keep_hash) {
+    if (live_sessions.load(std::memory_order_relaxed) >
+        options.max_live_sessions) {
+      evict_lru(keep_hash);
+    }
+  }
+
+  /// Shutdown path: every live session reaches disk (or, for
+  /// quarantined sessions, has its untrusted on-disk state scrubbed so
+  /// the next process rebuilds cold from the design).
+  void checkpoint_all() {
+    for (Shard& shard : shards) {
+      std::vector<std::shared_ptr<SessionEntry>> entries;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        entries.reserve(shard.sessions.size());
+        for (auto& [hash, entry] : shard.sessions) entries.push_back(entry);
+      }
+      for (auto& entry : entries) {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        if (entry->session == nullptr) continue;
+        if (entry->quarantined || !evict_locked(*entry)) {
+          entry->session.reset();
+          live_sessions.fetch_sub(1, std::memory_order_relaxed);
+          if (entry->quarantined) {
+            ::unlink(persist::snapshot_path(entry->dir).c_str());
+            ::unlink(persist::wal_path(entry->dir).c_str());
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Request handling ----------------------------------------------------
+
+  /// Deadline for this request: the server default, shrunk (never
+  /// extended) by a client-supplied deadline_ms.
+  [[nodiscard]] std::chrono::steady_clock::time_point request_deadline(
+      const Json& request) const {
+    std::chrono::milliseconds budget = options.default_deadline;
+    if (const Json* ms = request.get("deadline_ms");
+        ms != nullptr && ms->is_number() && ms->as_int() > 0) {
+      const std::chrono::milliseconds asked{ms->as_int()};
+      budget = budget.count() == 0 ? asked : std::min(budget, asked);
+    }
+    if (budget.count() == 0) return base::Watchdog::kNoDeadline;
+    return std::chrono::steady_clock::now() + budget;
+  }
+
+  /// Outcome fields shared by edit/resolve replies.
+  static void fill_products_reply(Json& reply,
+                                  const engine::SynthesisSession& session) {
+    const engine::Products& products = session.products();
+    reply.set("revision", Json::number(static_cast<long long>(
+                              session.graph().revision())));
+    reply.set("status",
+              Json::string(sched::to_string(products.schedule.status)));
+    reply.set("digest", Json::string(hex16(products_digest(products))));
+  }
+
+  Json handle_ping() {
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("server", Json::string("relsched_serve"));
+    return reply;
+  }
+
+  Json handle_open(const Json& request) {
+    const Json* design = request.get("design_text");
+    if (design == nullptr || !design->is_string()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, "open requires design_text");
+    }
+    cg::ParseResult parsed = cg::from_text(design->as_string());
+    if (!parsed.ok()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, cat("design: ", parsed.error));
+    }
+    const std::string canonical = cg::to_text(*parsed.graph);
+    const std::uint64_t hash = persist::fnv1a64(canonical);
+
+    Shard& shard = shard_for(hash);
+    std::shared_ptr<SessionEntry> entry;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.sessions.find(hash);
+      if (it != shard.sessions.end()) {
+        entry = it->second;
+      } else {
+        entry = std::make_shared<SessionEntry>();
+        entry->hash = hash;
+        entry->dir = cat(options.state_dir, "/s-", hex16(hash));
+        shard.sessions.emplace(hash, entry);
+      }
+    }
+
+    Admission admission(*this, *entry);
+    if (Json shed = admission.shed_reply(); shed.is_object()) return shed;
+
+    bool restored = false;
+    Json reply = Json::object();
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+      if (entry->session == nullptr &&
+          ::access(design_path(*entry).c_str(), F_OK) != 0) {
+        // Brand-new design: stash the canonical text (the cold-rebuild
+        // seed) before any session state exists, then build fresh.
+        if (::mkdir(entry->dir.c_str(), 0755) != 0 && errno != EEXIST) {
+          remove_entry(hash);
+          return error_reply(
+              kCodeIo, cat("mkdir ", entry->dir, ": ", std::strerror(errno)));
+        }
+        // The stash write rides through transient I/O faults the same
+        // way the WAL does: a few short-backoff retries. Only a
+        // persistent failure (disk really gone) surfaces to the client.
+        persist::Error stash_error;
+        for (int attempt = 0; attempt < 5; ++attempt) {
+          stash_error =
+              persist::atomic_write_file(design_path(*entry), canonical);
+          if (stash_error.ok()) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (!stash_error.ok()) {
+          remove_entry(hash);
+          return error_reply(kCodeIo, stash_error.render());
+        }
+        entry->session = std::make_unique<engine::SynthesisSession>(
+            std::move(*parsed.graph), session_options());
+        entry->base_revision = entry->session->graph().revision();
+        live_sessions.fetch_add(1, std::memory_order_relaxed);
+        attach_wal(*entry);
+      } else if (entry->session == nullptr) {
+        // Known design (from this process or a predecessor's state
+        // dir); bring it back.
+        if (std::string err = ensure_live(*entry, &restored); !err.empty()) {
+          return error_reply(kCodeIo, err);
+        }
+      }
+      if (entry->quarantined) {
+        entry->session->set_certify(true);
+        entry->session->force_cold();
+      }
+      reply.set("ok", Json::boolean(true));
+      reply.set("session", Json::string(hex16(hash)));
+      reply.set("revision", Json::number(static_cast<long long>(
+                                entry->session->graph().revision())));
+      reply.set("base_revision",
+                Json::number(static_cast<long long>(entry->base_revision)));
+      reply.set("restored", Json::boolean(restored));
+      reply.set("quarantined", Json::boolean(entry->quarantined));
+      reply.set("durability_lost", Json::boolean(entry->durability_lost));
+    }
+    maybe_evict_after(hash);
+    return reply;
+  }
+
+  /// Validated form of one edit in an "edit" request's batch.
+  struct Edit {
+    enum class Kind { kAddMin, kAddMax, kSetDelay, kRemove, kSetBound };
+    Kind kind = Kind::kAddMin;
+    int a = 0;  // from / vertex / edge
+    int b = 0;  // to
+    long long cycles = 0;
+  };
+
+  /// Parses and range-checks the batch up front, so a malformed edit is
+  /// rejected before the transaction opens (no partially-applied junk
+  /// for trivially-detectable garbage).
+  static bool parse_edits(const Json& request, const cg::ConstraintGraph& g,
+                          std::vector<Edit>* out, std::string* error) {
+    const Json* edits = request.get("edits");
+    if (edits == nullptr || !edits->is_array()) {
+      *error = "edit requires an edits array";
+      return false;
+    }
+    constexpr long long kMaxCycles = 1'000'000'000;
+    const int vertices = g.vertex_count();
+    const int edges = g.edge_count();
+    for (std::size_t i = 0; i < edits->size(); ++i) {
+      const Json& e = *edits->at(i);
+      const Json* kind = e.get("kind");
+      if (kind == nullptr || !kind->is_string()) {
+        *error = cat("edit #", i, ": missing kind");
+        return false;
+      }
+      Edit parsed;
+      const std::string& k = kind->as_string();
+      auto field = [&e](const char* name, long long fallback) {
+        const Json* v = e.get(name);
+        return v != nullptr && v->is_number() ? v->as_int() : fallback;
+      };
+      if (k == "add_min" || k == "add_max") {
+        parsed.kind = k == "add_min" ? Edit::Kind::kAddMin : Edit::Kind::kAddMax;
+        const long long from = field("from", -1);
+        const long long to = field("to", -1);
+        parsed.cycles = field("cycles", -1);
+        if (from < 0 || from >= vertices || to < 0 || to >= vertices ||
+            from == to || parsed.cycles < 0 || parsed.cycles > kMaxCycles) {
+          *error = cat("edit #", i, ": ", k, " operands out of range");
+          return false;
+        }
+        parsed.a = static_cast<int>(from);
+        parsed.b = static_cast<int>(to);
+      } else if (k == "set_delay") {
+        parsed.kind = Edit::Kind::kSetDelay;
+        const long long vertex = field("vertex", -1);
+        parsed.cycles = field("cycles", -2);
+        if (vertex < 0 || vertex >= vertices || parsed.cycles < -1 ||
+            parsed.cycles > kMaxCycles) {
+          *error = cat("edit #", i, ": set_delay operands out of range");
+          return false;
+        }
+        parsed.a = static_cast<int>(vertex);
+      } else if (k == "remove_constraint" || k == "set_bound") {
+        parsed.kind = k == "set_bound" ? Edit::Kind::kSetBound
+                                       : Edit::Kind::kRemove;
+        const long long edge = field("edge", -1);
+        parsed.cycles = field("cycles", 0);
+        if (edge < 0 || edge >= edges ||
+            (parsed.kind == Edit::Kind::kSetBound &&
+             (parsed.cycles < 0 || parsed.cycles > kMaxCycles))) {
+          *error = cat("edit #", i, ": ", k, " operands out of range");
+          return false;
+        }
+        parsed.a = static_cast<int>(edge);
+      } else {
+        *error = cat("edit #", i, ": unknown kind \"", k, "\"");
+        return false;
+      }
+      out->push_back(parsed);
+    }
+    return true;
+  }
+
+  /// Looks up the session named by the request. On any failure, returns
+  /// a ready error reply in *fail.
+  std::shared_ptr<SessionEntry> lookup(const Json& request, Json* fail) {
+    const Json* sid = request.get("session");
+    std::uint64_t hash = 0;
+    if (sid == nullptr || !sid->is_string() ||
+        !parse_hex16(sid->as_string(), &hash)) {
+      bump(&ServerStats::bad_requests);
+      *fail = error_reply(kCodeBadRequest, "missing or malformed session id");
+      return nullptr;
+    }
+    std::shared_ptr<SessionEntry> entry = find_entry(hash);
+    if (entry == nullptr) {
+      *fail = error_reply(kCodeUnknownSession, sid->as_string());
+      return nullptr;
+    }
+    return entry;
+  }
+
+  /// Shared epilogue of edit/resolve: poison detection. Certificate
+  /// failures and watchdog trips mark the session suspect; shutdown
+  /// cancellations are not poison (the request was healthy, the server
+  /// is leaving).
+  Json judge_outcome(SessionEntry& entry, int certificate_failures_before,
+                     Json reply) {
+    engine::SynthesisSession& session = *entry.session;
+    if (session.stats().certificate_failures > certificate_failures_before) {
+      quarantine(entry, "certificate failure");
+    }
+    if (session.products().schedule.status ==
+        sched::ScheduleStatus::kCancelled) {
+      bump(&ServerStats::deadline_trips);
+      if (!shutting_down.load(std::memory_order_relaxed)) {
+        quarantine(entry, "request deadline tripped mid-resolve");
+      }
+      return error_reply(kCodeDeadline, "resolve cancelled by deadline");
+    }
+    heal_wal(entry);
+    reply.set("quarantined", Json::boolean(entry.quarantined));
+    reply.set("durability_lost", Json::boolean(entry.durability_lost));
+    return reply;
+  }
+
+  Json handle_edit(const Json& request) {
+    Json fail;
+    std::shared_ptr<SessionEntry> entry = lookup(request, &fail);
+    if (entry == nullptr) return fail;
+    Admission admission(*this, *entry);
+    if (Json shed = admission.shed_reply(); shed.is_object()) return shed;
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+    if (std::string err = ensure_live(*entry); !err.empty()) {
+      return error_reply(kCodeIo, err);
+    }
+    engine::SynthesisSession& session = *entry->session;
+
+    std::vector<Edit> edits;
+    std::string parse_error;
+    if (!parse_edits(request, session.graph(), &edits, &parse_error)) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, parse_error);
+    }
+
+    session.set_cancellation(shutdown_cancel, request_deadline(request));
+    if (entry->quarantined) {
+      session.set_certify(true);
+      session.force_cold();
+    }
+    const int cert_failures_before = session.stats().certificate_failures;
+    try {
+      session.begin_txn();
+      for (const Edit& e : edits) {
+        switch (e.kind) {
+          case Edit::Kind::kAddMin:
+            session.add_min_constraint(VertexId(e.a), VertexId(e.b),
+                                       static_cast<int>(e.cycles));
+            break;
+          case Edit::Kind::kAddMax:
+            session.add_max_constraint(VertexId(e.a), VertexId(e.b),
+                                       static_cast<int>(e.cycles));
+            break;
+          case Edit::Kind::kSetDelay:
+            session.set_delay(VertexId(e.a),
+                              e.cycles < 0 ? cg::Delay::unbounded()
+                                           : cg::Delay::bounded(
+                                                 static_cast<int>(e.cycles)));
+            break;
+          case Edit::Kind::kRemove:
+            session.remove_constraint(EdgeId(e.a));
+            break;
+          case Edit::Kind::kSetBound:
+            session.set_constraint_bound(EdgeId(e.a),
+                                         static_cast<int>(e.cycles));
+            break;
+        }
+      }
+      session.commit();
+    } catch (const std::exception& ex) {
+      // A structurally-valid edit the graph still rejected (e.g.
+      // removing a polarity-critical edge), or an engine invariant
+      // trip. Close the transaction if one is open so the session
+      // stays usable; either way the session is now suspect.
+      bump(&ServerStats::internal_errors);
+      std::string detail = ex.what();
+      try {
+        if (session.in_txn()) session.commit();
+      } catch (const std::exception&) {
+        // Even the commit failed: the in-memory state is beyond
+        // salvage. Drop it; the next touch cold-rebuilds from the
+        // design (quarantine below forces the untrusted snapshot to be
+        // ignored).
+        entry->session.reset();
+        live_sessions.fetch_sub(1, std::memory_order_relaxed);
+      }
+      quarantine(*entry, cat("edit raised: ", detail));
+      Json reply = error_reply(kCodeBadRequest, detail);
+      if (entry->session != nullptr) {
+        reply.set("revision", Json::number(static_cast<long long>(
+                                  session.graph().revision())));
+      }
+      reply.set("quarantined", Json::boolean(true));
+      return reply;
+    }
+    bump(&ServerStats::edits_applied, static_cast<long long>(edits.size()));
+    bump(&ServerStats::resolves);
+
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("edits_applied", Json::number(static_cast<long long>(
+                                   edits.size())));
+    fill_products_reply(reply, session);
+    return judge_outcome(*entry, cert_failures_before, std::move(reply));
+  }
+
+  Json handle_resolve(const Json& request) {
+    Json fail;
+    std::shared_ptr<SessionEntry> entry = lookup(request, &fail);
+    if (entry == nullptr) return fail;
+    Admission admission(*this, *entry);
+    if (Json shed = admission.shed_reply(); shed.is_object()) return shed;
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+    if (std::string err = ensure_live(*entry); !err.empty()) {
+      return error_reply(kCodeIo, err);
+    }
+    engine::SynthesisSession& session = *entry->session;
+    session.set_cancellation(shutdown_cancel, request_deadline(request));
+    if (entry->quarantined) {
+      session.set_certify(true);
+      session.force_cold();
+    }
+    const int cert_failures_before = session.stats().certificate_failures;
+    try {
+      session.resolve();
+    } catch (const std::exception& ex) {
+      bump(&ServerStats::internal_errors);
+      quarantine(*entry, cat("resolve raised: ", ex.what()));
+      return error_reply(kCodeInternal, ex.what());
+    }
+    bump(&ServerStats::resolves);
+
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    fill_products_reply(reply, session);
+    return judge_outcome(*entry, cert_failures_before, std::move(reply));
+  }
+
+  Json handle_evict(const Json& request) {
+    Json fail;
+    std::shared_ptr<SessionEntry> entry = lookup(request, &fail);
+    if (entry == nullptr) return fail;
+    Admission admission(*this, *entry);
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    Json reply = Json::object();
+    if (entry->quarantined) {
+      return error_reply(kCodeBadRequest,
+                         "quarantined sessions are pinned live");
+    }
+    if (entry->session != nullptr && !evict_locked(*entry)) {
+      return error_reply(kCodeIo, "checkpoint failed; session kept live");
+    }
+    bump(&ServerStats::evictions);
+    reply.set("ok", Json::boolean(true));
+    reply.set("evicted", Json::boolean(true));
+    return reply;
+  }
+
+  Json handle_close(const Json& request) {
+    Json fail;
+    std::shared_ptr<SessionEntry> entry = lookup(request, &fail);
+    if (entry == nullptr) return fail;
+    Admission admission(*this, *entry);
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->session != nullptr) {
+      if (entry->quarantined) {
+        // Untrusted state is never persisted; scrub it.
+        entry->session.reset();
+        live_sessions.fetch_sub(1, std::memory_order_relaxed);
+        ::unlink(persist::snapshot_path(entry->dir).c_str());
+        ::unlink(persist::wal_path(entry->dir).c_str());
+      } else if (!evict_locked(*entry)) {
+        return error_reply(kCodeIo, "checkpoint failed; session kept open");
+      }
+    }
+    remove_entry(entry->hash);
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    return reply;
+  }
+
+  Json handle_stats(const Json& request) {
+    if (const Json* sid = request.get("session"); sid != nullptr) {
+      Json fail;
+      std::shared_ptr<SessionEntry> entry = lookup(request, &fail);
+      if (entry == nullptr) return fail;
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      Json reply = Json::object();
+      reply.set("ok", Json::boolean(true));
+      reply.set("live", Json::boolean(entry->session != nullptr));
+      reply.set("quarantined", Json::boolean(entry->quarantined));
+      reply.set("quarantine_reason", Json::string(entry->quarantine_reason));
+      reply.set("durability_lost", Json::boolean(entry->durability_lost));
+      reply.set("base_revision",
+                Json::number(static_cast<long long>(entry->base_revision)));
+      if (entry->session != nullptr) {
+        const engine::SessionStats s = entry->session->stats();
+        reply.set("revision", Json::number(static_cast<long long>(
+                                  entry->session->graph().revision())));
+        reply.set("cold_resolves", Json::number(
+                                       static_cast<long long>(s.cold_resolves)));
+        reply.set("warm_resolves", Json::number(
+                                       static_cast<long long>(s.warm_resolves)));
+        reply.set("wal_records", Json::number(s.wal_records));
+        reply.set("wal_retries", Json::number(s.wal_retries));
+        reply.set("certificate_failures",
+                  Json::number(static_cast<long long>(s.certificate_failures)));
+        reply.set("restores", Json::number(static_cast<long long>(s.restores)));
+      }
+      return reply;
+    }
+
+    ServerStats snapshot;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      snapshot = stats;
+    }
+    snapshot.live_sessions = live_sessions.load(std::memory_order_relaxed);
+    snapshot.known_sessions = 0;
+    snapshot.quarantined_sessions = 0;
+    for (Shard& shard : shards) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      snapshot.known_sessions += static_cast<int>(shard.sessions.size());
+      for (auto& [hash, entry] : shard.sessions) {
+        // Benign race: quarantined is read without the entry mutex, for
+        // a gauge.
+        if (entry->quarantined) ++snapshot.quarantined_sessions;
+      }
+    }
+
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("requests", Json::number(snapshot.requests));
+    reply.set("edits_applied", Json::number(snapshot.edits_applied));
+    reply.set("resolves", Json::number(snapshot.resolves));
+    reply.set("shed_session_busy", Json::number(snapshot.shed_session_busy));
+    reply.set("shed_server_busy", Json::number(snapshot.shed_server_busy));
+    reply.set("shed_connections", Json::number(snapshot.shed_connections));
+    reply.set("bad_requests", Json::number(snapshot.bad_requests));
+    reply.set("evictions", Json::number(snapshot.evictions));
+    reply.set("restores", Json::number(snapshot.restores));
+    reply.set("restore_cold_rebuilds",
+              Json::number(snapshot.restore_cold_rebuilds));
+    reply.set("quarantines", Json::number(snapshot.quarantines));
+    reply.set("deadline_trips", Json::number(snapshot.deadline_trips));
+    reply.set("internal_errors", Json::number(snapshot.internal_errors));
+    reply.set("checkpoint_failures",
+              Json::number(snapshot.checkpoint_failures));
+    reply.set("wal_rebuilds", Json::number(snapshot.wal_rebuilds));
+    reply.set("live_sessions",
+              Json::number(static_cast<long long>(snapshot.live_sessions)));
+    reply.set("known_sessions",
+              Json::number(static_cast<long long>(snapshot.known_sessions)));
+    reply.set("quarantined_sessions",
+              Json::number(static_cast<long long>(
+                  snapshot.quarantined_sessions)));
+    return reply;
+  }
+
+  Json handle_shutdown() {
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    trigger_shutdown();
+    return reply;
+  }
+
+  Json dispatch(const std::string& payload) {
+    std::string parse_error;
+    std::optional<Json> request = Json::parse(payload, &parse_error);
+    if (!request.has_value() || !request->is_object()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, parse_error.empty()
+                                              ? "request is not a JSON object"
+                                              : parse_error);
+    }
+    const Json* op = request->get("op");
+    if (op == nullptr || !op->is_string()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, "missing op");
+    }
+    if (shutting_down.load(std::memory_order_relaxed)) {
+      return error_reply(kCodeShuttingDown, "server is shutting down");
+    }
+    const std::string& name = op->as_string();
+    try {
+      if (name == "ping") return handle_ping();
+      if (name == "open") return handle_open(*request);
+      if (name == "edit") return handle_edit(*request);
+      if (name == "resolve") return handle_resolve(*request);
+      if (name == "evict") return handle_evict(*request);
+      if (name == "close") return handle_close(*request);
+      if (name == "stats") return handle_stats(*request);
+      if (name == "shutdown") return handle_shutdown();
+    } catch (const std::exception& ex) {
+      // Last-ditch isolation: no request may take the process down.
+      bump(&ServerStats::internal_errors);
+      return error_reply(kCodeInternal, ex.what());
+    }
+    bump(&ServerStats::bad_requests);
+    return error_reply(kCodeBadRequest, cat("unknown op \"", name, "\""));
+  }
+
+  // ---- Transport -----------------------------------------------------------
+
+  void connection_loop(int fd) {
+    while (!shutting_down.load(std::memory_order_relaxed)) {
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 200);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0) continue;  // idle; re-check the shutdown flag
+      std::string payload;
+      std::string error;
+      if (!read_frame(fd, &payload, &error)) {
+        if (!error.empty()) {
+          // Protocol violation (e.g. oversized frame): tell the peer
+          // why before hanging up, best effort.
+          (void)write_frame(fd,
+                            error_reply(kCodeBadRequest, error).render());
+        }
+        break;
+      }
+      bump(&ServerStats::requests);
+      const Json reply = dispatch(payload);
+      if (!write_frame(fd, reply.render())) break;
+    }
+    ::close(fd);
+    active_connections.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void trigger_shutdown() noexcept {
+    shutting_down.store(true, std::memory_order_relaxed);
+    shutdown_cancel.request_cancel();
+    if (wake_pipe[1] >= 0) {
+      const char byte = 'x';
+      // Best effort; the poll timeout is the fallback wake-up.
+      (void)!::write(wake_pipe[1], &byte, 1);
+    }
+  }
+
+  bool start(std::string* error) {
+    if (options.socket_path.empty() || options.state_dir.empty()) {
+      *error = "socket_path and state_dir are required";
+      return false;
+    }
+    if (!make_dirs(options.state_dir)) {
+      *error = cat("mkdir ", options.state_dir, ": ", std::strerror(errno));
+      return false;
+    }
+    // Janitor pass: a predecessor killed mid-checkpoint strands
+    // uniquely-named temp files in its session dirs; none are live
+    // state (their renames never happened), so scrub them now rather
+    // than leak.
+    if (DIR* root = ::opendir(options.state_dir.c_str()); root != nullptr) {
+      while (struct dirent* ent = ::readdir(root)) {
+        const std::string name = ent->d_name;
+        if (name.rfind("s-", 0) == 0) {
+          sweep_stale_temps(cat(options.state_dir, "/", name));
+        }
+      }
+      ::closedir(root);
+    }
+    if (::pipe(wake_pipe) != 0) {
+      *error = cat("pipe: ", std::strerror(errno));
+      return false;
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.size() >= sizeof addr.sun_path) {
+      *error = cat("socket path too long: ", options.socket_path);
+      return false;
+    }
+    std::memcpy(addr.sun_path, options.socket_path.c_str(),
+                options.socket_path.size() + 1);
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      *error = cat("socket: ", std::strerror(errno));
+      return false;
+    }
+    // A previous hard kill leaves the socket file behind; it is dead
+    // (no listener), so replacing it is safe.
+    ::unlink(options.socket_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd, 128) != 0) {
+      *error = cat("bind/listen ", options.socket_path, ": ",
+                   std::strerror(errno));
+      ::close(listen_fd);
+      listen_fd = -1;
+      return false;
+    }
+    return true;
+  }
+
+  void serve_forever() {
+    while (!shutting_down.load(std::memory_order_relaxed)) {
+      struct pollfd fds[2] = {{listen_fd, POLLIN, 0},
+                              {wake_pipe[0], POLLIN, 0}};
+      const int ready = ::poll(fds, 2, 500);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (ready == 0 || (fds[1].revents & POLLIN) != 0) continue;
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      if (active_connections.load(std::memory_order_relaxed) >=
+          options.max_connections) {
+        bump(&ServerStats::shed_connections);
+        (void)write_frame(
+            fd, retry_reply(options.retry_after_ms, "connection limit")
+                    .render());
+        ::close(fd);
+        continue;
+      }
+      active_connections.fetch_add(1, std::memory_order_relaxed);
+      std::thread([this, fd] { connection_loop(fd); }).detach();
+    }
+
+    // Drain: stop accepting, cancel in-flight resolves, wait for the
+    // connection threads (each exits within one poll timeout), persist.
+    ::close(listen_fd);
+    listen_fd = -1;
+    ::unlink(options.socket_path.c_str());
+    shutdown_cancel.request_cancel();
+    for (int spins = 0;
+         active_connections.load(std::memory_order_relaxed) > 0 &&
+         spins < 2000;
+         ++spins) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    checkpoint_all();
+  }
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_pipe[0] >= 0) ::close(wake_pipe[0]);
+    if (wake_pipe[1] >= 0) ::close(wake_pipe[1]);
+  }
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      impl_(std::make_unique<Impl>(options_)) {}
+
+Server::~Server() = default;
+
+bool Server::start(std::string* error) { return impl_->start(error); }
+
+void Server::serve_forever() { impl_->serve_forever(); }
+
+void Server::shutdown() noexcept { impl_->trigger_shutdown(); }
+
+}  // namespace relsched::serve

@@ -1,0 +1,159 @@
+// relsched_serve: a fault-tolerant multi-session synthesis service.
+//
+// The server multiplexes many concurrent SynthesisSessions behind one
+// AF_UNIX socket speaking the length-prefixed JSON protocol of
+// protocol.hpp. Robustness is the design driver, in layers:
+//
+//   Isolation    Sessions live in a sharded map keyed by the fnv1a64
+//                hash of the design's canonical text. Each session has
+//                its own mutex -- a single-writer serialization point
+//                -- so request handling on one design never blocks or
+//                corrupts another. Heavy resolves still share the
+//                process-wide base::shared_pool() for their anchor
+//                phases (SessionOptions::threads == 0), so concurrency
+//                across sessions does not oversubscribe the machine.
+//
+//   Admission    Two bounded queues -- per-session and whole-server
+//                pending-request counts -- shed excess load with an
+//                explicit RETRY_AFTER reply instead of queueing
+//                unboundedly. A connection cap sheds whole connections
+//                the same way. Every request runs under a
+//                base::Watchdog deadline (server default, clamped
+//                against a client-requested "deadline_ms"); the
+//                shrinking remainder (Watchdog::remaining) is
+//                propagated into the resolve's cancellation knobs.
+//
+//   Eviction     When live sessions exceed max_live_sessions, the
+//                least-recently-touched idle session is checkpointed
+//                to its RSNAP001 state directory and destroyed. The
+//                next request touching it transparently restores from
+//                the snapshot + WAL; a restore failure falls back to a
+//                cold rebuild from the design text stashed at open
+//                (counted, never fatal).
+//
+//   Quarantine   A poison request -- certificate failure, watchdog
+//                trip, or a thrown ApiError -- marks the session
+//                suspect: it is pinned live (never evicted, so a
+//                possibly-poisoned snapshot is never trusted) and runs
+//                certified-cold (force_cold + certify on) from then
+//                on. One bad design cannot poison its shard.
+//
+//   Durability   Sessions journal every edit to a per-session WAL;
+//                commit markers are made durable *before* products are
+//                recomputed, so with RELSCHED_CHECKPOINT_SYNC=always
+//                an acknowledged edit survives SIGKILL. A WAL hard
+//                error (ENOSPC, EIO) flags the session
+//                durability_lost and triggers a rebuild: detach the
+//                dead log, snapshot live state, re-attach fresh.
+//
+// Shutdown (SIGINT/SIGTERM or the "shutdown" op) is graceful:
+// in-flight resolves are cancelled through a shared token, every live
+// session is checkpointed, and the process exits 0. Recovery after a
+// hard kill is lazy: state directories are restored on first touch.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/session.hpp"
+#include "serve/protocol.hpp"
+
+namespace relsched::serve {
+
+struct ServerOptions {
+  /// AF_UNIX socket path to listen on (required; stale files from a
+  /// previous hard kill are unlinked at bind).
+  std::string socket_path;
+  /// Root for per-session state directories (design text, snapshot,
+  /// WAL); created if absent. Required.
+  std::string state_dir;
+
+  /// Live (in-memory) session cap: beyond it the LRU idle session is
+  /// evicted to its snapshot.
+  int max_live_sessions = 64;
+  /// Concurrent connection cap; excess connections get one
+  /// RETRY_AFTER reply and are closed.
+  int max_connections = 128;
+  /// Bounded queues: requests pending on one session / on the whole
+  /// server. Breach -> RETRY_AFTER.
+  int max_pending_per_session = 8;
+  int max_pending_total = 256;
+  /// Suggested client backoff carried in RETRY_AFTER replies.
+  int retry_after_ms = 20;
+
+  /// Per-request deadline; a client "deadline_ms" can shrink but never
+  /// extend it. Zero disables (not recommended outside tests).
+  std::chrono::milliseconds default_deadline{5000};
+
+  /// Baseline certification policy for healthy sessions (quarantined
+  /// sessions are always certified, regardless).
+  bool certify = engine::certify_default();
+  /// SessionOptions::threads for every session (0 = shared pool).
+  int threads = 0;
+  /// WAL durability policy for every session.
+  persist::WalOptions wal = persist::WalOptions::from_env();
+};
+
+/// Whole-server counters, all monotone except the gauges at the end.
+/// Rendered by the "stats" op; the chaos bench asserts on the shedding
+/// and recovery counters.
+struct ServerStats {
+  long long requests = 0;
+  long long edits_applied = 0;
+  long long resolves = 0;
+  long long shed_session_busy = 0;  // per-session queue full
+  long long shed_server_busy = 0;   // whole-server queue full
+  long long shed_connections = 0;   // connection cap breached
+  long long bad_requests = 0;
+  long long evictions = 0;
+  long long restores = 0;               // snapshot restores that worked
+  long long restore_cold_rebuilds = 0;  // restore failed -> rebuilt cold
+  long long quarantines = 0;            // sessions newly marked suspect
+  long long deadline_trips = 0;         // watchdog-cancelled requests
+  long long internal_errors = 0;        // caught exceptions
+  long long checkpoint_failures = 0;
+  long long wal_rebuilds = 0;  // durability rebuilt after a WAL error
+  // Gauges, sampled when stats are rendered.
+  int live_sessions = 0;
+  int known_sessions = 0;
+  int quarantined_sessions = 0;
+};
+
+/// Digest of one resolve's observable outcome: fnv1a64 over the status
+/// byte plus the serialized relative schedule. The serve protocol's
+/// "digest" reply field is hex16 of this; the chaos bench computes the
+/// same digest on a serial oracle session to assert bit-identity.
+[[nodiscard]] std::uint64_t products_digest(const engine::Products& products);
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates the state dir, binds and listens on the unix socket.
+  /// False (with *error set) on any setup failure; nothing to clean up.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Accept loop. Returns when shutdown() was called or a "shutdown"
+  /// request arrived, after draining connections and checkpointing
+  /// every live session.
+  void serve_forever();
+
+  /// Requests shutdown. Async-signal-safe: one atomic store plus one
+  /// write(2) to a wake pipe.
+  void shutdown() noexcept;
+
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Impl;
+  ServerOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace relsched::serve

@@ -126,6 +126,37 @@ TEST(Watchdog, ExpiredDeadlineTripsAtConstruction) {
   EXPECT_EQ(dog2.why(), base::Watchdog::Stop::kCancelled);
 }
 
+TEST(Watchdog, RemainingReportsShrinkingBudget) {
+  // No deadline: the budget is unbounded.
+  base::Watchdog unbounded(base::CancelToken{}, base::Watchdog::kNoDeadline,
+                           0);
+  EXPECT_EQ(unbounded.remaining(),
+            base::Watchdog::Clock::duration::max());
+
+  // A live deadline: remaining is positive and never exceeds the
+  // original budget (it only shrinks).
+  const auto budget = std::chrono::seconds(60);
+  base::Watchdog live(base::CancelToken{},
+                      base::Watchdog::Clock::now() + budget, 0);
+  const auto left = live.remaining();
+  EXPECT_GT(left, base::Watchdog::Clock::duration::zero());
+  EXPECT_LE(left, budget);
+
+  // A passed deadline clamps to zero rather than going negative.
+  base::Watchdog expired(
+      base::CancelToken{},
+      base::Watchdog::Clock::now() - std::chrono::milliseconds(1), 0);
+  EXPECT_EQ(expired.remaining(), base::Watchdog::Clock::duration::zero());
+
+  // Any stop condition -- not just the deadline -- zeroes the budget:
+  // nested work handed a stopped watchdog's remainder must not run.
+  base::CancelToken cancelled = base::CancelToken::make();
+  cancelled.request_cancel();
+  base::Watchdog stopped(cancelled, base::Watchdog::Clock::now() + budget,
+                         0);
+  EXPECT_EQ(stopped.remaining(), base::Watchdog::Clock::duration::zero());
+}
+
 TEST(Watchdog, StepLimitIsExact) {
   base::Watchdog dog(base::CancelToken{}, base::Watchdog::kNoDeadline, 5);
   EXPECT_FALSE(dog.charge(5));  // exactly at the limit: still fine

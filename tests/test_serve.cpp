@@ -1,0 +1,476 @@
+// The serve layer: wire-protocol JSON round-trips and framing, then
+// the full daemon loop over a real AF_UNIX socket -- session reuse,
+// forced eviction + transparent restore (digest-stable), admission
+// shedding, poison-request quarantine, and graceful shutdown.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "cg/graph_io.hpp"
+#include "engine/session.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "testutil.hpp"
+
+namespace relsched::serve {
+namespace {
+
+/// Null-safe field access: absent keys read as JSON null instead of
+/// dereferencing nullptr, so a bad reply fails the EXPECT, not the
+/// process.
+const Json& field(const Json& reply, const char* key) {
+  static const Json kNull;
+  const Json* value = reply.get(key);
+  return value != nullptr ? *value : kNull;
+}
+
+TEST(Json, BuilderRenderParseRoundTrip) {
+  Json request = Json::object();
+  request.set("op", Json::string("edit"));
+  request.set("count", Json::number(42LL));
+  request.set("flag", Json::boolean(true));
+  request.set("nothing", Json::null());
+  Json items = Json::array();
+  items.push(Json::number(1LL));
+  items.push(Json::string("two"));
+  request.set("items", std::move(items));
+
+  const std::string text = request.render();
+  std::string error;
+  std::optional<Json> parsed = Json::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(field(*parsed, "op").as_string(), "edit");
+  EXPECT_EQ(field(*parsed, "count").as_int(), 42);
+  EXPECT_TRUE(field(*parsed, "flag").as_bool());
+  ASSERT_EQ(field(*parsed, "items").size(), 2u);
+  EXPECT_EQ(field(*parsed, "items").at(1)->as_string(), "two");
+  EXPECT_EQ(parsed->get("missing"), nullptr);
+  // Render -> parse -> render is a fixed point (insertion order).
+  EXPECT_EQ(parsed->render(), text);
+}
+
+TEST(Json, StringEscapesSurviveRoundTrip) {
+  const std::string hairy =
+      std::string("line\nbreak\ttab \"quote\" \\ ") + '\x01' + " control";
+  Json v = Json::object();
+  v.set("s", Json::string(hairy));
+  std::string error;
+  std::optional<Json> parsed = Json::parse(v.render(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(field(*parsed, "s").as_string(), hairy);
+
+  // \uXXXX escapes, including a surrogate pair, decode to UTF-8.
+  std::optional<Json> u =
+      Json::parse(R"({"s":"a\u00e9\ud83d\ude00z"})", &error);
+  ASSERT_TRUE(u.has_value()) << error;
+  EXPECT_EQ(field(*u, "s").as_string(), "a\xc3\xa9\xf0\x9f\x98\x80z");
+}
+
+TEST(Json, MalformedInputsRejectedWithError) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{\"a\":}",
+      "{\"a\":1,}",
+      "[1 2]",
+      "{\"a\":\"unterminated}",
+      "tru",
+      "{\"a\":1} trailing",
+      R"({"s":"\ud800"})",  // lone high surrogate
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(Json, DepthCapRejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < kMaxJsonDepth + 1; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(Json::parse(deep, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Framing, RoundTripOversizeAndCleanEof) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  const std::string payload = R"({"op":"ping"})";
+  ASSERT_TRUE(write_frame(fds[0], payload));
+  std::string got, error;
+  ASSERT_TRUE(read_frame(fds[1], &got, &error)) << error;
+  EXPECT_EQ(got, payload);
+
+  // An oversized length prefix is a protocol violation, not an OOM.
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  char prefix[4];
+  std::memcpy(prefix, &huge, 4);
+  ASSERT_EQ(::write(fds[0], prefix, 4), 4);
+  EXPECT_FALSE(read_frame(fds[1], &got, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Closing the peer reads as clean EOF: false with an empty error.
+  ::close(fds[0]);
+  error = "sentinel";
+  EXPECT_FALSE(read_frame(fds[1], &got, &error));
+  EXPECT_TRUE(error.empty());
+  ::close(fds[1]);
+}
+
+// ---- End-to-end daemon tests ----------------------------------------------
+
+/// A server on a real unix socket plus a helper to call it; the server
+/// thread is stopped via Server::shutdown() and joined in the
+/// destructor.
+struct LiveServer {
+  ServerOptions options;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+  std::string root;
+
+  explicit LiveServer(int max_live = 64, int max_connections = 16) {
+    root = ::testing::TempDir() + "relsched_serve_XXXXXX";
+    EXPECT_NE(::mkdtemp(root.data()), nullptr);
+    options.socket_path = root + "/sock";
+    options.state_dir = root + "/state";
+    options.max_live_sessions = max_live;
+    options.max_connections = max_connections;
+    options.certify = false;
+    server = std::make_unique<Server>(options);
+    std::string error;
+    EXPECT_TRUE(server->start(&error)) << error;
+    thread = std::thread([this] { server->serve_forever(); });
+  }
+
+  ~LiveServer() {
+    server->shutdown();
+    if (thread.joinable()) thread.join();
+  }
+
+  Json call(Client& client, const Json& request) {
+    Json reply;
+    std::string error;
+    EXPECT_TRUE(client.call_with_backoff(request, &reply,
+                                         std::chrono::seconds(10), &error))
+        << error;
+    return reply;
+  }
+
+  Client connect() {
+    Client client;
+    std::string error;
+    EXPECT_TRUE(
+        client.connect(options.socket_path, std::chrono::seconds(5), &error))
+        << error;
+    return client;
+  }
+};
+
+Json open_request(const std::string& design_text) {
+  Json request = Json::object();
+  request.set("op", Json::string("open"));
+  request.set("design_text", Json::string(design_text));
+  return request;
+}
+
+Json resolve_request(const std::string& sid) {
+  Json request = Json::object();
+  request.set("op", Json::string("resolve"));
+  request.set("session", Json::string(sid));
+  return request;
+}
+
+Json one_edit_request(const std::string& sid, Json edit) {
+  Json request = Json::object();
+  request.set("op", Json::string("edit"));
+  request.set("session", Json::string(sid));
+  Json edits = Json::array();
+  edits.push(std::move(edit));
+  request.set("edits", std::move(edits));
+  return request;
+}
+
+Json add_min_edit(int from, int to, long long cycles) {
+  Json edit = Json::object();
+  edit.set("kind", Json::string("add_min"));
+  edit.set("from", Json::number(static_cast<long long>(from)));
+  edit.set("to", Json::number(static_cast<long long>(to)));
+  edit.set("cycles", Json::number(cycles));
+  return edit;
+}
+
+TEST(ServeEndToEnd, OpenEditResolveAgreeWithLocalOracle) {
+  LiveServer live;
+  Client client = live.connect();
+
+  testing::Fig2Graph fig;
+  const std::string design = cg::to_text(fig.g);
+  Json opened = live.call(client, open_request(design));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+  const long long base = field(opened, "base_revision").as_int();
+  EXPECT_EQ(field(opened, "revision").as_int(), base);
+
+  Json edited = live.call(
+      client,
+      one_edit_request(sid, add_min_edit(fig.v0.value(), fig.v4.value(), 4)));
+  ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+  EXPECT_EQ(field(edited, "revision").as_int(), base + 1);
+  EXPECT_EQ(field(edited, "status").as_string(), "scheduled");
+
+  // The oracle: same design, same edit, no server.
+  testing::Fig2Graph oracle_fig;
+  engine::SessionOptions oracle_options;
+  oracle_options.certify = false;
+  oracle_options.threads = 1;
+  engine::SynthesisSession oracle(std::move(oracle_fig.g), oracle_options);
+  oracle.add_min_constraint(fig.v0, fig.v4, 4);
+  const engine::Products& products = oracle.resolve();
+  char expected[17];
+  std::snprintf(expected, sizeof expected, "%016llx",
+                static_cast<unsigned long long>(products_digest(products)));
+  EXPECT_EQ(field(edited, "digest").as_string(), expected);
+
+  Json resolved = live.call(client, resolve_request(sid));
+  ASSERT_TRUE(field(resolved, "ok").as_bool()) << resolved.render();
+  EXPECT_EQ(field(resolved, "digest").as_string(), expected);
+}
+
+TEST(ServeEndToEnd, EvictionAndRestoreKeepDigestsStable) {
+  // max_live_sessions = 1: opening the second design must evict the
+  // first; touching the first again restores it from its snapshot.
+  LiveServer live(/*max_live=*/1);
+  Client client = live.connect();
+
+  testing::Fig2Graph fig;
+  testing::Fig3bGraph other;
+
+  Json opened_a = live.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened_a, "ok").as_bool()) << opened_a.render();
+  const std::string sid_a = field(opened_a, "session").as_string();
+  Json edited = live.call(
+      client,
+      one_edit_request(sid_a,
+                       add_min_edit(fig.v0.value(), fig.v4.value(), 4)));
+  ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+  const std::string digest = field(edited, "digest").as_string();
+  const long long revision = field(edited, "revision").as_int();
+
+  Json opened_b = live.call(client, open_request(cg::to_text(other.g)));
+  ASSERT_TRUE(field(opened_b, "ok").as_bool()) << opened_b.render();
+
+  // Touching A again transparently restores it: same revision (no edit
+  // was lost) and the bit-identical digest.
+  Json resolved = live.call(client, resolve_request(sid_a));
+  ASSERT_TRUE(field(resolved, "ok").as_bool()) << resolved.render();
+  EXPECT_EQ(field(resolved, "revision").as_int(), revision);
+  EXPECT_EQ(field(resolved, "digest").as_string(), digest);
+
+  Json stats = Json::object();
+  stats.set("op", Json::string("stats"));
+  Json counters = live.call(client, stats);
+  EXPECT_GE(field(counters, "evictions").as_int(), 1);
+  EXPECT_GE(field(counters, "restores").as_int(), 1);
+  EXPECT_EQ(field(counters, "restore_cold_rebuilds").as_int(), 0);
+  EXPECT_EQ(field(counters, "quarantined_sessions").as_int(), 0);
+}
+
+TEST(ServeEndToEnd, ExplicitEvictThenEditResumesFromRevision) {
+  LiveServer live;
+  Client client = live.connect();
+  testing::Fig2Graph fig;
+  Json opened = live.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+  const long long base = field(opened, "base_revision").as_int();
+
+  Json e1 = live.call(
+      client,
+      one_edit_request(sid, add_min_edit(fig.v0.value(), fig.v4.value(), 4)));
+  ASSERT_TRUE(field(e1, "ok").as_bool()) << e1.render();
+
+  Json evict = Json::object();
+  evict.set("op", Json::string("evict"));
+  evict.set("session", Json::string(sid));
+  Json evicted = live.call(client, evict);
+  ASSERT_TRUE(field(evicted, "ok").as_bool()) << evicted.render();
+
+  Json e2 = live.call(
+      client,
+      one_edit_request(sid, add_min_edit(fig.v1.value(), fig.v3.value(), 1)));
+  ASSERT_TRUE(field(e2, "ok").as_bool()) << e2.render();
+  // Revision arithmetic continues across the evict/restore boundary:
+  // nothing acknowledged was lost.
+  EXPECT_EQ(field(e2, "revision").as_int(), base + 2);
+}
+
+TEST(ServeEndToEnd, PoisonEditQuarantinesButKeepsServing) {
+  LiveServer live;
+  Client client = live.connect();
+  testing::Fig2Graph fig;
+  Json opened = live.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+
+  // remove_constraint on a sequencing edge passes the range checks but
+  // violates an engine invariant (ApiError): a poison request.
+  Json poison = Json::object();
+  poison.set("kind", Json::string("remove_constraint"));
+  poison.set("edge", Json::number(0LL));
+  Json reply = live.call(client, one_edit_request(sid, std::move(poison)));
+  EXPECT_FALSE(field(reply, "ok").as_bool());
+  EXPECT_EQ(field(reply, "code").as_string(), kCodeBadRequest);
+  EXPECT_TRUE(field(reply, "quarantined").as_bool());
+
+  // The session is quarantined -- pinned live, certified cold -- but
+  // healthy requests still work.
+  Json per_session = Json::object();
+  per_session.set("op", Json::string("stats"));
+  per_session.set("session", Json::string(sid));
+  Json sstats = live.call(client, per_session);
+  EXPECT_TRUE(field(sstats, "quarantined").as_bool()) << sstats.render();
+
+  Json edited = live.call(
+      client,
+      one_edit_request(sid, add_min_edit(fig.v0.value(), fig.v4.value(), 4)));
+  ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+  EXPECT_EQ(field(edited, "status").as_string(), "scheduled");
+
+  // A quarantined session cannot be explicitly evicted: its snapshot
+  // line is not trusted.
+  Json evict = Json::object();
+  evict.set("op", Json::string("evict"));
+  evict.set("session", Json::string(sid));
+  Json evicted = live.call(client, evict);
+  EXPECT_FALSE(field(evicted, "ok").as_bool());
+  EXPECT_EQ(field(evicted, "code").as_string(), kCodeBadRequest);
+}
+
+TEST(ServeEndToEnd, UnknownSessionAndMalformedRequestsRejected) {
+  LiveServer live;
+  Client client = live.connect();
+
+  Json reply = live.call(client, resolve_request("00000000deadbeef"));
+  EXPECT_FALSE(field(reply, "ok").as_bool());
+  EXPECT_EQ(field(reply, "code").as_string(), kCodeUnknownSession);
+
+  Json nonsense = Json::object();
+  nonsense.set("op", Json::string("frobnicate"));
+  reply = live.call(client, nonsense);
+  EXPECT_FALSE(field(reply, "ok").as_bool());
+  EXPECT_EQ(field(reply, "code").as_string(), kCodeBadRequest);
+
+  // Out-of-range edit operands are rejected before any state changes.
+  testing::Fig2Graph fig;
+  Json opened = live.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+  const long long revision = field(opened, "revision").as_int();
+  reply = live.call(client, one_edit_request(sid, add_min_edit(0, 999, 1)));
+  EXPECT_FALSE(field(reply, "ok").as_bool());
+  EXPECT_EQ(field(reply, "code").as_string(), kCodeBadRequest);
+  reply = live.call(client, resolve_request(sid));
+  EXPECT_EQ(field(reply, "revision").as_int(), revision);
+}
+
+TEST(ServeEndToEnd, ConnectionCapShedsWithRetryAfter) {
+  LiveServer live(/*max_live=*/64, /*max_connections=*/1);
+  Client first = live.connect();
+  Json ping = Json::object();
+  ping.set("op", Json::string("ping"));
+  Json reply = live.call(first, ping);
+  EXPECT_TRUE(field(reply, "ok").as_bool());
+
+  // The second concurrent connection gets one RETRY_AFTER reply and is
+  // hung up on -- shedding, not queueing.
+  Client second;
+  std::string error;
+  ASSERT_TRUE(second.connect(live.options.socket_path,
+                             std::chrono::seconds(5), &error))
+      << error;
+  Json shed;
+  ASSERT_TRUE(second.call(ping, &shed, &error)) << error;
+  EXPECT_FALSE(field(shed, "ok").as_bool());
+  EXPECT_EQ(field(shed, "code").as_string(), kCodeRetryAfter);
+  EXPECT_GT(field(shed, "retry_after_ms").as_int(), 0);
+}
+
+TEST(ServeEndToEnd, StateSurvivesServerRestart) {
+  std::string root = ::testing::TempDir() + "relsched_restart_XXXXXX";
+  ASSERT_NE(::mkdtemp(root.data()), nullptr);
+  testing::Fig2Graph fig;
+  const std::string design = cg::to_text(fig.g);
+  std::string digest;
+  long long revision = 0;
+
+  ServerOptions options;
+  options.socket_path = root + "/sock";
+  options.state_dir = root + "/state";
+  options.certify = false;
+  {
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::thread thread([&server] { server.serve_forever(); });
+    Client client;
+    ASSERT_TRUE(
+        client.connect(options.socket_path, std::chrono::seconds(5), &error))
+        << error;
+    Json opened, edited;
+    ASSERT_TRUE(client.call(open_request(design), &opened, &error)) << error;
+    ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+    const std::string sid = field(opened, "session").as_string();
+    ASSERT_TRUE(client.call(
+        one_edit_request(sid, add_min_edit(fig.v0.value(), fig.v4.value(), 4)),
+        &edited, &error))
+        << error;
+    ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+    digest = field(edited, "digest").as_string();
+    revision = field(edited, "revision").as_int();
+    // The "shutdown" op (not just Server::shutdown) drains and
+    // checkpoints every live session.
+    Json bye = Json::object();
+    bye.set("op", Json::string("shutdown"));
+    Json ignored;
+    (void)client.call(bye, &ignored, &error);
+    thread.join();
+  }
+  {
+    // A brand-new server on the same state dir: the reopened session
+    // resumes at the acknowledged revision with the same digest.
+    Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::thread thread([&server] { server.serve_forever(); });
+    Client client;
+    ASSERT_TRUE(
+        client.connect(options.socket_path, std::chrono::seconds(5), &error))
+        << error;
+    Json opened, resolved;
+    ASSERT_TRUE(client.call(open_request(design), &opened, &error)) << error;
+    ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+    EXPECT_TRUE(field(opened, "restored").as_bool()) << opened.render();
+    EXPECT_EQ(field(opened, "revision").as_int(), revision);
+    ASSERT_TRUE(client.call(
+        resolve_request(field(opened, "session").as_string()), &resolved,
+        &error))
+        << error;
+    EXPECT_EQ(field(resolved, "digest").as_string(), digest);
+    server.shutdown();
+    thread.join();
+  }
+}
+
+}  // namespace
+}  // namespace relsched::serve
