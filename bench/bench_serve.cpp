@@ -676,6 +676,9 @@ int run_harness(const Config& config_in, const std::string& self_exe) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A SIGKILLed server mid-call must cost the client an EPIPE, not the
+  // whole harness.
+  ::signal(SIGPIPE, SIG_IGN);
   // Child mode: this same binary re-execs as the server, so the
   // harness never depends on where relsched_serve was installed.
   for (int i = 1; i < argc; ++i) {

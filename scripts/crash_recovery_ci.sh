@@ -154,5 +154,26 @@ else
   echo "crash_recovery_ci: $BENCH_SERVE not built, skipping serve soak" >&2
 fi
 
+# Replication chaos soak: a primary daemon streams committed WAL
+# records to a hot standby while concurrent clients edit under injected
+# filesystem faults; the harness SIGKILLs the primary mid-stream,
+# promotes the standby, and hard-fails unless every acknowledged edit
+# survives the failover with digests bit-identical to the serial
+# oracle. A second phase injects a corrupted record into the stream and
+# requires the divergence to be detected, counted, and healed by a
+# snapshot re-bootstrap (see bench/bench_repl.cpp).
+BENCH_REPL="$BUILD_DIR/bench/bench_repl"
+if [ -x "$BENCH_REPL" ]; then
+  echo "== repl: failover + divergence chaos soak =="
+  if ! "$BENCH_REPL" --check-only --out "$WORK/BENCH_repl_ci.json"; then
+    echo "FAIL: replication chaos soak (failover, acked-edit loss," \
+         "or divergence gate)" >&2
+    exit 1
+  fi
+  total=$((total + 1))
+else
+  echo "crash_recovery_ci: $BENCH_REPL not built, skipping repl soak" >&2
+fi
+
 echo "== crash recovery soak passed: $total iterations," \
      "$killed mid-flight kills, all resumes bit-identical =="

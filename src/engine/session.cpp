@@ -698,16 +698,23 @@ std::optional<SynthesisSession> SynthesisSession::restore(
 persist::Error SynthesisSession::replay_wal(const std::string& path,
                                             RestoreReport* report) {
   RELSCHED_CHECK(wal_ == nullptr, "replay_wal() must run before attach_wal()");
-  RELSCHED_CHECK(!in_txn_, "replay_wal() inside an open transaction");
   persist::Wal::ReadResult rr = persist::Wal::read(path);
   if (!rr.ok()) return rr.error;
   if (report != nullptr) {
     report->wal_torn_tail = rr.torn_tail;
     report->wal_torn_detail = rr.torn_detail;
   }
+  return apply_records(rr.records, path, report);
+}
+
+persist::Error SynthesisSession::apply_records(
+    const std::vector<persist::WalRecord>& records, const std::string& origin,
+    RestoreReport* report) {
+  RELSCHED_CHECK(!in_txn_, "apply_records() inside an open transaction");
+  const std::string& path = origin;
 
   using Op = persist::WalRecord::Op;
-  for (const persist::WalRecord& rec : rr.records) {
+  for (const persist::WalRecord& rec : records) {
     if (rec.op == Op::kResolve) {
       // A marker the snapshot's products already cover is a no-op.
       if (resolved_once_ && products_.revision >= rec.revision) continue;
@@ -741,30 +748,29 @@ persist::Error SynthesisSession::replay_wal(const std::string& path,
             return bad("an out-of-range vertex id");
           }
           if (rec.op == Op::kAddMin) {
-            graph_.add_min_constraint(VertexId(rec.a), VertexId(rec.b),
-                                      static_cast<int>(rec.value));
+            add_min_constraint(VertexId(rec.a), VertexId(rec.b),
+                               static_cast<int>(rec.value));
           } else {
-            graph_.add_max_constraint(VertexId(rec.a), VertexId(rec.b),
-                                      static_cast<int>(rec.value));
+            add_max_constraint(VertexId(rec.a), VertexId(rec.b),
+                               static_cast<int>(rec.value));
           }
           break;
         case Op::kRemoveConstraint:
           if (rec.a < 0 || rec.a >= edges) return bad("an out-of-range edge id");
-          graph_.remove_constraint(EdgeId(rec.a));
+          remove_constraint(EdgeId(rec.a));
           break;
         case Op::kSetBound:
           if (rec.a < 0 || rec.a >= edges) return bad("an out-of-range edge id");
-          graph_.set_constraint_bound(EdgeId(rec.a),
-                                      static_cast<int>(rec.value));
+          set_constraint_bound(EdgeId(rec.a), static_cast<int>(rec.value));
           break;
         case Op::kSetDelay:
           if (rec.a < 0 || rec.a >= vertices) {
             return bad("an out-of-range vertex id");
           }
-          graph_.set_delay(VertexId(rec.a),
-                           rec.value < 0 ? cg::Delay::unbounded()
-                                         : cg::Delay::bounded(
-                                               static_cast<int>(rec.value)));
+          set_delay(VertexId(rec.a),
+                    rec.value < 0
+                        ? cg::Delay::unbounded()
+                        : cg::Delay::bounded(static_cast<int>(rec.value)));
           break;
         case Op::kResolve:
           break;  // handled above

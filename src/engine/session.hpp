@@ -464,6 +464,25 @@ class SynthesisSession {
   [[nodiscard]] persist::Error replay_wal(const std::string& path,
                                           RestoreReport* report = nullptr);
 
+  /// Applies a batch of WAL records (already parsed, e.g. streamed from
+  /// a replication primary) on top of the current state: edits with
+  /// revisions the session has not seen are re-applied through the
+  /// journaled edit API -- so with a WAL attached, replicated edits are
+  /// re-journaled into *this* session's own log -- and each commit
+  /// marker past the resolved revision triggers a resolve(). `origin`
+  /// labels errors (a path or peer name). replay_wal() is this plus
+  /// reading the file.
+  [[nodiscard]] persist::Error apply_records(
+      const std::vector<persist::WalRecord>& records, const std::string& origin,
+      RestoreReport* report = nullptr);
+
+  /// Flushes the attached WAL's buffered records to the kernel without
+  /// fsync (no-op when detached). Replication tails the log file at
+  /// commit points; the durability policy still owns fsync timing.
+  void flush_wal() {
+    if (wal_ != nullptr) wal_->flush_now();
+  }
+
  private:
   void cold_resolve();
   /// Warm path; returns false when it must defer to cold_resolve()

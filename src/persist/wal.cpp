@@ -306,6 +306,11 @@ void Wal::sync_for_commit() {
   sync_now();
 }
 
+void Wal::flush_now() {
+  if (!error_.ok()) return;
+  flush();
+}
+
 void Wal::sync_now() {
   if (!error_.ok()) return;
   if (!flush()) return;
@@ -351,6 +356,34 @@ Wal::ReadResult Wal::read(const std::string& path) {
     return result;
   }
   return parse(path, data, nullptr);
+}
+
+Wal::TailResult Wal::read_tail(const std::string& path,
+                               std::uint64_t from_seq) {
+  TailResult result;
+  std::string data;
+  if (Error e = read_file(path, &data); !e.ok()) {
+    result.error = std::move(e);
+    return result;
+  }
+  ReadResult scan = parse(path, data, nullptr);
+  if (!scan.ok()) {
+    result.error = std::move(scan.error);
+    return result;
+  }
+  result.base_revision = scan.base_revision;
+  result.torn_tail = scan.torn_tail;
+  const std::uint64_t total = scan.records.size();
+  if (from_seq >= total) {
+    // Nothing new -- or the log shrank under the cursor (a checkpoint
+    // reset it); next_seq < from_seq tells the caller which.
+    result.next_seq = total;
+    return result;
+  }
+  result.records.assign(scan.records.begin() + static_cast<long>(from_seq),
+                        scan.records.end());
+  result.next_seq = total;
+  return result;
 }
 
 }  // namespace relsched::persist

@@ -109,6 +109,13 @@ class Wal {
   /// Unconditional flush+fsync (checkpoint boundaries).
   void sync_now();
 
+  /// Flushes buffered records to the kernel without fsync. Cheap when
+  /// the buffer is empty; used at commit points when a replication
+  /// follower tails the file (same-host readers see the page cache, so
+  /// a flush is enough to make committed records streamable without
+  /// paying an fsync the durability policy did not ask for).
+  void flush_now();
+
   /// Truncates the log to a fresh header with `new_base_revision`
   /// (after a snapshot made the history up to that revision redundant).
   Error reset(std::uint64_t new_base_revision);
@@ -139,6 +146,40 @@ class Wal {
   /// Parses the whole log. Missing file is fatal kIo (callers decide
   /// whether that is fine); torn tails are reported, not fatal.
   static ReadResult read(const std::string& path);
+
+  struct TailResult {
+    /// Fatal problem: missing/unreadable file, bad header, or
+    /// corruption of acknowledged history (checksum/length violation
+    /// with further records following). Streaming cannot continue;
+    /// the caller re-bootstraps from a snapshot.
+    Error error;
+    std::uint64_t base_revision = 0;
+    /// Sequence number (record index in the current log file) of the
+    /// first record NOT returned: from_seq + records.size() normally,
+    /// or the total record count when from_seq was past the end. A
+    /// next_seq below the requested from_seq means the log was reset
+    /// (truncated to a fresh header by a checkpoint) since the caller
+    /// last polled -- together with a changed base_revision this is
+    /// the epoch-change signal.
+    std::uint64_t next_seq = 0;
+    std::vector<WalRecord> records;
+    /// An incomplete or checksum-failing final record was left in
+    /// place (an append may be mid-flight); the caller just polls
+    /// again later. Never fatal for tailing.
+    bool torn_tail = false;
+
+    [[nodiscard]] bool ok() const { return error.ok(); }
+  };
+
+  /// Streaming read for replication: returns the intact records from
+  /// sequence number `from_seq` (0-based index within the current log
+  /// file) to the end of the log. Frame checksums are verified; a torn
+  /// tail is tolerated (reported via `torn_tail`, treated as
+  /// not-yet-appended rather than dropped history). Stateless -- the
+  /// caller owns the (base_revision, next_seq) cursor and detects log
+  /// resets via the signals documented on TailResult.
+  static TailResult read_tail(const std::string& path,
+                              std::uint64_t from_seq);
 
  private:
   Wal() = default;

@@ -1,6 +1,8 @@
 #include "serve/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -21,37 +23,82 @@ void Client::close() {
   }
 }
 
-bool Client::connect(const std::string& path,
-                     std::chrono::milliseconds timeout, std::string* error) {
-  close();
+void Client::set_io_timeout(std::chrono::milliseconds timeout) {
+  io_timeout_ = timeout;
+  if (fd_ >= 0) apply_io_timeout();
+}
+
+void Client::apply_io_timeout() {
+  if (fd_ < 0 || io_timeout_.count() <= 0) return;
+  // Belt and suspenders with the poll() in call(): the socket-level
+  // timeouts also cover stalls *mid-frame* (server wrote a length
+  // prefix then hung), which a single readiness poll cannot see.
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(io_timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((io_timeout_.count() % 1000) * 1000);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool Client::try_connect(const std::string& path, int* err_out,
+                         std::string* error) {
   struct sockaddr_un addr;
   std::memset(&addr, 0, sizeof addr);
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof addr.sun_path) {
     *error = cat("socket path too long: ", path);
+    *err_out = ENAMETOOLONG;
     return false;
   }
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = cat("socket: ", std::strerror(errno));
+    *err_out = errno;
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) ==
+      0) {
+    fd_ = fd;
+    apply_io_timeout();
+    return true;
+  }
+  *err_out = errno;
+  *error = cat("connect ", path, ": ", std::strerror(errno));
+  ::close(fd);
+  return false;
+}
 
+bool Client::connect(const std::string& path,
+                     std::chrono::milliseconds timeout, std::string* error) {
+  close();
   const auto give_up = std::chrono::steady_clock::now() + timeout;
   int last_errno = 0;
   do {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      *error = cat("socket: ", std::strerror(errno));
-      return false;
-    }
-    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                  sizeof addr) == 0) {
-      fd_ = fd;
-      return true;
-    }
-    last_errno = errno;
-    ::close(fd);
+    if (try_connect(path, &last_errno, error)) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   } while (std::chrono::steady_clock::now() < give_up);
   *error = cat("connect ", path, ": ", std::strerror(last_errno));
   return false;
+}
+
+bool Client::connect_any(const std::vector<std::string>& paths,
+                         std::chrono::milliseconds timeout,
+                         std::string* error) {
+  close();
+  if (paths.empty()) {
+    *error = "connect_any: no addresses";
+    return false;
+  }
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  int last_errno = 0;
+  do {
+    for (const std::string& path : paths) {
+      if (try_connect(path, &last_errno, error)) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  } while (std::chrono::steady_clock::now() < give_up);
+  return false;  // *error already names the last address that refused
 }
 
 bool Client::call(const Json& request, Json* reply, std::string* error) {
@@ -60,15 +107,48 @@ bool Client::call(const Json& request, Json* reply, std::string* error) {
     return false;
   }
   if (!write_frame(fd_, request.render())) {
-    *error = cat("send: ", std::strerror(errno));
+    const int err = errno;
+    *error = (err == EAGAIN || err == EWOULDBLOCK)
+                 ? cat(kTimeoutPrefix, "send stalled for ",
+                       io_timeout_.count(), "ms")
+                 : cat("send: ", std::strerror(err));
     close();
     return false;
+  }
+  if (io_timeout_.count() > 0) {
+    // Readiness wait with the full budget: a daemon that accepted the
+    // request but never replies (wedged shard, stuck disk) must not
+    // hang the caller forever.
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = 0;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(io_timeout_.count()));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      *error = cat(kTimeoutPrefix, "no reply within ", io_timeout_.count(),
+                   "ms");
+      close();
+      return false;
+    }
+    if (rc < 0) {
+      *error = cat("poll: ", std::strerror(errno));
+      close();
+      return false;
+    }
   }
   std::string payload;
   std::string frame_error;
   if (!read_frame(fd_, &payload, &frame_error)) {
-    *error = frame_error.empty() ? "connection closed by server"
-                                 : frame_error;
+    const int err = errno;
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      *error = cat(kTimeoutPrefix, "reply stalled mid-frame after ",
+                   io_timeout_.count(), "ms");
+    } else {
+      *error = frame_error.empty() ? "connection closed by server"
+                                   : frame_error;
+    }
     close();
     return false;
   }

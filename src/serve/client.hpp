@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "serve/protocol.hpp"
 
@@ -15,6 +16,9 @@ namespace relsched::serve {
 
 class Client {
  public:
+  /// Errors caused by an elapsed io timeout (set_io_timeout) start with
+  /// this prefix, so callers can tell a hung daemon from a dead one.
+  static constexpr const char* kTimeoutPrefix = "timeout: ";
   Client() = default;
   ~Client();
   Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
@@ -28,6 +32,22 @@ class Client {
   [[nodiscard]] bool connect(const std::string& path,
                              std::chrono::milliseconds timeout,
                              std::string* error);
+
+  /// Failover connect: tries each path in order (one quick pass per
+  /// sweep, 10ms pause between sweeps) until one accepts or `timeout`
+  /// elapses. Used after a primary dies and a standby is promoted --
+  /// whichever address is serving wins. *error describes the last
+  /// failure on timeout.
+  [[nodiscard]] bool connect_any(const std::vector<std::string>& paths,
+                                 std::chrono::milliseconds timeout,
+                                 std::string* error);
+
+  /// Bounds every subsequent send and reply-wait on this connection
+  /// (applied at connect time too, if already set). Zero disables.
+  /// A blown deadline closes the connection and fails the call with a
+  /// kTimeoutPrefix error: with a hung daemon there is no way to know
+  /// whether the request landed, same contract as a crash.
+  void set_io_timeout(std::chrono::milliseconds timeout);
 
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void close();
@@ -48,7 +68,13 @@ class Client {
                                        std::string* error);
 
  private:
+  /// One non-blocking-ish connection attempt (no retry loop).
+  [[nodiscard]] bool try_connect(const std::string& path, int* err_out,
+                                 std::string* error);
+  void apply_io_timeout();
+
   int fd_ = -1;
+  std::chrono::milliseconds io_timeout_{0};
 };
 
 }  // namespace relsched::serve

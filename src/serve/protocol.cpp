@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -502,6 +503,63 @@ std::optional<Json> Json::parse(std::string_view text, std::string* error) {
   return Parser(text).run(error);
 }
 
+// ---- Hex helpers -----------------------------------------------------------
+
+namespace {
+constexpr const char* kHexDigits = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string hex16(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex16(const std::string& s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    const int d = hex_value(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+std::string hex_encode(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out += kHexDigits[b >> 4];
+    out += kHexDigits[b & 0xF];
+  }
+  return out;
+}
+
+bool hex_decode(std::string_view hex, std::string* out) {
+  out->clear();
+  if (hex.size() % 2 != 0) return false;
+  out->reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
 // ---- Framing ---------------------------------------------------------------
 
 namespace {
@@ -531,7 +589,11 @@ int read_exact(int fd, char* buf, std::size_t count, std::string* error) {
 bool write_exact(int fd, const char* buf, std::size_t count) {
   std::size_t sent = 0;
   while (sent < count) {
-    const ssize_t n = ::write(fd, buf + sent, count - sent);
+    // MSG_NOSIGNAL: a peer that died mid-exchange (SIGKILLed primary,
+    // crashed client) must surface as EPIPE here, never as a
+    // process-killing SIGPIPE -- the frame layer cannot assume every
+    // embedder installed a handler.
+    const ssize_t n = ::send(fd, buf + sent, count - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

@@ -26,6 +26,35 @@
 //   {"op":"stats"} | {"op":"stats","session":"<id>"}
 //   {"op":"shutdown"}
 //
+// Replication verbs (see docs/algorithms.md, "Replication and
+// failover"). A primary configured with --replicate-to acts as the
+// *client* of these exchanges against a daemon started with --standby;
+// the standby's replies double as the acknowledgement stream
+// (`"repl":"repl_ack"`), carrying its per-session cursor and state
+// digest back to the primary on every exchange:
+//
+//   {"op":"repl_subscribe"}            -> per-session cursors
+//       {"ok":true,"repl":"repl_ack","sessions":[{"session":"<id>",
+//        "epoch":E,"next_seq":S,"wal_base":B,"revision":R}, ...]}
+//   {"op":"repl_snapshot","session":"<id>","epoch":E,"revision":R,
+//    "digest":"<hex16>","design_text":"...","snapshot_hex":"..."}
+//       -> bootstrap/re-ship: install the RSNAP001 snapshot verbatim
+//   {"op":"repl_append","session":"<id>","epoch":E,"wal_base":B,
+//    "seq":S,"records":[{"op":1,"rev":R,"a":..,"b":..,"v":..},...],
+//    "digest":"<hex16>","digest_revision":R'}
+//       -> apply streamed WAL records; the ack echoes the advanced
+//          cursor plus the standby's own digest. "resync":true in an
+//          ack means the standby cannot follow from there (gap, lost
+//          state, or a self-detected digest divergence, flagged
+//          "diverged":true) and the primary must re-ship a snapshot.
+//   {"op":"promote"}                   -> standby becomes a primary
+//       (optional "replicate_to" starts streaming to a new standby)
+//
+// A daemon in standby mode refuses the normal session verbs with
+// code "standby" until promoted; after promotion it refuses the
+// repl_* verbs instead (a fenced-off zombie primary must not keep
+// writing).
+//
 // Any request may carry "deadline_ms": the server clamps it against
 // its own per-request budget and propagates the shrinking remainder
 // (base::Watchdog::remaining) into the resolve.
@@ -119,6 +148,17 @@ class Json {
   std::vector<std::pair<std::string, Json>> fields_;      // object
 };
 
+// ---- Hex helpers -----------------------------------------------------------
+// Session ids and digests travel as fixed-width lowercase hex;
+// snapshot payloads ride inside JSON strings as hex of the raw
+// RSNAP001 bytes (KB-scale files, well under the frame cap).
+
+[[nodiscard]] std::string hex16(std::uint64_t v);
+[[nodiscard]] bool parse_hex16(const std::string& s, std::uint64_t* out);
+[[nodiscard]] std::string hex_encode(std::string_view bytes);
+/// False on odd length or a non-hex character; *out is cleared first.
+[[nodiscard]] bool hex_decode(std::string_view hex, std::string* out);
+
 // ---- Framing ---------------------------------------------------------------
 
 /// Reads one length-prefixed frame from `fd` (blocking, EINTR-safe).
@@ -140,5 +180,6 @@ inline constexpr const char* kCodeDeadline = "deadline";
 inline constexpr const char* kCodeInternal = "internal";
 inline constexpr const char* kCodeShuttingDown = "shutting_down";
 inline constexpr const char* kCodeIo = "io";
+inline constexpr const char* kCodeStandby = "standby";
 
 }  // namespace relsched::serve

@@ -1,0 +1,185 @@
+// Primary-side replication engine for relsched_serve.
+//
+// A Replicator runs one background thread that keeps a standby daemon
+// digest-identical to this process, per session:
+//
+//   bootstrap   The first time a session is seen (or whenever the
+//               standby cannot follow), the primary checkpoints it and
+//               ships the whole RSNAP001 snapshot plus the canonical
+//               design text ("repl_snapshot"). Counted -- a re-ship is
+//               the catch-up fallback, not the steady state.
+//   stream      Committed records are tailed straight out of the
+//               session's on-disk WAL with persist::Wal::read_tail
+//               (frame-checksummed, torn-tail tolerant) and shipped in
+//               bounded batches ("repl_append"). The cursor is
+//               (epoch, seq): seq is the record index within the
+//               current WAL file, and the epoch bumps whenever the WAL
+//               is reset by a checkpoint -- an epoch the standby can
+//               adopt in place when its revision already matches the
+//               new WAL base, else it asks for a snapshot.
+//   ack         Every standby reply carries its post-apply cursor,
+//               revision and products digest. The digest is compared
+//               against the ring of digests recorded at commit time:
+//               a mismatch is a divergence -- counted, the stream
+//               quarantined, and the session re-bootstrapped from a
+//               fresh snapshot rather than left serving wrong state.
+//   semi-sync   Request handlers call await_ack() after committing, so
+//               an acknowledged edit is on the standby before the
+//               client sees "ok". A standby that is down or too slow
+//               degrades the ack to async (counted) instead of
+//               stalling the primary: availability over replication
+//               when the operator's timeout says so.
+//
+// Backpressure: when the standby falls further behind than queue_cap
+// records, the stream is dropped on the floor and the session falls
+// back to a snapshot re-ship (counted) -- bounded memory and bounded
+// catch-up time, at the price of re-sending state we already had.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/client.hpp"
+
+namespace relsched::serve {
+
+struct ReplicatorOptions {
+  /// Standby socket path (required).
+  std::string target;
+  /// Records per repl_append frame.
+  int batch_max = 64;
+  /// Lag cap: a standby more than this many records behind is
+  /// re-bootstrapped from a snapshot instead of streamed at.
+  int queue_cap = 4096;
+  /// Semi-sync budget: how long a commit waits for the standby's ack
+  /// before degrading to async.
+  std::chrono::milliseconds ack_timeout{2000};
+  /// Transport timeout for every exchange with the standby.
+  std::chrono::milliseconds io_timeout{3000};
+  /// Fault injection for the chaos bench: corrupt the value operand of
+  /// the Nth shipped edit record (1-based; 0 = off). The divergence
+  /// must be detected by digest, counted, and healed by re-bootstrap.
+  long long corrupt_record_at = 0;
+};
+
+/// Monotone counters (plus the `connected` gauge), merged into the
+/// "stats" op by the server.
+struct ReplicatorCounters {
+  long long records_shipped = 0;
+  long long batches_shipped = 0;
+  long long snapshots_shipped = 0;  // bootstrap + every catch-up fallback
+  long long divergences = 0;        // ack digest mismatched the commit ring
+  long long resyncs = 0;            // standby asked to be re-bootstrapped
+  long long queue_overflows = 0;    // lag cap breached -> snapshot fallback
+  long long degraded_acks = 0;      // semi-sync wait timed out / disconnected
+  long long reconnects = 0;
+  bool connected = false;
+};
+
+class Replicator {
+ public:
+  /// One replicable session as the server sees it.
+  struct SessionView {
+    std::uint64_t hash = 0;
+    std::string wal_path;
+    bool quarantined = false;
+  };
+
+  /// Everything a snapshot bootstrap ships.
+  struct SnapshotPayload {
+    std::string design_text;     // canonical, the cold-rebuild seed
+    std::string snapshot_bytes;  // raw RSNAP001 file contents
+    std::uint64_t revision = 0;
+    std::uint64_t digest = 0;
+  };
+
+  /// The server side of the contract. Both hooks are called from the
+  /// replication thread with no Replicator lock held, so they may take
+  /// entry mutexes freely; conversely note_commit/await_ack never take
+  /// entry mutexes.
+  struct Hooks {
+    std::function<std::vector<SessionView>()> list_sessions;
+    /// Checkpoints the session (which resets its WAL -- the epoch
+    /// driver) and collects the payload. False = not snapshotable right
+    /// now (busy, gone, checkpoint failed); retried on the next pass.
+    std::function<bool(std::uint64_t hash, SnapshotPayload* out,
+                       std::string* error)>
+        snapshot_session;
+  };
+
+  Replicator(ReplicatorOptions options, Hooks hooks);
+  ~Replicator();
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  void start();
+  void stop();
+
+  /// Records the digest of a successful commit at `revision` (the
+  /// divergence oracle for acks) and wakes the streaming thread.
+  void note_commit(std::uint64_t hash, std::uint64_t revision,
+                   std::uint64_t digest);
+
+  /// Semi-sync gate: blocks until the standby acked `revision` for
+  /// this session, the ack_timeout elapses, or the standby is known
+  /// disconnected. False = degraded (counted): the caller may still
+  /// acknowledge, but replication lags the truth.
+  [[nodiscard]] bool await_ack(std::uint64_t hash, std::uint64_t revision);
+
+  [[nodiscard]] ReplicatorCounters counters() const;
+
+ private:
+  /// Per-session stream cursor + commit-digest ring; guarded by mutex_.
+  struct ReplState {
+    std::uint64_t epoch = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t wal_base = 0;
+    bool wal_base_known = false;
+    std::uint64_t acked_revision = 0;
+    bool need_snapshot = true;
+    /// (revision, digest) of recent successful commits, pruned once
+    /// acked. Bounded: under sustained divergence-free streaming acks
+    /// prune it, and a wedged standby tops out at the cap below.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> commit_digests;
+  };
+
+  void run();
+  bool connect_and_subscribe();
+  /// One streaming pass over `view`; false on transport failure (the
+  /// caller reconnects).
+  bool step_session(const SessionView& view);
+  bool ship_snapshot(std::uint64_t hash);
+  /// Handles one ack reply's cursor/digest bookkeeping.
+  void absorb_ack(std::uint64_t hash, const Json& reply);
+  void mark_disconnected();
+
+  ReplicatorOptions options_;
+  Hooks hooks_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // commits -> streaming thread
+  std::condition_variable ack_cv_;   // acks -> await_ack waiters
+  std::unordered_map<std::uint64_t, ReplState> states_;
+  ReplicatorCounters counters_;
+  bool dirty_ = false;
+  bool stop_ = false;
+  bool connected_ = false;
+  long long shipped_edit_records_ = 0;  // drives corrupt_record_at
+  bool corruption_injected_ = false;
+
+  Client client_;  // touched only by the replication thread
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace relsched::serve

@@ -15,6 +15,18 @@
 //                         baseline certification for healthy sessions
 //                         (default: RELSCHED_CERTIFY)
 //
+// Replication (see docs/algorithms.md, "Replication and failover"):
+//   --standby             refuse session verbs until a "promote" op;
+//                         accept the repl_* stream from a primary
+//   --replicate-to PATH   stream committed WAL records to the standby
+//                         listening on this socket
+//   --repl-batch-max N    records per repl_append frame (64)
+//   --repl-queue-cap N    lag cap before snapshot re-ship (4096)
+//   --repl-ack-ms N       semi-sync ack budget before degrading (2000)
+//   --repl-io-ms N        primary->standby transport timeout (3000)
+//   --repl-corrupt-at N   chaos: corrupt the Nth shipped edit record
+//                         (0 = off; the digest oracle must catch it)
+//
 // Durability honors RELSCHED_CHECKPOINT_SYNC (always|interval|none);
 // run with `always` when acknowledged edits must survive SIGKILL.
 // I/O fault injection honors RELSCHED_FAULTFS (see base/fault_fs.hpp).
@@ -43,7 +55,10 @@ int usage(const char* argv0) {
                "usage: %s --socket PATH --state-dir DIR [--max-live N] "
                "[--max-connections N] [--max-pending N] "
                "[--max-pending-total N] [--deadline-ms N] "
-               "[--retry-after-ms N] [--threads N] [--certify|--no-certify]\n",
+               "[--retry-after-ms N] [--threads N] [--certify|--no-certify] "
+               "[--standby] [--replicate-to PATH] [--repl-batch-max N] "
+               "[--repl-queue-cap N] [--repl-ack-ms N] [--repl-io-ms N] "
+               "[--repl-corrupt-at N]\n",
                argv0);
   return 2;
 }
@@ -87,12 +102,35 @@ int main(int argc, char** argv) {
       options.certify = true;
     } else if (arg == "--no-certify") {
       options.certify = false;
+    } else if (arg == "--standby") {
+      options.standby = true;
+    } else if (arg == "--replicate-to" && i + 1 < argc) {
+      options.replicate_to = argv[++i];
+    } else if (arg == "--repl-batch-max" && int_arg(i, 1, 1 << 16, &v)) {
+      options.repl_batch_max = static_cast<int>(v);
+    } else if (arg == "--repl-queue-cap" && int_arg(i, 1, 1 << 24, &v)) {
+      options.repl_queue_cap = static_cast<int>(v);
+    } else if (arg == "--repl-ack-ms" && int_arg(i, 0, 600'000, &v)) {
+      options.repl_ack_timeout = std::chrono::milliseconds(v);
+    } else if (arg == "--repl-io-ms" && int_arg(i, 1, 600'000, &v)) {
+      options.repl_io_timeout = std::chrono::milliseconds(v);
+    } else if (arg == "--repl-corrupt-at" &&
+               int_arg(i, 0, 1'000'000'000, &v)) {
+      options.repl_corrupt_record_at = v;
     } else {
       return usage(argv[0]);
     }
   }
   if (options.socket_path.empty() || options.state_dir.empty()) {
     return usage(argv[0]);
+  }
+  if (options.standby && !options.replicate_to.empty()) {
+    // A chained standby starts streaming onward when its "promote"
+    // carries replicate_to; at startup the roles are exclusive.
+    std::fprintf(stderr,
+                 "relsched_serve: --standby and --replicate-to are "
+                 "mutually exclusive at startup\n");
+    return 2;
   }
 
   relsched::serve::Server server(std::move(options));

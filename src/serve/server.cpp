@@ -16,44 +16,20 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "base/fault_fs.hpp"
 #include "base/strings.hpp"
 #include "cg/graph_io.hpp"
 #include "persist/serialize.hpp"
 #include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
 #include "sched/scheduler.hpp"
+#include "serve/replication.hpp"
 
 namespace relsched::serve {
 
 namespace {
 
 constexpr int kShardCount = 16;
-
-std::string hex16(std::uint64_t v) {
-  static const char* kDigits = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
-    v >>= 4;
-  }
-  return out;
-}
-
-bool parse_hex16(const std::string& s, std::uint64_t* out) {
-  if (s.size() != 16) return false;
-  std::uint64_t v = 0;
-  for (const char c : s) {
-    v <<= 4;
-    if (c >= '0' && c <= '9') {
-      v |= static_cast<std::uint64_t>(c - '0');
-    } else if (c >= 'a' && c <= 'f') {
-      v |= static_cast<std::uint64_t>(c - 'a' + 10);
-    } else {
-      return false;
-    }
-  }
-  *out = v;
-  return true;
-}
 
 Json error_reply(const char* code, std::string detail) {
   Json reply = Json::object();
@@ -110,6 +86,15 @@ struct SessionEntry {
   std::string quarantine_reason;
   /// LRU clock: monotonically increasing touch stamp.
   std::uint64_t last_touch = 0;
+
+  // Standby-side replication cursor (meaningful only while the server
+  // is in standby mode): which (epoch, seq) of the primary's WAL
+  // stream this session has applied, and the WAL base revision that
+  // epoch started from. In-memory only -- a restarted standby reports
+  // nothing at repl_subscribe and is re-bootstrapped per session.
+  std::uint64_t repl_epoch = 0;
+  std::uint64_t repl_next_seq = 0;
+  std::uint64_t repl_wal_base = 0;
 };
 
 struct Shard {
@@ -144,7 +129,8 @@ std::uint64_t products_digest(const engine::Products& products) {
 }
 
 struct Server::Impl {
-  explicit Impl(const ServerOptions& opts) : options(opts) {}
+  explicit Impl(const ServerOptions& opts)
+      : options(opts), standby_mode(opts.standby) {}
 
   ServerOptions options;
 
@@ -163,6 +149,147 @@ struct Server::Impl {
 
   std::mutex stats_mutex;
   ServerStats stats;
+
+  // ---- Replication role ----------------------------------------------------
+
+  /// True while this process refuses the session verbs and applies the
+  /// primary's stream instead; flipped off (permanently) by "promote".
+  std::atomic<bool> standby_mode{false};
+  /// Primary-side streamer; created at start() (--replicate-to) or by
+  /// a "promote" carrying a new standby address. Guarded for creation;
+  /// read via the shared_ptr snapshot below.
+  std::mutex repl_mutex;
+  std::shared_ptr<Replicator> replicator_ptr;
+
+  std::shared_ptr<Replicator> replicator() {
+    std::lock_guard<std::mutex> lock(repl_mutex);
+    return replicator_ptr;
+  }
+
+  void start_replicator(const std::string& target) {
+    std::lock_guard<std::mutex> lock(repl_mutex);
+    if (replicator_ptr != nullptr) return;
+    ReplicatorOptions ro;
+    ro.target = target;
+    ro.batch_max = options.repl_batch_max;
+    ro.queue_cap = options.repl_queue_cap;
+    ro.ack_timeout = options.repl_ack_timeout;
+    ro.io_timeout = options.repl_io_timeout;
+    ro.corrupt_record_at = options.repl_corrupt_record_at;
+    Replicator::Hooks hooks;
+    hooks.list_sessions = [this] { return list_replicable_sessions(); };
+    hooks.snapshot_session = [this](std::uint64_t hash,
+                                    Replicator::SnapshotPayload* out,
+                                    std::string* error) {
+      return snapshot_for_replication(hash, out, error);
+    };
+    replicator_ptr = std::make_shared<Replicator>(std::move(ro),
+                                                  std::move(hooks));
+    replicator_ptr->start();
+  }
+
+  void stop_replicator() {
+    std::shared_ptr<Replicator> r;
+    {
+      std::lock_guard<std::mutex> lock(repl_mutex);
+      r = replicator_ptr;
+    }
+    if (r != nullptr) r->stop();
+  }
+
+  std::vector<Replicator::SessionView> list_replicable_sessions() {
+    std::vector<Replicator::SessionView> views;
+    for (Shard& shard : shards) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (auto& [hash, entry] : shard.sessions) {
+        Replicator::SessionView view;
+        view.hash = hash;
+        view.wal_path = persist::wal_path(entry->dir);
+        // Benign race, like the stats gauge: a session quarantined
+        // mid-pass is skipped on the next one.
+        view.quarantined = entry->quarantined;
+        views.push_back(std::move(view));
+      }
+    }
+    return views;
+  }
+
+  /// Replicator hook: checkpoint `hash` (resetting its WAL -- the
+  /// epoch driver) and collect everything a standby bootstrap ships.
+  bool snapshot_for_replication(std::uint64_t hash,
+                                Replicator::SnapshotPayload* out,
+                                std::string* error) {
+    std::shared_ptr<SessionEntry> entry = find_entry(hash);
+    if (entry == nullptr) {
+      *error = "session gone";
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->quarantined) {
+      *error = "session quarantined";
+      return false;
+    }
+    if (std::string err = ensure_live(*entry); !err.empty()) {
+      *error = err;
+      return false;
+    }
+    if (entry->session->in_txn()) {
+      *error = "transaction open";
+      return false;
+    }
+    if (persist::Error e = entry->session->checkpoint(entry->dir); !e.ok()) {
+      bump(&ServerStats::checkpoint_failures);
+      *error = e.render();
+      return false;
+    }
+    if (persist::Error e =
+            persist::read_file(design_path(*entry), &out->design_text);
+        !e.ok()) {
+      *error = e.render();
+      return false;
+    }
+    if (persist::Error e = persist::read_file(
+            persist::snapshot_path(entry->dir), &out->snapshot_bytes);
+        !e.ok()) {
+      *error = e.render();
+      return false;
+    }
+    out->revision = entry->session->graph().revision();
+    out->digest = products_digest(entry->session->products());
+    return true;
+  }
+
+  /// Request-path tail for ok edit/resolve replies on a replicating
+  /// primary: make the committed records visible to the WAL tailer and
+  /// record the commit digest (the divergence oracle). Entry mutex
+  /// held; never blocks.
+  void note_replication(SessionEntry& entry, const Json& reply) {
+    std::shared_ptr<Replicator> r = replicator();
+    if (r == nullptr || entry.session == nullptr) return;
+    entry.session->flush_wal();
+    const Json* ok = reply.get("ok");
+    if (ok == nullptr || !ok->as_bool() || entry.quarantined) return;
+    r->note_commit(entry.hash, entry.session->graph().revision(),
+                   products_digest(entry.session->products()));
+  }
+
+  /// Semi-sync gate, called *without* the entry mutex (the streaming
+  /// thread needs it to ship snapshots): wait until the standby acked
+  /// the committed revision, else mark the reply degraded.
+  void await_replication(const SessionEntry& entry, Json* reply) {
+    std::shared_ptr<Replicator> r = replicator();
+    if (r == nullptr) return;
+    const Json* ok = reply->get("ok");
+    const Json* rev = reply->get("revision");
+    if (ok == nullptr || !ok->as_bool() || rev == nullptr ||
+        !rev->is_number()) {
+      return;
+    }
+    if (!r->await_ack(entry.hash,
+                      static_cast<std::uint64_t>(rev->as_int()))) {
+      reply->set("repl_degraded", Json::boolean(true));
+    }
+  }
 
   // ---- Admission -----------------------------------------------------------
 
@@ -684,7 +811,20 @@ struct Server::Impl {
     Admission admission(*this, *entry);
     if (Json shed = admission.shed_reply(); shed.is_object()) return shed;
 
-    std::lock_guard<std::mutex> lock(entry->mutex);
+    Json reply;
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      reply = edit_locked(*entry, request);
+      note_replication(*entry, reply);
+    }
+    // Outside the lock: the replication thread must be able to take it
+    // (snapshot bootstraps) while this request waits for its ack.
+    await_replication(*entry, &reply);
+    return reply;
+  }
+
+  Json edit_locked(SessionEntry& entryref, const Json& request) {
+    SessionEntry* entry = &entryref;
     entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
     if (std::string err = ensure_live(*entry); !err.empty()) {
       return error_reply(kCodeIo, err);
@@ -776,7 +916,18 @@ struct Server::Impl {
     Admission admission(*this, *entry);
     if (Json shed = admission.shed_reply(); shed.is_object()) return shed;
 
-    std::lock_guard<std::mutex> lock(entry->mutex);
+    Json reply;
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      reply = resolve_locked(*entry, request);
+      note_replication(*entry, reply);
+    }
+    await_replication(*entry, &reply);
+    return reply;
+  }
+
+  Json resolve_locked(SessionEntry& entryref, const Json& request) {
+    SessionEntry* entry = &entryref;
     entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
     if (std::string err = ensure_live(*entry); !err.empty()) {
       return error_reply(kCodeIo, err);
@@ -887,13 +1038,25 @@ struct Server::Impl {
     snapshot.live_sessions = live_sessions.load(std::memory_order_relaxed);
     snapshot.known_sessions = 0;
     snapshot.quarantined_sessions = 0;
+    long long wal_retries_live = 0;
     for (Shard& shard : shards) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      snapshot.known_sessions += static_cast<int>(shard.sessions.size());
-      for (auto& [hash, entry] : shard.sessions) {
-        // Benign race: quarantined is read without the entry mutex, for
-        // a gauge.
-        if (entry->quarantined) ++snapshot.quarantined_sessions;
+      std::vector<std::shared_ptr<SessionEntry>> entries;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        snapshot.known_sessions += static_cast<int>(shard.sessions.size());
+        for (auto& [hash, entry] : shard.sessions) {
+          // Benign race: quarantined is read without the entry mutex,
+          // for a gauge.
+          if (entry->quarantined) ++snapshot.quarantined_sessions;
+          entries.push_back(entry);
+        }
+      }
+      for (auto& entry : entries) {
+        // Busy sessions are skipped rather than waited on: stats must
+        // never queue behind a long resolve.
+        std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
+        if (!lock.owns_lock() || entry->session == nullptr) continue;
+        wal_retries_live += entry->session->stats().wal_retries;
       }
     }
 
@@ -923,6 +1086,386 @@ struct Server::Impl {
     reply.set("quarantined_sessions",
               Json::number(static_cast<long long>(
                   snapshot.quarantined_sessions)));
+
+    // Replication: role gauge, standby-side apply counters, and (when
+    // this daemon streams to a standby) the primary-side counters.
+    reply.set("standby",
+              Json::boolean(standby_mode.load(std::memory_order_relaxed)));
+    reply.set("repl_appends_applied",
+              Json::number(snapshot.repl_appends_applied));
+    reply.set("repl_records_applied",
+              Json::number(snapshot.repl_records_applied));
+    reply.set("repl_snapshots_installed",
+              Json::number(snapshot.repl_snapshots_installed));
+    reply.set("repl_rejects", Json::number(snapshot.repl_rejects));
+    reply.set("repl_divergences", Json::number(snapshot.repl_divergences));
+    reply.set("promotions", Json::number(snapshot.promotions));
+    if (std::shared_ptr<Replicator> repl = replicator(); repl != nullptr) {
+      const ReplicatorCounters rc = repl->counters();
+      reply.set("repl_connected", Json::boolean(rc.connected));
+      reply.set("repl_records_shipped", num(rc.records_shipped));
+      reply.set("repl_batches_shipped", num(rc.batches_shipped));
+      reply.set("repl_snapshots_shipped", num(rc.snapshots_shipped));
+      reply.set("repl_stream_divergences", num(rc.divergences));
+      reply.set("repl_resyncs", num(rc.resyncs));
+      reply.set("repl_queue_overflows", num(rc.queue_overflows));
+      reply.set("repl_degraded_acks", num(rc.degraded_acks));
+      reply.set("repl_reconnects", num(rc.reconnects));
+    }
+
+    // Durability-pressure visibility: WAL short-write retries summed
+    // over live sessions, plus the injected-fault counters when the
+    // process runs under FaultFs (all zero otherwise).
+    reply.set("wal_retries_live", Json::number(wal_retries_live));
+    const base::FaultFsCounters fc = base::fault_fs().counters();
+    reply.set("faultfs_short_writes", num(fc.short_writes));
+    reply.set("faultfs_eintr", num(fc.eintr));
+    reply.set("faultfs_eagain", num(fc.eagain));
+    reply.set("faultfs_enospc", num(fc.enospc));
+    reply.set("faultfs_fsync_failures", num(fc.fsync_failures));
+    reply.set("faultfs_rename_failures", num(fc.rename_failures));
+    reply.set("faultfs_total", num(fc.total()));
+    return reply;
+  }
+
+  // ---- Replication verbs (standby side) ------------------------------------
+
+  static Json num(std::uint64_t v) {
+    return Json::number(static_cast<long long>(v));
+  }
+
+  /// Ack telling the primary to re-bootstrap this session from a
+  /// snapshot: the standby cannot (or must not) follow the stream from
+  /// where the primary thinks it is.
+  Json resync_reply(std::uint64_t hash, bool diverged = false) {
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("repl", Json::string("repl_ack"));
+    reply.set("session", Json::string(hex16(hash)));
+    reply.set("resync", Json::boolean(true));
+    if (diverged) reply.set("diverged", Json::boolean(true));
+    return reply;
+  }
+
+  /// Normal ack: the post-apply cursor plus this standby's own state
+  /// digest, the primary's divergence oracle. Entry mutex held, session
+  /// live.
+  Json ack_reply(SessionEntry& entry) {
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("repl", Json::string("repl_ack"));
+    reply.set("session", Json::string(hex16(entry.hash)));
+    reply.set("epoch", num(entry.repl_epoch));
+    reply.set("next_seq", num(entry.repl_next_seq));
+    reply.set("wal_base", num(entry.repl_wal_base));
+    reply.set("revision", num(entry.session->graph().revision()));
+    reply.set("digest", Json::string(hex16(
+                            products_digest(entry.session->products()))));
+    return reply;
+  }
+
+  /// Divergent or unfollowable replica state is scrubbed, never served:
+  /// drop the live object and its on-disk trace (the design stash
+  /// stays) so the next bootstrap starts clean. Entry mutex held.
+  void scrub_standby_session(SessionEntry& entry) {
+    if (entry.session != nullptr) {
+      entry.session.reset();
+      live_sessions.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ::unlink(persist::snapshot_path(entry.dir).c_str());
+    ::unlink(persist::wal_path(entry.dir).c_str());
+    entry.repl_epoch = 0;
+    entry.repl_next_seq = 0;
+    entry.repl_wal_base = 0;
+    entry.durability_lost = false;
+  }
+
+  Json handle_repl_subscribe() {
+    if (!standby_mode.load(std::memory_order_relaxed)) {
+      return error_reply(kCodeBadRequest, "not a standby");
+    }
+    // Report every session this standby can resume streaming; a
+    // session it cannot bring live is omitted and the primary
+    // re-bootstraps it. A freshly restarted standby reports nothing
+    // (the cursor is in-memory only) -- correct, just re-shipped.
+    Json sessions = Json::array();
+    for (Shard& shard : shards) {
+      std::vector<std::shared_ptr<SessionEntry>> entries;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        entries.reserve(shard.sessions.size());
+        for (auto& [hash, entry] : shard.sessions) entries.push_back(entry);
+      }
+      for (auto& entry : entries) {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        if (std::string err = ensure_live(*entry); !err.empty()) continue;
+        Json e = Json::object();
+        e.set("session", Json::string(hex16(entry->hash)));
+        e.set("epoch", num(entry->repl_epoch));
+        e.set("next_seq", num(entry->repl_next_seq));
+        e.set("wal_base", num(entry->repl_wal_base));
+        e.set("revision", num(entry->session->graph().revision()));
+        sessions.push(std::move(e));
+      }
+    }
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("repl", Json::string("repl_ack"));
+    reply.set("sessions", std::move(sessions));
+    return reply;
+  }
+
+  Json handle_repl_snapshot(const Json& request) {
+    if (!standby_mode.load(std::memory_order_relaxed)) {
+      return error_reply(kCodeBadRequest, "not a standby");
+    }
+    const Json* sid = request.get("session");
+    const Json* epoch = request.get("epoch");
+    const Json* revision = request.get("revision");
+    const Json* digest = request.get("digest");
+    const Json* design = request.get("design_text");
+    const Json* snap_hex = request.get("snapshot_hex");
+    std::uint64_t hash = 0;
+    std::uint64_t want_digest = 0;
+    if (sid == nullptr || !sid->is_string() ||
+        !parse_hex16(sid->as_string(), &hash) || epoch == nullptr ||
+        !epoch->is_number() || revision == nullptr || !revision->is_number() ||
+        digest == nullptr || !digest->is_string() ||
+        !parse_hex16(digest->as_string(), &want_digest) || design == nullptr ||
+        !design->is_string() || snap_hex == nullptr || !snap_hex->is_string()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, "malformed repl_snapshot");
+    }
+    std::string snapshot_bytes;
+    if (!hex_decode(snap_hex->as_string(), &snapshot_bytes)) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, "snapshot_hex is not hex");
+    }
+    // The session id IS the design's identity; verify rather than trust.
+    cg::ParseResult parsed = cg::from_text(design->as_string());
+    if (!parsed.ok()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, cat("design: ", parsed.error));
+    }
+    const std::string canonical = cg::to_text(*parsed.graph);
+    if (persist::fnv1a64(canonical) != hash) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, "design does not match session id");
+    }
+
+    std::shared_ptr<SessionEntry> entry;
+    {
+      Shard& shard = shard_for(hash);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.sessions.find(hash);
+      if (it != shard.sessions.end()) {
+        entry = it->second;
+      } else {
+        entry = std::make_shared<SessionEntry>();
+        entry->hash = hash;
+        entry->dir = cat(options.state_dir, "/s-", hex16(hash));
+        shard.sessions.emplace(hash, entry);
+      }
+    }
+
+    Json reply;
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+      if (::mkdir(entry->dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        return error_reply(
+            kCodeIo, cat("mkdir ", entry->dir, ": ", std::strerror(errno)));
+      }
+      // Whatever this replica held before, the snapshot replaces it.
+      if (entry->session != nullptr) {
+        entry->session.reset();
+        live_sessions.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (persist::Error e =
+              persist::atomic_write_file(design_path(*entry), canonical);
+          !e.ok()) {
+        return error_reply(kCodeIo, e.render());
+      }
+      if (persist::Error e = persist::atomic_write_file(
+              persist::snapshot_path(entry->dir), snapshot_bytes);
+          !e.ok()) {
+        return error_reply(kCodeIo, e.render());
+      }
+      ::unlink(persist::wal_path(entry->dir).c_str());
+      entry->quarantined = false;
+      entry->quarantine_reason.clear();
+      entry->durability_lost = false;
+      if (std::string err = ensure_live(*entry); !err.empty()) {
+        return error_reply(kCodeIo, err);
+      }
+      const std::uint64_t have_revision = entry->session->graph().revision();
+      const std::uint64_t have_digest =
+          products_digest(entry->session->products());
+      if (have_revision != static_cast<std::uint64_t>(revision->as_int()) ||
+          have_digest != want_digest) {
+        // The shipped snapshot restored to a different state than the
+        // primary claims; never stream on top of it.
+        scrub_standby_session(*entry);
+        bump(&ServerStats::repl_divergences);
+        return error_reply(kCodeIo, "snapshot restored to a different state");
+      }
+      entry->repl_epoch = static_cast<std::uint64_t>(epoch->as_int());
+      entry->repl_next_seq = 0;
+      entry->repl_wal_base = have_revision;
+      bump(&ServerStats::repl_snapshots_installed);
+      reply = ack_reply(*entry);
+    }
+    maybe_evict_after(hash);
+    return reply;
+  }
+
+  Json handle_repl_append(const Json& request) {
+    if (!standby_mode.load(std::memory_order_relaxed)) {
+      return error_reply(kCodeBadRequest, "not a standby");
+    }
+    const Json* sid = request.get("session");
+    const Json* epoch_j = request.get("epoch");
+    const Json* wal_base_j = request.get("wal_base");
+    const Json* seq_j = request.get("seq");
+    const Json* records_j = request.get("records");
+    std::uint64_t hash = 0;
+    if (sid == nullptr || !sid->is_string() ||
+        !parse_hex16(sid->as_string(), &hash) || epoch_j == nullptr ||
+        !epoch_j->is_number() || wal_base_j == nullptr ||
+        !wal_base_j->is_number() || seq_j == nullptr || !seq_j->is_number() ||
+        records_j == nullptr || !records_j->is_array()) {
+      bump(&ServerStats::bad_requests);
+      return error_reply(kCodeBadRequest, "malformed repl_append");
+    }
+    const auto epoch = static_cast<std::uint64_t>(epoch_j->as_int());
+    const auto wal_base = static_cast<std::uint64_t>(wal_base_j->as_int());
+    const auto seq = static_cast<std::uint64_t>(seq_j->as_int());
+
+    std::shared_ptr<SessionEntry> entry = find_entry(hash);
+    if (entry == nullptr) return resync_reply(hash);
+
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+    if (std::string err = ensure_live(*entry); !err.empty()) {
+      bump(&ServerStats::repl_rejects);
+      return resync_reply(hash);
+    }
+    engine::SynthesisSession& session = *entry->session;
+
+    // Cursor discipline: a batch must continue the known (epoch, seq)
+    // stream -- duplicates are fine (replay skips already-applied
+    // revisions; a retry after a lost ack lands here) -- or open the
+    // next epoch at exactly the revision this replica already holds
+    // (the primary's WAL was reset by a checkpoint while we were
+    // caught up). Anything else is a gap: resync.
+    bool follows = false;
+    if (epoch == entry->repl_epoch && wal_base == entry->repl_wal_base &&
+        seq <= entry->repl_next_seq) {
+      follows = true;
+    } else if (epoch > entry->repl_epoch && seq == 0 &&
+               wal_base == session.graph().revision()) {
+      entry->repl_epoch = epoch;
+      entry->repl_next_seq = 0;
+      entry->repl_wal_base = wal_base;
+      follows = true;
+    }
+    if (!follows) {
+      bump(&ServerStats::repl_rejects);
+      return resync_reply(hash);
+    }
+
+    std::vector<persist::WalRecord> records;
+    records.reserve(records_j->size());
+    for (std::size_t i = 0; i < records_j->size(); ++i) {
+      const Json& rj = *records_j->at(i);
+      const Json* op = rj.get("op");
+      const Json* rev = rj.get("rev");
+      if (op == nullptr || !op->is_number() || op->as_int() < 1 ||
+          op->as_int() > 6 || rev == nullptr || !rev->is_number()) {
+        bump(&ServerStats::bad_requests);
+        return error_reply(kCodeBadRequest, cat("record #", i, " malformed"));
+      }
+      persist::WalRecord rec;
+      rec.op = static_cast<persist::WalRecord::Op>(op->as_int());
+      rec.revision = static_cast<std::uint64_t>(rev->as_int());
+      const Json* a = rj.get("a");
+      const Json* b = rj.get("b");
+      const Json* v = rj.get("v");
+      rec.a = a != nullptr ? static_cast<std::int32_t>(a->as_int()) : -1;
+      rec.b = b != nullptr ? static_cast<std::int32_t>(b->as_int()) : -1;
+      rec.value = v != nullptr ? v->as_int() : 0;
+      records.push_back(rec);
+    }
+
+    if (persist::Error e = session.apply_records(records, "replication stream");
+        !e.ok()) {
+      // Unfollowable history (revision gap, an edit the graph
+      // rejects): a half-applied replica must never be served.
+      scrub_standby_session(*entry);
+      bump(&ServerStats::repl_rejects);
+      return resync_reply(hash);
+    }
+    session.flush_wal();
+    entry->repl_next_seq =
+        std::max(entry->repl_next_seq,
+                 seq + static_cast<std::uint64_t>(records.size()));
+    bump(&ServerStats::repl_appends_applied);
+    bump(&ServerStats::repl_records_applied,
+         static_cast<long long>(records.size()));
+
+    // Self-check when the batch closes at a commit marker both sides
+    // evaluated: wrong state is scrubbed here, not discovered at
+    // promote time.
+    const Json* want_rev = request.get("digest_revision");
+    const Json* want_dig = request.get("digest");
+    std::uint64_t want_digest = 0;
+    if (want_rev != nullptr && want_rev->is_number() && want_dig != nullptr &&
+        want_dig->is_string() &&
+        parse_hex16(want_dig->as_string(), &want_digest) &&
+        static_cast<std::uint64_t>(want_rev->as_int()) ==
+            session.graph().revision() &&
+        products_digest(session.products()) != want_digest) {
+      scrub_standby_session(*entry);
+      bump(&ServerStats::repl_divergences);
+      bump(&ServerStats::repl_rejects);
+      return resync_reply(hash, /*diverged=*/true);
+    }
+    return ack_reply(*entry);
+  }
+
+  Json handle_promote(const Json& request) {
+    const bool was_standby =
+        standby_mode.exchange(false, std::memory_order_relaxed);
+    if (was_standby) {
+      // Drain the apply queue: every in-flight repl apply holds its
+      // entry mutex, so taking each one serializes promotion after
+      // them; the dispatch gate above already refuses new appends.
+      for (Shard& shard : shards) {
+        std::vector<std::shared_ptr<SessionEntry>> entries;
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          entries.reserve(shard.sessions.size());
+          for (auto& [hash, entry] : shard.sessions) entries.push_back(entry);
+        }
+        for (auto& entry : entries) {
+          std::lock_guard<std::mutex> lock(entry->mutex);
+        }
+      }
+      bump(&ServerStats::promotions);
+    }
+    // A promoted primary can immediately start streaming to the next
+    // standby in the chain.
+    if (const Json* target = request.get("replicate_to");
+        target != nullptr && target->is_string() &&
+        !target->as_string().empty()) {
+      start_replicator(target->as_string());
+    }
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("was_standby", Json::boolean(was_standby));
+    reply.set("live_sessions",
+              Json::number(static_cast<long long>(
+                  live_sessions.load(std::memory_order_relaxed))));
     return reply;
   }
 
@@ -953,13 +1496,23 @@ struct Server::Impl {
     const std::string& name = op->as_string();
     try {
       if (name == "ping") return handle_ping();
+      if (name == "stats") return handle_stats(*request);
+      if (name == "shutdown") return handle_shutdown();
+      if (name == "promote") return handle_promote(*request);
+      if (name == "repl_subscribe") return handle_repl_subscribe();
+      if (name == "repl_snapshot") return handle_repl_snapshot(*request);
+      if (name == "repl_append") return handle_repl_append(*request);
+      if (standby_mode.load(std::memory_order_relaxed)) {
+        // Session verbs wait behind a promote; the structured code lets
+        // serve::Client fail over instead of treating this as an error.
+        return error_reply(kCodeStandby,
+                           "standby: promote this daemon before session ops");
+      }
       if (name == "open") return handle_open(*request);
       if (name == "edit") return handle_edit(*request);
       if (name == "resolve") return handle_resolve(*request);
       if (name == "evict") return handle_evict(*request);
       if (name == "close") return handle_close(*request);
-      if (name == "stats") return handle_stats(*request);
-      if (name == "shutdown") return handle_shutdown();
     } catch (const std::exception& ex) {
       // Last-ditch isolation: no request may take the process down.
       bump(&ServerStats::internal_errors);
@@ -1061,6 +1614,9 @@ struct Server::Impl {
       listen_fd = -1;
       return false;
     }
+    if (!options.replicate_to.empty()) {
+      start_replicator(options.replicate_to);
+    }
     return true;
   }
 
@@ -1102,6 +1658,9 @@ struct Server::Impl {
          ++spins) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
+    // The replication thread takes entry mutexes for its snapshot
+    // hook; stop it before checkpoint_all so the two never interleave.
+    stop_replicator();
     checkpoint_all();
   }
 

@@ -95,6 +95,28 @@ struct ServerOptions {
   int threads = 0;
   /// WAL durability policy for every session.
   persist::WalOptions wal = persist::WalOptions::from_env();
+
+  // ---- Replication (see replication.hpp and docs/algorithms.md) -----------
+
+  /// Primary role: stream committed WAL records to the standby daemon
+  /// listening on this socket. Empty = no replication.
+  std::string replicate_to;
+  /// Standby role: refuse the normal session verbs (code "standby"),
+  /// accept the repl_* stream, serve only after a "promote".
+  bool standby = false;
+  /// Records per repl_append frame.
+  int repl_batch_max = 64;
+  /// Lag cap before a standby is re-bootstrapped from a snapshot
+  /// instead of streamed at (bounded replication queue).
+  int repl_queue_cap = 4096;
+  /// Semi-sync ack budget: how long an edit/resolve reply waits for
+  /// the standby before degrading to async (counted).
+  std::chrono::milliseconds repl_ack_timeout{2000};
+  /// Transport timeout for primary->standby exchanges.
+  std::chrono::milliseconds repl_io_timeout{3000};
+  /// Chaos knob: corrupt the Nth shipped edit record (0 = off); the
+  /// divergence must be caught by the digest oracle and healed.
+  long long repl_corrupt_record_at = 0;
 };
 
 /// Whole-server counters, all monotone except the gauges at the end.
@@ -116,6 +138,14 @@ struct ServerStats {
   long long internal_errors = 0;        // caught exceptions
   long long checkpoint_failures = 0;
   long long wal_rebuilds = 0;  // durability rebuilt after a WAL error
+  // Standby-side replication counters (the primary's stream counters
+  // live in ReplicatorCounters and are merged into the stats reply).
+  long long repl_appends_applied = 0;
+  long long repl_records_applied = 0;
+  long long repl_snapshots_installed = 0;
+  long long repl_rejects = 0;      // appends refused pending resync
+  long long repl_divergences = 0;  // self-detected digest mismatches
+  long long promotions = 0;
   // Gauges, sampled when stats are rendered.
   int live_sessions = 0;
   int known_sessions = 0;

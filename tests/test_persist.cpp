@@ -325,6 +325,138 @@ TEST(WalTest, ResetTruncatesToNewBase) {
   EXPECT_TRUE(read.records.empty());
 }
 
+/// Appends `count` kSetBound records with revisions first..first+count-1
+/// and flushes them to the kernel (no fsync -- read_tail reads the page
+/// cache, which is the replication tailing contract).
+void append_records(Wal& wal, std::uint64_t first, int count) {
+  for (int i = 0; i < count; ++i) {
+    WalRecord rec;
+    rec.op = WalRecord::Op::kSetBound;
+    rec.revision = first + static_cast<std::uint64_t>(i);
+    rec.a = 0;
+    rec.value = static_cast<std::int64_t>(rec.revision);
+    wal.append(rec);
+  }
+  wal.flush_now();
+}
+
+TEST(WalTail, StreamsFromCursorAndReportsNextSeq) {
+  const std::string dir = temp_dir("wal_tail");
+  const std::string path = wal_path(dir);
+  Error error;
+  auto wal = Wal::open(path, /*base_revision_if_new=*/3, always_sync(),
+                       &error);
+  ASSERT_NE(wal, nullptr) << error.render();
+  append_records(*wal, 4, 5);
+
+  // From the start: everything, next_seq = total.
+  Wal::TailResult tail = Wal::read_tail(path, 0);
+  ASSERT_TRUE(tail.ok()) << tail.error.render();
+  EXPECT_EQ(tail.base_revision, 3u);
+  EXPECT_FALSE(tail.torn_tail);
+  ASSERT_EQ(tail.records.size(), 5u);
+  EXPECT_EQ(tail.records.front().revision, 4u);
+  EXPECT_EQ(tail.next_seq, 5u);
+
+  // From a mid-log cursor: only the suffix.
+  tail = Wal::read_tail(path, 2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.records.size(), 3u);
+  EXPECT_EQ(tail.records.front().revision, 6u);
+  EXPECT_EQ(tail.next_seq, 5u);
+
+  // At the end: nothing new, cursor confirmed -- the steady state of a
+  // caught-up follower polling an idle log.
+  tail = Wal::read_tail(path, 5);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(tail.records.empty());
+  EXPECT_EQ(tail.next_seq, 5u);
+
+  // New appends become visible to the same cursor after a flush, with
+  // no fsync required.
+  append_records(*wal, 9, 2);
+  tail = Wal::read_tail(path, 5);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.records.size(), 2u);
+  EXPECT_EQ(tail.records.front().revision, 9u);
+  EXPECT_EQ(tail.next_seq, 7u);
+}
+
+TEST(WalTail, TornTailToleratedMidFileCorruptionFatal) {
+  const std::string dir = temp_dir("wal_tail_torn");
+  const std::string path = wal_path(dir);
+  Error error;
+  auto wal = Wal::open(path, 0, always_sync(), &error);
+  ASSERT_NE(wal, nullptr) << error.render();
+  append_records(*wal, 1, 3);
+  wal->sync_now();
+  wal.reset();
+  const std::string intact = slurp(path);
+
+  // An incomplete final record is an append that may still be in
+  // flight: the intact prefix streams, the tail is flagged but NOT
+  // fatal -- the follower simply polls again.
+  dump(path, intact.substr(0, intact.size() - 5));
+  Wal::TailResult tail = Wal::read_tail(path, 0);
+  ASSERT_TRUE(tail.ok()) << tail.error.render();
+  EXPECT_TRUE(tail.torn_tail);
+  ASSERT_EQ(tail.records.size(), 2u);
+  EXPECT_EQ(tail.next_seq, 2u);
+
+  // A cursor already past the intact prefix sees no new records.
+  tail = Wal::read_tail(path, 2);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(tail.records.empty());
+  EXPECT_EQ(tail.next_seq, 2u);
+
+  // A bit flip in acknowledged history is fatal for streaming: the
+  // caller must re-bootstrap from a snapshot, not ship damaged edits.
+  std::string corrupt = intact;
+  corrupt[intact.size() / 2] ^= 0x01;
+  dump(path, corrupt);
+  tail = Wal::read_tail(path, 0);
+  EXPECT_FALSE(tail.ok());
+  EXPECT_TRUE(tail.records.empty());
+
+  // So is a missing file.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  tail = Wal::read_tail(path, 0);
+  EXPECT_FALSE(tail.ok());
+}
+
+TEST(WalTail, ResetSignaledByBaseRevisionAndRegressedNextSeq) {
+  const std::string dir = temp_dir("wal_tail_reset");
+  const std::string path = wal_path(dir);
+  Error error;
+  auto wal = Wal::open(path, 1, always_sync(), &error);
+  ASSERT_NE(wal, nullptr) << error.render();
+  append_records(*wal, 2, 4);
+
+  Wal::TailResult tail = Wal::read_tail(path, 4);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.base_revision, 1u);
+  EXPECT_EQ(tail.next_seq, 4u);
+
+  // A checkpoint truncates the log to a fresh header. A follower
+  // holding the old cursor must see both epoch-change signals: the
+  // base_revision changed and next_seq regressed below its from_seq.
+  ASSERT_TRUE(wal->reset(5).ok());
+  tail = Wal::read_tail(path, 4);
+  ASSERT_TRUE(tail.ok()) << tail.error.render();
+  EXPECT_EQ(tail.base_revision, 5u);
+  EXPECT_TRUE(tail.records.empty());
+  EXPECT_LT(tail.next_seq, 4u);
+  EXPECT_EQ(tail.next_seq, 0u);
+
+  // Records appended in the new epoch stream from seq 0.
+  append_records(*wal, 6, 2);
+  tail = Wal::read_tail(path, 0);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.records.size(), 2u);
+  EXPECT_EQ(tail.records.front().revision, 6u);
+  EXPECT_EQ(tail.next_seq, 2u);
+}
+
 }  // namespace
 }  // namespace relsched::persist
 
@@ -439,6 +571,46 @@ TEST(SessionCheckpoint, RoundTripRestoresBitIdenticalProducts) {
   restored->set_constraint_bound(find_max_edge(restored->graph()), 4);
   ASSERT_TRUE(session.resolve().ok());
   ASSERT_TRUE(restored->resolve().ok());
+  expect_same_products(session, *restored);
+}
+
+TEST(SessionCheckpoint, EnospcCheckpointFailsCleanlyThenRecovers) {
+  const std::string dir = persist::temp_dir("ckpt_enospc");
+  testing::Fig2Graph fig;
+  const VertexId v0 = fig.v0, v4 = fig.v4;
+  SynthesisSession session(std::move(fig.g), {});
+  session.add_min_constraint(v0, v4, 4);
+  ASSERT_TRUE(session.resolve().ok());
+
+  {
+    // Disk full: every write fails hard with ENOSPC. The checkpoint
+    // must surface a structured error and leave no temp file behind.
+    base::FaultFsConfig config;
+    config.seed = 3;
+    config.write_per10k = 10000;
+    config.write_enospc_per10k = 10000;
+    persist::ScopedFaults faults(config);
+    const persist::Error error = session.checkpoint(dir);
+    EXPECT_FALSE(error.ok());
+    EXPECT_EQ(error.code, ErrorCode::kIo);
+    EXPECT_GT(base::fault_fs().counters().enospc, 0);
+  }
+  DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (const dirent* entry = ::readdir(d)) {
+    EXPECT_EQ(std::string(entry->d_name).find(".tmp."), std::string::npos)
+        << "leaked temp file: " << entry->d_name;
+  }
+  ::closedir(d);
+
+  // The failed checkpoint cost nothing: the session keeps serving, and
+  // with the disk healthy the same checkpoint goes through and restores
+  // bit-identically.
+  ASSERT_TRUE(session.resolve().ok());
+  ASSERT_TRUE(session.checkpoint(dir).ok());
+  SynthesisSession::RestoreReport report;
+  auto restored = SynthesisSession::restore(dir, {}, &report);
+  ASSERT_TRUE(restored.has_value()) << report.error.render();
   expect_same_products(session, *restored);
 }
 

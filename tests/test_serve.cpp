@@ -1,17 +1,25 @@
 // The serve layer: wire-protocol JSON round-trips and framing, then
 // the full daemon loop over a real AF_UNIX socket -- session reuse,
 // forced eviction + transparent restore (digest-stable), admission
-// shedding, poison-request quarantine, and graceful shutdown.
+// shedding, poison-request quarantine, graceful shutdown, client io
+// timeouts, snapshot faults during eviction, and WAL-streaming
+// replication to a hot standby (including promote failover and
+// injected-divergence healing).
 #include <gtest/gtest.h>
+#include <dirent.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <optional>
 #include <string>
 #include <thread>
 
+#include "base/fault_fs.hpp"
 #include "cg/graph_io.hpp"
 #include "engine/session.hpp"
 #include "serve/client.hpp"
@@ -139,7 +147,8 @@ struct LiveServer {
   std::thread thread;
   std::string root;
 
-  explicit LiveServer(int max_live = 64, int max_connections = 16) {
+  explicit LiveServer(int max_live = 64, int max_connections = 16,
+                      std::function<void(ServerOptions&)> tweak = {}) {
     root = ::testing::TempDir() + "relsched_serve_XXXXXX";
     EXPECT_NE(::mkdtemp(root.data()), nullptr);
     options.socket_path = root + "/sock";
@@ -147,6 +156,7 @@ struct LiveServer {
     options.max_live_sessions = max_live;
     options.max_connections = max_connections;
     options.certify = false;
+    if (tweak) tweak(options);
     server = std::make_unique<Server>(options);
     std::string error;
     EXPECT_TRUE(server->start(&error)) << error;
@@ -470,6 +480,273 @@ TEST(ServeEndToEnd, StateSurvivesServerRestart) {
     server.shutdown();
     thread.join();
   }
+}
+
+// ---- Client io timeouts ---------------------------------------------------
+
+TEST(ServeClient, IoTimeoutSurfacesStructuredErrorAndClosesConnection) {
+  // A listener that accepts nothing and answers nothing: the unix
+  // socket backlog lets connect() succeed, then the daemon "hangs".
+  std::string root = ::testing::TempDir() + "relsched_mute_XXXXXX";
+  ASSERT_NE(::mkdtemp(root.data()), nullptr);
+  const std::string path = root + "/sock";
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+
+  Client client;
+  client.set_io_timeout(std::chrono::milliseconds(100));
+  std::string error;
+  ASSERT_TRUE(client.connect(path, std::chrono::seconds(2), &error)) << error;
+
+  Json ping = Json::object();
+  ping.set("op", Json::string("ping"));
+  Json reply;
+  EXPECT_FALSE(client.call(ping, &reply, &error));
+  // The structured prefix distinguishes a hung daemon from a dead one,
+  // and a blown deadline poisons the connection (a late reply would
+  // desynchronize the framing).
+  EXPECT_EQ(error.rfind(Client::kTimeoutPrefix, 0), 0u) << error;
+  EXPECT_FALSE(client.connected());
+  ::close(fd);
+}
+
+// ---- Snapshot faults during eviction --------------------------------------
+
+/// Disarms the process-wide fault injector even when a test assertion
+/// bails out early, so later tests never run against a faulty "disk".
+struct ScopedFaults {
+  explicit ScopedFaults(const base::FaultFsConfig& config) {
+    base::fault_fs().arm(config);
+  }
+  ~ScopedFaults() { base::fault_fs().disarm(); }
+};
+
+/// Fails the test if any "*.tmp.*" leftover exists under `dir`.
+void expect_no_stranded_temps(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;  // dir may legitimately not exist yet
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    EXPECT_EQ(name.find(".tmp."), std::string::npos)
+        << "leaked temp file: " << dir << "/" << name;
+    if (entry->d_type == DT_DIR) expect_no_stranded_temps(dir + "/" + name);
+  }
+  ::closedir(d);
+}
+
+TEST(ServeEndToEnd, SnapshotFaultsDuringEvictionKeepSessionLive) {
+  // kAlways WAL sync: the edit below reaches disk at its own commit
+  // point, so the armed fault schedules hit only the snapshot write
+  // inside the eviction checkpoint, not a deferred WAL flush.
+  LiveServer live(/*max_live=*/64, /*max_connections=*/16,
+                  [](ServerOptions& o) {
+                    o.wal.sync = persist::WalOptions::Sync::kAlways;
+                  });
+  Client client = live.connect();
+  testing::Fig2Graph fig;
+  Json opened = live.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+  Json edited = live.call(
+      client,
+      one_edit_request(sid, add_min_edit(fig.v0.value(), fig.v4.value(), 4)));
+  ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+  const std::string digest = field(edited, "digest").as_string();
+  const long long revision = field(edited, "revision").as_int();
+
+  Json evict = Json::object();
+  evict.set("op", Json::string("evict"));
+  evict.set("session", Json::string(sid));
+  {
+    // Torn-rename disk: the snapshot temp writes fine but can never be
+    // published. The eviction must fail structurally instead of
+    // dropping state that never reached disk.
+    base::FaultFsConfig config;
+    config.seed = 7;
+    config.rename_per10k = 10000;
+    ScopedFaults faults(config);
+    Json refused = live.call(client, evict);
+    EXPECT_FALSE(field(refused, "ok").as_bool()) << refused.render();
+    EXPECT_EQ(field(refused, "code").as_string(), kCodeIo);
+  }
+  {
+    // Disk full: every write fails hard before the temp even fills.
+    base::FaultFsConfig config;
+    config.seed = 7;
+    config.write_per10k = 10000;
+    config.write_enospc_per10k = 10000;
+    ScopedFaults faults(config);
+    Json refused = live.call(client, evict);
+    EXPECT_FALSE(field(refused, "ok").as_bool()) << refused.render();
+    EXPECT_EQ(field(refused, "code").as_string(), kCodeIo);
+  }
+
+  // The session survived both failed checkpoints -- still live, still
+  // at the acknowledged revision, digest bit-identical -- and neither
+  // abort stranded a temp file anywhere under the state dir.
+  Json resolved = live.call(client, resolve_request(sid));
+  ASSERT_TRUE(field(resolved, "ok").as_bool()) << resolved.render();
+  EXPECT_EQ(field(resolved, "revision").as_int(), revision);
+  EXPECT_EQ(field(resolved, "digest").as_string(), digest);
+  expect_no_stranded_temps(live.options.state_dir);
+
+  Json stats = Json::object();
+  stats.set("op", Json::string("stats"));
+  Json counters = live.call(client, stats);
+  EXPECT_GE(field(counters, "checkpoint_failures").as_int(), 2);
+  EXPECT_EQ(field(counters, "quarantined_sessions").as_int(), 0);
+
+  // With the disk healthy the same eviction goes through, and the
+  // restore it seeds is digest-stable.
+  Json evicted = live.call(client, evict);
+  ASSERT_TRUE(field(evicted, "ok").as_bool()) << evicted.render();
+  resolved = live.call(client, resolve_request(sid));
+  ASSERT_TRUE(field(resolved, "ok").as_bool()) << resolved.render();
+  EXPECT_EQ(field(resolved, "digest").as_string(), digest);
+}
+
+// ---- Replication ----------------------------------------------------------
+
+Json stats_of(LiveServer& live, Client& client) {
+  Json stats = Json::object();
+  stats.set("op", Json::string("stats"));
+  return live.call(client, stats);
+}
+
+TEST(ServeReplication, StreamsToStandbyAndPromoteServesIdenticalState) {
+  // The standby must be listening before the primary's replicator
+  // dials it; LiveServer declaration order also tears the primary down
+  // first, which stops its replicator before the standby goes away.
+  LiveServer standby(64, 16, [](ServerOptions& o) { o.standby = true; });
+  LiveServer primary(64, 16, [&](ServerOptions& o) {
+    o.replicate_to = standby.options.socket_path;
+  });
+  Client client = primary.connect();
+
+  testing::Fig2Graph fig;
+  Json opened = primary.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+  Json edited = primary.call(
+      client,
+      one_edit_request(sid, add_min_edit(fig.v0.value(), fig.v4.value(), 4)));
+  ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+  // Semi-synchronous contract: an ok reply without the degraded marker
+  // means the standby acknowledged this commit before the client heard
+  // about it.
+  EXPECT_FALSE(field(edited, "repl_degraded").as_bool()) << edited.render();
+  const std::string digest = field(edited, "digest").as_string();
+  const long long revision = field(edited, "revision").as_int();
+
+  // Session verbs are fenced off on the standby until promotion: a
+  // client that failed over too eagerly gets a structured refusal, not
+  // a divergent write target.
+  Client sclient = standby.connect();
+  Json refused = standby.call(sclient, resolve_request(sid));
+  EXPECT_FALSE(field(refused, "ok").as_bool());
+  EXPECT_EQ(field(refused, "code").as_string(), kCodeStandby);
+
+  // The stream actually ran: snapshot bootstrap plus applied appends,
+  // and zero divergences.
+  Json scounters = stats_of(standby, sclient);
+  EXPECT_TRUE(field(scounters, "standby").as_bool()) << scounters.render();
+  EXPECT_GE(field(scounters, "repl_snapshots_installed").as_int() +
+                field(scounters, "repl_appends_applied").as_int(),
+            1)
+      << scounters.render();
+  EXPECT_EQ(field(scounters, "repl_divergences").as_int(), 0);
+
+  // Promote: the standby flips role and serves the replicated session
+  // at the acknowledged revision with a bit-identical digest.
+  Json promote = Json::object();
+  promote.set("op", Json::string("promote"));
+  Json promoted = standby.call(sclient, promote);
+  ASSERT_TRUE(field(promoted, "ok").as_bool()) << promoted.render();
+  EXPECT_TRUE(field(promoted, "was_standby").as_bool());
+
+  Json resolved = standby.call(sclient, resolve_request(sid));
+  ASSERT_TRUE(field(resolved, "ok").as_bool()) << resolved.render();
+  EXPECT_EQ(field(resolved, "revision").as_int(), revision);
+  EXPECT_EQ(field(resolved, "digest").as_string(), digest);
+
+  // Promote is idempotent role-wise, and the replication verbs are now
+  // fenced: a primary that outlived its own demotion cannot keep
+  // writing into the promoted node (zombie fencing).
+  Json again = standby.call(sclient, promote);
+  ASSERT_TRUE(field(again, "ok").as_bool());
+  EXPECT_FALSE(field(again, "was_standby").as_bool());
+  Json subscribe = Json::object();
+  subscribe.set("op", Json::string("repl_subscribe"));
+  Json fenced = standby.call(sclient, subscribe);
+  EXPECT_FALSE(field(fenced, "ok").as_bool());
+  EXPECT_EQ(field(fenced, "code").as_string(), kCodeBadRequest);
+}
+
+TEST(ServeReplication, InjectedDivergenceDetectedCountedAndHealed) {
+  LiveServer standby(64, 16, [](ServerOptions& o) { o.standby = true; });
+  LiveServer primary(64, 16, [&](ServerOptions& o) {
+    o.replicate_to = standby.options.socket_path;
+    // Corrupt the first streamed add_min record: the standby applies it
+    // cleanly, so only the digest handshake can catch the divergence.
+    o.repl_corrupt_record_at = 1;
+  });
+  Client client = primary.connect();
+
+  testing::Fig2Graph fig;
+  Json opened = primary.call(client, open_request(cg::to_text(fig.g)));
+  ASSERT_TRUE(field(opened, "ok").as_bool()) << opened.render();
+  const std::string sid = field(opened, "session").as_string();
+
+  // A run of min-constraint edits: at least one ships as a WAL record
+  // (rather than inside the bootstrap snapshot) and gets corrupted.
+  std::string digest;
+  long long revision = 0;
+  for (int i = 0; i < 5; ++i) {
+    Json edited = primary.call(
+        client, one_edit_request(
+                    sid, add_min_edit(fig.v0.value(), fig.v4.value(), 3 + i)));
+    ASSERT_TRUE(field(edited, "ok").as_bool()) << edited.render();
+    digest = field(edited, "digest").as_string();
+    revision = field(edited, "revision").as_int();
+  }
+
+  // The primary's ack handshake must notice the mismatch, count it,
+  // and heal by re-shipping a snapshot; poll until the re-bootstrap
+  // lands (the stream runs on its own thread).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  bool healed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    Json counters = stats_of(primary, client);
+    if (field(counters, "repl_stream_divergences").as_int() >= 1 &&
+        field(counters, "repl_snapshots_shipped").as_int() >= 2) {
+      healed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(healed) << stats_of(primary, client).render();
+
+  // After healing, promote the standby: it must serve the *oracle*
+  // state, not the corrupted one it briefly held.
+  Client sclient = standby.connect();
+  Json scounters = stats_of(standby, sclient);
+  EXPECT_GE(field(scounters, "repl_divergences").as_int(), 1)
+      << scounters.render();
+  Json promote = Json::object();
+  promote.set("op", Json::string("promote"));
+  Json promoted = standby.call(sclient, promote);
+  ASSERT_TRUE(field(promoted, "ok").as_bool()) << promoted.render();
+  Json resolved = standby.call(sclient, resolve_request(sid));
+  ASSERT_TRUE(field(resolved, "ok").as_bool()) << resolved.render();
+  EXPECT_EQ(field(resolved, "revision").as_int(), revision);
+  EXPECT_EQ(field(resolved, "digest").as_string(), digest);
 }
 
 }  // namespace
