@@ -1,0 +1,84 @@
+#!/bin/sh
+# Slack/criticality analysis gate for CI (and local use).
+#
+# Runs `relsched_cli analyze --extract` over the built-in benchmark
+# suite and every checked-in design fixture, collecting the JSON
+# reports into one artifact. Gating is verdict- and
+# certification-based:
+#
+#   - the benchmark suite and the known-good fixtures must analyze
+#     cleanly (exit 0) AND every critical-subgraph extraction must
+#     certify -- an extraction whose re-schedule drifts from the full
+#     design is a correctness bug, not a tuning issue;
+#   - the known-bad fixtures must KEEP producing their verdicts
+#     (infeasible.cg exit 3, illposed.cg exit 4) with certified
+#     witness extractions.
+#
+# Usage: scripts/analyze_designs.sh [build_dir] [artifact.json]
+set -u
+
+BUILD_DIR="${1:-build}"
+ARTIFACT="${2:-$BUILD_DIR/ANALYZE_designs.json}"
+CLI="$BUILD_DIR/src/driver/relsched_cli"
+DATA="$(dirname "$0")/../tests/data"
+
+if [ ! -x "$CLI" ]; then
+  echo "analyze_designs: $CLI not built" >&2
+  exit 2
+fi
+
+fail=0
+: > "$ARTIFACT.tmp"
+
+# 1. Benchmark suite: every paper design must analyze cleanly with a
+#    certified extraction.
+echo "== analyze: benchmark suite =="
+if ! "$CLI" analyze --suite --extract --analyze-json >> "$ARTIFACT.tmp"; then
+  echo "FAIL: benchmark suite analysis failed or uncertified" >&2
+  "$CLI" analyze --suite --extract >&2 || true
+  fail=1
+fi
+
+# 2. Known-good fixtures: exit 0 and a certified extraction. The
+#    generated designs exercise the extractor at fixture scale.
+for f in fig2.cg redundant.cg gen_s11_v200.cg gen_s22_v500.cg \
+         gen_s33_v1000.cg handshake.hwc; do
+  echo "== analyze: $f (must certify) =="
+  if ! "$CLI" analyze --extract --analyze-json "$DATA/$f" \
+       >> "$ARTIFACT.tmp"; then
+    echo "FAIL: $f analysis failed or uncertified" >&2
+    "$CLI" analyze --extract "$DATA/$f" >&2 || true
+    fail=1
+  fi
+done
+
+# 3. Known-bad fixtures: the verdict must hold and the witness
+#    extraction must still certify (exit 3 = infeasible, 4 = ill-posed;
+#    an uncertified extraction forces exit 1 and fails here too).
+for f in "infeasible.cg 3" "illposed.cg 4"; do
+  name="${f% *}"
+  want="${f#* }"
+  echo "== analyze: $name (must exit $want) =="
+  "$CLI" analyze --extract --analyze-json "$DATA/$name" >> "$ARTIFACT.tmp"
+  status=$?
+  if [ "$status" -ne "$want" ]; then
+    echo "FAIL: $name expected analyze exit $want, got $status" >&2
+    fail=1
+  fi
+done
+
+# Stitch the per-run JSON arrays (one single-line "[...]" per run)
+# into one top-level array.
+{
+  printf '['
+  sed -e 's/^\[//' -e 's/\]$//' "$ARTIFACT.tmp" | grep -v '^ *$' | \
+    paste -sd, -
+  printf ']\n'
+} > "$ARTIFACT"
+rm -f "$ARTIFACT.tmp"
+
+if [ "$fail" -ne 0 ]; then
+  echo "== design analyze gate FAILED (reports: $ARTIFACT) ==" >&2
+  exit 1
+fi
+echo "== design analyze gate passed (reports: $ARTIFACT) =="

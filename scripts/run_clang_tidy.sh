@@ -2,11 +2,13 @@
 # clang-tidy over the repo's sources, driven by the exported
 # compile_commands.json (the root CMakeLists.txt always exports it).
 #
-# By default checks every .cpp under src/; pass explicit files to check
-# a subset (CI passes the files changed by the PR). Exits 0 with a
-# notice when clang-tidy is not installed, so local runs on gcc-only
-# boxes do not fail the build -- the CI job installs it and gets the
-# real verdict.
+# By default checks every .cpp under src/ -- directories added after
+# the profile landed (src/serve, src/analyze, the cg/graph_io binary
+# codec) are swept automatically, no opt-in list to forget. Pass
+# explicit files to check a subset (CI passes the files changed by the
+# PR). Exits 0 with a notice when clang-tidy is not installed, so local
+# runs on gcc-only boxes do not fail the build -- the CI job installs
+# it and gets the real verdict.
 #
 # Usage: scripts/run_clang_tidy.sh [build_dir] [file...]
 set -u

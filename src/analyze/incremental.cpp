@@ -1,0 +1,136 @@
+#include "analyze/incremental.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "analyze/detail.hpp"
+
+namespace relsched::analyze {
+
+namespace {
+
+using Sig = std::tuple<int, int, int, int>;
+
+Sig edge_sig(const cg::Edge& e) {
+  return {static_cast<int>(e.kind), e.from.value(), e.to.value(),
+          e.fixed_weight};
+}
+
+/// Cone-scoped re-analysis. Preconditions (checked by the caller): the
+/// cached report is a kOk report for the state the warm resolve patched
+/// from, `t0` holds its zero-profile start times, the current products
+/// are ok, and `cone` is the warm resolve's dirty cone. Records whose
+/// endpoints both miss the cone are carried from `prev` by signature
+/// (EdgeId refreshed); the rest are recomputed against the patched t0.
+Report cone_reanalyze(const cg::ConstraintGraph& g,
+                      const anchors::AnchorAnalysis& analysis,
+                      const std::vector<VertexId>& cone,
+                      const std::vector<int>& topo, const Report& prev,
+                      const std::vector<Sig>& prev_sigs,
+                      std::vector<graph::Weight>& t0) {
+  std::vector<bool> in_cone(static_cast<std::size_t>(g.vertex_count()), false);
+  for (const VertexId v : cone) in_cone[v.index()] = true;
+
+  // The engine publishes the cone in flood (BFS) order; the T0 patch
+  // needs forward topological order, so sort by position in the
+  // products' own topo order.
+  std::vector<int> pos(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    pos[static_cast<std::size_t>(topo[i])] = static_cast<int>(i);
+  }
+  std::vector<VertexId> cone_topo = cone;
+  std::sort(cone_topo.begin(), cone_topo.end(),
+            [&pos](VertexId a, VertexId b) {
+              return pos[a.index()] < pos[b.index()];
+            });
+  detail::patch_zero_profile_start_times(g, analysis, cone_topo, t0);
+
+  // Previous records by signature, consumed front-to-back so two
+  // identical constraints (same signature, both out of cone) each get
+  // their own carried record.
+  std::map<Sig, std::deque<std::size_t>> prev_index;
+  for (std::size_t i = 0; i < prev.slacks.size(); ++i) {
+    prev_index[prev_sigs[i]].push_back(i);
+  }
+  const auto take = [&](const Sig& key) -> const ConstraintSlack* {
+    const auto it = prev_index.find(key);
+    if (it == prev_index.end() || it->second.empty()) return nullptr;
+    const std::size_t i = it->second.front();
+    it->second.pop_front();
+    return &prev.slacks[i];
+  };
+
+  Report report;
+  report.status = Status::kOk;
+  for (const cg::Edge& e : g.edges()) {
+    if (e.kind == cg::EdgeKind::kSequencing) continue;
+    const ConstraintSlack* carried_from = nullptr;
+    if (!in_cone[e.from.index()] && !in_cone[e.to.index()]) {
+      carried_from = take(edge_sig(e));
+    }
+    if (carried_from != nullptr) {
+      ConstraintSlack carried = *carried_from;
+      carried.edge = e.id;
+      report.slacks.push_back(carried);
+    } else {
+      report.slacks.push_back(detail::constraint_slack(g, analysis, t0, e.id));
+    }
+  }
+  detail::rank(report.slacks);
+  return report;
+}
+
+}  // namespace
+
+const Report& IncrementalAnalyzer::reanalyze(
+    engine::SynthesisSession& session) {
+  const engine::Products& products = session.resolve();
+  const cg::ConstraintGraph& g = session.graph();
+  const long long resolves = session.resolve_count();
+
+  if (valid_ && products.revision == revision_ && resolves == resolves_) {
+    return report_;  // no resolve since the cached report: still current
+  }
+
+  // The cone path is sound only when exactly ONE warm resolve separates
+  // the cached kOk report from the current products: last_dirty_cone()
+  // then bounds every per-vertex product -- and with it every slack
+  // input -- that changed since the report was built.
+  const bool cone_ok = valid_ && report_.ok() && products.ok() &&
+                       session.last_resolve_was_warm() &&
+                       resolves == resolves_ + 1;
+
+  if (cone_ok) {
+    ++cone_analyses_;
+    const Report prev = std::move(report_);
+    const std::vector<Sig> prev_sigs = std::move(sigs_);
+    report_ = cone_reanalyze(g, products.analysis, session.last_dirty_cone(),
+                             products.topo, prev, prev_sigs, t0_);
+  } else {
+    ++full_analyses_;
+    report_ = analyze(g, products.ok() ? &products.analysis : nullptr);
+    if (report_.ok()) {
+      t0_ = detail::zero_profile_start_times(g, products.analysis,
+                                             products.topo);
+    } else {
+      t0_.clear();
+    }
+  }
+
+  // Refresh the signatures NOW, while the report's EdgeIds are valid;
+  // by the next reanalyze() they may have been swap-popped away.
+  sigs_.clear();
+  sigs_.reserve(report_.slacks.size());
+  for (const ConstraintSlack& s : report_.slacks) {
+    sigs_.push_back(edge_sig(g.edge(s.edge)));
+  }
+  revision_ = products.revision;
+  resolves_ = resolves;
+  valid_ = true;
+  return report_;
+}
+
+}  // namespace relsched::analyze

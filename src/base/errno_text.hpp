@@ -1,0 +1,21 @@
+// Thread-safe errno formatting.
+//
+// strerror(3) returns a pointer into per-process static storage, so
+// two threads formatting errors at once can tear each other's message
+// (clang-tidy concurrency-mt-unsafe). relsched_serve formats errno
+// from every shard thread plus the replication thread, so errors go
+// through std::generic_category().message() instead, which returns an
+// owned string.
+#pragma once
+
+#include <string>
+#include <system_error>
+
+namespace relsched::base {
+
+/// strerror(3) without the shared static buffer.
+inline std::string errno_text(int err) {
+  return std::generic_category().message(err);
+}
+
+}  // namespace relsched::base

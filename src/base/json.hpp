@@ -1,0 +1,47 @@
+// Minimal JSON string escaping shared by the hand-rolled renderers
+// (lint, analyze, certify, bench). Only the escapes the JSON grammar
+// requires: quote, backslash, and control characters; everything else
+// passes through byte-for-byte, so renderer output is stable across
+// platforms and locales.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace relsched::base {
+
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
+  out += '"';
+}
+
+}  // namespace relsched::base

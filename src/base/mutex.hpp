@@ -33,6 +33,14 @@ class RELSCHED_CAPABILITY("mutex") Mutex {
 
   void lock() RELSCHED_ACQUIRE() { m_.lock(); }
   void unlock() RELSCHED_RELEASE() { m_.unlock(); }
+  /// Non-blocking acquire; guarded state is visible to the analysis
+  /// only on the `true` branch. Pair with an explicit unlock() on
+  /// every path out of that branch (there is deliberately no scoped
+  /// try-lock wrapper: the analysis reasons about the boolean, not
+  /// about a conditionally-held RAII object).
+  [[nodiscard]] bool try_lock() RELSCHED_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
 
  private:
   std::mutex m_;

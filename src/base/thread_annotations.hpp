@@ -42,6 +42,13 @@
 #define RELSCHED_RELEASE(...) \
   RELSCHED_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
 
+/// Function attempts to acquire the capability; the first argument is
+/// the return value that means success. The analysis is
+/// branch-sensitive: guarded state is accessible only on the success
+/// branch of `if (m.try_lock())`.
+#define RELSCHED_TRY_ACQUIRE(...) \
+  RELSCHED_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
 /// Function must be called with the listed capabilities held.
 #define RELSCHED_REQUIRES(...) \
   RELSCHED_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))

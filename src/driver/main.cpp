@@ -11,6 +11,16 @@
 //     error/warning/info. --strip-redundant (.cg inputs) writes the
 //     graph with redundant constraints removed to stdout.
 //
+//   relsched_cli analyze [--analyze-json] [--extract] [--top <n>]
+//                        (--suite | <design.hwc | graph.cg | graph.cgb>)
+//     Static slack / criticality analysis without running the
+//     scheduler's fixpoint: per-constraint tightening slack, a
+//     criticality ranking with defining-path provenance, and (with
+//     --extract) a certified critical subgraph -- re-scheduled from
+//     scratch and checked bit-for-bit against the full design's
+//     offsets. Exit 0 ok, 2 invalid, 3 infeasible, 4 ill-posed;
+//     exit 1 when an extraction fails its certification.
+//
 //   relsched_cli gen [--seed <n>] [--vertices <n>] [--width <n>]
 //                    [--anchor-density <per10k>] [--min-density <per10k>]
 //                    [--max-density <per10k>] [--max-delay <n>]
@@ -69,6 +79,7 @@
 #include "driver/synthesis.hpp"
 #include "engine/session.hpp"
 #include "hdl/lower.hpp"
+#include "analyze/analyze.hpp"
 #include "lint/lint.hpp"
 #include "persist/serialize.hpp"
 #include "rtl/datapath.hpp"
@@ -87,6 +98,8 @@ int usage() {
                "       relsched_cli lint [--lint-json] [--strip-redundant] "
                "[--fail-on error|warning|info|never] "
                "(--suite | <design.hwc | graph.cg>)\n"
+               "       relsched_cli analyze [--analyze-json] [--extract] "
+               "[--top <n>] (--suite | <design.hwc | graph.cg | graph.cgb>)\n"
                "       relsched_cli gen [--seed <n>] [--vertices <n>] "
                "[--width <n>] [--anchor-density <per10k>] "
                "[--max-anchors <n>] "
@@ -352,6 +365,169 @@ int lint_main(int argc, char** argv) {
   return lint::exit_code(report, fail_on);
 }
 
+/// Worse analyze exit code wins: a certification failure (1) outranks
+/// every verdict, then structural invalidity (2), ill-posedness (4),
+/// infeasibility (3), clean (0).
+int combine_analyze_exit(int a, int b) {
+  const auto rank = [](int c) {
+    switch (c) {
+      case 1:
+        return 4;
+      case 2:
+        return 3;
+      case 4:
+        return 2;
+      case 3:
+        return 1;
+      default:
+        return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+/// Analyzes one constraint graph (slack report + optional certified
+/// extraction), printing or collecting JSON, and returns the analyze
+/// exit code. `analysis` as in analyze::analyze().
+int analyze_graph(const cg::ConstraintGraph& g,
+                  const anchors::AnchorAnalysis* analysis, bool extract,
+                  int top, std::vector<std::string>* jsons) {
+  const analyze::Report report = analyze::analyze(g, analysis);
+  std::optional<analyze::Extraction> extraction;
+  if (extract && report.status != analyze::Status::kInvalid) {
+    extraction = analyze::extract_critical(g, report, analysis);
+  }
+  const analyze::Extraction* ex = extraction ? &*extraction : nullptr;
+  if (jsons != nullptr) {
+    jsons->push_back(analyze::to_json(report, g, ex));
+  } else {
+    std::cout << analyze::render_text(report, g, top);
+    if (ex != nullptr) std::cout << analyze::render_text(*ex);
+  }
+  return analyze::exit_code(report, ex);
+}
+
+/// Analyzes every graph of one compiled design through the synthesis
+/// pipeline (binding + make_wellposed first, exactly like lint), so
+/// the slacks describe the graphs the scheduler actually ran on.
+int analyze_synthesized(seq::Design& design, bool extract, int top,
+                        std::vector<std::string>* jsons) {
+  const auto result = driver::synthesize(design, {});
+  int code = 0;
+  for (const auto& gs : result.graphs) {
+    const anchors::AnchorAnalysis* analysis =
+        gs.schedule.ok() ? &gs.analysis : nullptr;
+    code = combine_analyze_exit(
+        code, analyze_graph(gs.constraint_graph, analysis, extract, top,
+                            jsons));
+  }
+  if (!result.ok()) {
+    std::cerr << "process '" << design.name()
+              << "': " << driver::to_string(result.status) << ": "
+              << result.message << "\n";
+    code = combine_analyze_exit(code, 2);
+  }
+  return code;
+}
+
+int analyze_main(int argc, char** argv) {
+  bool json = false, extract = false, suite = false;
+  int top = 10;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--analyze-json") {
+      json = true;
+    } else if (arg == "--extract") {
+      extract = true;
+    } else if (arg == "--suite") {
+      suite = true;
+    } else if (arg == "--top") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      const long long v = std::strtoll(argv[i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 0 || v > 1'000'000'000) {
+        return usage();
+      }
+      top = static_cast<int>(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (suite ? !path.empty() : path.empty()) return usage();
+
+  const auto flush_json = [&](std::vector<std::string>& jsons) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < jsons.size(); ++i) {
+      if (i > 0) std::cout << ", ";
+      std::cout << jsons[i];
+    }
+    std::cout << "]\n";
+  };
+
+  if (suite) {
+    int code = 0;
+    std::vector<std::string> jsons;
+    for (const auto& bd : designs::benchmark_suite()) {
+      seq::Design design = designs::build(bd.name);
+      code = combine_analyze_exit(
+          code,
+          analyze_synthesized(design, extract, top, json ? &jsons : nullptr));
+    }
+    if (json) flush_json(jsons);
+    return code;
+  }
+
+  const bool is_cgb =
+      path.size() > 4 && path.substr(path.size() - 4) == ".cgb";
+  const bool is_cg = path.size() > 3 && path.substr(path.size() - 3) == ".cg";
+  if (is_cg || is_cgb) {
+    // Raw constraint graph: analyze exactly what was written, no
+    // make_wellposed repair -- ill-posedness is a verdict here.
+    auto parsed = is_cgb ? cg::read_binary_file(path) : [&] {
+      std::ifstream in(path);
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      return cg::from_text(buffer.str());
+    }();
+    if (!parsed.ok()) {
+      std::cerr << (parsed.error.empty() ? "cannot open '" + path + "'"
+                                         : parsed.error)
+                << "\n";
+      return 2;
+    }
+    std::vector<std::string> jsons;
+    const int code = analyze_graph(*parsed.graph, nullptr, extract, top,
+                                   json ? &jsons : nullptr);
+    if (json) flush_json(jsons);
+    return code;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open '" << path << "'\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto compiled = hdl::compile(buffer.str());
+  if (!compiled.ok()) {
+    std::cerr << path << ":\n" << compiled.diagnostics.to_string();
+    return 2;
+  }
+  int code = 0;
+  std::vector<std::string> jsons;
+  for (seq::Design& design : compiled.designs) {
+    code = combine_analyze_exit(
+        code,
+        analyze_synthesized(design, extract, top, json ? &jsons : nullptr));
+  }
+  if (json) flush_json(jsons);
+  return code;
+}
+
 }  // namespace
 
 namespace {
@@ -593,6 +769,9 @@ int run_graph_mode(const std::string& text, const RunOptions& run,
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "lint") {
     return lint_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "analyze") {
+    return analyze_main(argc, argv);
   }
   if (argc >= 2 && std::string(argv[1]) == "gen") {
     return gen_main(argc, argv);

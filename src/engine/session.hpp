@@ -350,6 +350,16 @@ class SynthesisSession {
   /// (tests only; see FaultInjector). Overwrites any pending fault.
   void arm_fault(FaultInjector fault) { fault_ = fault; }
 
+  /// Total resolves served so far (cold + warm + cancelled): a cheap
+  /// monotone staleness token for consumers caching reports derived
+  /// from products (lint::IncrementalLinter, analyze::IncrementalAnalyzer)
+  /// -- their cone-scoped paths require exactly one warm resolve since
+  /// the cached report was built.
+  [[nodiscard]] long long resolve_count() const {
+    return static_cast<long long>(stats_.cold_resolves) +
+           stats_.warm_resolves + stats_.cancelled_resolves;
+  }
+
   /// Counters and timings. Returned by value: the fork counter is
   /// updated from const fork() calls and folded in here, and the
   /// shared-row count is sampled at call time.

@@ -144,9 +144,7 @@ Report cone_relint(const cg::ConstraintGraph& g,
 const Report& IncrementalLinter::relint(engine::SynthesisSession& session) {
   const engine::Products& products = session.resolve();
   const cg::ConstraintGraph& g = session.graph();
-  const engine::SessionStats stats = session.stats();
-  const long long resolves = static_cast<long long>(stats.cold_resolves) +
-                             stats.warm_resolves + stats.cancelled_resolves;
+  const long long resolves = session.resolve_count();
 
   if (valid_ && products.revision == revision_ && resolves == resolves_) {
     return report_;  // no resolve since the cached report: still current

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "base/error.hpp"
+#include "base/json.hpp"
 #include "base/strings.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/digraph.hpp"
@@ -251,38 +252,7 @@ Finding dead_anchor_finding(const cg::ConstraintGraph& g, VertexId anchor) {
 
 namespace {
 
-void append_json_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
-  append_json_escaped(out, s);
-  out += '"';
-}
+using base::append_json_string;
 
 }  // namespace
 

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "base/errno_text.hpp"
 #include "base/error.hpp"
 #include "base/fault_fs.hpp"
 #include "base/hash.hpp"
@@ -215,7 +216,7 @@ std::vector<std::int64_t> Reader::vec_i64() {
 namespace {
 
 Error errno_error(const char* op, const std::string& path) {
-  return Error::make(ErrorCode::kIo, cat(op, ": ", std::strerror(errno)),
+  return Error::make(ErrorCode::kIo, cat(op, ": ", base::errno_text(errno)),
                      path);
 }
 

@@ -4,10 +4,10 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 
 #include "base/env.hpp"
 #include "base/fault_fs.hpp"
+#include "base/errno_text.hpp"
 #include "base/strings.hpp"
 
 namespace relsched::persist {
@@ -53,7 +53,7 @@ bool valid_op(std::uint8_t op) {
 }
 
 Error errno_error(const char* op, const std::string& path) {
-  return Error::make(ErrorCode::kIo, cat(op, ": ", std::strerror(errno)),
+  return Error::make(ErrorCode::kIo, cat(op, ": ", base::errno_text(errno)),
                      path);
 }
 

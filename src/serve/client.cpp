@@ -10,6 +10,7 @@
 #include <cstring>
 #include <thread>
 
+#include "base/errno_text.hpp"
 #include "base/strings.hpp"
 
 namespace relsched::serve {
@@ -53,7 +54,7 @@ bool Client::try_connect(const std::string& path, int* err_out,
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
-    *error = cat("socket: ", std::strerror(errno));
+    *error = cat("socket: ", base::errno_text(errno));
     *err_out = errno;
     return false;
   }
@@ -64,7 +65,7 @@ bool Client::try_connect(const std::string& path, int* err_out,
     return true;
   }
   *err_out = errno;
-  *error = cat("connect ", path, ": ", std::strerror(errno));
+  *error = cat("connect ", path, ": ", base::errno_text(errno));
   ::close(fd);
   return false;
 }
@@ -78,7 +79,7 @@ bool Client::connect(const std::string& path,
     if (try_connect(path, &last_errno, error)) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   } while (std::chrono::steady_clock::now() < give_up);
-  *error = cat("connect ", path, ": ", std::strerror(last_errno));
+  *error = cat("connect ", path, ": ", base::errno_text(last_errno));
   return false;
 }
 
@@ -111,7 +112,7 @@ bool Client::call(const Json& request, Json* reply, std::string* error) {
     *error = (err == EAGAIN || err == EWOULDBLOCK)
                  ? cat(kTimeoutPrefix, "send stalled for ",
                        io_timeout_.count(), "ms")
-                 : cat("send: ", std::strerror(err));
+                 : cat("send: ", base::errno_text(err));
     close();
     return false;
   }
@@ -133,7 +134,7 @@ bool Client::call(const Json& request, Json* reply, std::string* error) {
       return false;
     }
     if (rc < 0) {
-      *error = cat("poll: ", std::strerror(errno));
+      *error = cat("poll: ", base::errno_text(errno));
       close();
       return false;
     }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "base/errno_text.hpp"
 #include "base/strings.hpp"
 
 namespace relsched::serve {
@@ -578,7 +579,7 @@ int read_exact(int fd, char* buf, std::size_t count, std::string* error) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      *error = cat("read: ", std::strerror(errno));
+      *error = cat("read: ", base::errno_text(errno));
       return -1;
     }
     got += static_cast<std::size_t>(n);

@@ -29,7 +29,7 @@ void Replicator::start() {
 
 void Replicator::stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -39,7 +39,7 @@ void Replicator::stop() {
 
 void Replicator::note_commit(std::uint64_t hash, std::uint64_t revision,
                              std::uint64_t digest) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   ReplState& s = states_[hash];
   if (revision <= s.acked_revision) return;  // standby already past it
   s.commit_digests.emplace_back(revision, digest);
@@ -51,7 +51,7 @@ void Replicator::note_commit(std::uint64_t hash, std::uint64_t revision,
 }
 
 bool Replicator::await_ack(std::uint64_t hash, std::uint64_t revision) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  base::UniqueMutexLock lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() + options_.ack_timeout;
   while (true) {
     if (stop_) {
@@ -70,7 +70,7 @@ bool Replicator::await_ack(std::uint64_t hash, std::uint64_t revision) {
 }
 
 ReplicatorCounters Replicator::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   ReplicatorCounters c = counters_;
   c.connected = connected_;
   return c;
@@ -78,7 +78,7 @@ ReplicatorCounters Replicator::counters() const {
 
 void Replicator::mark_disconnected() {
   client_.close();
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   connected_ = false;
   ack_cv_.notify_all();  // waiters re-check against the deadline
 }
@@ -102,7 +102,7 @@ bool Replicator::connect_and_subscribe() {
     return false;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   // Whatever the standby does not report, it does not have: those
   // sessions (re-)bootstrap from a snapshot.
   for (auto& [hash, s] : states_) {
@@ -147,7 +147,7 @@ bool Replicator::ship_snapshot(std::uint64_t hash) {
   }
   std::uint64_t new_epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    base::MutexLock lock(mutex_);
     new_epoch = states_[hash].epoch + 1;
   }
   Json request = Json::object();
@@ -162,7 +162,7 @@ bool Replicator::ship_snapshot(std::uint64_t hash) {
   Json reply;
   if (!client_.call(request, &reply, &error)) return false;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   ReplState& s = states_[hash];
   const Json* ok = reply.get("ok");
   if (ok == nullptr || !ok->as_bool()) return true;  // retried next pass
@@ -193,7 +193,7 @@ bool Replicator::ship_snapshot(std::uint64_t hash) {
 }
 
 void Replicator::absorb_ack(std::uint64_t hash, const Json& reply) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  base::MutexLock lock(mutex_);
   ReplState& s = states_[hash];
   const Json* ok = reply.get("ok");
   if (ok == nullptr || !ok->as_bool()) {
@@ -251,7 +251,7 @@ bool Replicator::step_session(const SessionView& view) {
     std::uint64_t next_seq = 0;
     std::uint64_t wal_base = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       if (stop_) return true;
       ReplState& s = states_[view.hash];
       need_snapshot = s.need_snapshot;
@@ -266,7 +266,7 @@ bool Replicator::step_session(const SessionView& view) {
     if (!tail.ok()) {
       // Missing or mid-file-corrupt log: nothing streamable; the
       // snapshot path re-establishes a trustworthy base.
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       states_[view.hash].need_snapshot = true;
       continue;
     }
@@ -274,7 +274,7 @@ bool Replicator::step_session(const SessionView& view) {
       // The WAL was reset by a checkpoint since the last poll: new
       // epoch. A standby already sitting at the new base adopts it in
       // place; anything else needs the snapshot that caused the reset.
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       ReplState& s = states_[view.hash];
       if (s.acked_revision == tail.base_revision) {
         ++s.epoch;
@@ -291,7 +291,7 @@ bool Replicator::step_session(const SessionView& view) {
         static_cast<long long>(options_.queue_cap)) {
       // Backpressure: the standby is too far behind to stream at;
       // bounded catch-up via snapshot instead of an unbounded queue.
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       ++counters_.queue_overflows;
       states_[view.hash].need_snapshot = true;
       continue;
@@ -338,7 +338,7 @@ bool Replicator::step_session(const SessionView& view) {
     }
     request.set("records", std::move(records));
     if (last_marker_revision != 0) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       const ReplState& s = states_[view.hash];
       for (const auto& [revision, digest] : s.commit_digests) {
         if (revision == last_marker_revision) {
@@ -353,7 +353,7 @@ bool Replicator::step_session(const SessionView& view) {
     std::string error;
     if (!client_.call(request, &reply, &error)) return false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       counters_.records_shipped += static_cast<long long>(n);
       ++counters_.batches_shipped;
     }
@@ -367,18 +367,20 @@ void Replicator::run() {
   bool ever_connected = false;
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       if (stop_) return;
     }
     if (!client_.connected()) {
       if (!connect_and_subscribe()) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait_for(lock, std::chrono::milliseconds(100),
-                          [this] { return stop_; });
+        // Reconnect backoff. No predicate: the lambda would be
+        // analyzed without the capability held, and a spurious wakeup
+        // only shortens the backoff before the next probe.
+        base::UniqueMutexLock lock(mutex_);
+        if (!stop_) work_cv_.wait_for(lock, std::chrono::milliseconds(100));
         continue;
       }
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        base::MutexLock lock(mutex_);
         connected_ = true;
         if (ever_connected) ++counters_.reconnects;
       }
@@ -386,10 +388,13 @@ void Replicator::run() {
     }
     {
       // Commits wake the loop immediately; the timed fallback catches
-      // WAL activity that never notified (e.g. heal paths).
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait_for(lock, std::chrono::milliseconds(50),
-                        [this] { return dirty_ || stop_; });
+      // WAL activity that never notified (e.g. heal paths). No wait
+      // predicate (see the backoff above): a spurious wakeup just
+      // costs one early pass over the session views.
+      base::UniqueMutexLock lock(mutex_);
+      if (!dirty_ && !stop_) {
+        work_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      }
       if (stop_) return;
       dirty_ = false;
     }
@@ -400,7 +405,7 @@ void Replicator::run() {
         mark_disconnected();
         break;
       }
-      std::lock_guard<std::mutex> lock(mutex_);
+      base::MutexLock lock(mutex_);
       if (stop_) return;
     }
   }

@@ -45,10 +45,11 @@
 #include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "serve/client.hpp"
 
 namespace relsched::serve {
@@ -166,15 +167,23 @@ class Replicator {
   ReplicatorOptions options_;
   Hooks hooks_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // commits -> streaming thread
-  std::condition_variable ack_cv_;   // acks -> await_ack waiters
-  std::unordered_map<std::uint64_t, ReplState> states_;
-  ReplicatorCounters counters_;
-  bool dirty_ = false;
-  bool stop_ = false;
-  bool connected_ = false;
-  long long shipped_edit_records_ = 0;  // drives corrupt_record_at
+  mutable base::Mutex mutex_;
+  // condition_variable_any: libstdc++'s plain condition_variable only
+  // waits on std::unique_lock<std::mutex>, which the thread-safety
+  // analysis cannot see; the _any variant takes base::UniqueMutexLock
+  // directly (it satisfies BasicLockable).
+  std::condition_variable_any work_cv_;  // commits -> streaming thread
+  std::condition_variable_any ack_cv_;   // acks -> await_ack waiters
+  std::unordered_map<std::uint64_t, ReplState> states_
+      RELSCHED_GUARDED_BY(mutex_);
+  ReplicatorCounters counters_ RELSCHED_GUARDED_BY(mutex_);
+  bool dirty_ RELSCHED_GUARDED_BY(mutex_) = false;
+  bool stop_ RELSCHED_GUARDED_BY(mutex_) = false;
+  bool connected_ RELSCHED_GUARDED_BY(mutex_) = false;
+  // Fault-injection cursor for corrupt_record_at. Touched only by the
+  // replication thread (batch building runs outside the lock), so
+  // deliberately not guarded.
+  long long shipped_edit_records_ = 0;
   bool corruption_injected_ = false;
 
   Client client_;  // touched only by the replication thread

@@ -10,14 +10,16 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "base/errno_text.hpp"
 #include "base/error.hpp"
 #include "base/fault_fs.hpp"
+#include "base/mutex.hpp"
 #include "base/strings.hpp"
+#include "base/thread_annotations.hpp"
 #include "cg/graph_io.hpp"
 #include "persist/serialize.hpp"
 #include "persist/snapshot.hpp"
@@ -65,41 +67,45 @@ bool make_dirs(const std::string& dir) {
 /// evicted to disk; `mutex` is the single-writer serialization point
 /// for everything behind it.
 struct SessionEntry {
-  std::mutex mutex;
+  base::Mutex mutex;
   /// Requests admitted for this session and not yet finished. An
   /// atomic, not guarded by `mutex`: admission control must shed load
   /// without queueing on the very lock it protects.
   std::atomic<int> pending{0};
+  /// Written only under `mutex`, but an atomic rather than guarded:
+  /// the stats and replication gauges read it under the shard lock
+  /// alone (a stale value only delays a skip to the next pass).
+  std::atomic<bool> quarantined{false};
 
-  std::uint64_t hash = 0;
-  std::string dir;  // state_dir/s-<hex16>
+  std::uint64_t hash = 0;   // set before publication, const after
+  std::string dir;          // state_dir/s-<hex16>; same lifecycle
 
-  // ---- Guarded by `mutex` from here on ------------------------------------
-  std::unique_ptr<engine::SynthesisSession> session;  // null when evicted
+  std::unique_ptr<engine::SynthesisSession> session
+      RELSCHED_GUARDED_BY(mutex);  // null when evicted
   /// Revision of the freshly-parsed design graph, before any client
   /// edit. Stable across cold rebuilds (graph construction is
   /// deterministic from the design text), so clients recompute
   /// applied-edit counts as revision - base_revision after a crash.
-  std::uint64_t base_revision = 0;
-  bool quarantined = false;
-  bool durability_lost = false;
-  std::string quarantine_reason;
+  std::uint64_t base_revision RELSCHED_GUARDED_BY(mutex) = 0;
+  bool durability_lost RELSCHED_GUARDED_BY(mutex) = false;
+  std::string quarantine_reason RELSCHED_GUARDED_BY(mutex);
   /// LRU clock: monotonically increasing touch stamp.
-  std::uint64_t last_touch = 0;
+  std::uint64_t last_touch RELSCHED_GUARDED_BY(mutex) = 0;
 
   // Standby-side replication cursor (meaningful only while the server
   // is in standby mode): which (epoch, seq) of the primary's WAL
   // stream this session has applied, and the WAL base revision that
   // epoch started from. In-memory only -- a restarted standby reports
   // nothing at repl_subscribe and is re-bootstrapped per session.
-  std::uint64_t repl_epoch = 0;
-  std::uint64_t repl_next_seq = 0;
-  std::uint64_t repl_wal_base = 0;
+  std::uint64_t repl_epoch RELSCHED_GUARDED_BY(mutex) = 0;
+  std::uint64_t repl_next_seq RELSCHED_GUARDED_BY(mutex) = 0;
+  std::uint64_t repl_wal_base RELSCHED_GUARDED_BY(mutex) = 0;
 };
 
 struct Shard {
-  std::mutex mutex;
-  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions;
+  base::Mutex mutex;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SessionEntry>> sessions
+      RELSCHED_GUARDED_BY(mutex);
 };
 
 /// Removes "<name>.tmp.<pid>.<seq>" leftovers a SIGKILL mid-
@@ -110,7 +116,9 @@ struct Shard {
 void sweep_stale_temps(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return;
-  while (struct dirent* ent = ::readdir(d)) {
+  // glibc's readdir is safe on distinct DIR streams (readdir_r is
+  // deprecated for exactly this reason); this stream is function-local.
+  while (struct dirent* ent = ::readdir(d)) {  // NOLINT(concurrency-mt-unsafe)
     const std::string name = ent->d_name;
     if (name.find(".tmp.") != std::string::npos) {
       ::unlink(cat(dir, "/", name).c_str());
@@ -147,8 +155,8 @@ struct Server::Impl {
   std::atomic<int> active_connections{0};
   std::atomic<std::uint64_t> touch_clock{0};
 
-  std::mutex stats_mutex;
-  ServerStats stats;
+  base::Mutex stats_mutex;
+  ServerStats stats RELSCHED_GUARDED_BY(stats_mutex);
 
   // ---- Replication role ----------------------------------------------------
 
@@ -158,16 +166,16 @@ struct Server::Impl {
   /// Primary-side streamer; created at start() (--replicate-to) or by
   /// a "promote" carrying a new standby address. Guarded for creation;
   /// read via the shared_ptr snapshot below.
-  std::mutex repl_mutex;
-  std::shared_ptr<Replicator> replicator_ptr;
+  base::Mutex repl_mutex;
+  std::shared_ptr<Replicator> replicator_ptr RELSCHED_GUARDED_BY(repl_mutex);
 
   std::shared_ptr<Replicator> replicator() {
-    std::lock_guard<std::mutex> lock(repl_mutex);
+    base::MutexLock lock(repl_mutex);
     return replicator_ptr;
   }
 
   void start_replicator(const std::string& target) {
-    std::lock_guard<std::mutex> lock(repl_mutex);
+    base::MutexLock lock(repl_mutex);
     if (replicator_ptr != nullptr) return;
     ReplicatorOptions ro;
     ro.target = target;
@@ -191,7 +199,7 @@ struct Server::Impl {
   void stop_replicator() {
     std::shared_ptr<Replicator> r;
     {
-      std::lock_guard<std::mutex> lock(repl_mutex);
+      base::MutexLock lock(repl_mutex);
       r = replicator_ptr;
     }
     if (r != nullptr) r->stop();
@@ -200,7 +208,7 @@ struct Server::Impl {
   std::vector<Replicator::SessionView> list_replicable_sessions() {
     std::vector<Replicator::SessionView> views;
     for (Shard& shard : shards) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      base::MutexLock lock(shard.mutex);
       for (auto& [hash, entry] : shard.sessions) {
         Replicator::SessionView view;
         view.hash = hash;
@@ -224,7 +232,7 @@ struct Server::Impl {
       *error = "session gone";
       return false;
     }
-    std::lock_guard<std::mutex> lock(entry->mutex);
+    base::MutexLock lock(entry->mutex);
     if (entry->quarantined) {
       *error = "session quarantined";
       return false;
@@ -263,7 +271,8 @@ struct Server::Impl {
   /// primary: make the committed records visible to the WAL tailer and
   /// record the commit digest (the divergence oracle). Entry mutex
   /// held; never blocks.
-  void note_replication(SessionEntry& entry, const Json& reply) {
+  void note_replication(SessionEntry& entry, const Json& reply)
+      RELSCHED_REQUIRES(entry.mutex) {
     std::shared_ptr<Replicator> r = replicator();
     if (r == nullptr || entry.session == nullptr) return;
     entry.session->flush_wal();
@@ -333,19 +342,19 @@ struct Server::Impl {
 
   std::shared_ptr<SessionEntry> find_entry(std::uint64_t hash) {
     Shard& shard = shard_for(hash);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    base::MutexLock lock(shard.mutex);
     auto it = shard.sessions.find(hash);
     return it == shard.sessions.end() ? nullptr : it->second;
   }
 
   void remove_entry(std::uint64_t hash) {
     Shard& shard = shard_for(hash);
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    base::MutexLock lock(shard.mutex);
     shard.sessions.erase(hash);
   }
 
   void bump(long long ServerStats::* counter, long long by = 1) {
-    std::lock_guard<std::mutex> lock(stats_mutex);
+    base::MutexLock lock(stats_mutex);
     stats.*counter += by;
   }
 
@@ -362,7 +371,8 @@ struct Server::Impl {
 
   /// Marks `entry` (whose mutex the caller holds) suspect: pinned live,
   /// certified-cold from now on.
-  void quarantine(SessionEntry& entry, std::string reason) {
+  void quarantine(SessionEntry& entry, std::string reason)
+      RELSCHED_REQUIRES(entry.mutex) {
     if (!entry.quarantined) {
       entry.quarantined = true;
       bump(&ServerStats::quarantines);
@@ -381,7 +391,8 @@ struct Server::Impl {
   /// open. Returns a non-empty error only when even the cold rebuild is
   /// impossible (state dir destroyed). `*restored`, when non-null, is
   /// set when the snapshot restore path succeeded.
-  std::string ensure_live(SessionEntry& entry, bool* restored = nullptr) {
+  std::string ensure_live(SessionEntry& entry, bool* restored = nullptr)
+      RELSCHED_REQUIRES(entry.mutex) {
     if (entry.session != nullptr) return {};
 
     const std::string snap = persist::snapshot_path(entry.dir);
@@ -436,7 +447,7 @@ struct Server::Impl {
   /// Attaches the per-session WAL. Failure is not fatal to serving --
   /// the session stays live -- but flags durability_lost until a later
   /// heal_wal succeeds.
-  void attach_wal(SessionEntry& entry) {
+  void attach_wal(SessionEntry& entry) RELSCHED_REQUIRES(entry.mutex) {
     if (entry.session == nullptr || entry.session->wal_attached()) return;
     if (persist::Error e = entry.session->attach_wal(
             persist::wal_path(entry.dir), options.wal);
@@ -450,7 +461,7 @@ struct Server::Impl {
   /// After a request that appended to the WAL: if the log died, rebuild
   /// durability from live state (detach the dead log, snapshot, attach
   /// a fresh log). Entry mutex held.
-  void heal_wal(SessionEntry& entry) {
+  void heal_wal(SessionEntry& entry) RELSCHED_REQUIRES(entry.mutex) {
     if (entry.session == nullptr || entry.session->wal_error().ok()) return;
     entry.durability_lost = true;
     entry.session->detach_wal();
@@ -477,7 +488,7 @@ struct Server::Impl {
   /// False when the checkpoint failed -- the session then stays live,
   /// because dropping state that never reached disk would lose
   /// acknowledged edits.
-  bool evict_locked(SessionEntry& entry) {
+  bool evict_locked(SessionEntry& entry) RELSCHED_REQUIRES(entry.mutex) {
     if (entry.session == nullptr) return true;
     if (entry.session->in_txn()) return false;
     if (persist::Error e = entry.session->checkpoint(entry.dir); !e.ok()) {
@@ -502,26 +513,28 @@ struct Server::Impl {
       std::shared_ptr<SessionEntry> victim;
       std::uint64_t oldest = ~std::uint64_t{0};
       for (Shard& shard : shards) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        base::MutexLock lock(shard.mutex);
         for (auto& [hash, entry] : shard.sessions) {
           if (hash == keep_hash || entry->quarantined) continue;
           if (entry->pending.load(std::memory_order_relaxed) > 0) continue;
-          std::unique_lock<std::mutex> entry_lock(entry->mutex,
-                                                  std::try_to_lock);
-          if (!entry_lock.owns_lock() || entry->session == nullptr) continue;
-          if (entry->last_touch < oldest) {
+          if (!entry->mutex.try_lock()) continue;
+          if (entry->session != nullptr && entry->last_touch < oldest) {
             oldest = entry->last_touch;
             victim = entry;
           }
+          entry->mutex.unlock();
         }
       }
       if (victim == nullptr) return;  // everything is busy or pinned
-      std::unique_lock<std::mutex> lock(victim->mutex, std::try_to_lock);
-      if (!lock.owns_lock() || victim->session == nullptr ||
+      if (!victim->mutex.try_lock()) continue;
+      if (victim->session == nullptr ||
           victim->pending.load(std::memory_order_relaxed) > 0) {
+        victim->mutex.unlock();
         continue;  // raced with a request; rescan
       }
-      if (!evict_locked(*victim)) return;
+      const bool evicted = evict_locked(*victim);
+      victim->mutex.unlock();
+      if (!evicted) return;
       bump(&ServerStats::evictions);
     }
   }
@@ -540,12 +553,12 @@ struct Server::Impl {
     for (Shard& shard : shards) {
       std::vector<std::shared_ptr<SessionEntry>> entries;
       {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        base::MutexLock lock(shard.mutex);
         entries.reserve(shard.sessions.size());
         for (auto& [hash, entry] : shard.sessions) entries.push_back(entry);
       }
       for (auto& entry : entries) {
-        std::lock_guard<std::mutex> lock(entry->mutex);
+        base::MutexLock lock(entry->mutex);
         if (entry->session == nullptr) continue;
         if (entry->quarantined || !evict_locked(*entry)) {
           entry->session.reset();
@@ -610,7 +623,7 @@ struct Server::Impl {
     Shard& shard = shard_for(hash);
     std::shared_ptr<SessionEntry> entry;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      base::MutexLock lock(shard.mutex);
       auto it = shard.sessions.find(hash);
       if (it != shard.sessions.end()) {
         entry = it->second;
@@ -628,7 +641,7 @@ struct Server::Impl {
     bool restored = false;
     Json reply = Json::object();
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      base::MutexLock lock(entry->mutex);
       entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
       if (entry->session == nullptr &&
           ::access(design_path(*entry).c_str(), F_OK) != 0) {
@@ -637,7 +650,7 @@ struct Server::Impl {
         if (::mkdir(entry->dir.c_str(), 0755) != 0 && errno != EEXIST) {
           remove_entry(hash);
           return error_reply(
-              kCodeIo, cat("mkdir ", entry->dir, ": ", std::strerror(errno)));
+              kCodeIo, cat("mkdir ", entry->dir, ": ", base::errno_text(errno)));
         }
         // The stash write rides through transient I/O faults the same
         // way the WAL does: a few short-backoff retries. Only a
@@ -785,7 +798,7 @@ struct Server::Impl {
   /// cancellations are not poison (the request was healthy, the server
   /// is leaving).
   Json judge_outcome(SessionEntry& entry, int certificate_failures_before,
-                     Json reply) {
+                     Json reply) RELSCHED_REQUIRES(entry.mutex) {
     engine::SynthesisSession& session = *entry.session;
     if (session.stats().certificate_failures > certificate_failures_before) {
       quarantine(entry, "certificate failure");
@@ -813,7 +826,7 @@ struct Server::Impl {
 
     Json reply;
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      base::MutexLock lock(entry->mutex);
       reply = edit_locked(*entry, request);
       note_replication(*entry, reply);
     }
@@ -823,13 +836,13 @@ struct Server::Impl {
     return reply;
   }
 
-  Json edit_locked(SessionEntry& entryref, const Json& request) {
-    SessionEntry* entry = &entryref;
-    entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
-    if (std::string err = ensure_live(*entry); !err.empty()) {
+  Json edit_locked(SessionEntry& entry, const Json& request)
+      RELSCHED_REQUIRES(entry.mutex) {
+    entry.last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+    if (std::string err = ensure_live(entry); !err.empty()) {
       return error_reply(kCodeIo, err);
     }
-    engine::SynthesisSession& session = *entry->session;
+    engine::SynthesisSession& session = *entry.session;
 
     std::vector<Edit> edits;
     std::string parse_error;
@@ -839,7 +852,7 @@ struct Server::Impl {
     }
 
     session.set_cancellation(shutdown_cancel, request_deadline(request));
-    if (entry->quarantined) {
+    if (entry.quarantined) {
       session.set_certify(true);
       session.force_cold();
     }
@@ -886,12 +899,12 @@ struct Server::Impl {
         // salvage. Drop it; the next touch cold-rebuilds from the
         // design (quarantine below forces the untrusted snapshot to be
         // ignored).
-        entry->session.reset();
+        entry.session.reset();
         live_sessions.fetch_sub(1, std::memory_order_relaxed);
       }
-      quarantine(*entry, cat("edit raised: ", detail));
+      quarantine(entry, cat("edit raised: ", detail));
       Json reply = error_reply(kCodeBadRequest, detail);
-      if (entry->session != nullptr) {
+      if (entry.session != nullptr) {
         reply.set("revision", Json::number(static_cast<long long>(
                                   session.graph().revision())));
       }
@@ -906,7 +919,7 @@ struct Server::Impl {
     reply.set("edits_applied", Json::number(static_cast<long long>(
                                    edits.size())));
     fill_products_reply(reply, session);
-    return judge_outcome(*entry, cert_failures_before, std::move(reply));
+    return judge_outcome(entry, cert_failures_before, std::move(reply));
   }
 
   Json handle_resolve(const Json& request) {
@@ -918,7 +931,7 @@ struct Server::Impl {
 
     Json reply;
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      base::MutexLock lock(entry->mutex);
       reply = resolve_locked(*entry, request);
       note_replication(*entry, reply);
     }
@@ -926,15 +939,15 @@ struct Server::Impl {
     return reply;
   }
 
-  Json resolve_locked(SessionEntry& entryref, const Json& request) {
-    SessionEntry* entry = &entryref;
-    entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
-    if (std::string err = ensure_live(*entry); !err.empty()) {
+  Json resolve_locked(SessionEntry& entry, const Json& request)
+      RELSCHED_REQUIRES(entry.mutex) {
+    entry.last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
+    if (std::string err = ensure_live(entry); !err.empty()) {
       return error_reply(kCodeIo, err);
     }
-    engine::SynthesisSession& session = *entry->session;
+    engine::SynthesisSession& session = *entry.session;
     session.set_cancellation(shutdown_cancel, request_deadline(request));
-    if (entry->quarantined) {
+    if (entry.quarantined) {
       session.set_certify(true);
       session.force_cold();
     }
@@ -943,7 +956,7 @@ struct Server::Impl {
       session.resolve();
     } catch (const std::exception& ex) {
       bump(&ServerStats::internal_errors);
-      quarantine(*entry, cat("resolve raised: ", ex.what()));
+      quarantine(entry, cat("resolve raised: ", ex.what()));
       return error_reply(kCodeInternal, ex.what());
     }
     bump(&ServerStats::resolves);
@@ -951,7 +964,7 @@ struct Server::Impl {
     Json reply = Json::object();
     reply.set("ok", Json::boolean(true));
     fill_products_reply(reply, session);
-    return judge_outcome(*entry, cert_failures_before, std::move(reply));
+    return judge_outcome(entry, cert_failures_before, std::move(reply));
   }
 
   Json handle_evict(const Json& request) {
@@ -960,7 +973,7 @@ struct Server::Impl {
     if (entry == nullptr) return fail;
     Admission admission(*this, *entry);
 
-    std::lock_guard<std::mutex> lock(entry->mutex);
+    base::MutexLock lock(entry->mutex);
     Json reply = Json::object();
     if (entry->quarantined) {
       return error_reply(kCodeBadRequest,
@@ -981,7 +994,7 @@ struct Server::Impl {
     if (entry == nullptr) return fail;
     Admission admission(*this, *entry);
 
-    std::lock_guard<std::mutex> lock(entry->mutex);
+    base::MutexLock lock(entry->mutex);
     if (entry->session != nullptr) {
       if (entry->quarantined) {
         // Untrusted state is never persisted; scrub it.
@@ -1004,7 +1017,7 @@ struct Server::Impl {
       Json fail;
       std::shared_ptr<SessionEntry> entry = lookup(request, &fail);
       if (entry == nullptr) return fail;
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      base::MutexLock lock(entry->mutex);
       Json reply = Json::object();
       reply.set("ok", Json::boolean(true));
       reply.set("live", Json::boolean(entry->session != nullptr));
@@ -1032,7 +1045,7 @@ struct Server::Impl {
 
     ServerStats snapshot;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      base::MutexLock lock(stats_mutex);
       snapshot = stats;
     }
     snapshot.live_sessions = live_sessions.load(std::memory_order_relaxed);
@@ -1042,7 +1055,7 @@ struct Server::Impl {
     for (Shard& shard : shards) {
       std::vector<std::shared_ptr<SessionEntry>> entries;
       {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        base::MutexLock lock(shard.mutex);
         snapshot.known_sessions += static_cast<int>(shard.sessions.size());
         for (auto& [hash, entry] : shard.sessions) {
           // Benign race: quarantined is read without the entry mutex,
@@ -1054,9 +1067,11 @@ struct Server::Impl {
       for (auto& entry : entries) {
         // Busy sessions are skipped rather than waited on: stats must
         // never queue behind a long resolve.
-        std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
-        if (!lock.owns_lock() || entry->session == nullptr) continue;
-        wal_retries_live += entry->session->stats().wal_retries;
+        if (!entry->mutex.try_lock()) continue;
+        if (entry->session != nullptr) {
+          wal_retries_live += entry->session->stats().wal_retries;
+        }
+        entry->mutex.unlock();
       }
     }
 
@@ -1150,7 +1165,7 @@ struct Server::Impl {
   /// Normal ack: the post-apply cursor plus this standby's own state
   /// digest, the primary's divergence oracle. Entry mutex held, session
   /// live.
-  Json ack_reply(SessionEntry& entry) {
+  Json ack_reply(SessionEntry& entry) RELSCHED_REQUIRES(entry.mutex) {
     Json reply = Json::object();
     reply.set("ok", Json::boolean(true));
     reply.set("repl", Json::string("repl_ack"));
@@ -1167,7 +1182,8 @@ struct Server::Impl {
   /// Divergent or unfollowable replica state is scrubbed, never served:
   /// drop the live object and its on-disk trace (the design stash
   /// stays) so the next bootstrap starts clean. Entry mutex held.
-  void scrub_standby_session(SessionEntry& entry) {
+  void scrub_standby_session(SessionEntry& entry)
+      RELSCHED_REQUIRES(entry.mutex) {
     if (entry.session != nullptr) {
       entry.session.reset();
       live_sessions.fetch_sub(1, std::memory_order_relaxed);
@@ -1192,12 +1208,12 @@ struct Server::Impl {
     for (Shard& shard : shards) {
       std::vector<std::shared_ptr<SessionEntry>> entries;
       {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        base::MutexLock lock(shard.mutex);
         entries.reserve(shard.sessions.size());
         for (auto& [hash, entry] : shard.sessions) entries.push_back(entry);
       }
       for (auto& entry : entries) {
-        std::lock_guard<std::mutex> lock(entry->mutex);
+        base::MutexLock lock(entry->mutex);
         if (std::string err = ensure_live(*entry); !err.empty()) continue;
         Json e = Json::object();
         e.set("session", Json::string(hex16(entry->hash)));
@@ -1256,7 +1272,7 @@ struct Server::Impl {
     std::shared_ptr<SessionEntry> entry;
     {
       Shard& shard = shard_for(hash);
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      base::MutexLock lock(shard.mutex);
       auto it = shard.sessions.find(hash);
       if (it != shard.sessions.end()) {
         entry = it->second;
@@ -1270,11 +1286,11 @@ struct Server::Impl {
 
     Json reply;
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      base::MutexLock lock(entry->mutex);
       entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
       if (::mkdir(entry->dir.c_str(), 0755) != 0 && errno != EEXIST) {
         return error_reply(
-            kCodeIo, cat("mkdir ", entry->dir, ": ", std::strerror(errno)));
+            kCodeIo, cat("mkdir ", entry->dir, ": ", base::errno_text(errno)));
       }
       // Whatever this replica held before, the snapshot replaces it.
       if (entry->session != nullptr) {
@@ -1344,7 +1360,7 @@ struct Server::Impl {
     std::shared_ptr<SessionEntry> entry = find_entry(hash);
     if (entry == nullptr) return resync_reply(hash);
 
-    std::lock_guard<std::mutex> lock(entry->mutex);
+    base::MutexLock lock(entry->mutex);
     entry->last_touch = touch_clock.fetch_add(1, std::memory_order_relaxed);
     if (std::string err = ensure_live(*entry); !err.empty()) {
       bump(&ServerStats::repl_rejects);
@@ -1443,12 +1459,12 @@ struct Server::Impl {
       for (Shard& shard : shards) {
         std::vector<std::shared_ptr<SessionEntry>> entries;
         {
-          std::lock_guard<std::mutex> lock(shard.mutex);
+          base::MutexLock lock(shard.mutex);
           entries.reserve(shard.sessions.size());
           for (auto& [hash, entry] : shard.sessions) entries.push_back(entry);
         }
         for (auto& entry : entries) {
-          std::lock_guard<std::mutex> lock(entry->mutex);
+          base::MutexLock lock(entry->mutex);
         }
       }
       bump(&ServerStats::promotions);
@@ -1568,7 +1584,7 @@ struct Server::Impl {
       return false;
     }
     if (!make_dirs(options.state_dir)) {
-      *error = cat("mkdir ", options.state_dir, ": ", std::strerror(errno));
+      *error = cat("mkdir ", options.state_dir, ": ", base::errno_text(errno));
       return false;
     }
     // Janitor pass: a predecessor killed mid-checkpoint strands
@@ -1576,7 +1592,9 @@ struct Server::Impl {
     // state (their renames never happened), so scrub them now rather
     // than leak.
     if (DIR* root = ::opendir(options.state_dir.c_str()); root != nullptr) {
-      while (struct dirent* ent = ::readdir(root)) {
+      // Function-local DIR stream; see sweep_stale_temps.
+      while (struct dirent* ent =
+                 ::readdir(root)) {  // NOLINT(concurrency-mt-unsafe)
         const std::string name = ent->d_name;
         if (name.rfind("s-", 0) == 0) {
           sweep_stale_temps(cat(options.state_dir, "/", name));
@@ -1585,7 +1603,7 @@ struct Server::Impl {
       ::closedir(root);
     }
     if (::pipe(wake_pipe) != 0) {
-      *error = cat("pipe: ", std::strerror(errno));
+      *error = cat("pipe: ", base::errno_text(errno));
       return false;
     }
     struct sockaddr_un addr;
@@ -1599,7 +1617,7 @@ struct Server::Impl {
                 options.socket_path.size() + 1);
     listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listen_fd < 0) {
-      *error = cat("socket: ", std::strerror(errno));
+      *error = cat("socket: ", base::errno_text(errno));
       return false;
     }
     // A previous hard kill leaves the socket file behind; it is dead
@@ -1609,7 +1627,7 @@ struct Server::Impl {
                sizeof addr) != 0 ||
         ::listen(listen_fd, 128) != 0) {
       *error = cat("bind/listen ", options.socket_path, ": ",
-                   std::strerror(errno));
+                   base::errno_text(errno));
       ::close(listen_fd);
       listen_fd = -1;
       return false;
